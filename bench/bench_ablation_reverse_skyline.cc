@@ -1,0 +1,80 @@
+// Ablation micro-benchmarks for reverse-skyline computation: naive
+// window-probing vs BBRS (global-skyline candidates + verification), and
+// the bichromatic pruned traversal.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/bbrs.h"
+#include "reverse_skyline/naive.h"
+
+namespace wnrs {
+namespace {
+
+void BM_ReverseSkylineNaive(benchmark::State& state) {
+  const Dataset ds = GenerateCarDb(static_cast<size_t>(state.range(0)), 42);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Point& q = ds.points[rng.NextUint64(ds.points.size())];
+    benchmark::DoNotOptimize(
+        ReverseSkylineNaive(tree, ds.points, q, true).size());
+  }
+}
+BENCHMARK(BM_ReverseSkylineNaive)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReverseSkylineBbrs(benchmark::State& state) {
+  const Dataset ds = GenerateCarDb(static_cast<size_t>(state.range(0)), 42);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Point& q = ds.points[rng.NextUint64(ds.points.size())];
+    benchmark::DoNotOptimize(BbrsReverseSkyline(tree, q).size());
+  }
+}
+BENCHMARK(BM_ReverseSkylineBbrs)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Arg(200000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReverseSkylineBichromatic(benchmark::State& state) {
+  const Dataset products =
+      GenerateCarDb(static_cast<size_t>(state.range(0)), 42);
+  const Dataset customers =
+      GenerateCarDb(static_cast<size_t>(state.range(0)) / 4, 43);
+  RStarTree ptree = BulkLoadPoints(2, products.points);
+  RStarTree ctree = BulkLoadPoints(2, customers.points);
+  Rng rng(8);
+  for (auto _ : state) {
+    const Point& q = products.points[rng.NextUint64(products.points.size())];
+    benchmark::DoNotOptimize(
+        BbrsReverseSkylineBichromatic(ctree, ptree, q).size());
+  }
+}
+BENCHMARK(BM_ReverseSkylineBichromatic)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GlobalSkylineCandidates(benchmark::State& state) {
+  const Dataset ds = GenerateCarDb(static_cast<size_t>(state.range(0)), 42);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(9);
+  for (auto _ : state) {
+    const Point& q = ds.points[rng.NextUint64(ds.points.size())];
+    benchmark::DoNotOptimize(GlobalSkylineCandidates(tree, q).size());
+  }
+}
+BENCHMARK(BM_GlobalSkylineCandidates)->Arg(50000)->Arg(200000);
+
+}  // namespace
+}  // namespace wnrs
+
+BENCHMARK_MAIN();

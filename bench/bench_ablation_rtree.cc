@@ -1,0 +1,112 @@
+// Ablation micro-benchmarks for the R*-tree substrate: page size (the
+// paper fixes 1536 bytes), bulk loading vs repeated insertion, and the
+// query primitives the why-not pipeline leans on.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+Dataset MakeData(size_t n) { return GenerateCarDb(n, 42); }
+
+void BM_RTreeInsertBuild(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RStarTree tree(2);
+    for (size_t i = 0; i < ds.points.size(); ++i) {
+      tree.Insert(ds.points[i], static_cast<RStarTree::Id>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsertBuild)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const Dataset ds = MakeData(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(10000)->Arg(50000)->Arg(200000)->Unit(benchmark::kMillisecond);
+
+void BM_WindowProbePageSize(benchmark::State& state) {
+  const Dataset ds = MakeData(100000);
+  RTreeOptions options;
+  options.page_size_bytes = static_cast<size_t>(state.range(0));
+  RStarTree tree = BulkLoadPoints(2, ds.points, options);
+  Rng rng(7);
+  const Point q = ds.points[123];
+  size_t i = 0;
+  for (auto _ : state) {
+    const Point& c = ds.points[(i++ * 7919) % ds.points.size()];
+    benchmark::DoNotOptimize(WindowEmpty(tree, c, q));
+  }
+}
+BENCHMARK(BM_WindowProbePageSize)
+    ->Arg(512)
+    ->Arg(1536)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_RangeQuerySelectivity(benchmark::State& state) {
+  const Dataset ds = MakeData(100000);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Rectangle bounds = ds.Bounds();
+  // Window covering 10^-range(0) of each dimension.
+  const double frac = std::pow(10.0, -static_cast<double>(state.range(0)));
+  Rng rng(9);
+  for (auto _ : state) {
+    Point lo(2);
+    Point hi(2);
+    for (size_t d = 0; d < 2; ++d) {
+      const double extent = (bounds.hi()[d] - bounds.lo()[d]) * frac;
+      lo[d] = rng.NextDouble(bounds.lo()[d], bounds.hi()[d] - extent);
+      hi[d] = lo[d] + extent;
+    }
+    benchmark::DoNotOptimize(tree.RangeQueryIds(Rectangle(lo, hi)).size());
+  }
+}
+BENCHMARK(BM_RangeQuerySelectivity)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_NearestNeighbors(benchmark::State& state) {
+  const Dataset ds = MakeData(100000);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(11);
+  for (auto _ : state) {
+    const Point p({rng.NextDouble(500, 80000), rng.NextDouble(0, 200000)});
+    benchmark::DoNotOptimize(
+        tree.NearestNeighbors(p, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_NearestNeighbors)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_RTreeDelete(benchmark::State& state) {
+  const Dataset ds = MakeData(20000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    state.ResumeTiming();
+    for (size_t i = 0; i < 1000; ++i) {
+      tree.Delete(Rectangle::FromPoint(ds.points[i]),
+                  static_cast<RStarTree::Id>(i));
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RTreeDelete)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wnrs
+
+BENCHMARK_MAIN();

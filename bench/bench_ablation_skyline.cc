@@ -1,0 +1,140 @@
+// Ablation micro-benchmarks for the skyline substrate: BNL vs BBS across
+// distributions, dynamic skylines, and the DDR̄ rectangle construction
+// that dominates safe-region building.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/transform.h"
+#include "index/bulk_load.h"
+#include "skyline/bbs.h"
+#include "skyline/bnl.h"
+#include "skyline/ddr.h"
+#include "skyline/dnc.h"
+#include "skyline/sfs.h"
+#include "skyline/dynamic.h"
+
+namespace wnrs {
+namespace {
+
+Dataset MakeData(int dist, size_t n) {
+  switch (dist) {
+    case 0:
+      return GenerateUniform(n, 2, 42);
+    case 1:
+      return GenerateCorrelated(n, 2, 42);
+    case 2:
+      return GenerateAnticorrelated(n, 2, 42);
+    default:
+      return GenerateCarDb(n, 42);
+  }
+}
+
+void BM_SkylineBnl(benchmark::State& state) {
+  const Dataset ds =
+      MakeData(static_cast<int>(state.range(0)), static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineIndicesBnl(ds.points).size());
+  }
+}
+BENCHMARK(BM_SkylineBnl)
+    ->Args({0, 20000})
+    ->Args({1, 20000})
+    ->Args({2, 20000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkylineSfs(benchmark::State& state) {
+  const Dataset ds =
+      MakeData(static_cast<int>(state.range(0)), static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineIndicesSfs(ds.points).size());
+  }
+}
+BENCHMARK(BM_SkylineSfs)
+    ->Args({0, 20000})
+    ->Args({1, 20000})
+    ->Args({2, 20000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkylineDnc(benchmark::State& state) {
+  const Dataset ds =
+      MakeData(static_cast<int>(state.range(0)), static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineIndicesDnc(ds.points).size());
+  }
+}
+BENCHMARK(BM_SkylineDnc)
+    ->Args({0, 20000})
+    ->Args({1, 20000})
+    ->Args({2, 20000})
+    ->Args({2, 200000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SkylineBbs(benchmark::State& state) {
+  const Dataset ds =
+      MakeData(static_cast<int>(state.range(0)), static_cast<size_t>(state.range(1)));
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BbsSkyline(tree).size());
+  }
+}
+BENCHMARK(BM_SkylineBbs)
+    ->Args({0, 20000})
+    ->Args({1, 20000})
+    ->Args({2, 20000})
+    ->Args({0, 200000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DynamicSkylineBbs(benchmark::State& state) {
+  const Dataset ds = MakeData(3, static_cast<size_t>(state.range(0)));
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(5);
+  for (auto _ : state) {
+    const size_t c = rng.NextUint64(ds.points.size());
+    benchmark::DoNotOptimize(
+        BbsDynamicSkyline(tree, ds.points[c],
+                          static_cast<RStarTree::Id>(c))
+            .size());
+  }
+}
+BENCHMARK(BM_DynamicSkylineBbs)->Arg(20000)->Arg(100000)->Arg(200000);
+
+void BM_DynamicSkylineBrute(benchmark::State& state) {
+  const Dataset ds = MakeData(3, static_cast<size_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    const size_t c = rng.NextUint64(ds.points.size());
+    benchmark::DoNotOptimize(
+        DynamicSkylineIndices(ds.points, ds.points[c], c).size());
+  }
+}
+BENCHMARK(BM_DynamicSkylineBrute)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_AntiDominanceRegionBuild(benchmark::State& state) {
+  const Dataset ds = MakeData(3, 100000);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Rectangle universe = ds.Bounds();
+  Rng rng(6);
+  for (auto _ : state) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point& c = ds.points[c_idx];
+    const std::vector<RStarTree::Id> dsl = BbsDynamicSkyline(
+        tree, c, static_cast<RStarTree::Id>(c_idx));
+    std::vector<Point> dsl_t;
+    dsl_t.reserve(dsl.size());
+    for (RStarTree::Id id : dsl) {
+      dsl_t.push_back(
+          ToDistanceSpace(ds.points[static_cast<size_t>(id)], c));
+    }
+    benchmark::DoNotOptimize(
+        AntiDominanceRegion(c, std::move(dsl_t), MaxExtents(c, universe))
+            .size());
+  }
+}
+BENCHMARK(BM_AntiDominanceRegionBuild);
+
+}  // namespace
+}  // namespace wnrs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Ablation micro-benchmarks for the why-not core: the branch-and-bound
+// window-skyline frontier vs the Λ-materializing reference (identical
+// answers), and exact vs approximated safe-region construction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+
+namespace wnrs {
+namespace {
+
+struct Env {
+  explicit Env(size_t n)
+      : data(GenerateCarDb(n, 42)),
+        tree(BulkLoadPoints(2, data.points)),
+        cost(CostModel::EqualWeightsFor(data.Bounds())) {}
+
+  std::pair<size_t, Point> Draw(Rng* rng) const {
+    const size_t c = rng->NextUint64(data.points.size());
+    Point q = data.points[rng->NextUint64(data.points.size())];
+    return {c, std::move(q)};
+  }
+
+  Dataset data;
+  RStarTree tree;
+  CostModel cost;
+};
+
+void BM_MwpReference(benchmark::State& state) {
+  Env env(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto [c, q] = env.Draw(&rng);
+    benchmark::DoNotOptimize(
+        ModifyWhyNotPoint(env.tree, env.data.points, env.data.points[c], q,
+                          env.cost, 0, static_cast<RStarTree::Id>(c))
+            .candidates.size());
+  }
+}
+BENCHMARK(BM_MwpReference)->Arg(20000)->Arg(100000);
+
+void BM_MwpFast(benchmark::State& state) {
+  Env env(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto [c, q] = env.Draw(&rng);
+    benchmark::DoNotOptimize(
+        ModifyWhyNotPointFast(env.tree, env.data.points, env.data.points[c],
+                              q, env.cost, 0, static_cast<RStarTree::Id>(c))
+            .candidates.size());
+  }
+}
+BENCHMARK(BM_MwpFast)->Arg(20000)->Arg(100000)->Arg(200000);
+
+void BM_MqpReference(benchmark::State& state) {
+  Env env(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto [c, q] = env.Draw(&rng);
+    benchmark::DoNotOptimize(
+        ModifyQueryPoint(env.tree, env.data.points, env.data.points[c], q,
+                         env.cost, 0, static_cast<RStarTree::Id>(c))
+            .candidates.size());
+  }
+}
+BENCHMARK(BM_MqpReference)->Arg(20000)->Arg(100000);
+
+void BM_MqpFast(benchmark::State& state) {
+  Env env(static_cast<size_t>(state.range(0)));
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto [c, q] = env.Draw(&rng);
+    benchmark::DoNotOptimize(
+        ModifyQueryPointFast(env.tree, env.data.points, env.data.points[c],
+                             q, env.cost, 0, static_cast<RStarTree::Id>(c))
+            .candidates.size());
+  }
+}
+BENCHMARK(BM_MqpFast)->Arg(20000)->Arg(100000)->Arg(200000);
+
+void BM_SafeRegionExact(benchmark::State& state) {
+  WhyNotEngine engine(GenerateCarDb(static_cast<size_t>(state.range(0)), 42));
+  Rng rng(9);
+  for (auto _ : state) {
+    const Point q =
+        engine.products().points[rng.NextUint64(engine.products().size())];
+    const std::vector<size_t> rsl = engine.ReverseSkyline(q);
+    SafeRegionOptions options;
+    benchmark::DoNotOptimize(
+        ComputeSafeRegion(engine.product_tree(), engine.products().points,
+                          engine.customers().points, rsl, q,
+                          engine.universe(), engine.shared_relation(),
+                          options)
+            .region.size());
+  }
+}
+BENCHMARK(BM_SafeRegionExact)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_FullMwq(benchmark::State& state) {
+  WhyNotEngine engine(GenerateCarDb(static_cast<size_t>(state.range(0)), 42));
+  Rng rng(10);
+  for (auto _ : state) {
+    const size_t c = rng.NextUint64(engine.customers().size());
+    const Point q =
+        engine.products().points[rng.NextUint64(engine.products().size())];
+    benchmark::DoNotOptimize(engine.ModifyBoth(c, q).best_cost);
+  }
+}
+BENCHMARK(BM_FullMwq)->Arg(20000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wnrs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Quantifies Fig. 16: the approximated DSL's anti-dominance region misses
+// the shaded staircase steps between sampled points. For random customers
+// we report the area of the exact DDR̄ versus the approximated DDR̄ for
+// several k, as a coverage ratio (1.0 = nothing missed). Larger k →
+// better coverage, at the cost of more rectangles.
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "geometry/transform.h"
+#include "skyline/approx.h"
+#include "skyline/bbs.h"
+#include "skyline/ddr.h"
+
+int main() {
+  using namespace wnrs;
+  using namespace wnrs::bench;
+  std::printf(
+      "=== Fig. 16: approximated DDR coverage vs k ===\n"
+      "coverage = area(approx DDR) / area(exact DDR), averaged over "
+      "customers\n");
+  const size_t kCustomers = 200;
+  for (const char* kind : {"CarDB", "AC"}) {
+    const Dataset ds = MakeDataset(kind, 50000, 616);
+    WhyNotEngine engine{MakeDataset(kind, 50000, 616)};
+    const Rectangle universe = engine.universe();
+    Rng rng(617);
+    std::printf("\n--- %s-50K (%zu sampled customers) ---\n", kind,
+                kCustomers);
+    std::printf("%-8s %-12s %-14s\n", "k", "coverage", "avg |DSL| kept");
+    for (const size_t k : {size_t{2}, size_t{3}, size_t{5}, size_t{10},
+                           size_t{20}, size_t{40}}) {
+      double coverage_sum = 0.0;
+      double kept_sum = 0.0;
+      size_t counted = 0;
+      Rng local(618);  // Same customers for every k.
+      for (size_t s = 0; s < kCustomers; ++s) {
+        const size_t c_idx = local.NextUint64(ds.points.size());
+        const Point& c = ds.points[c_idx];
+        const std::vector<RStarTree::Id> dsl =
+            BbsDynamicSkyline(engine.product_tree(), c,
+                              static_cast<RStarTree::Id>(c_idx));
+        std::vector<Point> dsl_t;
+        dsl_t.reserve(dsl.size());
+        for (RStarTree::Id id : dsl) {
+          dsl_t.push_back(
+              ToDistanceSpace(ds.points[static_cast<size_t>(id)], c));
+        }
+        const Point anchor = MaxExtents(c, universe);
+        RectRegion exact = AntiDominanceRegion(c, dsl_t, anchor);
+        exact.ClipTo(universe);
+        const std::vector<Point> sampled = ApproximateSkyline(dsl_t, k);
+        RectRegion approx = ApproxAntiDominanceRegion(c, sampled, anchor);
+        approx.ClipTo(universe);
+        const double exact_area = exact.UnionVolume();
+        if (exact_area <= 0.0) continue;
+        coverage_sum += approx.UnionVolume() / exact_area;
+        kept_sum += static_cast<double>(sampled.size());
+        ++counted;
+      }
+      std::printf("%-8zu %-12.6f %-14.1f\n", k, coverage_sum / counted,
+                  kept_sum / counted);
+    }
+  }
+  return 0;
+}

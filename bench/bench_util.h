@@ -1,0 +1,154 @@
+#ifndef WNRS_BENCH_BENCH_UTIL_H_
+#define WNRS_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the paper-reproduction benches: dataset
+// construction, |RSL|-bucketed workloads (queries with 1-15 reverse
+// skyline points, following the data distribution), the three solution
+// costs of Section VI-A, and table printing.
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace wnrs::bench {
+
+/// Builds one of the evaluation datasets: "CarDB", "UN", "CO", "AC".
+inline Dataset MakeDataset(const std::string& kind, size_t n,
+                           uint64_t seed) {
+  if (kind == "CarDB") return GenerateCarDb(n, seed);
+  if (kind == "UN") return GenerateUniform(n, 2, seed);
+  if (kind == "CO") return GenerateCorrelated(n, 2, seed);
+  if (kind == "AC") return GenerateAnticorrelated(n, 2, seed);
+  WNRS_CHECK(false) << "unknown dataset kind " << kind;
+  return Dataset();
+}
+
+/// Samples the paper's workload: one query per reverse-skyline size in
+/// [1, 15] where available, with a random why-not customer each.
+inline std::vector<WhyNotWorkloadQuery> MakeWorkload(
+    const WhyNotEngine& engine, size_t max_attempts, uint64_t seed,
+    size_t min_rsl = 1, size_t max_rsl = 15) {
+  return SampleQueriesByRslSize(
+      engine.customers(),
+      [&engine](const Point& q) { return engine.ReverseSkyline(q); },
+      min_rsl, max_rsl, max_attempts, seed);
+}
+
+/// Best MWP cost (Algorithm 1), as reported in Tables III-VI.
+inline double MwpCost(const WhyNotEngine& engine, size_t c,
+                      const Point& q) {
+  const MwpResult r = engine.ModifyWhyNot(c, q);
+  return r.candidates.empty() ? 0.0 : r.candidates.front().cost;
+}
+
+/// Best MQP cost under the paper's evaluation formula (Section VI-A):
+/// alpha-cost of leaving the safe region plus the beta-cost of winning
+/// back every lost customer, minimized over Algorithm 2's candidates.
+inline double MqpCost(const WhyNotEngine& engine, size_t c,
+                      const Point& q) {
+  const MqpResult r = engine.ModifyQuery(c, q);
+  double best = -1.0;
+  for (const Candidate& cand : r.candidates) {
+    const double cost = engine.MqpEvaluationCost(q, cand.point);
+    if (best < 0.0 || cost < best) best = cost;
+  }
+  return best < 0.0 ? 0.0 : best;
+}
+
+/// Best MWQ cost (Algorithm 4).
+inline double MwqCost(const WhyNotEngine& engine, size_t c,
+                      const Point& q) {
+  return engine.ModifyBoth(c, q).best_cost;
+}
+
+/// Best Approx-MWQ cost (Algorithm 4 over the approximated safe region).
+inline double ApproxMwqCost(const WhyNotEngine& engine, size_t c,
+                            const Point& q) {
+  return engine.ModifyBothApprox(c, q).best_cost;
+}
+
+/// One row of a quality table.
+struct QualityRow {
+  size_t rsl_size = 0;
+  double mwp = 0.0;
+  double mqp = 0.0;
+  double mwq = 0.0;
+  std::optional<double> approx_mwq;
+};
+
+/// Prints a Table III/IV/V/VI-style block.
+inline void PrintQualityTable(const std::string& title,
+                              const std::vector<QualityRow>& rows,
+                              std::optional<size_t> approx_k) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  if (approx_k.has_value()) {
+    std::printf("%-22s %-12s %-12s %-12s %-16s\n", "Query", "MWP", "MQP",
+                "MWQ",
+                ("Approx-MWQ(k=" + std::to_string(*approx_k) + ")").c_str());
+  } else {
+    std::printf("%-22s %-12s %-12s %-12s\n", "Query", "MWP", "MQP", "MWQ");
+  }
+  size_t qi = 0;
+  for (const QualityRow& row : rows) {
+    ++qi;
+    char label[64];
+    std::snprintf(label, sizeof(label), "q%zu, |RSL(q%zu)| = %zu", qi, qi,
+                  row.rsl_size);
+    if (row.approx_mwq.has_value()) {
+      std::printf("%-22s %-12.9f %-12.9f %-12.9f %-16.9f\n", label, row.mwp,
+                  row.mqp, row.mwq, *row.approx_mwq);
+    } else {
+      std::printf("%-22s %-12.9f %-12.9f %-12.9f\n", label, row.mwp,
+                  row.mqp, row.mwq);
+    }
+  }
+}
+
+/// Runs the full quality evaluation for a dataset configuration.
+inline std::vector<QualityRow> EvaluateQuality(
+    const WhyNotEngine& engine,
+    const std::vector<WhyNotWorkloadQuery>& workload, bool with_approx) {
+  std::vector<QualityRow> rows;
+  rows.reserve(workload.size());
+  for (const WhyNotWorkloadQuery& wq : workload) {
+    QualityRow row;
+    row.rsl_size = wq.rsl.size();
+    row.mwp = MwpCost(engine, wq.why_not_index, wq.q);
+    row.mqp = MqpCost(engine, wq.why_not_index, wq.q);
+    row.mwq = MwqCost(engine, wq.why_not_index, wq.q);
+    if (with_approx) {
+      row.approx_mwq = ApproxMwqCost(engine, wq.why_not_index, wq.q);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Sanity summary of the shapes the paper's discussion asserts; printed
+/// below each table so the reproduction claims are machine-checkable in
+/// bench_output.txt.
+inline void PrintShapeChecks(const std::vector<QualityRow>& rows) {
+  size_t mwq_le_mwp = 0;
+  size_t mwq_lt_mqp = 0;
+  size_t zero_cost_mwq = 0;
+  for (const QualityRow& row : rows) {
+    if (row.mwq <= row.mwp + 1e-9) ++mwq_le_mwp;
+    if (row.mwq < row.mqp + 1e-9) ++mwq_lt_mqp;
+    if (row.mwq <= 1e-12) ++zero_cost_mwq;
+  }
+  std::printf(
+      "shape: MWQ<=MWP in %zu/%zu rows; MWQ<=MQP in %zu/%zu rows; "
+      "zero-cost MWQ rows: %zu\n",
+      mwq_le_mwp, rows.size(), mwq_lt_mqp, rows.size(), zero_cost_mwq);
+}
+
+}  // namespace wnrs::bench
+
+#endif  // WNRS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Renders the paper's running example (Figs. 8-13 territory) as SVG
+// files: the data points, the safe region of q, the anti-dominance
+// region of the why-not customer, and the answer locations of MWP, MQP
+// and MWQ. Writes to the given directory (default: current).
+//
+//   ./build/examples/export_svg [out_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "geometry/svg.h"
+#include "geometry/transform.h"
+#include "skyline/bbs.h"
+#include "skyline/ddr.h"
+
+int main(int argc, char** argv) {
+  using namespace wnrs;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  WhyNotEngine engine(PaperExampleDataset());
+  const Dataset& data = engine.products();
+  const Point q = PaperExampleQuery();
+  const size_t why_not = 0;  // c1
+
+  // Pad the universe a little so markers near the border stay visible.
+  const Rectangle u = engine.universe();
+  const Rectangle viewport(
+      Point({u.lo()[0] - 2.0, u.lo()[1] - 6.0}),
+      Point({u.hi()[0] + 2.0, u.hi()[1] + 6.0}));
+  SvgCanvas canvas(viewport, 900.0, 700.0);
+
+  // Anti-dominance region of the why-not customer (light red).
+  const Point& c_t = data.points[why_not];
+  const std::vector<RStarTree::Id> dsl = BbsDynamicSkyline(
+      engine.product_tree(), c_t, static_cast<RStarTree::Id>(why_not));
+  std::vector<Point> dsl_t;
+  for (RStarTree::Id id : dsl) {
+    dsl_t.push_back(
+        ToDistanceSpace(data.points[static_cast<size_t>(id)], c_t));
+  }
+  RectRegion ddr_bar = AntiDominanceRegion(c_t, dsl_t, MaxExtents(c_t, u));
+  ddr_bar.ClipTo(u);
+  canvas.AddRegion(ddr_bar, "#e9967a", "#c0392b", 0.25);
+
+  // Safe region of q (light green).
+  const SafeRegionResult& sr = engine.SafeRegion(q);
+  canvas.AddRegion(sr.region, "#2ecc71", "#1e8449", 0.45);
+
+  // Data points.
+  for (size_t i = 0; i < data.points.size(); ++i) {
+    canvas.AddPoint(data.points[i], "#2c3e50", 4.0,
+                    "pt" + std::to_string(i + 1));
+  }
+  canvas.AddPoint(q, "#8e44ad", 6.0, "q");
+
+  // Answers.
+  const MwpResult mwp = engine.ModifyWhyNot(why_not, q);
+  for (const Candidate& cand : mwp.candidates) {
+    canvas.AddPoint(cand.point, "#e67e22", 5.0, "c1*");
+  }
+  const MqpResult mqp = engine.ModifyQuery(why_not, q);
+  for (const Candidate& cand : mqp.candidates) {
+    canvas.AddPoint(cand.point, "#16a085", 5.0, "q*");
+  }
+  const MwqResult mwq = engine.ModifyBoth(why_not, q);
+  canvas.AddPoint(mwq.query_candidates.front().point, "#c0392b", 5.0,
+                  "q* (MWQ)");
+
+  const std::string path = out_dir + "/paper_example.svg";
+  const Status s = canvas.WriteTo(path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s\n"
+      "  red   region: DDR(c1) — where q would have to be for c1 to care\n"
+      "  green region: SR(q)   — where q may move without losing anyone\n"
+      "  orange marks: MWP answers; teal: MQP answers; dark red: MWQ q*\n",
+      path.c_str());
+  return 0;
+}

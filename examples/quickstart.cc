@@ -1,0 +1,64 @@
+// Quickstart: the whole why-not pipeline in ~60 lines, on the paper's own
+// running example (Fig. 1(a), q = (8.5K, 55K)).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "data/generators.h"
+
+int main() {
+  using wnrs::Point;
+
+  // One relation of 8 car tuples (price $K, mileage K-miles) serves as
+  // both the product set P and the customer-preference set C.
+  wnrs::WhyNotEngine engine(wnrs::PaperExampleDataset());
+  const Point q = wnrs::PaperExampleQuery();
+
+  std::printf("query product q = %s\n", q.ToString().c_str());
+
+  // 1. Who is interested in q? (reverse skyline)
+  std::printf("reverse skyline of q: ");
+  for (size_t c : engine.ReverseSkyline(q)) {
+    std::printf("c%zu ", c + 1);
+  }
+  std::printf("\n");
+
+  // 2. Why is customer c1 missing? (aspect 1: the culprits)
+  const size_t c1 = 0;
+  const wnrs::WhyNotExplanation why = engine.Explain(c1, q);
+  std::printf("why-not c1: customer prefers product(s) ");
+  for (auto id : why.culprits) std::printf("p%lld ", static_cast<long long>(id) + 1);
+  std::printf("over q\n");
+
+  // 3. What could the customer change? (Algorithm 1: MWP)
+  const wnrs::MwpResult mwp = engine.ModifyWhyNot(c1, q);
+  for (const wnrs::Candidate& cand : mwp.candidates) {
+    std::printf("  MWP: move c1 to %s (cost %.6f)\n",
+                cand.point.ToString().c_str(), cand.cost);
+  }
+
+  // 4. What could the seller change? (Algorithm 2: MQP)
+  const wnrs::MqpResult mqp = engine.ModifyQuery(c1, q);
+  for (const wnrs::Candidate& cand : mqp.candidates) {
+    std::printf("  MQP: move q to %s (cost %.6f)\n",
+                cand.point.ToString().c_str(), cand.cost);
+  }
+
+  // 5. Where can q move without losing existing customers? (Algorithm 3)
+  const wnrs::SafeRegionResult& sr = engine.SafeRegion(q);
+  std::printf("safe region: %s (area %.2f)\n",
+              sr.region.ToString().c_str(), sr.region.UnionVolume());
+
+  // 6. The best of both worlds (Algorithm 4: MWQ).
+  const wnrs::MwqResult mwq = engine.ModifyBoth(c1, q);
+  std::printf("MWQ: %s; best q* = %s, cost %.6f\n",
+              mwq.overlap ? "safe region overlaps DDR(c1) - move q only"
+                          : "no overlap - move q to a safe corner and c1",
+              mwq.query_candidates.front().point.ToString().c_str(),
+              mwq.best_cost);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Safe-region explorer: renders SR(q) and the anti-dominance region of a
+// why-not customer as ASCII art over the data space, making Algorithm 3/4
+// geometry visible in a terminal. Uses the paper's running example by
+// default; pass a size to explore a synthetic market instead.
+//
+//   ./build/examples/safe_region_explorer          # paper example
+//   ./build/examples/safe_region_explorer 2000     # synthetic
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "geometry/transform.h"
+#include "skyline/bbs.h"
+#include "skyline/ddr.h"
+
+namespace {
+
+using namespace wnrs;
+
+constexpr int kWidth = 72;
+constexpr int kHeight = 28;
+
+void Render(const WhyNotEngine& engine, const Point& q, size_t why_not) {
+  const Rectangle u = engine.universe();
+  const SafeRegionResult& sr = engine.SafeRegion(q);
+
+  // Why-not customer's anti-dominance region.
+  const Point& c_t = engine.customers().points[why_not];
+  const std::vector<RStarTree::Id> dsl = BbsDynamicSkyline(
+      engine.product_tree(), c_t, static_cast<RStarTree::Id>(why_not));
+  std::vector<Point> dsl_t;
+  for (RStarTree::Id id : dsl) {
+    dsl_t.push_back(ToDistanceSpace(
+        engine.products().points[static_cast<size_t>(id)], c_t));
+  }
+  RectRegion ddr_bar =
+      AntiDominanceRegion(c_t, dsl_t, MaxExtents(c_t, u));
+  ddr_bar.ClipTo(u);
+
+  std::printf(
+      "legend: '.' data space  ':' DDR(c_t)  '#' safe region SR(q)\n"
+      "        '%%' overlap     'q' query     'c' why-not customer\n\n");
+  for (int row = 0; row < kHeight; ++row) {
+    for (int col = 0; col < kWidth; ++col) {
+      // Map the cell center into data space (y axis up).
+      const double fx = (col + 0.5) / kWidth;
+      const double fy = 1.0 - (row + 0.5) / kHeight;
+      const Point p({u.lo()[0] + fx * (u.hi()[0] - u.lo()[0]),
+                     u.lo()[1] + fy * (u.hi()[1] - u.lo()[1])});
+      const bool in_sr = sr.region.Contains(p);
+      const bool in_ddr = ddr_bar.Contains(p);
+      char glyph = '.';
+      if (in_sr && in_ddr) {
+        glyph = '%';
+      } else if (in_sr) {
+        glyph = '#';
+      } else if (in_ddr) {
+        glyph = ':';
+      }
+      // Markers win over regions.
+      auto near = [&](const Point& m) {
+        return std::abs(m[0] - p[0]) <
+                   0.6 * (u.hi()[0] - u.lo()[0]) / kWidth &&
+               std::abs(m[1] - p[1]) <
+                   0.6 * (u.hi()[1] - u.lo()[1]) / kHeight;
+      };
+      if (near(q)) glyph = 'q';
+      if (near(c_t)) glyph = 'c';
+      std::putchar(glyph);
+    }
+    std::putchar('\n');
+  }
+
+  std::printf("\nSR(q): %s\n", sr.region.ToString().c_str());
+  const MwqResult mwq = engine.ModifyBoth(why_not, q);
+  if (mwq.overlap) {
+    std::printf(
+        "case C1: regions overlap ('%%' cells) — move q to %s at zero "
+        "cost.\n",
+        mwq.query_candidates.front().point.ToString().c_str());
+  } else {
+    std::printf(
+        "case C2: no overlap — move q to the safe corner %s, then the "
+        "customer to %s (cost %.6f).\n",
+        mwq.query_candidates.front().point.ToString().c_str(),
+        mwq.why_not_candidates.empty()
+            ? "<none>"
+            : mwq.why_not_candidates.front().point.ToString().c_str(),
+        mwq.best_cost);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wnrs;
+  if (argc > 1) {
+    const size_t n = std::strtoul(argv[1], nullptr, 10);
+    WhyNotEngine engine(GenerateAnticorrelated(n, 2, 3));
+    Rng rng(4);
+    // Find a query with a few reverse-skyline points and a why-not
+    // customer.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      const Point q =
+          engine.products().points[rng.NextUint64(n)];
+      const std::vector<size_t> rsl = engine.ReverseSkyline(q);
+      if (rsl.empty() || rsl.size() > 6) continue;
+      size_t why_not = rng.NextUint64(n);
+      if (engine.IsReverseSkylineMember(why_not, q)) continue;
+      std::printf("synthetic market (%zu points), q = %s, |RSL| = %zu, "
+                  "why-not customer #%zu\n\n",
+                  n, q.ToString().c_str(), rsl.size(), why_not);
+      Render(engine, q, why_not);
+      return 0;
+    }
+    std::fprintf(stderr, "could not find a suitable query; try another n\n");
+    return 1;
+  }
+
+  WhyNotEngine engine(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  std::printf("paper running example: q = %s, why-not customer c1\n\n",
+              q.ToString().c_str());
+  Render(engine, q, 0);
+  return 0;
+}

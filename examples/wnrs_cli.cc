@@ -1,0 +1,146 @@
+// Command-line front end to the library — generate data, run reverse
+// skylines, and answer why-not questions from the shell.
+//
+//   wnrs_cli generate <CarDB|UN|CO|AC> <n> <seed> <out.csv>
+//   wnrs_cli rsl <data.csv> <coord>...
+//   wnrs_cli whynot <data.csv> <customer_index> <coord>...
+//   wnrs_cli saferegion <data.csv> <coord>...
+//
+// The CSV doubles as both the product set and the customer-preference
+// set (the paper's experimental setting).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/report.h"
+#include "data/csv.h"
+#include "data/generators.h"
+
+namespace {
+
+using namespace wnrs;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wnrs_cli generate <CarDB|UN|CO|AC> <n> <seed> <out.csv>\n"
+               "  wnrs_cli rsl <data.csv> <coord>...\n"
+               "  wnrs_cli whynot <data.csv> <customer_index> <coord>...\n"
+               "  wnrs_cli saferegion <data.csv> <coord>...\n");
+  return 2;
+}
+
+Result<Dataset> LoadOrDie(const std::string& path) { return LoadCsv(path); }
+
+Point ParsePoint(char** argv, int begin, int end) {
+  std::vector<double> coords;
+  for (int i = begin; i < end; ++i) {
+    coords.push_back(std::strtod(argv[i], nullptr));
+  }
+  return Point(std::move(coords));
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc != 6) return Usage();
+  const std::string kind = argv[2];
+  const size_t n = std::strtoul(argv[3], nullptr, 10);
+  const uint64_t seed = std::strtoull(argv[4], nullptr, 10);
+  Dataset ds;
+  if (kind == "CarDB") {
+    ds = GenerateCarDb(n, seed);
+  } else if (kind == "UN") {
+    ds = GenerateUniform(n, 2, seed);
+  } else if (kind == "CO") {
+    ds = GenerateCorrelated(n, 2, seed);
+  } else if (kind == "AC") {
+    ds = GenerateAnticorrelated(n, 2, seed);
+  } else {
+    return Usage();
+  }
+  const Status s = SaveCsv(ds, argv[5]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %zu-dimensional points to %s\n", ds.points.size(),
+              ds.dims, argv[5]);
+  return 0;
+}
+
+int CmdRsl(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const Result<Dataset> ds = LoadOrDie(argv[2]);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const Point q = ParsePoint(argv, 3, argc);
+  if (q.dims() != ds->dims) {
+    std::fprintf(stderr, "error: q has %zu coords, data has %zu dims\n",
+                 q.dims(), ds->dims);
+    return 1;
+  }
+  WhyNotEngine engine(*ds);
+  const std::vector<size_t> rsl = engine.ReverseSkyline(q);
+  std::printf("RSL(%s): %zu customer(s)\n", q.ToString().c_str(),
+              rsl.size());
+  for (size_t c : rsl) {
+    std::printf("  #%zu %s\n", c, ds->points[c].ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdWhyNot(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const Result<Dataset> ds = LoadOrDie(argv[2]);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const size_t customer = std::strtoul(argv[3], nullptr, 10);
+  if (customer >= ds->points.size()) {
+    std::fprintf(stderr, "error: customer index out of range\n");
+    return 1;
+  }
+  const Point q = ParsePoint(argv, 4, argc);
+  WhyNotEngine engine(*ds);
+  std::fputs(RenderWhyNotReport(engine, customer, q).c_str(), stdout);
+  return 0;
+}
+
+int CmdSafeRegion(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const Result<Dataset> ds = LoadOrDie(argv[2]);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const Point q = ParsePoint(argv, 3, argc);
+  WhyNotEngine engine(*ds);
+  const SafeRegionResult& sr = engine.SafeRegion(q);
+  std::printf("SR(%s): %zu rectangle(s), area %.6g (%.4g%% of universe)\n",
+              q.ToString().c_str(), sr.region.size(),
+              sr.region.UnionVolume(),
+              100.0 * sr.region.UnionVolume() / engine.universe().Volume());
+  for (const Rectangle& r : sr.region.rects()) {
+    std::printf("  %s\n", r.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return CmdGenerate(argc, argv);
+  if (std::strcmp(argv[1], "rsl") == 0) return CmdRsl(argc, argv);
+  if (std::strcmp(argv[1], "whynot") == 0) return CmdWhyNot(argc, argv);
+  if (std::strcmp(argv[1], "saferegion") == 0) {
+    return CmdSafeRegion(argc, argv);
+  }
+  return Usage();
+}

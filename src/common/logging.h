@@ -1,0 +1,56 @@
+#ifndef WNRS_COMMON_LOGGING_H_
+#define WNRS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace wnrs {
+
+/// Log severities in increasing order. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Global log threshold; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace wnrs
+
+/// Usage: WNRS_LOG(kInfo) << "built tree with " << n << " entries";
+#define WNRS_LOG(severity)                                          \
+  ::wnrs::internal::LogMessage(::wnrs::LogLevel::severity, __FILE__, \
+                               __LINE__)                             \
+      .stream()
+
+/// Invariant check that is active in all build types. On failure logs the
+/// condition and aborts. Use for programmer errors, not data errors.
+#define WNRS_CHECK(cond)                                            \
+  if (!(cond))                                                      \
+  ::wnrs::internal::LogMessage(::wnrs::LogLevel::kFatal, __FILE__,  \
+                               __LINE__)                            \
+          .stream()                                                 \
+      << "Check failed: " #cond " "
+
+#define WNRS_DCHECK(cond) WNRS_CHECK(cond)
+
+#endif  // WNRS_COMMON_LOGGING_H_

@@ -1,0 +1,125 @@
+#ifndef WNRS_COMMON_STATUS_H_
+#define WNRS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wnrs {
+
+/// Error categories used across the library. The project builds without
+/// exceptions; fallible operations return `Status` (or `Result<T>`), in the
+/// style of RocksDB/Arrow.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type status: a code plus an optional message. Cheap to copy in the
+/// OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<CodeName>: <message>" or "Ok".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. Modeled after
+/// absl::StatusOr / arrow::Result, reduced to what this library needs.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error status, so functions can
+  /// `return value;` or `return Status::InvalidArgument(...)`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                            // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Status of the result; Status::Ok() when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok(). Accessing the value of an error result is a
+  /// programming error; callers must check ok() first.
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define WNRS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::wnrs::Status wnrs_status_macro_tmp_ = (expr); \
+    if (!wnrs_status_macro_tmp_.ok()) {             \
+      return wnrs_status_macro_tmp_;                \
+    }                                               \
+  } while (false)
+
+}  // namespace wnrs
+
+#endif  // WNRS_COMMON_STATUS_H_

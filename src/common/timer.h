@@ -1,0 +1,31 @@
+#ifndef WNRS_COMMON_TIMER_H_
+#define WNRS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace wnrs {
+
+/// Monotonic wall-clock stopwatch for the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_COMMON_TIMER_H_

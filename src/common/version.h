@@ -1,0 +1,16 @@
+#ifndef WNRS_COMMON_VERSION_H_
+#define WNRS_COMMON_VERSION_H_
+
+namespace wnrs {
+
+/// Library version, bumped on API-visible changes.
+constexpr int kVersionMajor = 1;
+constexpr int kVersionMinor = 0;
+constexpr int kVersionPatch = 0;
+
+/// "major.minor.patch".
+constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace wnrs
+
+#endif  // WNRS_COMMON_VERSION_H_

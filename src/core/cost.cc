@@ -1,0 +1,37 @@
+#include "core/cost.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+CostModel::CostModel(const Rectangle& bounds, std::vector<double> alpha,
+                     std::vector<double> beta)
+    : normalizer_(bounds), alpha_(std::move(alpha)), beta_(std::move(beta)) {
+  WNRS_CHECK(alpha_.size() == bounds.dims());
+  WNRS_CHECK(beta_.size() == bounds.dims());
+}
+
+CostModel CostModel::EqualWeightsFor(const Rectangle& bounds) {
+  return CostModel(bounds, EqualWeights(bounds.dims()),
+                   EqualWeights(bounds.dims()));
+}
+
+double CostModel::QueryMoveCost(const Point& q, const Point& q_star) const {
+  return normalizer_.NormalizedWeightedL1(q, q_star, alpha_);
+}
+
+double CostModel::WhyNotMoveCost(const Point& c, const Point& c_star) const {
+  return normalizer_.NormalizedWeightedL1(c, c_star, beta_);
+}
+
+void SortCandidates(std::vector<Candidate>* candidates) {
+  std::sort(candidates->begin(), candidates->end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.point < b.point;
+            });
+}
+
+}  // namespace wnrs

@@ -1,0 +1,56 @@
+#ifndef WNRS_CORE_COST_H_
+#define WNRS_CORE_COST_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// The paper's cost model (Eqns. 9-11): weighted L1 distances over
+/// min-max-normalized coordinates. `alpha` weighs query-point movement,
+/// `beta` why-not-point movement; the experiments use equal weights with
+/// sum 1 and alpha = beta.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  /// `bounds` defines the min-max normalization (usually the dataset's
+  /// bounding box). Weight vectors must have one entry per dimension.
+  CostModel(const Rectangle& bounds, std::vector<double> alpha,
+            std::vector<double> beta);
+
+  /// Equal weights summing to 1 on both sides — the experimental default.
+  static CostModel EqualWeightsFor(const Rectangle& bounds);
+
+  /// cost(q, q*) = sum_i alpha_i * |q_i - q*_i| (normalized).
+  double QueryMoveCost(const Point& q, const Point& q_star) const;
+
+  /// cost(c_t, c_t*) = sum_i beta_i * |c_t_i - c_t*_i| (normalized).
+  double WhyNotMoveCost(const Point& c, const Point& c_star) const;
+
+  const MinMaxNormalizer& normalizer() const { return normalizer_; }
+  const std::vector<double>& alpha() const { return alpha_; }
+  const std::vector<double>& beta() const { return beta_; }
+
+ private:
+  MinMaxNormalizer normalizer_;
+  std::vector<double> alpha_;
+  std::vector<double> beta_;
+};
+
+/// A candidate answer: a new location plus its cost under the relevant
+/// weight vector, as ranked by Algorithms 1, 2 and 4.
+struct Candidate {
+  Point point;
+  double cost = 0.0;
+};
+
+/// Sorts candidates by cost ascending (ties broken lexicographically by
+/// location for determinism).
+void SortCandidates(std::vector<Candidate>* candidates);
+
+}  // namespace wnrs
+
+#endif  // WNRS_CORE_COST_H_

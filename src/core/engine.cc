@@ -1,0 +1,418 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "geometry/transform.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/bbrs.h"
+#include "reverse_skyline/window_query.h"
+#include "skyline/approx.h"
+#include "skyline/bbs.h"
+
+namespace wnrs {
+namespace {
+
+Rectangle UnionBounds(const Dataset& a, const Dataset& b) {
+  Rectangle bounds = a.Bounds();
+  if (!b.points.empty()) {
+    bounds = bounds.BoundingUnion(b.Bounds());
+  }
+  return bounds;
+}
+
+CostModel MakeCostModel(const Rectangle& universe,
+                        const WhyNotEngineOptions& options) {
+  std::vector<double> alpha = options.alpha;
+  std::vector<double> beta = options.beta;
+  if (alpha.empty()) alpha = EqualWeights(universe.dims());
+  if (beta.empty()) beta = EqualWeights(universe.dims());
+  return CostModel(universe, std::move(alpha), std::move(beta));
+}
+
+}  // namespace
+
+WhyNotEngine::WhyNotEngine(Dataset products, Dataset customers,
+                           WhyNotEngineOptions options)
+    : options_(options),
+      shared_relation_(false),
+      products_(std::move(products)),
+      customers_(std::move(customers)),
+      tree_(BulkLoadPoints(products_.dims, products_.points, options.rtree)),
+      universe_(UnionBounds(products_, customers_)),
+      cost_model_(MakeCostModel(universe_, options_)) {
+  WNRS_CHECK(products_.dims == customers_.dims);
+  WNRS_CHECK(!products_.points.empty());
+  WNRS_CHECK(!customers_.points.empty());
+  customer_tree_ = std::make_unique<RStarTree>(
+      BulkLoadPoints(customers_.dims, customers_.points, options.rtree));
+}
+
+WhyNotEngine::WhyNotEngine(Dataset data, WhyNotEngineOptions options)
+    : options_(options),
+      shared_relation_(true),
+      products_(std::move(data)),
+      tree_(BulkLoadPoints(products_.dims, products_.points, options.rtree)),
+      universe_(products_.Bounds()),
+      cost_model_(MakeCostModel(universe_, options_)) {
+  WNRS_CHECK(!products_.points.empty());
+}
+
+std::optional<RStarTree::Id> WhyNotEngine::ExcludeFor(
+    size_t customer_index) const {
+  if (!shared_relation_) return std::nullopt;
+  return static_cast<RStarTree::Id>(customer_index);
+}
+
+const Point& WhyNotEngine::CustomerPoint(size_t c) const {
+  const Dataset& ds = customers();
+  WNRS_CHECK(c < ds.points.size());
+  return ds.points[c];
+}
+
+std::vector<size_t> WhyNotEngine::ReverseSkyline(const Point& q) const {
+  std::vector<RStarTree::Id> ids;
+  if (shared_relation_) {
+    ids = BbrsReverseSkyline(tree_, q);
+  } else {
+    ids = BbrsReverseSkylineBichromatic(*customer_tree_, tree_, q,
+                                        /*shared_relation=*/false);
+  }
+  std::vector<size_t> out;
+  out.reserve(ids.size());
+  for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
+  return out;
+}
+
+bool WhyNotEngine::IsReverseSkylineMember(size_t c, const Point& q) const {
+  return WindowEmpty(tree_, CustomerPoint(c), q, ExcludeFor(c));
+}
+
+std::vector<size_t> WhyNotEngine::CustomersInRange(
+    const Rectangle& window) const {
+  const RStarTree& tree = shared_relation_ ? tree_ : *customer_tree_;
+  std::vector<RStarTree::Id> ids = tree.RangeQueryIds(window);
+  std::sort(ids.begin(), ids.end());
+  std::vector<size_t> out;
+  out.reserve(ids.size());
+  for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
+  return out;
+}
+
+WhyNotExplanation WhyNotEngine::Explain(size_t c, const Point& q) const {
+  return ExplainWhyNot(tree_, products_.points, CustomerPoint(c), q,
+                       ExcludeFor(c));
+}
+
+MwpResult WhyNotEngine::ModifyWhyNot(size_t c, const Point& q) const {
+  if (options_.fast_frontier) {
+    return ModifyWhyNotPointFast(tree_, products_.points, CustomerPoint(c),
+                                 q, cost_model_, options_.sort_dim,
+                                 ExcludeFor(c));
+  }
+  return ModifyWhyNotPoint(tree_, products_.points, CustomerPoint(c), q,
+                           cost_model_, options_.sort_dim, ExcludeFor(c));
+}
+
+MqpResult WhyNotEngine::ModifyQuery(size_t c, const Point& q) const {
+  if (options_.fast_frontier) {
+    return ModifyQueryPointFast(tree_, products_.points, CustomerPoint(c),
+                                q, cost_model_, options_.sort_dim,
+                                ExcludeFor(c));
+  }
+  return ModifyQueryPoint(tree_, products_.points, CustomerPoint(c), q,
+                          cost_model_, options_.sort_dim, ExcludeFor(c));
+}
+
+const SafeRegionResult& WhyNotEngine::SafeRegion(const Point& q) const {
+  if (cached_sr_query_.has_value() && *cached_sr_query_ == q) {
+    return cached_sr_;
+  }
+  SafeRegionOptions sr_options;
+  sr_options.sort_dim = options_.sort_dim;
+  sr_options.max_rectangles = options_.max_safe_region_rectangles;
+  const std::vector<size_t> rsl = ReverseSkyline(q);
+  cached_sr_ =
+      ComputeSafeRegion(tree_, products_.points, customers().points, rsl, q,
+                        universe_, shared_relation_, sr_options);
+  cached_sr_query_ = q;
+  return cached_sr_;
+}
+
+const SafeRegionResult& WhyNotEngine::ApproxSafeRegion(const Point& q) const {
+  WNRS_CHECK(HasApproxDsls());
+  if (cached_approx_sr_query_.has_value() && *cached_approx_sr_query_ == q) {
+    return cached_approx_sr_;
+  }
+  SafeRegionOptions sr_options;
+  sr_options.sort_dim = options_.sort_dim;
+  sr_options.max_rectangles = options_.max_safe_region_rectangles;
+  const std::vector<size_t> rsl = ReverseSkyline(q);
+  cached_approx_sr_ = ComputeApproxSafeRegion(
+      customers().points, approx_dsls_, rsl, q, universe_, sr_options);
+  cached_approx_sr_query_ = q;
+  return cached_approx_sr_;
+}
+
+KeepsMembersFn WhyNotEngine::MakeKeepsMembersFn(const Point& q) const {
+  std::vector<size_t> rsl = ReverseSkyline(q);
+  return [this, rsl = std::move(rsl)](const Point& q_star) {
+    for (size_t member : rsl) {
+      if (!WindowEmpty(tree_, CustomerPoint(member), q_star,
+                       ExcludeFor(member))) {
+        return false;
+      }
+    }
+    return true;
+  };
+}
+
+MwqResult WhyNotEngine::ModifyBoth(size_t c, const Point& q) const {
+  const SafeRegionResult& sr = SafeRegion(q);
+  return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
+                                   q, sr.region, universe_, cost_model_,
+                                   options_.sort_dim, ExcludeFor(c),
+                                   MakeKeepsMembersFn(q),
+                                   options_.fast_frontier);
+}
+
+MwqResult WhyNotEngine::ModifyBothApprox(size_t c, const Point& q) const {
+  const SafeRegionResult& sr = ApproxSafeRegion(q);
+  return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
+                                   q, sr.region, universe_, cost_model_,
+                                   options_.sort_dim, ExcludeFor(c),
+                                   MakeKeepsMembersFn(q));
+}
+
+SafeRegionResult WhyNotEngine::ConstrainedSafeRegion(
+    const Point& q, const Rectangle& limits) const {
+  WNRS_CHECK(limits.dims() == q.dims());
+  SafeRegionResult out = SafeRegion(q);
+  out.region.ClipTo(limits);
+  if (!out.region.Contains(q)) {
+    out.region.Add(Rectangle::FromPoint(q));
+  }
+  return out;
+}
+
+MwqResult WhyNotEngine::ModifyBothConstrained(size_t c, const Point& q,
+                                              const Rectangle& limits) const {
+  const SafeRegionResult sr = ConstrainedSafeRegion(q, limits);
+  return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
+                                   q, sr.region, universe_, cost_model_,
+                                   options_.sort_dim, ExcludeFor(c),
+                                   MakeKeepsMembersFn(q),
+                                   options_.fast_frontier);
+}
+
+std::vector<size_t> WhyNotEngine::LostCustomers(const Point& q,
+                                                const Point& q_star) const {
+  std::vector<size_t> lost;
+  for (size_t member : ReverseSkyline(q)) {
+    if (!WindowEmpty(tree_, CustomerPoint(member), q_star,
+                     ExcludeFor(member))) {
+      lost.push_back(member);
+    }
+  }
+  return lost;
+}
+
+std::vector<MwqResult> WhyNotEngine::ModifyBothBatch(
+    const std::vector<size_t>& whos, const Point& q, bool use_approx) const {
+  // Materialize the safe region once; every batch entry reuses the cache.
+  if (use_approx) {
+    (void)ApproxSafeRegion(q);
+  } else {
+    (void)SafeRegion(q);
+  }
+  std::vector<MwqResult> out;
+  out.reserve(whos.size());
+  for (size_t c : whos) {
+    out.push_back(use_approx ? ModifyBothApprox(c, q) : ModifyBoth(c, q));
+  }
+  return out;
+}
+
+void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
+  WNRS_CHECK(k >= 2);
+  const Dataset& ds = customers();
+  approx_dsls_.clear();
+  approx_dsls_.resize(ds.points.size());
+  for (size_t c = 0; c < ds.points.size(); ++c) {
+    const std::vector<RStarTree::Id> dsl =
+        BbsDynamicSkyline(tree_, ds.points[c], ExcludeFor(c));
+    std::vector<Point> transformed;
+    transformed.reserve(dsl.size());
+    for (RStarTree::Id id : dsl) {
+      transformed.push_back(ToDistanceSpace(
+          products_.points[static_cast<size_t>(id)], ds.points[c]));
+    }
+    approx_dsls_[c] =
+        ApproximateSkyline(std::move(transformed), k, options_.sort_dim);
+  }
+  approx_k_ = k;
+  cached_approx_sr_query_.reset();
+}
+
+void WhyNotEngine::InvalidateDerivedState() {
+  cached_sr_query_.reset();
+  cached_approx_sr_query_.reset();
+  // The approximated-DSL store is a function of the product set; a stale
+  // store could silently lose safety, so it is dropped outright.
+  approx_dsls_.clear();
+  approx_k_ = 0;
+}
+
+size_t WhyNotEngine::AddProduct(const Point& p) {
+  WNRS_CHECK(p.dims() == products_.dims);
+  const size_t id = products_.points.size();
+  products_.points.push_back(p);
+  removed_.resize(products_.points.size(), false);
+  tree_.Insert(p, static_cast<RStarTree::Id>(id));
+  // Keep the universe a superset of all live points; the cost model's
+  // normalization follows it when the new tuple falls outside.
+  if (!universe_.Contains(p)) {
+    universe_ = universe_.BoundingUnion(Rectangle::FromPoint(p));
+    cost_model_ = MakeCostModel(universe_, options_);
+  }
+  InvalidateDerivedState();
+  return id;
+}
+
+bool WhyNotEngine::RemoveProduct(size_t id) {
+  if (id >= products_.points.size()) return false;
+  if (id < removed_.size() && removed_[id]) return false;
+  if (!tree_.Delete(Rectangle::FromPoint(products_.points[id]),
+                    static_cast<RStarTree::Id>(id))) {
+    return false;
+  }
+  removed_.resize(products_.points.size(), false);
+  removed_[id] = true;
+  InvalidateDerivedState();
+  return true;
+}
+
+bool WhyNotEngine::IsLiveProduct(size_t id) const {
+  if (id >= products_.points.size()) return false;
+  return id >= removed_.size() || !removed_[id];
+}
+
+Status WhyNotEngine::SaveApproxDsls(const std::string& path) const {
+  if (!HasApproxDsls()) {
+    return Status::FailedPrecondition("no approximated DSL store to save");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t dims = products_.dims;
+  out << "wnrs-approx-dsl 1\n"
+      << approx_k_ << ' ' << dims << ' ' << approx_dsls_.size() << '\n';
+  for (const std::vector<Point>& dsl : approx_dsls_) {
+    out << dsl.size();
+    for (const Point& p : dsl) {
+      for (size_t i = 0; i < dims; ++i) {
+        out << ' ' << StrFormat("%.17g", p[i]);
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IoError("write failure: " + path);
+  return Status::Ok();
+}
+
+Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string magic;
+  int version = 0;
+  size_t k = 0;
+  size_t dims = 0;
+  size_t count = 0;
+  in >> magic >> version >> k >> dims >> count;
+  if (!in.good() || magic != "wnrs-approx-dsl" || version != 1) {
+    return Status::InvalidArgument("not a wnrs approx-DSL store: " + path);
+  }
+  if (dims != products_.dims) {
+    return Status::InvalidArgument("store dimensionality mismatch");
+  }
+  if (count != customers().points.size()) {
+    return Status::InvalidArgument(
+        StrFormat("store has %zu customers, engine has %zu", count,
+                  customers().points.size()));
+  }
+  std::vector<std::vector<Point>> loaded(count);
+  for (size_t c = 0; c < count; ++c) {
+    size_t entries = 0;
+    in >> entries;
+    loaded[c].reserve(entries);
+    for (size_t e = 0; e < entries; ++e) {
+      Point p(dims);
+      for (size_t i = 0; i < dims; ++i) in >> p[i];
+      loaded[c].push_back(std::move(p));
+    }
+    if (!in.good()) {
+      return Status::InvalidArgument("truncated approx-DSL store: " + path);
+    }
+  }
+  approx_dsls_ = std::move(loaded);
+  approx_k_ = k;
+  cached_approx_sr_query_.reset();
+  return Status::Ok();
+}
+
+double WhyNotEngine::MqpEvaluationCost(const Point& q,
+                                       const Point& q_star) const {
+  // alpha-cost of leaving the safe region: distance from the closest safe
+  // point q' to q*.
+  const SafeRegionResult& sr = SafeRegion(q);
+  double cost = 0.0;
+  if (!sr.region.empty()) {
+    const Point q_prime = sr.region.NearestPointTo(q_star);
+    cost += cost_model_.QueryMoveCost(q_prime, q_star);
+  } else {
+    cost += cost_model_.QueryMoveCost(q, q_star);
+  }
+  // beta-cost of winning back every lost reverse-skyline customer.
+  for (size_t c : ReverseSkyline(q)) {
+    if (IsReverseSkylineMember(c, q_star)) continue;
+    const MwpResult mwp = ModifyWhyNot(c, q_star);
+    if (!mwp.candidates.empty()) {
+      cost += mwp.candidates.front().cost;
+    }
+  }
+  return cost;
+}
+
+std::optional<Point> WhyNotEngine::NudgeToStrictMember(
+    const Point& c_star, const Point& q, size_t customer_index) const {
+  double fraction = options_.epsilon_fraction;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Point nudged = c_star;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      const double range = universe_.hi()[i] - universe_.lo()[i];
+      const double eps = fraction * (range > 0.0 ? range : 1.0);
+      if (q[i] > nudged[i]) {
+        nudged[i] += eps;
+      } else if (q[i] < nudged[i]) {
+        nudged[i] -= eps;
+      }
+    }
+    // Membership of a moved customer: no product may dominate q w.r.t.
+    // the nudged location. The customer's own (old) tuple stays excluded
+    // in the shared-relation setting.
+    if (WindowEmpty(tree_, nudged, q, ExcludeFor(customer_index))) {
+      return nudged;
+    }
+    fraction *= 100.0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wnrs

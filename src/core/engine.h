@@ -1,0 +1,214 @@
+#ifndef WNRS_CORE_ENGINE_H_
+#define WNRS_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/explain.h"
+#include "core/mqp.h"
+#include "core/mwp.h"
+#include "core/mwq.h"
+#include "core/safe_region.h"
+#include "data/dataset.h"
+#include "index/rtree.h"
+
+namespace wnrs {
+
+/// Engine configuration.
+struct WhyNotEngineOptions {
+  /// R*-tree knobs (paper default: 1536-byte pages).
+  RTreeOptions rtree;
+  /// Sort dimension of the staircase constructions.
+  size_t sort_dim = 0;
+  /// Weight vectors alpha (query) / beta (why-not). Empty = equal weights.
+  std::vector<double> alpha;
+  std::vector<double> beta;
+  /// Cap on safe-region rectangles (see SafeRegionOptions).
+  size_t max_safe_region_rectangles = 8192;
+  /// Use the branch-and-bound window-skyline frontier for MWP/MQP
+  /// (identical candidates, runtime O(|F|) instead of O(|Λ|); the
+  /// reported culprit list then holds only the frontier). Explain()
+  /// always materializes the full culprit set regardless.
+  bool fast_frontier = true;
+  /// Nudge applied by the *Strict variants to turn closed-boundary
+  /// answers into strict reverse-skyline members, as a fraction of each
+  /// dimension's data range.
+  double epsilon_fraction = 1e-9;
+};
+
+/// Facade over the full why-not pipeline of the paper: reverse skylines
+/// (BBRS), explanations, MWP (Alg. 1), MQP (Alg. 2), exact and
+/// approximated safe regions (Alg. 3 + Section VI-B.1), and MWQ (Alg. 4).
+///
+/// The engine owns the product/customer datasets and their R*-tree, the
+/// min-max cost model, the per-query safe-region cache (the paper:
+/// "we do not need to recompute it to answer another why-not question for
+/// the same query point"), and the optional offline store of approximated
+/// dynamic skylines.
+///
+/// Customers are addressed by index into customers().points; in the
+/// shared-relation mode (one relation is both P and C, as in every
+/// experiment of the paper) customer index == product id and a customer's
+/// own tuple is excluded from its window queries.
+class WhyNotEngine {
+ public:
+  /// Bichromatic constructor: separate products and customers.
+  WhyNotEngine(Dataset products, Dataset customers,
+               WhyNotEngineOptions options = {});
+
+  /// Shared-relation constructor: one dataset plays both roles.
+  explicit WhyNotEngine(Dataset data, WhyNotEngineOptions options = {});
+
+  WhyNotEngine(const WhyNotEngine&) = delete;
+  WhyNotEngine& operator=(const WhyNotEngine&) = delete;
+
+  const Dataset& products() const { return products_; }
+  const Dataset& customers() const {
+    return shared_relation_ ? products_ : customers_;
+  }
+  bool shared_relation() const { return shared_relation_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  const RStarTree& product_tree() const { return tree_; }
+  /// Universe rectangle: data bounds (products ∪ customers).
+  const Rectangle& universe() const { return universe_; }
+
+  /// RSL(q) as customer indices (ascending). Uses BBRS in shared-relation
+  /// mode and the bichromatic pruned traversal otherwise.
+  std::vector<size_t> ReverseSkyline(const Point& q) const;
+
+  /// True iff customer `c` is in RSL(q) (single window probe).
+  bool IsReverseSkylineMember(size_t c, const Point& q) const;
+
+  /// Customers whose preference lies inside `window` (index range query;
+  /// in shared-relation mode removed products are excluded). Ascending.
+  std::vector<size_t> CustomersInRange(const Rectangle& window) const;
+
+  /// Aspect 1: the culprit products and binding frontier.
+  WhyNotExplanation Explain(size_t c, const Point& q) const;
+
+  /// Algorithm 1. Boundary-semantics candidates; see NudgeToStrictMember
+  /// for converting one into a strict reverse-skyline member.
+  MwpResult ModifyWhyNot(size_t c, const Point& q) const;
+
+  /// Algorithm 2.
+  MqpResult ModifyQuery(size_t c, const Point& q) const;
+
+  /// Exact SR(q) (Algorithm 3); cached per query point, so repeated
+  /// why-not questions against the same q reuse it. RSL(q) is computed
+  /// internally.
+  const SafeRegionResult& SafeRegion(const Point& q) const;
+
+  /// Approximated SR(q) from the offline store; PrecomputeApproxDsls must
+  /// have run. Also cached per query point.
+  const SafeRegionResult& ApproxSafeRegion(const Point& q) const;
+
+  /// Algorithm 4 with the exact safe region.
+  MwqResult ModifyBoth(size_t c, const Point& q) const;
+
+  /// Algorithm 4 with the approximated safe region (Approx-MWQ).
+  MwqResult ModifyBothApprox(size_t c, const Point& q) const;
+
+  /// The paper's Section V-B remark: the safe region "can be truncated
+  /// ... to a smaller one by limiting certain product feature". Returns
+  /// SR(q) ∩ limits — still safe (a subset loses no customers). q itself
+  /// is re-added as a degenerate rectangle if the limits exclude it, so
+  /// Algorithm 4 always has the zero-move fallback.
+  SafeRegionResult ConstrainedSafeRegion(const Point& q,
+                                         const Rectangle& limits) const;
+
+  /// Algorithm 4 confined to `limits` (e.g., "the price may only change
+  /// within [X, Y]").
+  MwqResult ModifyBothConstrained(size_t c, const Point& q,
+                                  const Rectangle& limits) const;
+
+  /// The flip side of the same remark: moving q outside SR(q) ("expanding"
+  /// the region) costs existing customers. Returns the members of RSL(q)
+  /// that would be lost if q moved to q_star (empty inside the safe
+  /// region).
+  std::vector<size_t> LostCustomers(const Point& q,
+                                    const Point& q_star) const;
+
+  /// Answers a batch of why-not questions against one query point,
+  /// computing the (exact or approximated) safe region once — the reuse
+  /// the paper highlights ("we do not need to recompute it to answer
+  /// another why-not question for the same query point").
+  std::vector<MwqResult> ModifyBothBatch(const std::vector<size_t>& whos,
+                                         const Point& q,
+                                         bool use_approx = false) const;
+
+  /// Offline pass of Section VI-B.1: computes and stores the approximated
+  /// DSL (transformed space, sampled with parameter k) of every customer.
+  void PrecomputeApproxDsls(size_t k);
+  bool HasApproxDsls() const { return !approx_dsls_.empty(); }
+  size_t approx_k() const { return approx_k_; }
+
+  /// Persists the precomputed store (the paper precomputes it "off-line");
+  /// a saved store can be reloaded into an engine over the same datasets,
+  /// skipping the PrecomputeApproxDsls pass on startup.
+  Status SaveApproxDsls(const std::string& path) const;
+
+  /// Loads a store written by SaveApproxDsls. Fails if the entry count
+  /// does not match this engine's customer count.
+  Status LoadApproxDsls(const std::string& path);
+
+  /// Appends a product to the market (R*-tree insert). Invalidates the
+  /// safe-region caches and the approximated-DSL store (both depend on
+  /// the product set). Returns the new product's id. In shared-relation
+  /// mode the tuple is simultaneously a new customer preference.
+  size_t AddProduct(const Point& p);
+
+  /// Removes product `id` from the market (R*-tree delete; the slot in
+  /// products() is tombstoned, so existing ids stay stable). Returns
+  /// false if the id is unknown or already removed. In shared-relation
+  /// mode the corresponding customer disappears with it.
+  bool RemoveProduct(size_t id);
+
+  /// True iff the product id is live (not tombstoned).
+  bool IsLiveProduct(size_t id) const;
+
+  /// The paper's evaluation cost for MQP (Section VI-A): the alpha-cost of
+  /// exiting the safe region plus the beta-cost of winning back every
+  /// reverse-skyline customer lost by moving q to q*.
+  double MqpEvaluationCost(const Point& q, const Point& q_star) const;
+
+  /// Nudges a why-not answer off the closed boundary: moves `c_star`
+  /// epsilon toward q per dimension and verifies strict membership.
+  /// Returns the nudged point, or nullopt if even the nudged point is not
+  /// a reverse-skyline member (possible when Algorithm 1's 2-D staircase
+  /// heuristic is applied to adversarial inputs).
+  std::optional<Point> NudgeToStrictMember(const Point& c_star,
+                                           const Point& q,
+                                           size_t customer_index) const;
+
+ private:
+  std::optional<RStarTree::Id> ExcludeFor(size_t customer_index) const;
+  const Point& CustomerPoint(size_t c) const;
+  /// Builds the q*-validator that probes every member of RSL(q).
+  KeepsMembersFn MakeKeepsMembersFn(const Point& q) const;
+
+  void InvalidateDerivedState();
+
+  WhyNotEngineOptions options_;
+  bool shared_relation_ = false;
+  std::vector<bool> removed_;  // Tombstones for RemoveProduct.
+  Dataset products_;
+  Dataset customers_;  // Unused in shared-relation mode.
+  RStarTree tree_;
+  std::unique_ptr<RStarTree> customer_tree_;  // Bichromatic mode only.
+  Rectangle universe_;
+  CostModel cost_model_;
+  std::vector<std::vector<Point>> approx_dsls_;
+  size_t approx_k_ = 0;
+
+  // Safe-region caches keyed by query point.
+  mutable std::optional<Point> cached_sr_query_;
+  mutable SafeRegionResult cached_sr_;
+  mutable std::optional<Point> cached_approx_sr_query_;
+  mutable SafeRegionResult cached_approx_sr_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_CORE_ENGINE_H_

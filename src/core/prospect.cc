@@ -1,0 +1,69 @@
+#include "core/prospect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+std::vector<Prospect> RankProspects(const WhyNotEngine& engine,
+                                    const Point& q,
+                                    const ProspectOptions& options) {
+  WNRS_CHECK(q.dims() == engine.products().dims);
+
+  // Candidate customers: everyone within the preference radius (via the
+  // index when the radius is finite), minus current members.
+  std::vector<size_t> candidates;
+  if (std::isfinite(options.max_preference_distance)) {
+    Point lo(q.dims());
+    Point hi(q.dims());
+    for (size_t i = 0; i < q.dims(); ++i) {
+      lo[i] = q[i] - options.max_preference_distance;
+      hi[i] = q[i] + options.max_preference_distance;
+    }
+    candidates = engine.CustomersInRange(Rectangle(lo, hi));
+    // The box over-approximates the L1 ball; filter exactly.
+    candidates.erase(
+        std::remove_if(candidates.begin(), candidates.end(),
+                       [&](size_t c) {
+                         return engine.customers().points[c].L1Distance(q) >
+                                options.max_preference_distance;
+                       }),
+        candidates.end());
+  } else {
+    candidates.resize(engine.customers().points.size());
+    for (size_t c = 0; c < candidates.size(); ++c) candidates[c] = c;
+  }
+
+  std::vector<Prospect> prospects;
+  for (size_t c : candidates) {
+    if (engine.IsReverseSkylineMember(c, q)) continue;
+    const MwqResult mwq =
+        options.use_approx ? engine.ModifyBothApprox(c, q)
+                           : engine.ModifyBoth(c, q);
+    if (mwq.already_member || mwq.query_candidates.empty()) continue;
+    Prospect p;
+    p.customer = c;
+    p.cost = mwq.best_cost;
+    p.free_win = mwq.overlap;
+    p.query_move = mwq.query_candidates.front().point;
+    if (!mwq.why_not_candidates.empty()) {
+      p.customer_move = mwq.why_not_candidates.front().point;
+    }
+    prospects.push_back(std::move(p));
+  }
+
+  std::sort(prospects.begin(), prospects.end(),
+            [](const Prospect& a, const Prospect& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.free_win != b.free_win) return a.free_win;
+              return a.customer < b.customer;
+            });
+  if (prospects.size() > options.max_prospects) {
+    prospects.resize(options.max_prospects);
+  }
+  return prospects;
+}
+
+}  // namespace wnrs

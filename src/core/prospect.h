@@ -1,0 +1,52 @@
+#ifndef WNRS_CORE_PROSPECT_H_
+#define WNRS_CORE_PROSPECT_H_
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace wnrs {
+
+/// Tuning for prospect ranking.
+struct ProspectOptions {
+  /// How many prospects to return (cheapest first).
+  size_t max_prospects = 10;
+  /// Only consider customers whose preference lies within this L1
+  /// distance of q in raw coordinates (infinity = everyone). The filter
+  /// runs as an index range query, so tight radii are cheap.
+  double max_preference_distance =
+      std::numeric_limits<double>::infinity();
+  /// Score with the approximated safe region (requires
+  /// PrecomputeApproxDsls) instead of the exact one.
+  bool use_approx = false;
+};
+
+/// One ranked prospect.
+struct Prospect {
+  /// Customer index.
+  size_t customer = 0;
+  /// Cheapest win cost (Algorithm 4's best_cost under the beta weights).
+  double cost = 0.0;
+  /// True iff winning is free: DDR̄(customer) overlaps SR(q), so only q
+  /// moves, inside its safe region.
+  bool free_win = false;
+  /// Where to move q (within the safe region).
+  Point query_move;
+  /// Where to move the customer (case C2 only).
+  std::optional<Point> customer_move;
+};
+
+/// The paper's targeted-marketing use case (Section VI), productized:
+/// ranks the customers *outside* RSL(q) by the cheapest way to win them
+/// without losing anyone already interested. The safe region is computed
+/// once and shared across all candidates (the reuse the paper
+/// highlights). Results are cost-ascending, free wins first among ties.
+std::vector<Prospect> RankProspects(const WhyNotEngine& engine,
+                                    const Point& q,
+                                    const ProspectOptions& options = {});
+
+}  // namespace wnrs
+
+#endif  // WNRS_CORE_PROSPECT_H_

@@ -1,0 +1,110 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace wnrs {
+namespace {
+
+void AppendCandidates(const std::vector<Candidate>& candidates, size_t cap,
+                      const char* what, std::string* out) {
+  const size_t shown = std::min(cap, candidates.size());
+  for (size_t i = 0; i < shown; ++i) {
+    out->append(StrFormat("    %s %s  (cost %.6f)\n", what,
+                          candidates[i].point.ToString().c_str(),
+                          candidates[i].cost));
+  }
+  if (candidates.size() > shown) {
+    out->append(StrFormat("    ... %zu more\n", candidates.size() - shown));
+  }
+}
+
+}  // namespace
+
+std::string RenderWhyNotReport(const WhyNotEngine& engine, size_t customer,
+                               const Point& q,
+                               const ReportOptions& options) {
+  std::string out;
+  const Point& pref = engine.customers().points[customer];
+  out.append(StrFormat("why-not report: customer #%zu %s vs product %s\n",
+                       customer, pref.ToString().c_str(),
+                       q.ToString().c_str()));
+
+  if (engine.IsReverseSkylineMember(customer, q)) {
+    out.append("  the customer is already in the reverse skyline of q; "
+               "nothing to explain.\n");
+    return out;
+  }
+
+  // Aspect 1: the causes.
+  const WhyNotExplanation why = engine.Explain(customer, q);
+  out.append(StrFormat(
+      "  cause: %zu product(s) match this customer's preference better "
+      "than q\n",
+      why.culprits.size()));
+  const size_t listed =
+      std::min(options.max_culprits_listed, why.frontier.size());
+  out.append("  binding frontier:");
+  for (size_t i = 0; i < listed; ++i) {
+    const auto id = static_cast<size_t>(why.frontier[i]);
+    out.append(StrFormat(" #%zu %s", id,
+                         engine.products().points[id].ToString().c_str()));
+  }
+  if (why.frontier.size() > listed) {
+    out.append(StrFormat(" ... (%zu more)", why.frontier.size() - listed));
+  }
+  out.append("\n");
+
+  // Aspect 2: move the customer (Algorithm 1).
+  out.append("  option A - persuade the customer (MWP):\n");
+  AppendCandidates(engine.ModifyWhyNot(customer, q).candidates,
+                   options.max_candidates, "move customer to", &out);
+
+  // Aspect 3 without the safe region (Algorithm 2).
+  out.append(
+      "  option B - change the product, existing customers at risk "
+      "(MQP):\n");
+  const MqpResult mqp = engine.ModifyQuery(customer, q);
+  const size_t shown = std::min(options.max_candidates,
+                                mqp.candidates.size());
+  for (size_t i = 0; i < shown; ++i) {
+    const size_t lost =
+        engine.LostCustomers(q, mqp.candidates[i].point).size();
+    out.append(StrFormat(
+        "    move product to %s  (move cost %.6f, loses %zu customer%s)\n",
+        mqp.candidates[i].point.ToString().c_str(), mqp.candidates[i].cost,
+        lost, lost == 1 ? "" : "s"));
+  }
+
+  // Aspect 3 with the safe region (Algorithm 4).
+  const MwqResult mwq = engine.ModifyBoth(customer, q);
+  if (mwq.overlap) {
+    out.append(StrFormat(
+        "  option C - reposition safely, keep everyone (MWQ): move product "
+        "to %s at ZERO cost\n",
+        mwq.query_candidates.front().point.ToString().c_str()));
+  } else {
+    out.append(StrFormat(
+        "  option C - reposition safely + persuade (MWQ): move product to "
+        "%s, then\n",
+        mwq.query_candidates.front().point.ToString().c_str()));
+    AppendCandidates(mwq.why_not_candidates, options.max_candidates,
+                     "move customer to", &out);
+    out.append(StrFormat("    total cost %.6f\n", mwq.best_cost));
+  }
+
+  if (options.include_safe_region) {
+    const SafeRegionResult& sr = engine.SafeRegion(q);
+    out.append(StrFormat(
+        "  safe region of q (%zu rectangle%s, %.4g%% of the data space):\n",
+        sr.region.size(), sr.region.size() == 1 ? "" : "s",
+        100.0 * sr.region.UnionVolume() / engine.universe().Volume()));
+    for (const Rectangle& r : sr.region.rects()) {
+      out.append(StrFormat("    %s\n", r.ToString().c_str()));
+    }
+  }
+  return out;
+}
+
+}  // namespace wnrs

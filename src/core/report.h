@@ -1,0 +1,31 @@
+#ifndef WNRS_CORE_REPORT_H_
+#define WNRS_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/engine.h"
+
+namespace wnrs {
+
+/// Rendering knobs for why-not reports.
+struct ReportOptions {
+  /// At most this many culprit products are listed verbatim.
+  size_t max_culprits_listed = 8;
+  /// At most this many candidates per method.
+  size_t max_candidates = 4;
+  /// Include the safe region rectangles.
+  bool include_safe_region = true;
+};
+
+/// Renders a complete why-not answer — the explanation (aspect 1), the
+/// MWP / MQP / MWQ suggestions (aspects 2-3), and the safe region — as a
+/// human-readable multi-line string. This is the "cooperative system
+/// response" the paper's introduction motivates, in one call; the CLI and
+/// examples render through it.
+std::string RenderWhyNotReport(const WhyNotEngine& engine, size_t customer,
+                               const Point& q,
+                               const ReportOptions& options = {});
+
+}  // namespace wnrs
+
+#endif  // WNRS_CORE_REPORT_H_

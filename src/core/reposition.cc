@@ -1,0 +1,75 @@
+#include "core/reposition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wnrs {
+namespace {
+
+/// Pulls a rectangle corner a hair toward the center so the probe lands
+/// strictly inside the (closed) safe region.
+Point PulledCorner(const Rectangle& rect, size_t mask) {
+  const Point center = rect.Center();
+  Point corner(rect.dims());
+  for (size_t i = 0; i < rect.dims(); ++i) {
+    corner[i] = (mask >> i) & 1 ? rect.hi()[i] : rect.lo()[i];
+    corner[i] += 1e-9 * (center[i] - corner[i]);
+  }
+  return corner;
+}
+
+}  // namespace
+
+RepositionAnalysis AnalyzeRepositioning(const WhyNotEngine& engine,
+                                        const Point& q,
+                                        std::vector<Point> candidates,
+                                        size_t max_options) {
+  WNRS_CHECK(q.dims() == engine.products().dims);
+  RepositionAnalysis out;
+  out.current_members = engine.ReverseSkyline(q);
+
+  if (candidates.empty()) {
+    candidates.push_back(q);  // Baseline: stay put.
+    const SafeRegionResult& sr = engine.SafeRegion(q);
+    for (const Rectangle& rect : sr.region.rects()) {
+      candidates.push_back(rect.Center());
+      WNRS_CHECK(rect.dims() < 25);
+      const size_t corners = static_cast<size_t>(1) << rect.dims();
+      for (size_t mask = 0; mask < corners; ++mask) {
+        candidates.push_back(PulledCorner(rect, mask));
+      }
+      if (candidates.size() > max_options * 4) break;
+    }
+  }
+
+  for (const Point& q_star : candidates) {
+    RepositionOption option;
+    option.q_star = q_star;
+    option.move_cost = engine.cost_model().QueryMoveCost(q, q_star);
+    const std::vector<size_t> members = engine.ReverseSkyline(q_star);
+    std::set_difference(members.begin(), members.end(),
+                        out.current_members.begin(),
+                        out.current_members.end(),
+                        std::back_inserter(option.gained));
+    std::set_difference(out.current_members.begin(),
+                        out.current_members.end(), members.begin(),
+                        members.end(), std::back_inserter(option.lost));
+    out.options.push_back(std::move(option));
+  }
+
+  std::sort(out.options.begin(), out.options.end(),
+            [](const RepositionOption& a, const RepositionOption& b) {
+              if (a.net() != b.net()) return a.net() > b.net();
+              if (a.move_cost != b.move_cost) {
+                return a.move_cost < b.move_cost;
+              }
+              return a.q_star < b.q_star;
+            });
+  if (out.options.size() > max_options) {
+    out.options.resize(max_options);
+  }
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,48 @@
+#ifndef WNRS_CORE_REPOSITION_H_
+#define WNRS_CORE_REPOSITION_H_
+
+#include <vector>
+
+#include "core/engine.h"
+
+namespace wnrs {
+
+/// One what-if outcome: move q to q_star and the reverse skyline changes
+/// from RSL(q) to RSL(q_star).
+struct RepositionOption {
+  Point q_star;
+  /// Query-move cost under the alpha weights.
+  double move_cost = 0.0;
+  /// Customers gained: in RSL(q_star) but not RSL(q).
+  std::vector<size_t> gained;
+  /// Customers lost: in RSL(q) but not RSL(q_star). Empty whenever q_star
+  /// lies inside the safe region.
+  std::vector<size_t> lost;
+  int net() const {
+    return static_cast<int>(gained.size()) - static_cast<int>(lost.size());
+  }
+};
+
+/// What-if analysis result.
+struct RepositionAnalysis {
+  std::vector<size_t> current_members;
+  /// Options sorted by net customer change (descending), ties by move
+  /// cost (ascending).
+  std::vector<RepositionOption> options;
+};
+
+/// Market-repositioning what-if: evaluates candidate new locations for the
+/// query product and reports exactly which customers each would gain and
+/// lose (full reverse-skyline recomputation per candidate — exact, not
+/// estimated). This generalizes the paper's safe-region story: inside
+/// SR(q) the lost list is provably empty; outside, the trade becomes
+/// visible. With `candidates` empty, candidates are generated
+/// automatically from the safe region (corners pulled to the interior and
+/// rectangle centers) plus q itself as the baseline.
+RepositionAnalysis AnalyzeRepositioning(
+    const WhyNotEngine& engine, const Point& q,
+    std::vector<Point> candidates = {}, size_t max_options = 16);
+
+}  // namespace wnrs
+
+#endif  // WNRS_CORE_REPOSITION_H_

@@ -1,0 +1,73 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace wnrs {
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  for (size_t i = 0; i < dataset.dims; ++i) {
+    if (i > 0) out << ',';
+    out << 'd' << i;
+  }
+  out << '\n';
+  for (const Point& p : dataset.points) {
+    for (size_t i = 0; i < dataset.dims; ++i) {
+      if (i > 0) out << ',';
+      out << StrFormat("%.17g", p[i]);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("write failure: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  Dataset ds;
+  ds.name = path;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  ds.dims = Split(line, ',').size();
+  if (ds.dims == 0) {
+    return Status::InvalidArgument("header has no fields: " + path);
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != ds.dims) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected %zu fields, got %zu", line_no,
+                    ds.dims, fields.size()));
+    }
+    Point p(ds.dims);
+    for (size_t i = 0; i < ds.dims; ++i) {
+      if (!ParseDouble(fields[i], &p[i])) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: bad number '%s'", line_no,
+                      fields[i].c_str()));
+      }
+    }
+    ds.points.push_back(std::move(p));
+  }
+  return ds;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,21 @@
+#ifndef WNRS_DATA_CSV_H_
+#define WNRS_DATA_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace wnrs {
+
+/// Writes `dataset` as CSV: a header row "d0,d1,..." then one row per
+/// point. Overwrites existing files.
+Status SaveCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a CSV written by SaveCsv (or any numeric CSV with a header row).
+/// All rows must have the same number of fields.
+Result<Dataset> LoadCsv(const std::string& path);
+
+}  // namespace wnrs
+
+#endif  // WNRS_DATA_CSV_H_

@@ -1,0 +1,66 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+Rectangle Dataset::Bounds() const {
+  WNRS_CHECK(!points.empty());
+  Point lo = points.front();
+  Point hi = points.front();
+  for (const Point& p : points) {
+    WNRS_CHECK(p.dims() == dims);
+    for (size_t i = 0; i < dims; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+MinMaxNormalizer::MinMaxNormalizer(const Rectangle& bounds)
+    : lo_(bounds.lo()), range_(bounds.dims()) {
+  for (size_t i = 0; i < bounds.dims(); ++i) {
+    range_[i] = bounds.hi()[i] - bounds.lo()[i];
+  }
+}
+
+Point MinMaxNormalizer::Normalize(const Point& p) const {
+  WNRS_CHECK(p.dims() == dims());
+  Point out(p.dims());
+  for (size_t i = 0; i < p.dims(); ++i) {
+    out[i] = range_[i] > 0.0 ? (p[i] - lo_[i]) / range_[i] : 0.0;
+  }
+  return out;
+}
+
+Point MinMaxNormalizer::Denormalize(const Point& p) const {
+  WNRS_CHECK(p.dims() == dims());
+  Point out(p.dims());
+  for (size_t i = 0; i < p.dims(); ++i) {
+    out[i] = lo_[i] + p[i] * range_[i];
+  }
+  return out;
+}
+
+double MinMaxNormalizer::NormalizedWeightedL1(
+    const Point& a, const Point& b, const std::vector<double>& weights) const {
+  WNRS_CHECK(a.dims() == dims());
+  WNRS_CHECK(b.dims() == dims());
+  WNRS_CHECK(weights.size() == dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (range_[i] <= 0.0) continue;
+    sum += weights[i] * std::fabs(a[i] - b[i]) / range_[i];
+  }
+  return sum;
+}
+
+std::vector<double> EqualWeights(size_t dims) {
+  WNRS_CHECK(dims > 0);
+  return std::vector<double>(dims, 1.0 / static_cast<double>(dims));
+}
+
+}  // namespace wnrs

@@ -1,0 +1,64 @@
+#ifndef WNRS_DATA_DATASET_H_
+#define WNRS_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+
+namespace wnrs {
+
+/// A named collection of points of uniform dimensionality; serves as the
+/// product set P or the customer-preference set C (or both, as in the
+/// paper's worked example).
+struct Dataset {
+  std::string name;
+  size_t dims = 0;
+  std::vector<Point> points;
+
+  size_t size() const { return points.size(); }
+
+  /// Tight bounding box of all points. Precondition: non-empty.
+  Rectangle Bounds() const;
+};
+
+/// Min-max normalization into the unit hypercube, the paper's cost
+/// normalization ("first normalizing the point using min-max
+/// normalization", Section VI-A). Degenerate dimensions (zero range) map
+/// to 0.
+class MinMaxNormalizer {
+ public:
+  /// Identity transform over zero dimensions; useful as a placeholder.
+  MinMaxNormalizer() = default;
+
+  /// Normalizes relative to `bounds` (usually Dataset::Bounds()).
+  explicit MinMaxNormalizer(const Rectangle& bounds);
+
+  size_t dims() const { return lo_.dims(); }
+
+  /// Maps each coordinate into [0, 1] (values outside the bounds
+
+  /// extrapolate linearly rather than clamp, so distances stay faithful).
+  Point Normalize(const Point& p) const;
+
+  /// Inverse of Normalize.
+  Point Denormalize(const Point& p) const;
+
+  /// Normalized weighted-L1 distance between two raw-space points: the
+  /// cost atom used by every quality table in the paper.
+  double NormalizedWeightedL1(const Point& a, const Point& b,
+                              const std::vector<double>& weights) const;
+
+ private:
+  Point lo_;
+  Point range_;  // hi - lo, with 0 for degenerate dimensions.
+};
+
+/// Equal weights summing to 1 (the paper's default: "assigning equal
+/// weight to each dimension (also sum beta_i = 1)").
+std::vector<double> EqualWeights(size_t dims);
+
+}  // namespace wnrs
+
+#endif  // WNRS_DATA_DATASET_H_

@@ -1,0 +1,186 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace wnrs {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+Dataset GenerateUniform(size_t n, size_t dims, uint64_t seed) {
+  WNRS_CHECK(dims >= 1);
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = StrFormat("UN-%zu", n);
+  ds.dims = dims;
+  ds.points.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    Point p(dims);
+    for (size_t i = 0; i < dims; ++i) p[i] = rng.NextDouble();
+    ds.points.push_back(std::move(p));
+  }
+  return ds;
+}
+
+Dataset GenerateCorrelated(size_t n, size_t dims, uint64_t seed) {
+  WNRS_CHECK(dims >= 1);
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = StrFormat("CO-%zu", n);
+  ds.dims = dims;
+  ds.points.reserve(n);
+  while (ds.points.size() < n) {
+    // A common value along the diagonal plus small per-dimension jitter;
+    // out-of-range samples are rejected (clamping would pile mass onto
+    // the domain boundary and create exact coordinate ties).
+    const double base = rng.NextDouble();
+    Point p(dims);
+    bool ok = true;
+    for (size_t i = 0; i < dims; ++i) {
+      p[i] = base + rng.NextGaussian(0.0, 0.06);
+      if (p[i] < 0.0 || p[i] >= 1.0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ds.points.push_back(std::move(p));
+  }
+  return ds;
+}
+
+Dataset GenerateAnticorrelated(size_t n, size_t dims, uint64_t seed) {
+  WNRS_CHECK(dims >= 1);
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = StrFormat("AC-%zu", n);
+  ds.dims = dims;
+  ds.points.reserve(n);
+  while (ds.points.size() < n) {
+    // Target coordinate sum near dims/2; spread it across dimensions with
+    // uniform proportions, rejecting out-of-range samples.
+    const double target_sum =
+        std::max(0.05, dims * 0.5 + rng.NextGaussian(0.0, 0.12));
+    Point p(dims);
+    double raw_sum = 0.0;
+    for (size_t i = 0; i < dims; ++i) {
+      p[i] = rng.NextDouble() + 1e-9;
+      raw_sum += p[i];
+    }
+    bool ok = true;
+    for (size_t i = 0; i < dims; ++i) {
+      p[i] = p[i] / raw_sum * target_sum;
+      if (p[i] > 1.0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ds.points.push_back(std::move(p));
+  }
+  return ds;
+}
+
+Dataset GenerateClustered(size_t n, size_t dims, uint64_t seed,
+                          size_t num_clusters, double stddev) {
+  WNRS_CHECK(dims >= 1);
+  WNRS_CHECK(num_clusters >= 1);
+  Rng rng(seed);
+  std::vector<Point> centers;
+  centers.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    Point center(dims);
+    for (size_t i = 0; i < dims; ++i) center[i] = rng.NextDouble();
+    centers.push_back(std::move(center));
+  }
+  Dataset ds;
+  ds.name = StrFormat("CL-%zu", n);
+  ds.dims = dims;
+  ds.points.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    const Point& center = centers[rng.NextUint64(num_clusters)];
+    Point p(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      p[i] = Clamp01(center[i] + rng.NextGaussian(0.0, stddev));
+    }
+    ds.points.push_back(std::move(p));
+  }
+  return ds;
+}
+
+Dataset GenerateCarDb(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds;
+  ds.name = StrFormat("CarDB-%zu", n);
+  ds.dims = 2;
+  ds.points.reserve(n);
+
+  // Vehicle segments: {weight, median price $, price spread (log-space),
+  // expected mileage at the median price}.
+  struct Segment {
+    double weight;
+    double median_price;
+    double log_sigma;
+    double base_mileage;
+  };
+  constexpr Segment kSegments[] = {
+      {0.30, 6500.0, 0.55, 110000.0},   // Older economy cars.
+      {0.35, 14000.0, 0.45, 70000.0},   // Mainstream used.
+      {0.22, 26000.0, 0.40, 35000.0},   // Near-new / entry luxury.
+      {0.10, 45000.0, 0.35, 15000.0},   // Luxury.
+      {0.03, 70000.0, 0.30, 8000.0},    // Exotic tail.
+  };
+
+  while (ds.points.size() < n) {
+    // Pick a segment by weight.
+    double pick = rng.NextDouble();
+    const Segment* seg = &kSegments[0];
+    for (const Segment& s : kSegments) {
+      if (pick < s.weight) {
+        seg = &s;
+        break;
+      }
+      pick -= s.weight;
+    }
+    const double price =
+        seg->median_price * std::exp(rng.NextGaussian(0.0, seg->log_sigma));
+    if (price < 500.0 || price > 90000.0) continue;
+    // Mileage anti-correlates with price within a segment; heavy right
+    // tail from high-mileage outliers.
+    const double price_factor = seg->median_price / price;
+    double mileage = seg->base_mileage * std::pow(price_factor, 0.6) *
+                     std::exp(rng.NextGaussian(0.0, 0.5));
+    if (rng.NextBool(0.05)) mileage *= 1.0 + rng.NextExponential(1.0);
+    // Rejection rather than clamping: clamping would create exact-tie
+    // pile-ups at the cap, which real (continuous) listings do not have.
+    if (mileage > 250000.0) continue;
+    ds.points.push_back(Point({price, mileage}));
+  }
+  return ds;
+}
+
+Dataset PaperExampleDataset() {
+  Dataset ds;
+  ds.name = "paper-example";
+  ds.dims = 2;
+  ds.points = {
+      Point({5.0, 30.0}),   // pt1
+      Point({7.5, 42.0}),   // pt2
+      Point({2.5, 70.0}),   // pt3
+      Point({7.5, 90.0}),   // pt4
+      Point({24.0, 20.0}),  // pt5
+      Point({20.0, 50.0}),  // pt6
+      Point({26.0, 70.0}),  // pt7
+      Point({16.0, 80.0}),  // pt8
+  };
+  return ds;
+}
+
+Point PaperExampleQuery() { return Point({8.5, 55.0}); }
+
+}  // namespace wnrs

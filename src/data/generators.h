@@ -1,0 +1,46 @@
+#ifndef WNRS_DATA_GENERATORS_H_
+#define WNRS_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace wnrs {
+
+/// Independent uniform coordinates in [0, 1) — the paper's "UN" synthetic
+/// family (Börzsönyi et al.).
+Dataset GenerateUniform(size_t n, size_t dims, uint64_t seed);
+
+/// Correlated coordinates ("CO"): points cluster around the main diagonal,
+/// so points good in one dimension tend to be good in the others; skylines
+/// are small.
+Dataset GenerateCorrelated(size_t n, size_t dims, uint64_t seed);
+
+/// Anti-correlated coordinates ("AC"): points cluster around a hyperplane
+/// of constant coordinate sum, so points good in one dimension are bad in
+/// others; skylines are large.
+Dataset GenerateAnticorrelated(size_t n, size_t dims, uint64_t seed);
+
+/// Gaussian clusters at random centers; used by ablation benches.
+Dataset GenerateClustered(size_t n, size_t dims, uint64_t seed,
+                          size_t num_clusters, double stddev);
+
+/// Surrogate for the paper's Yahoo! Autos "CarDB" (see DESIGN.md §5):
+/// 2-D (price $, mileage mi) points drawn from a vehicle-segment mixture —
+/// log-normal price clusters per segment, mileage decreasing with price
+/// plus heavy-tailed noise — giving the sparse, mildly anti-correlated
+/// cloud the real snapshot had. Prices land in roughly [0.5K, 80K] and
+/// mileages in [0, 250K].
+Dataset GenerateCarDb(size_t n, uint64_t seed);
+
+/// The paper's Fig. 1(a) running-example relation (8 tuples:
+/// price in $K, mileage in K-miles). Used by tests, examples, and the
+/// paper-example bench.
+Dataset PaperExampleDataset();
+
+/// The paper's example query product q(price 8.5K, mileage 55K).
+Point PaperExampleQuery();
+
+}  // namespace wnrs
+
+#endif  // WNRS_DATA_GENERATORS_H_

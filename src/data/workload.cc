@@ -1,0 +1,64 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace wnrs {
+
+std::vector<WhyNotWorkloadQuery> SampleQueriesByRslSize(
+    const Dataset& customers, const RslFn& rsl_fn, size_t min_rsl,
+    size_t max_rsl, size_t max_attempts, uint64_t seed) {
+  WNRS_CHECK(!customers.points.empty());
+  WNRS_CHECK(min_rsl <= max_rsl);
+  Rng rng(seed);
+  const Rectangle bounds = customers.Bounds();
+
+  // bucket[s - min_rsl] holds the first query found with |RSL| == s.
+  std::vector<WhyNotWorkloadQuery> buckets(max_rsl - min_rsl + 1);
+  std::vector<bool> filled(buckets.size(), false);
+  size_t remaining = buckets.size();
+
+  for (size_t attempt = 0; attempt < max_attempts && remaining > 0;
+       ++attempt) {
+    // Draw q from the data distribution: a dataset point with small
+    // relative jitter, so q behaves like a plausible new product.
+    const Point& base =
+        customers.points[rng.NextUint64(customers.points.size())];
+    Point q(customers.dims);
+    for (size_t i = 0; i < customers.dims; ++i) {
+      const double extent = bounds.hi()[i] - bounds.lo()[i];
+      q[i] = base[i] + rng.NextGaussian(0.0, 0.02 * extent);
+    }
+
+    std::vector<size_t> rsl = rsl_fn(q);
+    const size_t s = rsl.size();
+    if (s < min_rsl || s > max_rsl || filled[s - min_rsl]) continue;
+
+    // Pick a why-not customer uniformly among non-members.
+    std::unordered_set<size_t> members(rsl.begin(), rsl.end());
+    if (members.size() == customers.points.size()) continue;
+    size_t why_not = 0;
+    do {
+      why_not = rng.NextUint64(customers.points.size());
+    } while (members.count(why_not) > 0);
+
+    WhyNotWorkloadQuery& slot = buckets[s - min_rsl];
+    slot.q = std::move(q);
+    slot.rsl = std::move(rsl);
+    slot.why_not_index = why_not;
+    filled[s - min_rsl] = true;
+    --remaining;
+  }
+
+  std::vector<WhyNotWorkloadQuery> out;
+  out.reserve(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (filled[i]) out.push_back(std::move(buckets[i]));
+  }
+  return out;
+}
+
+}  // namespace wnrs

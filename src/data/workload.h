@@ -1,0 +1,41 @@
+#ifndef WNRS_DATA_WORKLOAD_H_
+#define WNRS_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace wnrs {
+
+/// A benchmark query: a query point (drawn from the dataset's own
+/// distribution, as the paper does), its reverse skyline, and a randomly
+/// chosen why-not customer (a customer outside the reverse skyline).
+struct WhyNotWorkloadQuery {
+  Point q;
+  /// Indices into the customer dataset of RSL(q).
+  std::vector<size_t> rsl;
+  /// Index into the customer dataset of the chosen why-not point.
+  size_t why_not_index = 0;
+};
+
+/// Computes RSL(q) as customer indices; injected so the workload sampler
+/// does not depend on the reverse-skyline layer.
+using RslFn = std::function<std::vector<size_t>(const Point& q)>;
+
+/// Samples query points following the distribution of `customers`
+/// (perturbed dataset points), evaluates their reverse skylines via
+/// `rsl_fn`, and keeps the first query found for each |RSL| bucket in
+/// [min_rsl, max_rsl] — reproducing the paper's "queries with 1-15 reverse
+/// skyline points" workloads. Each kept query also gets a random why-not
+/// customer (uniform over customers outside RSL(q) whose window is
+/// non-empty by construction). Gives up on a bucket after `max_attempts`
+/// total samples.
+std::vector<WhyNotWorkloadQuery> SampleQueriesByRslSize(
+    const Dataset& customers, const RslFn& rsl_fn, size_t min_rsl,
+    size_t max_rsl, size_t max_attempts, uint64_t seed);
+
+}  // namespace wnrs
+
+#endif  // WNRS_DATA_WORKLOAD_H_

@@ -1,0 +1,63 @@
+#include "geometry/dominance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+bool Dominates(const Point& a, const Point& b) {
+  WNRS_CHECK(a.dims() == b.dims());
+  bool strict = false;
+  for (size_t i = 0; i < a.dims(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+bool StrictlyDominatesAllDims(const Point& a, const Point& b) {
+  WNRS_CHECK(a.dims() == b.dims());
+  for (size_t i = 0; i < a.dims(); ++i) {
+    if (a[i] >= b[i]) return false;
+  }
+  return true;
+}
+
+bool WeaklyDominates(const Point& a, const Point& b) {
+  WNRS_CHECK(a.dims() == b.dims());
+  for (size_t i = 0; i < a.dims(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicallyDominates(const Point& a, const Point& b,
+                          const Point& origin) {
+  WNRS_CHECK(a.dims() == b.dims());
+  WNRS_CHECK(a.dims() == origin.dims());
+  bool strict = false;
+  for (size_t i = 0; i < a.dims(); ++i) {
+    const double da = std::fabs(origin[i] - a[i]);
+    const double db = std::fabs(origin[i] - b[i]);
+    if (da > db) return false;
+    if (da < db) strict = true;
+  }
+  return strict;
+}
+
+DominanceRelation CompareDominance(const Point& a, const Point& b) {
+  WNRS_CHECK(a.dims() == b.dims());
+  bool a_better = false;
+  bool b_better = false;
+  for (size_t i = 0; i < a.dims(); ++i) {
+    if (a[i] < b[i]) a_better = true;
+    if (b[i] < a[i]) b_better = true;
+    if (a_better && b_better) return DominanceRelation::kIncomparable;
+  }
+  if (a_better) return DominanceRelation::kFirstDominates;
+  if (b_better) return DominanceRelation::kSecondDominates;
+  return DominanceRelation::kEqual;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,39 @@
+#ifndef WNRS_GEOMETRY_DOMINANCE_H_
+#define WNRS_GEOMETRY_DOMINANCE_H_
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Static dominance (paper Definition 1, smaller-is-better in every
+/// dimension): `a` dominates `b` iff a_i <= b_i for all i and a_j < b_j for
+/// some j.
+bool Dominates(const Point& a, const Point& b);
+
+/// True iff a_i < b_i in every dimension.
+bool StrictlyDominatesAllDims(const Point& a, const Point& b);
+
+/// True iff a_i <= b_i in every dimension (a == b qualifies).
+bool WeaklyDominates(const Point& a, const Point& b);
+
+/// Dynamic dominance w.r.t. a query point (paper Definition 2):
+/// `a` dynamically dominates `b` w.r.t. `origin` iff
+/// |origin_i - a_i| <= |origin_i - b_i| for all i, strict for some j.
+/// This is plain dominance after mapping both points with f_i(x) =
+/// |origin_i - x_i|.
+bool DynamicallyDominates(const Point& a, const Point& b, const Point& origin);
+
+/// Dominance comparison outcome for algorithms that want one pass.
+enum class DominanceRelation {
+  kFirstDominates,
+  kSecondDominates,
+  kEqual,
+  kIncomparable,
+};
+
+/// Relates `a` and `b` under static dominance in a single coordinate scan.
+DominanceRelation CompareDominance(const Point& a, const Point& b);
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_DOMINANCE_H_

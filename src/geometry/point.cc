@@ -1,0 +1,64 @@
+#include "geometry/point.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace wnrs {
+
+bool Point::ApproxEquals(const Point& other, double tolerance) const {
+  if (dims() != other.dims()) return false;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (std::fabs(coords_[i] - other.coords_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+double Point::L1Norm() const {
+  double sum = 0.0;
+  for (double c : coords_) sum += std::fabs(c);
+  return sum;
+}
+
+double Point::L1Distance(const Point& other) const {
+  WNRS_CHECK(dims() == other.dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    sum += std::fabs(coords_[i] - other.coords_[i]);
+  }
+  return sum;
+}
+
+double Point::WeightedL1Distance(const Point& other,
+                                 const std::vector<double>& weights) const {
+  WNRS_CHECK(dims() == other.dims());
+  WNRS_CHECK(weights.size() == dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    sum += weights[i] * std::fabs(coords_[i] - other.coords_[i]);
+  }
+  return sum;
+}
+
+double Point::L2Distance(const Point& other) const {
+  WNRS_CHECK(dims() == other.dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    const double d = coords_[i] - other.coords_[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::string Point::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < dims(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%g", coords_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,76 @@
+#ifndef WNRS_GEOMETRY_POINT_H_
+#define WNRS_GEOMETRY_POINT_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace wnrs {
+
+/// A point in the d-dimensional numeric data space `D = (D^1, ..., D^d)`
+/// (paper, Section II). Products, customer preferences, and query points are
+/// all `Point`s; which role a point plays is decided by the API it is passed
+/// to.
+///
+/// Points are copyable value types. Dimensionality is fixed per instance and
+/// mixing dimensionalities in one operation is a programming error (checked).
+class Point {
+ public:
+  /// Zero-dimensional point; useful only as a placeholder before assignment.
+  Point() = default;
+
+  /// Origin of a d-dimensional space (all coordinates zero).
+  explicit Point(size_t dims) : coords_(dims, 0.0) {}
+
+  /// Point with explicit coordinates, e.g. `Point({8.5, 55.0})`.
+  Point(std::initializer_list<double> coords) : coords_(coords) {}
+
+  /// Adopts an existing coordinate vector.
+  explicit Point(std::vector<double> coords) : coords_(std::move(coords)) {}
+
+  size_t dims() const { return coords_.size(); }
+  bool empty() const { return coords_.empty(); }
+
+  double operator[](size_t i) const { return coords_[i]; }
+  double& operator[](size_t i) { return coords_[i]; }
+
+  const std::vector<double>& coords() const { return coords_; }
+
+  /// Exact coordinate-wise equality.
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.coords_ == b.coords_;
+  }
+
+  /// Lexicographic order, so points can key ordered containers.
+  friend bool operator<(const Point& a, const Point& b) {
+    return a.coords_ < b.coords_;
+  }
+
+  /// True if every coordinate differs from `other` by at most `tolerance`.
+  bool ApproxEquals(const Point& other, double tolerance = 1e-9) const;
+
+  /// Sum of |coords|.
+  double L1Norm() const;
+
+  /// L1 distance to `other`. Precondition: same dims.
+  double L1Distance(const Point& other) const;
+
+  /// Sum over i of weights[i] * |this[i] - other[i]| — the paper's cost
+  /// atom (Eqn. 9). Precondition: weights.size() == dims().
+  double WeightedL1Distance(const Point& other,
+                            const std::vector<double>& weights) const;
+
+  /// Euclidean distance to `other`.
+  double L2Distance(const Point& other) const;
+
+  /// "(x, y, ...)" with shortest round-trip formatting.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> coords_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_POINT_H_

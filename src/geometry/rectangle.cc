@@ -1,0 +1,165 @@
+#include "geometry/rectangle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+Rectangle::Rectangle(Point lo, Point hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  WNRS_CHECK(lo_.dims() == hi_.dims());
+}
+
+Rectangle Rectangle::FromCorners(const Point& a, const Point& b) {
+  WNRS_CHECK(a.dims() == b.dims());
+  Point lo(a.dims());
+  Point hi(a.dims());
+  for (size_t i = 0; i < a.dims(); ++i) {
+    lo[i] = std::min(a[i], b[i]);
+    hi[i] = std::max(a[i], b[i]);
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+bool Rectangle::IsEmpty() const {
+  if (lo_.dims() == 0) return true;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (lo_[i] > hi_[i]) return true;
+  }
+  return false;
+}
+
+bool Rectangle::Contains(const Point& p) const {
+  WNRS_CHECK(p.dims() == dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rectangle::ContainsRect(const Rectangle& other) const {
+  WNRS_CHECK(other.dims() == dims());
+  if (other.IsEmpty()) return true;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool Rectangle::Intersects(const Rectangle& other) const {
+  WNRS_CHECK(other.dims() == dims());
+  if (IsEmpty() || other.IsEmpty()) return false;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+std::optional<Rectangle> Rectangle::Intersection(
+    const Rectangle& other) const {
+  if (!Intersects(other)) return std::nullopt;
+  Point lo(dims());
+  Point hi(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    lo[i] = std::max(lo_[i], other.lo_[i]);
+    hi[i] = std::min(hi_[i], other.hi_[i]);
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+Rectangle Rectangle::BoundingUnion(const Rectangle& other) const {
+  WNRS_CHECK(other.dims() == dims());
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  Point lo(dims());
+  Point hi(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    lo[i] = std::min(lo_[i], other.lo_[i]);
+    hi[i] = std::max(hi_[i], other.hi_[i]);
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+double Rectangle::Volume() const {
+  if (IsEmpty()) return 0.0;
+  double v = 1.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    v *= hi_[i] - lo_[i];
+  }
+  return v;
+}
+
+double Rectangle::Margin() const {
+  if (IsEmpty()) return 0.0;
+  double m = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    m += hi_[i] - lo_[i];
+  }
+  return m;
+}
+
+Point Rectangle::Center() const {
+  Point c(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    c[i] = 0.5 * (lo_[i] + hi_[i]);
+  }
+  return c;
+}
+
+double Rectangle::Extent(size_t i) const {
+  return std::max(0.0, hi_[i] - lo_[i]);
+}
+
+Point Rectangle::NearestPointTo(const Point& p) const {
+  WNRS_CHECK(p.dims() == dims());
+  Point out(dims());
+  for (size_t i = 0; i < dims(); ++i) {
+    out[i] = std::clamp(p[i], lo_[i], hi_[i]);
+  }
+  return out;
+}
+
+double Rectangle::MinL1Distance(const Point& p) const {
+  WNRS_CHECK(p.dims() == dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    if (p[i] < lo_[i]) {
+      sum += lo_[i] - p[i];
+    } else if (p[i] > hi_[i]) {
+      sum += p[i] - hi_[i];
+    }
+  }
+  return sum;
+}
+
+double Rectangle::MinDistSquared(const Point& p) const {
+  WNRS_CHECK(p.dims() == dims());
+  double sum = 0.0;
+  for (size_t i = 0; i < dims(); ++i) {
+    double d = 0.0;
+    if (p[i] < lo_[i]) {
+      d = lo_[i] - p[i];
+    } else if (p[i] > hi_[i]) {
+      d = p[i] - hi_[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
+
+double Rectangle::EnlargementToInclude(const Rectangle& other) const {
+  return BoundingUnion(other).Volume() - Volume();
+}
+
+double Rectangle::OverlapVolume(const Rectangle& other) const {
+  const std::optional<Rectangle> inter = Intersection(other);
+  return inter.has_value() ? inter->Volume() : 0.0;
+}
+
+std::string Rectangle::ToString() const {
+  return "[" + lo_.ToString() + ", " + hi_.ToString() + "]";
+}
+
+}  // namespace wnrs

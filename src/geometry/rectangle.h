@@ -1,0 +1,96 @@
+#ifndef WNRS_GEOMETRY_RECTANGLE_H_
+#define WNRS_GEOMETRY_RECTANGLE_H_
+
+#include <optional>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Axis-aligned hyper-rectangle represented by its lower-left and
+/// upper-right corner points (the paper's rectangle representation for
+/// anti-dominance regions, Fig. 10(b)). Degenerate rectangles (zero extent
+/// in some dimension) are valid; rectangles with lo > hi in any dimension
+/// are "empty".
+class Rectangle {
+ public:
+  Rectangle() = default;
+
+  /// Precondition: lo.dims() == hi.dims(). lo > hi in a dimension is
+  /// allowed and yields an empty rectangle.
+  Rectangle(Point lo, Point hi);
+
+  /// A degenerate rectangle covering exactly one point.
+  static Rectangle FromPoint(const Point& p) { return Rectangle(p, p); }
+
+  /// The smallest rectangle containing both corners regardless of their
+  /// relative order.
+  static Rectangle FromCorners(const Point& a, const Point& b);
+
+  size_t dims() const { return lo_.dims(); }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  /// True if lo > hi in some dimension (contains no point).
+  bool IsEmpty() const;
+
+  /// Closed containment: lo_i <= p_i <= hi_i for all i.
+  bool Contains(const Point& p) const;
+
+  /// True if `other` is fully inside this rectangle (closed semantics).
+  bool ContainsRect(const Rectangle& other) const;
+
+  /// Closed intersection test.
+  bool Intersects(const Rectangle& other) const;
+
+  /// Intersection; nullopt if the rectangles do not meet. A shared face or
+  /// corner yields a degenerate (zero-volume) rectangle.
+  std::optional<Rectangle> Intersection(const Rectangle& other) const;
+
+  /// Smallest rectangle containing both.
+  Rectangle BoundingUnion(const Rectangle& other) const;
+
+  /// Product of extents; 0 for empty or degenerate rectangles.
+  double Volume() const;
+
+  /// Sum of extents (the R*-tree margin heuristic).
+  double Margin() const;
+
+  /// Geometric center.
+  Point Center() const;
+
+  /// Extent in dimension i (0 if empty in that dimension).
+  double Extent(size_t i) const;
+
+  /// The point of this rectangle closest to `p` under any monotone metric
+  /// (clamps each coordinate into [lo_i, hi_i]).
+  Point NearestPointTo(const Point& p) const;
+
+  /// Minimum L1 distance from `p` to the rectangle (0 if contained).
+  double MinL1Distance(const Point& p) const;
+
+  /// Minimum squared Euclidean distance from `p` (the R-tree MINDIST).
+  double MinDistSquared(const Point& p) const;
+
+  /// Volume increase if this rectangle were enlarged to cover `other`.
+  double EnlargementToInclude(const Rectangle& other) const;
+
+  /// Volume of the intersection with `other` (0 if disjoint).
+  double OverlapVolume(const Rectangle& other) const;
+
+  friend bool operator==(const Rectangle& a, const Rectangle& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+  /// "[(lo...), (hi...)]".
+  std::string ToString() const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_RECTANGLE_H_

@@ -1,0 +1,266 @@
+#include "geometry/region.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace wnrs {
+namespace {
+
+/// Volume of the union of `rects` restricted to dimensions [dim, dims).
+/// Slices dimension `dim` at every rectangle boundary; within a slab the
+/// active set is constant, so the remaining dimensions recurse.
+double UnionVolumeFromDim(const std::vector<const Rectangle*>& rects,
+                          size_t dim) {
+  if (rects.empty()) return 0.0;
+  const size_t dims = rects.front()->dims();
+  if (dim + 1 == dims) {
+    // Base case: 1-D interval union.
+    std::vector<std::pair<double, double>> intervals;
+    intervals.reserve(rects.size());
+    for (const Rectangle* r : rects) {
+      intervals.emplace_back(r->lo()[dim], r->hi()[dim]);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    double total = 0.0;
+    double cur_lo = intervals.front().first;
+    double cur_hi = intervals.front().second;
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first > cur_hi) {
+        total += cur_hi - cur_lo;
+        cur_lo = intervals[i].first;
+        cur_hi = intervals[i].second;
+      } else {
+        cur_hi = std::max(cur_hi, intervals[i].second);
+      }
+    }
+    total += cur_hi - cur_lo;
+    return total;
+  }
+
+  std::vector<double> cuts;
+  cuts.reserve(rects.size() * 2);
+  for (const Rectangle* r : rects) {
+    cuts.push_back(r->lo()[dim]);
+    cuts.push_back(r->hi()[dim]);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  double total = 0.0;
+  std::vector<const Rectangle*> active;
+  for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+    const double slab_lo = cuts[s];
+    const double slab_hi = cuts[s + 1];
+    const double width = slab_hi - slab_lo;
+    if (width <= 0.0) continue;
+    active.clear();
+    for (const Rectangle* r : rects) {
+      if (r->lo()[dim] <= slab_lo && r->hi()[dim] >= slab_hi) {
+        active.push_back(r);
+      }
+    }
+    if (!active.empty()) {
+      total += width * UnionVolumeFromDim(active, dim + 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+RectRegion::RectRegion(std::vector<Rectangle> rects) {
+  rects_.reserve(rects.size());
+  for (auto& r : rects) {
+    Add(std::move(r));
+  }
+}
+
+void RectRegion::Add(Rectangle rect) {
+  if (rect.IsEmpty()) return;
+  rects_.push_back(std::move(rect));
+}
+
+bool RectRegion::Contains(const Point& p) const {
+  for (const Rectangle& r : rects_) {
+    if (r.Contains(p)) return true;
+  }
+  return false;
+}
+
+RectRegion RectRegion::Intersect(const RectRegion& other) const {
+  RectRegion out;
+  for (const Rectangle& a : rects_) {
+    for (const Rectangle& b : other.rects_) {
+      std::optional<Rectangle> inter = a.Intersection(b);
+      if (inter.has_value()) {
+        out.Add(*std::move(inter));
+      }
+    }
+  }
+  out.PruneContained();
+  return out;
+}
+
+void RectRegion::PruneContained() {
+  std::vector<Rectangle> kept;
+  kept.reserve(rects_.size());
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    bool covered = false;
+    for (size_t j = 0; j < rects_.size() && !covered; ++j) {
+      if (i == j) continue;
+      if (!rects_[j].ContainsRect(rects_[i])) continue;
+      // Break ties between identical rectangles by index so exactly one
+      // survives.
+      if (rects_[i] == rects_[j]) {
+        covered = j < i;
+      } else {
+        covered = true;
+      }
+    }
+    if (!covered) kept.push_back(rects_[i]);
+  }
+  rects_ = std::move(kept);
+}
+
+void RectRegion::Canonicalize() {
+  if (rects_.size() <= 1) return;
+  if (rects_.front().dims() != 2) {
+    PruneContained();
+    return;
+  }
+  // Separate full-dimensional rectangles from degenerate ones; only the
+  // former drive the slab decomposition.
+  std::vector<Rectangle> full;
+  std::vector<Rectangle> degenerate;
+  for (Rectangle& r : rects_) {
+    if (r.Extent(0) > 0.0 && r.Extent(1) > 0.0) {
+      full.push_back(std::move(r));
+    } else {
+      degenerate.push_back(std::move(r));
+    }
+  }
+  std::vector<Rectangle> out;
+  if (!full.empty()) {
+    std::vector<double> cuts;
+    cuts.reserve(full.size() * 2);
+    for (const Rectangle& r : full) {
+      cuts.push_back(r.lo()[0]);
+      cuts.push_back(r.hi()[0]);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    using Intervals = std::vector<std::pair<double, double>>;
+    double run_x0 = 0.0;
+    double run_x1 = 0.0;
+    Intervals run;  // Current horizontal run of identical slabs.
+    auto flush = [&] {
+      for (const auto& [y0, y1] : run) {
+        out.push_back(Rectangle(Point({run_x0, y0}), Point({run_x1, y1})));
+      }
+      run.clear();
+    };
+    for (size_t s = 0; s + 1 < cuts.size(); ++s) {
+      const double x0 = cuts[s];
+      const double x1 = cuts[s + 1];
+      // Merged y-interval union of rectangles spanning this slab.
+      Intervals intervals;
+      for (const Rectangle& r : full) {
+        if (r.lo()[0] <= x0 && r.hi()[0] >= x1) {
+          intervals.emplace_back(r.lo()[1], r.hi()[1]);
+        }
+      }
+      std::sort(intervals.begin(), intervals.end());
+      Intervals merged;
+      for (const auto& iv : intervals) {
+        if (!merged.empty() && iv.first <= merged.back().second) {
+          merged.back().second = std::max(merged.back().second, iv.second);
+        } else {
+          merged.push_back(iv);
+        }
+      }
+      if (!run.empty() && merged == run) {
+        run_x1 = x1;  // Extend the current run.
+      } else {
+        flush();
+        run = std::move(merged);
+        run_x0 = x0;
+        run_x1 = x1;
+      }
+    }
+    flush();
+  }
+  // Re-attach degenerate rectangles not already covered.
+  for (Rectangle& d : degenerate) {
+    bool covered = false;
+    for (const Rectangle& r : out) {
+      if (r.ContainsRect(d)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) out.push_back(std::move(d));
+  }
+  rects_ = std::move(out);
+  PruneContained();
+}
+
+double RectRegion::UnionVolume() const {
+  std::vector<const Rectangle*> ptrs;
+  ptrs.reserve(rects_.size());
+  for (const Rectangle& r : rects_) {
+    if (!r.IsEmpty()) ptrs.push_back(&r);
+  }
+  if (ptrs.empty()) return 0.0;
+  return UnionVolumeFromDim(ptrs, 0);
+}
+
+Rectangle RectRegion::BoundingBox() const {
+  if (rects_.empty()) return Rectangle();
+  Rectangle box = rects_.front();
+  for (size_t i = 1; i < rects_.size(); ++i) {
+    box = box.BoundingUnion(rects_[i]);
+  }
+  return box;
+}
+
+Point RectRegion::NearestPointTo(const Point& p, double* out_distance) const {
+  WNRS_CHECK(!rects_.empty());
+  double best = std::numeric_limits<double>::infinity();
+  Point best_point;
+  for (const Rectangle& r : rects_) {
+    const double d = r.MinL1Distance(p);
+    if (d < best) {
+      best = d;
+      best_point = r.NearestPointTo(p);
+    }
+  }
+  if (out_distance != nullptr) *out_distance = best;
+  return best_point;
+}
+
+void RectRegion::ClipTo(const Rectangle& bounds) {
+  std::vector<Rectangle> kept;
+  kept.reserve(rects_.size());
+  for (const Rectangle& r : rects_) {
+    std::optional<Rectangle> inter = r.Intersection(bounds);
+    if (inter.has_value() && !inter->IsEmpty()) {
+      kept.push_back(*std::move(inter));
+    }
+  }
+  rects_ = std::move(kept);
+}
+
+std::string RectRegion::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < rects_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rects_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,78 @@
+#ifndef WNRS_GEOMETRY_REGION_H_
+#define WNRS_GEOMETRY_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/rectangle.h"
+
+namespace wnrs {
+
+/// A region represented as a (possibly overlapping) union of axis-aligned
+/// rectangles — the representation the paper uses for dynamic
+/// anti-dominance regions and for the safe region of a query point
+/// (Section V-B: "+ and · represent the union and the intersection
+/// operation"). Constituent rectangles may overlap; this keeps the
+/// rectangle count low (Fig. 10) at the cost of union-aware volume math.
+class RectRegion {
+ public:
+  RectRegion() = default;
+  explicit RectRegion(std::vector<Rectangle> rects);
+
+  /// Appends a rectangle; empty rectangles are dropped.
+  void Add(Rectangle rect);
+
+  bool empty() const { return rects_.empty(); }
+  size_t size() const { return rects_.size(); }
+  const std::vector<Rectangle>& rects() const { return rects_; }
+
+  /// Closed membership: true iff some constituent rectangle contains `p`.
+  bool Contains(const Point& p) const;
+
+  /// Region intersection: pairwise rectangle intersections
+  /// (r_11·r_21 + r_11·r_22 + ... in the paper's notation), with empty
+  /// results dropped and rectangles contained in another result rectangle
+  /// pruned. The pruning keeps iterated intersections (Algorithm 3) from
+  /// blowing up.
+  RectRegion Intersect(const RectRegion& other) const;
+
+  /// Removes constituent rectangles fully covered by a single other
+  /// constituent. (Does not detect coverage by a union of several.)
+  void PruneContained();
+
+  /// Rewrites the region as a compact set of rectangles covering the same
+  /// point set. In 2-D this is an exact slab decomposition (disjoint
+  /// interiors, adjacent slabs with identical interval structure merged),
+  /// which collapses the pairwise-product redundancy that iterated
+  /// Intersect calls accumulate; degenerate (zero-extent) rectangles are
+  /// preserved unless covered. In other dimensionalities it falls back to
+  /// PruneContained().
+  void Canonicalize();
+
+  /// Exact volume of the union (overlaps counted once), via recursive slab
+  /// decomposition along dimension 0. Exponential only in dimensionality,
+  /// polynomial in rectangle count; exact in any dimension.
+  double UnionVolume() const;
+
+  /// Smallest rectangle containing the region; empty rectangle if the
+  /// region is empty.
+  Rectangle BoundingBox() const;
+
+  /// Nearest point of the region to `p` under L1 (any constituent
+  /// rectangle's clamp), together with that distance. Precondition:
+  /// !empty().
+  Point NearestPointTo(const Point& p, double* out_distance = nullptr) const;
+
+  /// Intersects every constituent with `bounds`, dropping what falls
+  /// outside.
+  void ClipTo(const Rectangle& bounds);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Rectangle> rects_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_REGION_H_

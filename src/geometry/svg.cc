@@ -1,0 +1,105 @@
+#include "geometry/svg.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace wnrs {
+
+SvgCanvas::SvgCanvas(const Rectangle& viewport, double width_px,
+                     double height_px)
+    : viewport_(viewport), width_px_(width_px) {
+  WNRS_CHECK(viewport.dims() == 2);
+  WNRS_CHECK(!viewport.IsEmpty());
+  WNRS_CHECK(width_px > 0.0);
+  if (height_px > 0.0) {
+    height_px_ = height_px;
+  } else {
+    const double aspect =
+        viewport.Extent(0) > 0.0 ? viewport.Extent(1) / viewport.Extent(0)
+                                 : 1.0;
+    height_px_ = width_px_ * (aspect > 0.0 ? aspect : 1.0);
+  }
+}
+
+double SvgCanvas::PxX(double x) const {
+  return (x - viewport_.lo()[0]) / viewport_.Extent(0) * width_px_;
+}
+
+double SvgCanvas::PxY(double y) const {
+  // SVG y grows downward; data y grows upward.
+  return height_px_ -
+         (y - viewport_.lo()[1]) / viewport_.Extent(1) * height_px_;
+}
+
+void SvgCanvas::AddRect(const Rectangle& rect, const std::string& fill,
+                        const std::string& stroke, double opacity) {
+  WNRS_CHECK(rect.dims() == 2);
+  if (rect.IsEmpty()) return;
+  const double x = PxX(rect.lo()[0]);
+  const double y = PxY(rect.hi()[1]);
+  const double w = PxX(rect.hi()[0]) - x;
+  const double h = PxY(rect.lo()[1]) - y;
+  elements_.push_back(StrFormat(
+      "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" "
+      "fill=\"%s\" stroke=\"%s\" fill-opacity=\"%.3f\"/>",
+      x, y, w, h, fill.c_str(), stroke.c_str(), opacity));
+}
+
+void SvgCanvas::AddRegion(const RectRegion& region, const std::string& fill,
+                          const std::string& stroke, double opacity) {
+  for (const Rectangle& rect : region.rects()) {
+    AddRect(rect, fill, stroke, opacity);
+  }
+}
+
+void SvgCanvas::AddPoint(const Point& p, const std::string& fill,
+                         double radius_px, const std::string& label) {
+  WNRS_CHECK(p.dims() == 2);
+  elements_.push_back(
+      StrFormat("<circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.2f\" fill=\"%s\"/>",
+                PxX(p[0]), PxY(p[1]), radius_px, fill.c_str()));
+  if (!label.empty()) {
+    AddText(p, label);
+  }
+}
+
+void SvgCanvas::AddText(const Point& at, const std::string& text,
+                        double font_px) {
+  WNRS_CHECK(at.dims() == 2);
+  elements_.push_back(StrFormat(
+      "<text x=\"%.2f\" y=\"%.2f\" font-size=\"%.1f\" "
+      "font-family=\"sans-serif\">%s</text>",
+      PxX(at[0]) + 6.0, PxY(at[1]) - 6.0, font_px, text.c_str()));
+}
+
+std::string SvgCanvas::ToString() const {
+  std::string out = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n",
+      width_px_, height_px_, width_px_, height_px_);
+  out += StrFormat(
+      "<rect x=\"0\" y=\"0\" width=\"%.0f\" height=\"%.0f\" "
+      "fill=\"white\"/>\n",
+      width_px_, height_px_);
+  for (const std::string& el : elements_) {
+    out += el;
+    out += '\n';
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+Status SvgCanvas::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << ToString();
+  out.flush();
+  if (!out.good()) return Status::IoError("write failure: " + path);
+  return Status::Ok();
+}
+
+}  // namespace wnrs

@@ -1,0 +1,64 @@
+#ifndef WNRS_GEOMETRY_SVG_H_
+#define WNRS_GEOMETRY_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+#include "geometry/region.h"
+
+namespace wnrs {
+
+/// Minimal SVG writer for 2-D geometry: renders points, rectangles and
+/// rectangle regions into a viewport mapped from a data-space bounding
+/// box (y axis flipped so larger data values draw upward). Used by the
+/// documentation examples to visualize safe regions, anti-dominance
+/// regions, and staircases. Only 2-D geometry is accepted.
+class SvgCanvas {
+ public:
+  /// `viewport` is the data-space rectangle mapped onto a width_px-wide
+  /// image. Height follows the data aspect ratio unless `height_px` is
+  /// given (> 0), which stretches the axes independently — usually what a
+  /// figure with incommensurable units (price vs mileage) wants.
+  SvgCanvas(const Rectangle& viewport, double width_px = 800.0,
+            double height_px = 0.0);
+
+  /// Adds a filled rectangle. Colors are any SVG color string
+  /// ("#88c0d0", "none", "rgba(...)").
+  void AddRect(const Rectangle& rect, const std::string& fill,
+               const std::string& stroke = "none", double opacity = 1.0);
+
+  /// Adds every constituent rectangle of a region with shared styling.
+  void AddRegion(const RectRegion& region, const std::string& fill,
+                 const std::string& stroke = "none", double opacity = 0.5);
+
+  /// Adds a circle marker with an optional text label.
+  void AddPoint(const Point& p, const std::string& fill, double radius_px = 4.0,
+                const std::string& label = "");
+
+  /// Adds free text at a data-space position.
+  void AddText(const Point& at, const std::string& text,
+               double font_px = 12.0);
+
+  /// Serializes the accumulated scene.
+  std::string ToString() const;
+
+  /// Writes the scene to a file.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  /// Maps a data-space coordinate to pixel space.
+  double PxX(double x) const;
+  double PxY(double y) const;
+
+  Rectangle viewport_;
+  double width_px_;
+  double height_px_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_SVG_H_

@@ -1,0 +1,55 @@
+#include "geometry/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "geometry/dominance.h"
+
+namespace wnrs {
+
+Point ToDistanceSpace(const Point& p, const Point& origin) {
+  WNRS_CHECK(p.dims() == origin.dims());
+  Point out(p.dims());
+  for (size_t i = 0; i < p.dims(); ++i) {
+    out[i] = std::fabs(origin[i] - p[i]);
+  }
+  return out;
+}
+
+Rectangle RectToDistanceSpace(const Rectangle& r, const Point& origin) {
+  WNRS_CHECK(r.dims() == origin.dims());
+  Point lo(r.dims());
+  Point hi(r.dims());
+  for (size_t i = 0; i < r.dims(); ++i) {
+    const double dlo = origin[i] - r.lo()[i];
+    const double dhi = origin[i] - r.hi()[i];
+    if (dlo >= 0.0 && dhi <= 0.0) {
+      // Origin coordinate inside the interval.
+      lo[i] = 0.0;
+      hi[i] = std::max(std::fabs(dlo), std::fabs(dhi));
+    } else {
+      lo[i] = std::min(std::fabs(dlo), std::fabs(dhi));
+      hi[i] = std::max(std::fabs(dlo), std::fabs(dhi));
+    }
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+Rectangle SymmetricRectAround(const Point& center, const Point& u) {
+  WNRS_CHECK(center.dims() == u.dims());
+  Point lo(center.dims());
+  Point hi(center.dims());
+  for (size_t i = 0; i < center.dims(); ++i) {
+    const double ext = std::fabs(center[i] - u[i]);
+    lo[i] = center[i] - ext;
+    hi[i] = center[i] + ext;
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+bool InWindow(const Point& p, const Point& c, const Point& q) {
+  return DynamicallyDominates(p, q, c);
+}
+
+}  // namespace wnrs

@@ -1,0 +1,35 @@
+#ifndef WNRS_GEOMETRY_TRANSFORM_H_
+#define WNRS_GEOMETRY_TRANSFORM_H_
+
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+
+namespace wnrs {
+
+/// Maps `p` into the distance space of `origin`: each coordinate becomes
+/// f_i(p_i) = |origin_i - p_i| (paper, Section II). Dynamic skylines are
+/// ordinary skylines after this mapping.
+Point ToDistanceSpace(const Point& p, const Point& origin);
+
+/// Maps a rectangle into the distance space of `origin`: the image of each
+/// coordinate interval [lo_i, hi_i] under x -> |origin_i - x| is
+/// [minDist_i, maxDist_i], where minDist is 0 when origin_i lies inside the
+/// interval. The result tightly bounds the images of all contained points
+/// (used by BBS/BBRS pruning over R-tree entries).
+Rectangle RectToDistanceSpace(const Rectangle& r, const Point& origin);
+
+/// Symmetric rectangle around `center` with half-extent |center_i - u_i| in
+/// each dimension: the original-space preimage of the transformed-space
+/// rectangle [0, |center - u|]. This is the rectangle primitive of the
+/// paper's anti-dominance-region representation (Fig. 10).
+Rectangle SymmetricRectAround(const Point& center, const Point& u);
+
+/// True iff `q` lies in the open "window" of `c` spanned by `p`:
+/// |c_i - p_i| <= |c_i - q_i| in every dimension with strict inequality in
+/// at least one, i.e. p dynamically dominates q w.r.t. c. Convenience alias
+/// of DynamicallyDominates with window-query naming.
+bool InWindow(const Point& p, const Point& c, const Point& q);
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_TRANSFORM_H_

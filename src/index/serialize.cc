@@ -1,0 +1,137 @@
+#include "index/serialize.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace wnrs {
+
+/// Friend of RStarTree; owns the node wiring of load.
+class RTreeSerializer {
+ public:
+  static Status Save(const RStarTree& tree, const std::string& path) {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot open for writing: " + path);
+    }
+    out << "wnrs-rtree 1\n";
+    out << tree.dims_ << ' ' << tree.options_.page_size_bytes << ' '
+        << StrFormat("%.17g", tree.options_.min_fill_ratio) << ' '
+        << StrFormat("%.17g", tree.options_.reinsert_fraction) << ' '
+        << tree.size_ << ' ' << tree.height_ << '\n';
+    WriteNode(out, *tree.root_, tree.dims_);
+    out.flush();
+    if (!out.good()) return Status::IoError("write failure: " + path);
+    return Status::Ok();
+  }
+
+  static Result<RStarTree> Load(const std::string& path) {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      return Status::IoError("cannot open for reading: " + path);
+    }
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    if (!in.good() || magic != "wnrs-rtree" || version != 1) {
+      return Status::InvalidArgument("not a wnrs rtree file: " + path);
+    }
+    size_t dims = 0;
+    RTreeOptions options;
+    size_t size = 0;
+    size_t height = 0;
+    in >> dims >> options.page_size_bytes >> options.min_fill_ratio >>
+        options.reinsert_fraction >> size >> height;
+    if (!in.good() || dims == 0) {
+      return Status::InvalidArgument("bad rtree header: " + path);
+    }
+    RStarTree tree(dims, options);
+    RStarTree::Node* root = ReadNode(in, dims);
+    if (root == nullptr) {
+      return Status::InvalidArgument("truncated rtree file: " + path);
+    }
+    delete tree.root_;
+    tree.root_ = root;
+    tree.root_->parent = nullptr;
+    tree.size_ = size;
+    tree.height_ = height;
+    const Status check = tree.CheckInvariants();
+    if (!check.ok()) {
+      return Status::InvalidArgument("corrupt rtree file (" +
+                                     check.message() + "): " + path);
+    }
+    return tree;
+  }
+
+ private:
+  static void WriteNode(std::ofstream& out, const RStarTree::Node& node,
+                        size_t dims) {
+    out << (node.is_leaf ? 'L' : 'I') << ' ' << node.entries.size() << '\n';
+    for (const RStarTree::Entry& e : node.entries) {
+      for (size_t i = 0; i < dims; ++i) {
+        out << StrFormat("%.17g ", e.mbr.lo()[i]);
+      }
+      for (size_t i = 0; i < dims; ++i) {
+        out << StrFormat("%.17g ", e.mbr.hi()[i]);
+      }
+      if (node.is_leaf) {
+        out << e.id << '\n';
+      } else {
+        out << '\n';
+        WriteNode(out, *e.child, dims);
+      }
+    }
+  }
+
+  static RStarTree::Node* ReadNode(std::ifstream& in, size_t dims) {
+    char kind = 0;
+    size_t count = 0;
+    in >> kind >> count;
+    if (!in.good() || (kind != 'L' && kind != 'I')) return nullptr;
+    auto* node = new RStarTree::Node();
+    node->is_leaf = kind == 'L';
+    node->entries.reserve(count);
+    for (size_t k = 0; k < count; ++k) {
+      Point lo(dims);
+      Point hi(dims);
+      for (size_t i = 0; i < dims; ++i) in >> lo[i];
+      for (size_t i = 0; i < dims; ++i) in >> hi[i];
+      RStarTree::Entry e;
+      e.mbr = Rectangle(std::move(lo), std::move(hi));
+      if (node->is_leaf) {
+        in >> e.id;
+        if (!in.good()) {
+          DeleteNode(node);
+          return nullptr;
+        }
+      } else {
+        e.child = ReadNode(in, dims);
+        if (e.child == nullptr) {
+          DeleteNode(node);
+          return nullptr;
+        }
+        e.child->parent = node;
+      }
+      node->entries.push_back(std::move(e));
+    }
+    return node;
+  }
+
+  static void DeleteNode(RStarTree::Node* node) {
+    if (node == nullptr) return;
+    if (!node->is_leaf) {
+      for (RStarTree::Entry& e : node->entries) DeleteNode(e.child);
+    }
+    delete node;
+  }
+};
+
+Status SaveTree(const RStarTree& tree, const std::string& path) {
+  return RTreeSerializer::Save(tree, path);
+}
+
+Result<RStarTree> LoadTree(const std::string& path) {
+  return RTreeSerializer::Load(path);
+}
+
+}  // namespace wnrs

@@ -1,0 +1,244 @@
+#include "reverse_skyline/bbrs.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+#include "geometry/transform.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+int SignOf(double v) { return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0); }
+
+/// A confirmed global-skyline point: its transformed coordinates and its
+/// quadrant signature relative to q.
+struct GlobalPoint {
+  Point original;
+  Point transformed;
+  std::vector<int> signs;
+  RStarTree::Id id;
+};
+
+/// True iff `g` globally dominates the data point with transformed
+/// coordinates `t` and quadrant signature `signs`: g then lies inside the
+/// point's window and disqualifies it from the reverse skyline. The
+/// strictness requirement is that g differs from q in some dimension
+/// (g.t_j > 0): only then is |x - g|_j < |x - q|_j, i.e. g is a strict
+/// window witness. A product exactly at q ties everywhere and never
+/// disqualifies anyone.
+bool GloballyDominatesPoint(const GlobalPoint& g, const Point& t,
+                            const std::vector<int>& signs) {
+  bool strict = false;
+  for (size_t i = 0; i < t.dims(); ++i) {
+    // Quadrant compatibility: g_i must lie between q_i and the candidate
+    // in dimension i; a g coordinate equal to q_i is on every path.
+    if (g.signs[i] != 0 && g.signs[i] != signs[i]) return false;
+    if (g.transformed[i] > t[i]) return false;
+    if (g.transformed[i] > 0.0) strict = true;
+  }
+  return strict;
+}
+
+/// True iff `g` globally dominates every possible point inside the node
+/// rectangle `r` (original space): the rectangle must sit entirely within
+/// g's quadrant side and g's transformed coordinates must dominate the
+/// rectangle's minimum transformed coordinates.
+bool GloballyDominatesRect(const GlobalPoint& g, const Rectangle& r,
+                           const Point& q) {
+  bool strict = false;
+  for (size_t i = 0; i < q.dims(); ++i) {
+    const int gs = g.signs[i];
+    if (gs > 0) {
+      if (r.lo()[i] < q[i]) return false;  // Node spans below q.
+    } else if (gs < 0) {
+      if (r.hi()[i] > q[i]) return false;  // Node spans above q.
+    }
+    // Minimum transformed coordinate of the rectangle in dimension i.
+    double min_t = 0.0;
+    if (q[i] < r.lo()[i]) {
+      min_t = r.lo()[i] - q[i];
+    } else if (q[i] > r.hi()[i]) {
+      min_t = q[i] - r.hi()[i];
+    }
+    if (g.transformed[i] > min_t) return false;
+    if (g.transformed[i] > 0.0) strict = true;
+  }
+  return strict;
+}
+
+std::vector<GlobalPoint> ComputeGlobalSkyline(
+    const RStarTree& tree, const Point& q,
+    std::optional<RStarTree::Id> exclude_id) {
+  struct Item {
+    double mindist;
+    const RStarTree::Node* node;  // nullptr => data entry
+    Point point;                  // original-space point (data entries)
+    RStarTree::Id id;
+    bool operator>(const Item& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<GlobalPoint> skyline;
+  if (tree.size() == 0) return skyline;
+
+  auto signs_of = [&q](const Point& p) {
+    std::vector<int> signs(q.dims());
+    for (size_t i = 0; i < q.dims(); ++i) signs[i] = SignOf(p[i] - q[i]);
+    return signs;
+  };
+
+  heap.push({0.0, tree.root(), Point(), -1});
+  while (!heap.empty()) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.node == nullptr) {
+      const Point t = ToDistanceSpace(item.point, q);
+      const std::vector<int> sg = signs_of(item.point);
+      bool dominated = false;
+      for (const GlobalPoint& g : skyline) {
+        if (GloballyDominatesPoint(g, t, sg)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        skyline.push_back({item.point, t, sg, item.id});
+      }
+      continue;
+    }
+    tree.CountNodeRead();
+    for (const RStarTree::Entry& e : item.node->entries) {
+      if (item.node->is_leaf) {
+        if (exclude_id.has_value() && e.id == *exclude_id) continue;
+        const Point& p = e.mbr.lo();
+        const Point t = ToDistanceSpace(p, q);
+        const std::vector<int> sg = signs_of(p);
+        bool dominated = false;
+        for (const GlobalPoint& g : skyline) {
+          if (GloballyDominatesPoint(g, t, sg)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          heap.push({t.L1Norm(), nullptr, p, e.id});
+        }
+      } else {
+        bool dominated = false;
+        for (const GlobalPoint& g : skyline) {
+          if (GloballyDominatesRect(g, e.mbr, q)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          const Rectangle t = RectToDistanceSpace(e.mbr, q);
+          heap.push({t.lo().L1Norm(), e.child, Point(), -1});
+        }
+      }
+    }
+  }
+  return skyline;
+}
+
+}  // namespace
+
+std::vector<RStarTree::Id> GlobalSkylineCandidates(
+    const RStarTree& tree, const Point& q,
+    std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(q.dims() == tree.dims());
+  std::vector<RStarTree::Id> ids;
+  for (const GlobalPoint& g : ComputeGlobalSkyline(tree, q, exclude_id)) {
+    ids.push_back(g.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
+                                              const Point& q) {
+  WNRS_CHECK(q.dims() == tree.dims());
+  std::vector<RStarTree::Id> out;
+  const std::vector<GlobalPoint> candidates =
+      ComputeGlobalSkyline(tree, q, std::nullopt);
+  for (const GlobalPoint& g : candidates) {
+    if (WindowEmpty(tree, g.original, q, g.id)) {
+      out.push_back(g.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
+    const RStarTree& customers, const RStarTree& products, const Point& q,
+    bool shared_relation) {
+  WNRS_CHECK(q.dims() == customers.dims());
+  WNRS_CHECK(q.dims() == products.dims());
+  const std::vector<GlobalPoint> pruners =
+      ComputeGlobalSkyline(products, q, std::nullopt);
+
+  std::vector<RStarTree::Id> out;
+  std::vector<const RStarTree::Node*> stack = {customers.root()};
+  while (!stack.empty()) {
+    const RStarTree::Node* node = stack.back();
+    stack.pop_back();
+    customers.CountNodeRead();
+    for (const RStarTree::Entry& e : node->entries) {
+      if (node->is_leaf) {
+        const Point& c = e.mbr.lo();
+        std::optional<RStarTree::Id> exclude;
+        if (shared_relation) exclude = e.id;
+        if (WindowEmpty(products, c, q, exclude)) {
+          out.push_back(e.id);
+        }
+      } else {
+        // Midpoint rule: skip the subtree when some pruner dynamically
+        // dominates q w.r.t. every customer the MBR can contain. (With a
+        // shared relation the pruner might be the customer itself, so the
+        // rule only applies to pruners strictly dominating; a tuple never
+        // strictly self-dominates, keeping the exclusion sound.)
+        bool pruned = false;
+        for (const GlobalPoint& g : pruners) {
+          bool weak_all = true;
+          bool strict_any = false;
+          for (size_t i = 0; i < q.dims() && weak_all; ++i) {
+            const double gi = g.original[i];
+            if (gi < q[i]) {
+              const double mid = 0.5 * (gi + q[i]);
+              if (e.mbr.hi()[i] > mid) weak_all = false;
+              if (e.mbr.hi()[i] < mid) strict_any = true;
+            } else if (gi > q[i]) {
+              const double mid = 0.5 * (gi + q[i]);
+              if (e.mbr.lo()[i] < mid) weak_all = false;
+              if (e.mbr.lo()[i] > mid) strict_any = true;
+            }
+            // gi == q[i]: tie in this dimension for every customer.
+          }
+          if (weak_all && strict_any && !shared_relation) {
+            pruned = true;
+            break;
+          }
+          if (weak_all && strict_any && shared_relation) {
+            // With a shared relation the pruning product may be one of
+            // the customers inside this subtree, and a customer's own
+            // tuple is excluded from its window query — so only prune
+            // when the pruner lies outside the MBR.
+            if (!e.mbr.Contains(g.original)) {
+              pruned = true;
+              break;
+            }
+          }
+        }
+        if (!pruned) stack.push_back(e.child);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,41 @@
+#ifndef WNRS_REVERSE_SKYLINE_BBRS_H_
+#define WNRS_REVERSE_SKYLINE_BBRS_H_
+
+#include <optional>
+#include <vector>
+
+#include "index/rtree.h"
+
+namespace wnrs {
+
+/// Global skyline of `tree` w.r.t. `q` (Dellis & Seeger [9]): points not
+/// globally dominated, where p globally dominates p' iff p lies in the
+/// same q-quadrant as p' and dominates it in q's distance space. Every
+/// reverse-skyline point of q is a global skyline point, so this is the
+/// BBRS candidate set. Computed with a quadrant-aware branch-and-bound
+/// traversal (best-first by transformed L1 MINDIST).
+std::vector<RStarTree::Id> GlobalSkylineCandidates(
+    const RStarTree& tree, const Point& q,
+    std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+/// BBRS for the monochromatic case (one relation is both P and C, as in
+/// the paper's experiments): global-skyline candidate generation followed
+/// by a window-query verification per candidate, excluding the candidate's
+/// own tuple. Returns RSL(q) as ids, ascending.
+std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
+                                              const Point& q);
+
+/// Bichromatic BBRS: customers and products live in separate trees. The
+/// product global skyline serves as a pruning set — a customer subtree is
+/// skipped when some global-skyline product dynamically dominates q w.r.t.
+/// every customer in the subtree's MBR (midpoint rule) — and surviving
+/// customers are verified with window queries. `shared_relation` excludes
+/// the same-id product from each customer's window (use when both trees
+/// index the same tuples). Returns customer ids, ascending.
+std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
+    const RStarTree& customers, const RStarTree& products, const Point& q,
+    bool shared_relation = false);
+
+}  // namespace wnrs
+
+#endif  // WNRS_REVERSE_SKYLINE_BBRS_H_

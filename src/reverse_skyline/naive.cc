@@ -1,0 +1,22 @@
+#include "reverse_skyline/naive.h"
+
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+
+std::vector<size_t> ReverseSkylineNaive(const RStarTree& products,
+                                        const std::vector<Point>& customers,
+                                        const Point& q,
+                                        bool shared_relation) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < customers.size(); ++i) {
+    std::optional<RStarTree::Id> exclude;
+    if (shared_relation) exclude = static_cast<RStarTree::Id>(i);
+    if (WindowEmpty(products, customers[i], q, exclude)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,25 @@
+#ifndef WNRS_REVERSE_SKYLINE_NAIVE_H_
+#define WNRS_REVERSE_SKYLINE_NAIVE_H_
+
+#include <vector>
+
+#include "index/rtree.h"
+
+namespace wnrs {
+
+/// Naive bichromatic reverse skyline: probes window_query(c, q) for every
+/// customer (paper, Section II). With the early-exit emptiness probe this
+/// is O(|C| * probe); it is the correctness oracle for BBRS.
+///
+/// `shared_relation` means `customers` are the same tuples as the product
+/// tree (customer index == product id), so each customer's own tuple is
+/// excluded from its window query, as in the paper's worked example.
+/// Returns indices into `customers` in ascending order.
+std::vector<size_t> ReverseSkylineNaive(const RStarTree& products,
+                                        const std::vector<Point>& customers,
+                                        const Point& q,
+                                        bool shared_relation = false);
+
+}  // namespace wnrs
+
+#endif  // WNRS_REVERSE_SKYLINE_NAIVE_H_

@@ -1,0 +1,124 @@
+#include "reverse_skyline/window_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+#include "geometry/dominance.h"
+#include "geometry/transform.h"
+
+namespace wnrs {
+
+Rectangle WindowRect(const Point& c, const Point& q) {
+  WNRS_CHECK(c.dims() == q.dims());
+  Point lo(c.dims());
+  Point hi(c.dims());
+  for (size_t i = 0; i < c.dims(); ++i) {
+    const double ext = std::fabs(c[i] - q[i]);
+    lo[i] = c[i] - ext;
+    hi[i] = c[i] + ext;
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+std::vector<RStarTree::Id> WindowQuery(
+    const RStarTree& products, const Point& c, const Point& q,
+    std::optional<RStarTree::Id> exclude_id) {
+  std::vector<RStarTree::Id> out;
+  products.RangeQuery(WindowRect(c, q),
+                      [&](const Rectangle& mbr, RStarTree::Id id) {
+                        if (exclude_id.has_value() && id == *exclude_id) {
+                          return true;
+                        }
+                        // The MBR intersecting the closed window is
+                        // necessary but not sufficient: dynamic dominance
+                        // needs strictness in some dimension.
+                        if (InWindow(mbr.lo(), c, q)) out.push_back(id);
+                        return true;
+                      });
+  return out;
+}
+
+bool WindowEmpty(const RStarTree& products, const Point& c, const Point& q,
+                 std::optional<RStarTree::Id> exclude_id) {
+  return !products.AnyInRange(
+      WindowRect(c, q), [&](const Rectangle& mbr, RStarTree::Id id) {
+        if (exclude_id.has_value() && id == *exclude_id) return false;
+        return InWindow(mbr.lo(), c, q);
+      });
+}
+
+std::vector<RStarTree::Id> WindowSkyline(
+    const RStarTree& products, const Point& c, const Point& q,
+    const Point& origin, std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(c.dims() == q.dims());
+  WNRS_CHECK(origin.dims() == q.dims());
+  const Rectangle window = WindowRect(c, q);
+
+  struct Item {
+    double mindist;
+    const RStarTree::Node* node;  // nullptr => data entry
+    Point transformed;
+    RStarTree::Id id;
+    bool operator>(const Item& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<Point> skyline_points;
+  std::vector<RStarTree::Id> skyline_ids;
+  auto dominated = [&skyline_points](const Point& t) {
+    for (const Point& s : skyline_points) {
+      if (Dominates(s, t)) return true;
+    }
+    return false;
+  };
+
+  if (products.size() == 0) return skyline_ids;
+  heap.push({0.0, products.root(), Point(), -1});
+  while (!heap.empty()) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.node == nullptr) {
+      if (!dominated(item.transformed)) {
+        skyline_points.push_back(std::move(item.transformed));
+        skyline_ids.push_back(item.id);
+      }
+      continue;
+    }
+    products.CountNodeRead();
+    for (const RStarTree::Entry& e : item.node->entries) {
+      if (!e.mbr.Intersects(window)) continue;
+      if (item.node->is_leaf) {
+        if (exclude_id.has_value() && e.id == *exclude_id) continue;
+        // MBR intersection is necessary but not sufficient for window
+        // membership (dynamic dominance needs strictness).
+        if (!InWindow(e.mbr.lo(), c, q)) continue;
+        Point t = ToDistanceSpace(e.mbr.lo(), origin);
+        if (dominated(t)) continue;
+        const double dist = t.L1Norm();
+        heap.push({dist, nullptr, std::move(t), e.id});
+      } else {
+        const Rectangle t = RectToDistanceSpace(e.mbr, origin);
+        if (dominated(t.lo())) continue;
+        heap.push({t.lo().L1Norm(), e.child, t.lo(), -1});
+      }
+    }
+  }
+  std::sort(skyline_ids.begin(), skyline_ids.end());
+  return skyline_ids;
+}
+
+std::vector<size_t> WindowQueryBrute(const std::vector<Point>& products,
+                                     const Point& c, const Point& q,
+                                     std::optional<size_t> exclude_index) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < products.size(); ++i) {
+    if (exclude_index.has_value() && i == *exclude_index) continue;
+    if (InWindow(products[i], c, q)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,48 @@
+#ifndef WNRS_REVERSE_SKYLINE_WINDOW_QUERY_H_
+#define WNRS_REVERSE_SKYLINE_WINDOW_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "index/rtree.h"
+
+namespace wnrs {
+
+/// The window rectangle of customer `c` for query product `q`: centered at
+/// c with per-dimension half-extent |c_i - q_i| (paper, Fig. 4).
+Rectangle WindowRect(const Point& c, const Point& q);
+
+/// window_query(c, q) over an R-tree of product points: ids of every
+/// product that dynamically dominates q w.r.t. c, i.e. the culprit set
+/// Λ whose deletion would put c into RSL(q) (Lemma 1). `exclude_id` skips
+/// the customer's own tuple when one relation serves as both P and C.
+std::vector<RStarTree::Id> WindowQuery(
+    const RStarTree& products, const Point& c, const Point& q,
+    std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+/// True iff window_query(c, q) is empty — the reverse-skyline membership
+/// test (c in RSL(q) iff true). Stops at the first witness, which is what
+/// makes naive reverse skylines tolerable.
+bool WindowEmpty(const RStarTree& products, const Point& c, const Point& q,
+                 std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+/// Brute-force window query over a point vector (test oracle).
+std::vector<size_t> WindowQueryBrute(
+    const std::vector<Point>& products, const Point& c, const Point& q,
+    std::optional<size_t> exclude_index = std::nullopt);
+
+/// Skyline of the window contents in `origin`'s distance space, computed
+/// by a branch-and-bound traversal that never materializes Λ: nodes not
+/// intersecting the window are skipped and nodes whose transformed lower
+/// corner is dominated by a confirmed result are pruned. With origin = q
+/// this is Algorithm 1's frontier F; with origin = c this is Algorithm
+/// 2's F = Λ ∩ DSL(c). Runtime scales with |F| rather than |Λ|, which is
+/// what keeps MWP/MQP orders of magnitude below MWQ on large windows.
+std::vector<RStarTree::Id> WindowSkyline(
+    const RStarTree& products, const Point& c, const Point& q,
+    const Point& origin,
+    std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+}  // namespace wnrs
+
+#endif  // WNRS_REVERSE_SKYLINE_WINDOW_QUERY_H_

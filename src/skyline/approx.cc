@@ -1,0 +1,34 @@
+#include "skyline/approx.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+std::vector<Point> ApproximateSkyline(std::vector<Point> skyline, size_t k,
+                                      size_t sort_dim) {
+  WNRS_CHECK(k >= 2);
+  if (skyline.size() <= k) return skyline;
+  std::sort(skyline.begin(), skyline.end(),
+            [sort_dim](const Point& a, const Point& b) {
+              if (a[sort_dim] != b[sort_dim]) {
+                return a[sort_dim] < b[sort_dim];
+              }
+              return a < b;
+            });
+  const size_t n = skyline.size();
+  const size_t stride = std::max<size_t>(1, n / k);
+  std::vector<Point> out;
+  out.reserve(k + 2);
+  for (size_t i = 0; i < n; i += stride) {
+    out.push_back(skyline[i]);
+  }
+  // Always keep the last point of the sorted sequence (Section VI-B.1).
+  if (!(out.back() == skyline.back())) {
+    out.push_back(skyline.back());
+  }
+  return out;
+}
+
+}  // namespace wnrs

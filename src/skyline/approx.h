@@ -1,0 +1,25 @@
+#ifndef WNRS_SKYLINE_APPROX_H_
+#define WNRS_SKYLINE_APPROX_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Approximates a dynamic skyline for the precomputed safe-region store
+/// (paper, Section VI-B.1): the transformed skyline points are sorted on
+/// `sort_dim` and every (|DSL|/k)-th point is kept — always including the
+/// first and the last of the sorted sequence, which maximizes the chance
+/// that the approximated anti-dominance region still overlaps the safe
+/// region. k >= 2; if |DSL| <= k the skyline is returned unchanged.
+///
+/// The input points must be mutually non-dominated (a skyline); they may
+/// be in any space (typically the transformed distance space of the
+/// customer the DSL belongs to).
+std::vector<Point> ApproximateSkyline(std::vector<Point> skyline, size_t k,
+                                      size_t sort_dim = 0);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_APPROX_H_

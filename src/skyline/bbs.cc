@@ -1,0 +1,89 @@
+#include "skyline/bbs.h"
+
+#include <queue>
+
+#include "common/logging.h"
+#include "geometry/dominance.h"
+#include "geometry/transform.h"
+
+namespace wnrs {
+namespace {
+
+/// Shared BBS core: operates on entries already mapped into the target
+/// space by `map_rect` / `map_point`.
+template <typename MapRect, typename MapPoint>
+std::vector<RStarTree::Id> BbsCore(
+    const RStarTree& tree, const MapRect& map_rect, const MapPoint& map_point,
+    std::optional<RStarTree::Id> exclude_id) {
+  struct Item {
+    double mindist;
+    const RStarTree::Node* node;  // nullptr => data entry
+    Point lower;                  // mapped lower corner (or mapped point)
+    RStarTree::Id id;
+    bool operator>(const Item& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<Point> skyline_points;
+  std::vector<RStarTree::Id> skyline_ids;
+
+  auto dominated_by_skyline = [&](const Point& p) {
+    for (const Point& s : skyline_points) {
+      if (Dominates(s, p)) return true;
+    }
+    return false;
+  };
+
+  if (tree.size() == 0) return skyline_ids;
+  heap.push({0.0, tree.root(), Point(), -1});
+  while (!heap.empty()) {
+    Item item = heap.top();
+    heap.pop();
+    if (item.node == nullptr) {
+      // Data entry: re-check dominance (skyline may have grown since it
+      // was enqueued).
+      if (!dominated_by_skyline(item.lower)) {
+        skyline_points.push_back(std::move(item.lower));
+        skyline_ids.push_back(item.id);
+      }
+      continue;
+    }
+    tree.CountNodeRead();
+    for (const RStarTree::Entry& e : item.node->entries) {
+      if (item.node->is_leaf) {
+        if (exclude_id.has_value() && e.id == *exclude_id) continue;
+        Point mapped = map_point(e.mbr.lo());
+        if (dominated_by_skyline(mapped)) continue;
+        const double dist = mapped.L1Norm();
+        heap.push({dist, nullptr, std::move(mapped), e.id});
+      } else {
+        const Rectangle mapped = map_rect(e.mbr);
+        if (dominated_by_skyline(mapped.lo())) continue;
+        heap.push({mapped.lo().L1Norm(), e.child, mapped.lo(), -1});
+      }
+    }
+  }
+  return skyline_ids;
+}
+
+}  // namespace
+
+std::vector<RStarTree::Id> BbsSkyline(const RStarTree& tree) {
+  return BbsCore(
+      tree, [](const Rectangle& r) { return r; },
+      [](const Point& p) { return p; }, std::nullopt);
+}
+
+std::vector<RStarTree::Id> BbsDynamicSkyline(
+    const RStarTree& tree, const Point& origin,
+    std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(origin.dims() == tree.dims());
+  return BbsCore(
+      tree,
+      [&origin](const Rectangle& r) { return RectToDistanceSpace(r, origin); },
+      [&origin](const Point& p) { return ToDistanceSpace(p, origin); },
+      exclude_id);
+}
+
+}  // namespace wnrs

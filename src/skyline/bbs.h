@@ -1,0 +1,29 @@
+#ifndef WNRS_SKYLINE_BBS_H_
+#define WNRS_SKYLINE_BBS_H_
+
+#include <optional>
+#include <vector>
+
+#include "index/rtree.h"
+
+namespace wnrs {
+
+/// Branch-and-bound skyline (Papadias et al. [7]) over an R*-tree of
+/// points: best-first traversal by L1 MINDIST with dominance pruning.
+/// Returns the ids of the skyline (Definition 1). Duplicates of a skyline
+/// point are all reported, matching BNL.
+std::vector<RStarTree::Id> BbsSkyline(const RStarTree& tree);
+
+/// Dynamic skyline DSL(origin) via BBS with on-the-fly transformation into
+/// `origin`'s distance space (paper, Definition 2): node MBRs are mapped
+/// with RectToDistanceSpace and point entries with ToDistanceSpace, so no
+/// transformed copy of the data is materialized. Entries whose id equals
+/// `exclude_id` are skipped (used when the same relation serves as both
+/// products and customers). Pass std::nullopt to keep all.
+std::vector<RStarTree::Id> BbsDynamicSkyline(
+    const RStarTree& tree, const Point& origin,
+    std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_BBS_H_

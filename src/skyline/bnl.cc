@@ -1,0 +1,48 @@
+#include "skyline/bnl.h"
+
+#include <algorithm>
+
+#include "geometry/dominance.h"
+
+namespace wnrs {
+
+std::vector<size_t> SkylineIndicesBnl(const std::vector<Point>& points) {
+  // Window of current skyline candidates. A new point evicts candidates it
+  // dominates and is discarded if any candidate dominates it.
+  std::vector<size_t> window;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    size_t kept = 0;
+    for (size_t w = 0; w < window.size(); ++w) {
+      const DominanceRelation rel =
+          CompareDominance(points[window[w]], points[i]);
+      if (rel == DominanceRelation::kFirstDominates) {
+        dominated = true;
+        // Everything still in the window stays (none of it can be
+        // dominated by i, which is itself dominated).
+        for (size_t r = w; r < window.size(); ++r) {
+          window[kept++] = window[r];
+        }
+        break;
+      }
+      if (rel != DominanceRelation::kSecondDominates) {
+        window[kept++] = window[w];
+      }
+      // kSecondDominates: candidate evicted (not copied).
+    }
+    window.resize(kept);
+    if (!dominated) window.push_back(i);
+  }
+  std::sort(window.begin(), window.end());
+  return window;
+}
+
+std::vector<Point> SkylineBnl(const std::vector<Point>& points) {
+  std::vector<Point> out;
+  for (size_t i : SkylineIndicesBnl(points)) {
+    out.push_back(points[i]);
+  }
+  return out;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,22 @@
+#ifndef WNRS_SKYLINE_BNL_H_
+#define WNRS_SKYLINE_BNL_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Block-nested-loop skyline (Börzsönyi et al. [8]): indices of all points
+/// in `points` not dominated by any other (Definition 1,
+/// smaller-is-better). Duplicate points do not dominate each other, so all
+/// copies of a skyline point are reported. O(n * |skyline|); the baseline
+/// against which BBS is validated.
+std::vector<size_t> SkylineIndicesBnl(const std::vector<Point>& points);
+
+/// Convenience wrapper returning the points themselves.
+std::vector<Point> SkylineBnl(const std::vector<Point>& points);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_BNL_H_

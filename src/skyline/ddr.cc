@@ -1,0 +1,97 @@
+#include "skyline/ddr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "skyline/staircase.h"
+
+namespace wnrs {
+
+Point MaxExtents(const Point& c, const Rectangle& universe) {
+  WNRS_CHECK(c.dims() == universe.dims());
+  Point ext(c.dims());
+  for (size_t i = 0; i < c.dims(); ++i) {
+    ext[i] = std::max(std::fabs(c[i] - universe.lo()[i]),
+                      std::fabs(c[i] - universe.hi()[i]));
+  }
+  return ext;
+}
+
+RectRegion AntiDominanceRegion(const Point& c,
+                               std::vector<Point> dsl_transformed,
+                               const Point& anchor_extent, size_t sort_dim) {
+  const size_t dims = c.dims();
+  WNRS_CHECK(anchor_extent.dims() == dims);
+
+  auto rect_from_extent = [&c, dims](const Point& u) {
+    Point lo(dims);
+    Point hi(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      lo[i] = c[i] - u[i];
+      hi[i] = c[i] + u[i];
+    }
+    return Rectangle(std::move(lo), std::move(hi));
+  };
+
+  RectRegion region;
+  if (dsl_transformed.empty()) {
+    region.Add(rect_from_extent(anchor_extent));
+    return region;
+  }
+  const std::vector<Point> extents = StaircaseCandidates(
+      std::move(dsl_transformed), sort_dim, StaircaseMerge::kMax,
+      anchor_extent);
+  for (const Point& u : extents) {
+    region.Add(rect_from_extent(u));
+  }
+  return region;
+}
+
+RectRegion ApproxAntiDominanceRegion(const Point& c,
+                                     std::vector<Point> sampled_transformed,
+                                     const Point& anchor_extent,
+                                     size_t sort_dim) {
+  const size_t dims = c.dims();
+  WNRS_CHECK(anchor_extent.dims() == dims);
+
+  auto rect_from_extent = [&c, dims](const Point& u) {
+    Point lo(dims);
+    Point hi(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      lo[i] = c[i] - u[i];
+      hi[i] = c[i] + u[i];
+    }
+    return Rectangle(std::move(lo), std::move(hi));
+  };
+
+  RectRegion region;
+  if (sampled_transformed.empty()) {
+    region.Add(rect_from_extent(anchor_extent));
+    return region;
+  }
+  std::sort(sampled_transformed.begin(), sampled_transformed.end(),
+            [sort_dim](const Point& a, const Point& b) {
+              if (a[sort_dim] != b[sort_dim]) {
+                return a[sort_dim] < b[sort_dim];
+              }
+              return a < b;
+            });
+  for (size_t l = 0; l < sampled_transformed.size(); ++l) {
+    Point u = sampled_transformed[l];
+    if (l == 0) {
+      // First of the sorted sequence: extend the non-sort dimensions.
+      for (size_t i = 0; i < dims; ++i) {
+        if (i != sort_dim) u[i] = anchor_extent[i];
+      }
+    } else if (l + 1 == sampled_transformed.size()) {
+      // Last: extend the sort dimension.
+      u[sort_dim] = anchor_extent[sort_dim];
+    }
+    region.Add(rect_from_extent(u));
+  }
+  region.PruneContained();
+  return region;
+}
+
+}  // namespace wnrs

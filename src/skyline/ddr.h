@@ -1,0 +1,46 @@
+#ifndef WNRS_SKYLINE_DDR_H_
+#define WNRS_SKYLINE_DDR_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+#include "geometry/region.h"
+
+namespace wnrs {
+
+/// Per-dimension extents that cover the whole `universe` from `c`:
+/// max(|c_i - lo_i|, |c_i - hi_i|). Used as the staircase anchor so the
+/// unbounded tails of an anti-dominance region are represented out to the
+/// edge of the data space.
+Point MaxExtents(const Point& c, const Rectangle& universe);
+
+/// Rectangle representation of the dynamic anti-dominance region
+/// DDR̄(c) (paper Definition 4 and Fig. 10): |DSL(c)|+1 rectangles in the
+/// ORIGINAL data space, each symmetric around `c`, whose transformed-space
+/// images [0, u] tile the staircase under the dynamic skyline.
+///
+/// `dsl_transformed` is DSL(c) mapped into c's distance space (mutually
+/// non-dominated, all coordinates >= 0); `anchor_extent` bounds the
+/// region's unbounded directions (use MaxExtents of the data universe).
+/// An empty DSL yields the single rectangle covering the whole reachable
+/// box — every query point then keeps c as a reverse-skyline point.
+RectRegion AntiDominanceRegion(const Point& c,
+                               std::vector<Point> dsl_transformed,
+                               const Point& anchor_extent,
+                               size_t sort_dim = 0);
+
+/// Approximated DDR̄ from a sampled dynamic skyline (paper, Section
+/// VI-B.1): one rectangle [0, u] per sampled point — successive pairs are
+/// NOT merged — with the first and last of the sorted sequence extended to
+/// the anchor as in the exact construction. The result is a subset of the
+/// exact region (Fig. 16's shaded staircase steps are missed), so safe
+/// regions built from it never lose customers; they may cost more.
+RectRegion ApproxAntiDominanceRegion(const Point& c,
+                                     std::vector<Point> sampled_transformed,
+                                     const Point& anchor_extent,
+                                     size_t sort_dim = 0);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_DDR_H_

@@ -1,0 +1,55 @@
+#include "skyline/dnc.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "skyline/sfs.h"
+
+namespace wnrs {
+
+std::vector<size_t> SkylineIndicesDnc(const std::vector<Point>& points) {
+  if (points.empty()) return {};
+  if (points.front().dims() != 2) {
+    // The plane-sweep merge below is 2-D; higher dimensionalities defer
+    // to the presorted filter, which is the same asymptotic class for
+    // small skylines.
+    return SkylineIndicesSfs(points);
+  }
+  const size_t n = points.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (points[a][0] != points[b][0]) return points[a][0] < points[b][0];
+    return points[a][1] < points[b][1];
+  });
+
+  // Sweep in x order. A point is dominated iff some strictly-poorer-x
+  // predecessor has y <= its y, or an equal-x point has strictly smaller
+  // y. Duplicates of a skyline point all survive.
+  std::vector<size_t> skyline;
+  double min_y_before = std::numeric_limits<double>::infinity();
+  size_t g = 0;
+  while (g < n) {
+    // Group of equal x.
+    size_t end = g;
+    const double x = points[order[g]][0];
+    while (end < n && points[order[end]][0] == x) ++end;
+    const double group_min_y = points[order[g]][1];  // y-ascending sort.
+    if (group_min_y < min_y_before) {
+      for (size_t i = g; i < end; ++i) {
+        if (points[order[i]][1] == group_min_y) {
+          skyline.push_back(order[i]);
+        } else {
+          break;  // y ascending within the group.
+        }
+      }
+      min_y_before = group_min_y;
+    }
+    g = end;
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace wnrs

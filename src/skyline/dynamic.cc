@@ -1,0 +1,37 @@
+#include "skyline/dynamic.h"
+
+#include "geometry/dominance.h"
+#include "geometry/transform.h"
+#include "skyline/bnl.h"
+
+namespace wnrs {
+
+std::vector<size_t> DynamicSkylineIndices(
+    const std::vector<Point>& points, const Point& origin,
+    std::optional<size_t> exclude_index) {
+  std::vector<Point> transformed;
+  std::vector<size_t> original_index;
+  transformed.reserve(points.size());
+  original_index.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (exclude_index.has_value() && i == *exclude_index) continue;
+    transformed.push_back(ToDistanceSpace(points[i], origin));
+    original_index.push_back(i);
+  }
+  std::vector<size_t> skyline = SkylineIndicesBnl(transformed);
+  for (size_t& idx : skyline) {
+    idx = original_index[idx];
+  }
+  return skyline;
+}
+
+bool InDynamicSkyline(const std::vector<Point>& points, const Point& origin,
+                      const Point& q, std::optional<size_t> exclude_index) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (exclude_index.has_value() && i == *exclude_index) continue;
+    if (DynamicallyDominates(points[i], q, origin)) return false;
+  }
+  return true;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,30 @@
+#ifndef WNRS_SKYLINE_DYNAMIC_H_
+#define WNRS_SKYLINE_DYNAMIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Dynamic skyline DSL(origin) by explicit transformation + BNL: maps
+/// every point into `origin`'s distance space and runs the block-nested-
+/// loop skyline. The reference implementation that BBS-based DSL is
+/// validated against. Indices into `points` are returned in ascending
+/// order; `exclude_index` (if set) is skipped.
+std::vector<size_t> DynamicSkylineIndices(
+    const std::vector<Point>& points, const Point& origin,
+    std::optional<size_t> exclude_index = std::nullopt);
+
+/// True iff `q` would belong to the dynamic skyline of `origin` computed
+/// over `points`: no point (other than `exclude_index`) dynamically
+/// dominates q w.r.t. origin. This is the membership test behind reverse
+/// skylines (Definition 3).
+bool InDynamicSkyline(const std::vector<Point>& points, const Point& origin,
+                      const Point& q,
+                      std::optional<size_t> exclude_index = std::nullopt);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_DYNAMIC_H_

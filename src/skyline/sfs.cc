@@ -1,0 +1,43 @@
+#include "skyline/sfs.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "geometry/dominance.h"
+
+namespace wnrs {
+
+std::vector<size_t> SkylineIndicesSfs(const std::vector<Point>& points) {
+  const size_t n = points.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Monotone score: if a dominates b then score(a) < score(b) or they tie
+  // with a lexicographically smaller; sorting by (sum, lex) guarantees a
+  // dominator precedes everything it dominates.
+  std::vector<double> score(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t d = 0; d < points[i].dims(); ++d) sum += points[i][d];
+    score[i] = sum;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (score[a] != score[b]) return score[a] < score[b];
+    return points[a] < points[b];
+  });
+
+  std::vector<size_t> skyline;
+  for (size_t idx : order) {
+    bool dominated = false;
+    for (size_t s : skyline) {
+      if (Dominates(points[s], points[idx])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(idx);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return skyline;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,20 @@
+#ifndef WNRS_SKYLINE_SFS_H_
+#define WNRS_SKYLINE_SFS_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Sort-Filter-Skyline (Chomicki et al.): presorts by a monotone scoring
+/// function (coordinate sum), after which a point can only be dominated by
+/// points already confirmed as skyline members — the window never needs
+/// eviction, unlike BNL. Same output as SkylineIndicesBnl (indices
+/// ascending); a second baseline used to cross-validate BNL and BBS and
+/// to ablate presorting.
+std::vector<size_t> SkylineIndicesSfs(const std::vector<Point>& points);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_SFS_H_

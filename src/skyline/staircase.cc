@@ -1,0 +1,73 @@
+#include "skyline/staircase.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+std::vector<Point> StaircaseCandidates(std::vector<Point> points,
+                                       size_t sort_dim, StaircaseMerge merge,
+                                       const Point& anchor) {
+  std::vector<Point> out;
+  if (points.empty()) return out;
+  const size_t dims = anchor.dims();
+  WNRS_CHECK(sort_dim < dims);
+  for (const Point& p : points) {
+    WNRS_CHECK(p.dims() == dims);
+  }
+  std::sort(points.begin(), points.end(),
+            [sort_dim](const Point& a, const Point& b) {
+              if (a[sort_dim] != b[sort_dim]) {
+                return a[sort_dim] < b[sort_dim];
+              }
+              return a < b;
+            });
+
+  const size_t k = points.size();
+  out.reserve(k + 1);
+
+  // End candidate anchored per the merge flavor (see header).
+  Point first = points.front();
+  Point last = points.back();
+  if (merge == StaircaseMerge::kMin) {
+    first[sort_dim] = anchor[sort_dim];
+    for (size_t i = 0; i < dims; ++i) {
+      if (i != sort_dim) last[i] = anchor[i];
+    }
+  } else {
+    for (size_t i = 0; i < dims; ++i) {
+      if (i != sort_dim) first[i] = anchor[i];
+    }
+    last[sort_dim] = anchor[sort_dim];
+  }
+
+  out.push_back(std::move(first));
+  for (size_t l = 0; l + 1 < k; ++l) {
+    Point merged(dims);
+    for (size_t i = 0; i < dims; ++i) {
+      merged[i] = merge == StaircaseMerge::kMin
+                      ? std::min(points[l][i], points[l + 1][i])
+                      : std::max(points[l][i], points[l + 1][i]);
+    }
+    out.push_back(std::move(merged));
+  }
+  out.push_back(std::move(last));
+
+  // Deduplicate exact repeats (possible with |M| = 1 or tied coords).
+  std::vector<Point> unique;
+  unique.reserve(out.size());
+  for (Point& p : out) {
+    bool seen = false;
+    for (const Point& u : unique) {
+      if (u == p) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(std::move(p));
+  }
+  return unique;
+}
+
+}  // namespace wnrs

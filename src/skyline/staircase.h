@@ -1,0 +1,43 @@
+#ifndef WNRS_SKYLINE_STAIRCASE_H_
+#define WNRS_SKYLINE_STAIRCASE_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace wnrs {
+
+/// Merge operator of the staircase candidate construction.
+enum class StaircaseMerge { kMin, kMax };
+
+/// The candidate-generation primitive shared by Algorithms 1, 2 and 3 of
+/// the paper. Given k mutually non-dominated points, sorts them ascending
+/// on `sort_dim` and emits k+1 candidates:
+///
+///   [ first', merge(u_1,u_2), ..., merge(u_{k-1},u_k), last' ]
+///
+/// where merge is the coordinate-wise min (Algorithm 1 / Eqn. 2) or max
+/// (Algorithms 2-3 / Eqn. 5), and the end candidates are anchored copies
+/// (Eqns. 3/6 and the safe-region extension rule):
+///
+///  * kMin  (why-not movement, Alg. 1): first' replaces the sort-dim
+///    coordinate of u_1 with anchor's; last' replaces every other
+///    coordinate of u_k with anchor's. These are the minimal corners of
+///    the escape region's boundary (Fig. 6(b)).
+///  * kMax  (query movement / anti-dominance rectangles, Algs. 2-3):
+///    roles are mirrored — first' keeps u_1's sort-dim coordinate and
+///    anchors the others; last' anchors the sort-dim coordinate of u_k.
+///    These are the outer staircase corners (Figs. 8, 10).
+///
+/// The assignment of the two end rules follows the geometry (Figs. 6, 8,
+/// 10) rather than the paper's pseudocode line order, which is ambiguous
+/// for |M| = 1; for the paper's worked examples both readings coincide.
+///
+/// Duplicates in the output are removed. k = 0 yields an empty vector.
+std::vector<Point> StaircaseCandidates(std::vector<Point> points,
+                                       size_t sort_dim, StaircaseMerge merge,
+                                       const Point& anchor);
+
+}  // namespace wnrs
+
+#endif  // WNRS_SKYLINE_STAIRCASE_H_

@@ -1,0 +1,76 @@
+#include "skyline/approx.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace wnrs {
+namespace {
+
+std::vector<Point> Staircase(size_t n) {
+  // A clean 2-D skyline: x ascending, y descending.
+  std::vector<Point> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Point({double(i), double(n - i)}));
+  }
+  return out;
+}
+
+TEST(ApproximateSkylineTest, SmallSkylineUnchanged) {
+  const std::vector<Point> sk = Staircase(3);
+  EXPECT_EQ(ApproximateSkyline(sk, 5), sk);
+  EXPECT_EQ(ApproximateSkyline(sk, 3), sk);
+}
+
+TEST(ApproximateSkylineTest, KeepsFirstAndLast) {
+  const std::vector<Point> sk = Staircase(100);
+  for (size_t k : {2, 3, 10, 20}) {
+    const std::vector<Point> approx = ApproximateSkyline(sk, k);
+    ASSERT_FALSE(approx.empty());
+    EXPECT_EQ(approx.front(), sk.front()) << "k=" << k;
+    EXPECT_EQ(approx.back(), sk.back()) << "k=" << k;
+  }
+}
+
+TEST(ApproximateSkylineTest, SizeTracksK) {
+  const std::vector<Point> sk = Staircase(100);
+  for (size_t k : {2, 5, 10, 25}) {
+    const std::vector<Point> approx = ApproximateSkyline(sk, k);
+    EXPECT_GE(approx.size(), k);
+    EXPECT_LE(approx.size(), k + 2);
+  }
+}
+
+TEST(ApproximateSkylineTest, OutputIsSubsetOfInput) {
+  Rng rng(4);
+  std::vector<Point> sk;
+  double y = 100.0;
+  for (int i = 0; i < 57; ++i) {
+    y -= rng.NextDouble(0.1, 2.0);
+    sk.push_back(Point({double(i) + rng.NextDouble(), y}));
+  }
+  const std::vector<Point> approx = ApproximateSkyline(sk, 7);
+  for (const Point& p : approx) {
+    EXPECT_NE(std::find(sk.begin(), sk.end(), p), sk.end());
+  }
+}
+
+TEST(ApproximateSkylineTest, OutputStaysSortedOnSortDim) {
+  const std::vector<Point> approx = ApproximateSkyline(Staircase(64), 9);
+  for (size_t i = 1; i < approx.size(); ++i) {
+    EXPECT_LE(approx[i - 1][0], approx[i][0]);
+  }
+}
+
+TEST(ApproximateSkylineTest, UnsortedInputHandled) {
+  std::vector<Point> sk = Staircase(40);
+  std::reverse(sk.begin(), sk.end());
+  const std::vector<Point> approx = ApproximateSkyline(sk, 4);
+  EXPECT_EQ(approx.front(), Point({0.0, 40.0}));
+  EXPECT_EQ(approx.back(), Point({39.0, 1.0}));
+}
+
+}  // namespace
+}  // namespace wnrs

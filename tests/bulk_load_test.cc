@@ -1,0 +1,126 @@
+#include "index/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace wnrs {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    Point p(dims);
+    for (size_t i = 0; i < dims; ++i) p[i] = rng.NextDouble(0, 100);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(BulkLoadTest, EmptyInput) {
+  RStarTree tree = BulkLoadStr(2, {});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, SingleEntry) {
+  RStarTree tree = BulkLoadPoints(2, {Point({1, 2})});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.RangeQueryIds(Rectangle(Point({0, 0}), Point({3, 3}))),
+            (std::vector<RStarTree::Id>{0}));
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BulkLoadSizeTest, InvariantsAndCompleteness) {
+  const size_t n = GetParam();
+  const std::vector<Point> points = RandomPoints(n, 2, 42 + n);
+  RStarTree tree = BulkLoadPoints(2, points);
+  EXPECT_EQ(tree.size(), n);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  // Every point is present under its own id.
+  std::vector<RStarTree::Id> all =
+      tree.RangeQueryIds(Rectangle(Point({-1, -1}), Point({101, 101})));
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(all[i], static_cast<RStarTree::Id>(i));
+  }
+}
+
+// Sizes straddling node-capacity boundaries (max_entries = 38 for 2-D,
+// 1536-byte pages) to exercise the remainder-balancing logic.
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(2, 37, 38, 39, 40, 75, 76, 77,
+                                           1443, 1444, 1445, 20000));
+
+TEST(BulkLoadTest, QueriesMatchInsertionBuiltTree) {
+  const std::vector<Point> points = RandomPoints(3000, 2, 9);
+  RStarTree bulk = BulkLoadPoints(2, points);
+  RStarTree incremental(2);
+  for (size_t i = 0; i < points.size(); ++i) {
+    incremental.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x0 = rng.NextDouble(0, 90);
+    const double y0 = rng.NextDouble(0, 90);
+    const Rectangle window(Point({x0, y0}),
+                           Point({x0 + rng.NextDouble(1, 20),
+                                  y0 + rng.NextDouble(1, 20)}));
+    std::vector<RStarTree::Id> a = bulk.RangeQueryIds(window);
+    std::vector<RStarTree::Id> b = incremental.RangeQueryIds(window);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(BulkLoadTest, BulkLoadedTreeSupportsMutation) {
+  const std::vector<Point> points = RandomPoints(500, 2, 77);
+  RStarTree tree = BulkLoadPoints(2, points);
+  tree.Insert(Point({200, 200}), 999);
+  EXPECT_EQ(tree.size(), 501u);
+  EXPECT_TRUE(tree.Delete(Rectangle::FromPoint(points[0]), 0));
+  EXPECT_EQ(tree.size(), 500u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+}
+
+TEST(BulkLoadTest, ThreeDimensional) {
+  const std::vector<Point> points = RandomPoints(2000, 3, 5);
+  RStarTree tree = BulkLoadPoints(3, points);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(tree.size(), 2000u);
+}
+
+TEST(BulkLoadTest, BetterClusteredThanInsertion) {
+  // STR packing should need no more node reads than insertion-built trees
+  // for small windows (a smoke test of packing quality, not a strict
+  // guarantee per query).
+  const std::vector<Point> points = RandomPoints(5000, 2, 123);
+  RStarTree bulk = BulkLoadPoints(2, points);
+  RStarTree incremental(2);
+  for (size_t i = 0; i < points.size(); ++i) {
+    incremental.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  bulk.ResetStats();
+  incremental.ResetStats();
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x0 = rng.NextDouble(0, 95);
+    const double y0 = rng.NextDouble(0, 95);
+    const Rectangle window(Point({x0, y0}), Point({x0 + 3, y0 + 3}));
+    bulk.RangeQueryIds(window);
+    incremental.RangeQueryIds(window);
+  }
+  EXPECT_LE(bulk.stats().node_reads, incremental.stats().node_reads * 2);
+}
+
+}  // namespace
+}  // namespace wnrs

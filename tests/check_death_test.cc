@@ -1,0 +1,66 @@
+// Programmer-error contracts: dimension mismatches and precondition
+// violations abort via WNRS_CHECK rather than corrupting state.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/generators.h"
+#include "geometry/dominance.h"
+#include "index/rtree.h"
+#include "skyline/approx.h"
+
+namespace wnrs {
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, PointDistanceDimensionMismatch) {
+  const Point a({1.0, 2.0});
+  const Point b({1.0, 2.0, 3.0});
+  EXPECT_DEATH((void)a.L1Distance(b), "Check failed");
+}
+
+TEST(CheckDeathTest, DominanceDimensionMismatch) {
+  EXPECT_DEATH((void)Dominates(Point({1.0}), Point({1.0, 2.0})),
+               "Check failed");
+}
+
+TEST(CheckDeathTest, RectangleCornerDimensionMismatch) {
+  EXPECT_DEATH(Rectangle(Point({0.0}), Point({1.0, 1.0})), "Check failed");
+}
+
+TEST(CheckDeathTest, RTreeInsertWrongDims) {
+  RStarTree tree(2);
+  EXPECT_DEATH(tree.Insert(Point({1.0, 2.0, 3.0}), 0), "Check failed");
+}
+
+TEST(CheckDeathTest, RTreeZeroDims) {
+  EXPECT_DEATH(RStarTree(0), "Check failed");
+}
+
+TEST(CheckDeathTest, ApproximateSkylineNeedsKAtLeastTwo) {
+  EXPECT_DEATH((void)ApproximateSkyline({Point({1.0, 1.0})}, 1),
+               "Check failed");
+}
+
+TEST(CheckDeathTest, EngineRejectsEmptyDataset) {
+  Dataset empty;
+  empty.dims = 2;
+  EXPECT_DEATH(WhyNotEngine{std::move(empty)}, "Check failed");
+}
+
+TEST(CheckDeathTest, EngineRejectsMismatchedBichromaticDims) {
+  Dataset products = GenerateUniform(10, 2, 1);
+  Dataset customers = GenerateUniform(10, 3, 1);
+  EXPECT_DEATH(WhyNotEngine(std::move(products), std::move(customers)),
+               "Check failed");
+}
+
+TEST(CheckDeathTest, ApproxSafeRegionWithoutPrecompute) {
+  WhyNotEngine engine(PaperExampleDataset());
+  EXPECT_DEATH((void)engine.ApproxSafeRegion(PaperExampleQuery()),
+               "Check failed");
+}
+
+}  // namespace
+}  // namespace wnrs

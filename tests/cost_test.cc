@@ -1,0 +1,86 @@
+#include "core/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace wnrs {
+namespace {
+
+TEST(MinMaxNormalizerTest, UnitCubeMapping) {
+  const MinMaxNormalizer norm(Rectangle(Point({0, 10}), Point({2, 20})));
+  EXPECT_EQ(norm.Normalize(Point({0, 10})), Point({0, 0}));
+  EXPECT_EQ(norm.Normalize(Point({2, 20})), Point({1, 1}));
+  EXPECT_EQ(norm.Normalize(Point({1, 15})), Point({0.5, 0.5}));
+}
+
+TEST(MinMaxNormalizerTest, DenormalizeInverts) {
+  const MinMaxNormalizer norm(Rectangle(Point({-3, 5}), Point({7, 8})));
+  const Point p({1.25, 6.5});
+  EXPECT_TRUE(norm.Denormalize(norm.Normalize(p)).ApproxEquals(p));
+}
+
+TEST(MinMaxNormalizerTest, OutOfBoundsExtrapolates) {
+  const MinMaxNormalizer norm(Rectangle(Point({0, 0}), Point({10, 10})));
+  EXPECT_EQ(norm.Normalize(Point({20, -10})), Point({2, -1}));
+}
+
+TEST(MinMaxNormalizerTest, DegenerateDimensionMapsToZero) {
+  const MinMaxNormalizer norm(Rectangle(Point({5, 0}), Point({5, 10})));
+  EXPECT_EQ(norm.Normalize(Point({5, 5}))[0], 0.0);
+  EXPECT_DOUBLE_EQ(
+      norm.NormalizedWeightedL1(Point({5, 0}), Point({5, 10}), {0.5, 0.5}),
+      0.5);
+}
+
+TEST(EqualWeightsTest, SumToOne) {
+  const std::vector<double> w = EqualWeights(4);
+  ASSERT_EQ(w.size(), 4u);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(w[0], 0.25);
+}
+
+TEST(CostModelTest, PaperQuickstartCosts) {
+  // Universe = paper example bounds: price [2.5, 26], mileage [20, 90].
+  const Rectangle bounds(Point({2.5, 20}), Point({26, 90}));
+  const CostModel cost = CostModel::EqualWeightsFor(bounds);
+  // MWP option (8, 30) from c1 = (5, 30): price moves 3 of 23.5.
+  EXPECT_NEAR(cost.WhyNotMoveCost(Point({5, 30}), Point({8, 30})),
+              0.5 * 3.0 / 23.5, 1e-12);
+  // MQP option (7.5, 55) from q = (8.5, 55): price moves 1 of 23.5.
+  EXPECT_NEAR(cost.QueryMoveCost(Point({8.5, 55}), Point({7.5, 55})),
+              0.5 * 1.0 / 23.5, 1e-12);
+}
+
+TEST(CostModelTest, CustomWeights) {
+  const Rectangle bounds(Point({0, 0}), Point({1, 1}));
+  const CostModel cost(bounds, {1.0, 0.0}, {0.0, 1.0});
+  EXPECT_DOUBLE_EQ(cost.QueryMoveCost(Point({0, 0}), Point({0.5, 0.5})),
+                   0.5);
+  EXPECT_DOUBLE_EQ(cost.WhyNotMoveCost(Point({0, 0}), Point({0.5, 0.5})),
+                   0.5);
+  EXPECT_DOUBLE_EQ(cost.QueryMoveCost(Point({0, 0}), Point({0.0, 0.9})),
+                   0.0);
+}
+
+TEST(CostModelTest, CostIsSymmetricAndZeroAtIdentity) {
+  const Rectangle bounds(Point({0, 0}), Point({4, 4}));
+  const CostModel cost = CostModel::EqualWeightsFor(bounds);
+  const Point a({1, 2});
+  const Point b({3, 0});
+  EXPECT_DOUBLE_EQ(cost.WhyNotMoveCost(a, b), cost.WhyNotMoveCost(b, a));
+  EXPECT_DOUBLE_EQ(cost.WhyNotMoveCost(a, a), 0.0);
+}
+
+TEST(SortCandidatesTest, OrdersByCostThenPoint) {
+  std::vector<Candidate> cands = {{Point({2, 2}), 0.5},
+                                  {Point({1, 1}), 0.2},
+                                  {Point({0, 0}), 0.5}};
+  SortCandidates(&cands);
+  EXPECT_EQ(cands[0].point, Point({1, 1}));
+  EXPECT_EQ(cands[1].point, Point({0, 0}));
+  EXPECT_EQ(cands[2].point, Point({2, 2}));
+}
+
+}  // namespace
+}  // namespace wnrs

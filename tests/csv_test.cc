@@ -1,0 +1,95 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string TempPath(const std::string& name) {
+    path_ = ::testing::TempDir() + "/" + name;
+    return path_;
+  }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTrip) {
+  const Dataset ds = GenerateCarDb(200, 3);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SaveCsv(ds, path).ok());
+  const Result<Dataset> loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dims, ds.dims);
+  ASSERT_EQ(loaded->points.size(), ds.points.size());
+  for (size_t i = 0; i < ds.points.size(); ++i) {
+    EXPECT_TRUE(loaded->points[i].ApproxEquals(ds.points[i], 1e-12));
+  }
+}
+
+TEST_F(CsvTest, RoundTripPreservesExactDoubles) {
+  Dataset ds;
+  ds.dims = 2;
+  ds.points = {Point({0.1, 1.0 / 3.0}), Point({1e-300, 1e300})};
+  const std::string path = TempPath("exact.csv");
+  ASSERT_TRUE(SaveCsv(ds, path).ok());
+  const Result<Dataset> loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->points, ds.points);  // %.17g round-trips exactly.
+}
+
+TEST_F(CsvTest, LoadMissingFileFails) {
+  const Result<Dataset> r = LoadCsv("/nonexistent/nope.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, LoadRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  std::ofstream(path) << "d0,d1\n1,2\n3\n";
+  const Result<Dataset> r = LoadCsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvTest, LoadRejectsNonNumeric) {
+  const std::string path = TempPath("alpha.csv");
+  std::ofstream(path) << "d0,d1\n1,two\n";
+  const Result<Dataset> r = LoadCsv(path);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(CsvTest, LoadSkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  std::ofstream(path) << "d0,d1\n1,2\n\n3,4\n";
+  const Result<Dataset> r = LoadCsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->points.size(), 2u);
+}
+
+TEST_F(CsvTest, EmptyDatasetRoundTrips) {
+  Dataset ds;
+  ds.dims = 3;
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(SaveCsv(ds, path).ok());
+  const Result<Dataset> r = LoadCsv(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->dims, 3u);
+  EXPECT_TRUE(r->points.empty());
+}
+
+TEST_F(CsvTest, SaveToUnwritablePathFails) {
+  const Dataset ds = PaperExampleDataset();
+  EXPECT_FALSE(SaveCsv(ds, "/nonexistent/dir/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace wnrs

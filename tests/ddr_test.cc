@@ -1,0 +1,140 @@
+#include "skyline/ddr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/dominance.h"
+#include "geometry/transform.h"
+#include "skyline/dynamic.h"
+
+namespace wnrs {
+namespace {
+
+TEST(MaxExtentsTest, CoversUniverseFromAnyCenter) {
+  const Rectangle universe(Point({0, 0}), Point({10, 10}));
+  EXPECT_EQ(MaxExtents(Point({2, 9}), universe), Point({8, 9}));
+  EXPECT_EQ(MaxExtents(Point({5, 5}), universe), Point({5, 5}));
+  EXPECT_EQ(MaxExtents(Point({0, 0}), universe), Point({10, 10}));
+}
+
+TEST(DdrTest, EmptyDslYieldsWholeBox) {
+  const Rectangle universe(Point({0, 0}), Point({10, 10}));
+  const Point c({4, 6});
+  const RectRegion region =
+      AntiDominanceRegion(c, {}, MaxExtents(c, universe));
+  ASSERT_EQ(region.size(), 1u);
+  EXPECT_TRUE(region.Contains(Point({0, 0})));
+  EXPECT_TRUE(region.Contains(Point({10, 10})));
+}
+
+TEST(DdrTest, RectangleCountIsDslSizePlusOne) {
+  const Rectangle universe(Point({0, 0}), Point({100, 100}));
+  const Point c({50, 50});
+  std::vector<Point> dsl = {Point({2, 30}), Point({10, 20}), Point({25, 5})};
+  const RectRegion region =
+      AntiDominanceRegion(c, dsl, MaxExtents(c, universe));
+  EXPECT_EQ(region.size(), 4u);
+}
+
+/// Membership oracle: x is in the true anti-dominance region of c iff no
+/// DSL point dominates x's transformed image.
+bool InTrueAdr(const Point& x, const Point& c,
+               const std::vector<Point>& dsl_t) {
+  const Point t = ToDistanceSpace(x, c);
+  for (const Point& s : dsl_t) {
+    if (Dominates(s, t)) return false;
+  }
+  return true;
+}
+
+TEST(DdrPropertyTest, RegionMatchesMembershipOracle) {
+  // Build DDR̄ from the DSL of random customers over random data and
+  // compare rectangle membership against the oracle at random probes.
+  // Rectangle membership may differ from the oracle only on the closed
+  // staircase boundary (measure zero), which random probes never hit.
+  Rng rng(6);
+  const Dataset ds = GenerateUniform(300, 2, 15);
+  const Rectangle universe(Point({0, 0}), Point({1, 1}));
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point& c = ds.points[c_idx];
+    const std::vector<size_t> dsl =
+        DynamicSkylineIndices(ds.points, c, c_idx);
+    std::vector<Point> dsl_t;
+    for (size_t i : dsl) dsl_t.push_back(ToDistanceSpace(ds.points[i], c));
+    RectRegion region = AntiDominanceRegion(c, dsl_t, MaxExtents(c, universe));
+    region.ClipTo(universe);
+    for (int probe = 0; probe < 2000; ++probe) {
+      const Point x({rng.NextDouble(), rng.NextDouble()});
+      EXPECT_EQ(region.Contains(x), InTrueAdr(x, c, dsl_t))
+          << "customer " << c.ToString() << " probe " << x.ToString();
+    }
+  }
+}
+
+TEST(DdrTest, CustomerItselfIsAlwaysInside) {
+  const Dataset ds = GenerateUniform(200, 2, 77);
+  const Rectangle universe = ds.Bounds();
+  Rng rng(78);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point& c = ds.points[c_idx];
+    const std::vector<size_t> dsl =
+        DynamicSkylineIndices(ds.points, c, c_idx);
+    std::vector<Point> dsl_t;
+    for (size_t i : dsl) dsl_t.push_back(ToDistanceSpace(ds.points[i], c));
+    const RectRegion region =
+        AntiDominanceRegion(c, dsl_t, MaxExtents(c, universe));
+    EXPECT_TRUE(region.Contains(c));
+  }
+}
+
+TEST(ApproxDdrTest, SubsetOfExactRegion) {
+  // The approximated region must never contain a point outside the exact
+  // region (Fig. 16: it only *misses* area).
+  Rng rng(91);
+  const Dataset ds = GenerateAnticorrelated(400, 2, 92);
+  const Rectangle universe(Point({0, 0}), Point({1, 1}));
+  for (int trial = 0; trial < 5; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point& c = ds.points[c_idx];
+    const std::vector<size_t> dsl =
+        DynamicSkylineIndices(ds.points, c, c_idx);
+    std::vector<Point> dsl_t;
+    for (size_t i : dsl) dsl_t.push_back(ToDistanceSpace(ds.points[i], c));
+    RectRegion exact = AntiDominanceRegion(c, dsl_t, MaxExtents(c, universe));
+    // Sample the skyline to k = 3.
+    std::vector<Point> sampled = dsl_t;
+    if (sampled.size() > 3) {
+      std::vector<Point> keep;
+      for (size_t i = 0; i < sampled.size(); i += sampled.size() / 3) {
+        keep.push_back(sampled[i]);
+      }
+      keep.push_back(sampled.back());
+      sampled = keep;
+    }
+    RectRegion approx =
+        ApproxAntiDominanceRegion(c, sampled, MaxExtents(c, universe));
+    for (int probe = 0; probe < 2000; ++probe) {
+      const Point x({rng.NextDouble(), rng.NextDouble()});
+      if (approx.Contains(x)) {
+        EXPECT_TRUE(InTrueAdr(x, c, sampled))
+            << x.ToString() << " in approx region but dominated";
+      }
+    }
+    (void)exact;
+  }
+}
+
+TEST(ApproxDdrTest, EmptySampleYieldsWholeBox) {
+  const Rectangle universe(Point({0, 0}), Point({10, 10}));
+  const Point c({4, 6});
+  const RectRegion region =
+      ApproxAntiDominanceRegion(c, {}, MaxExtents(c, universe));
+  ASSERT_EQ(region.size(), 1u);
+  EXPECT_TRUE(region.Contains(Point({10, 10})));
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,113 @@
+#include "geometry/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wnrs {
+namespace {
+
+TEST(DominanceTest, BasicRelations) {
+  EXPECT_TRUE(Dominates(Point({1.0, 1.0}), Point({2.0, 2.0})));
+  EXPECT_TRUE(Dominates(Point({1.0, 2.0}), Point({2.0, 2.0})));
+  EXPECT_FALSE(Dominates(Point({1.0, 3.0}), Point({2.0, 2.0})));
+  // Equal points do not dominate each other (Definition 1 needs strict).
+  EXPECT_FALSE(Dominates(Point({1.0, 1.0}), Point({1.0, 1.0})));
+}
+
+TEST(DominanceTest, AsymmetricAndIrreflexive) {
+  const Point a({1.0, 1.0});
+  const Point b({2.0, 3.0});
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_FALSE(Dominates(a, a));
+}
+
+TEST(DominanceTest, WeakAndStrictVariants) {
+  EXPECT_TRUE(WeaklyDominates(Point({1.0, 1.0}), Point({1.0, 1.0})));
+  EXPECT_FALSE(StrictlyDominatesAllDims(Point({1.0, 1.0}),
+                                        Point({1.0, 2.0})));
+  EXPECT_TRUE(StrictlyDominatesAllDims(Point({0.0, 0.0}),
+                                       Point({1.0, 2.0})));
+}
+
+TEST(DominanceTest, CompareDominanceAllOutcomes) {
+  EXPECT_EQ(CompareDominance(Point({1.0, 1.0}), Point({2.0, 2.0})),
+            DominanceRelation::kFirstDominates);
+  EXPECT_EQ(CompareDominance(Point({2.0, 2.0}), Point({1.0, 1.0})),
+            DominanceRelation::kSecondDominates);
+  EXPECT_EQ(CompareDominance(Point({1.0, 1.0}), Point({1.0, 1.0})),
+            DominanceRelation::kEqual);
+  EXPECT_EQ(CompareDominance(Point({1.0, 2.0}), Point({2.0, 1.0})),
+            DominanceRelation::kIncomparable);
+}
+
+TEST(DynamicDominanceTest, PaperDefinition) {
+  // Paper Fig. 2(a): p2(7.5, 42) dynamically dominates p1(5, 30) w.r.t.
+  // q(8.5, 55).
+  const Point q({8.5, 55.0});
+  EXPECT_TRUE(
+      DynamicallyDominates(Point({7.5, 42.0}), Point({5.0, 30.0}), q));
+  EXPECT_FALSE(
+      DynamicallyDominates(Point({5.0, 30.0}), Point({7.5, 42.0}), q));
+}
+
+TEST(DynamicDominanceTest, MirrorImagesTieEverywhere) {
+  // Two points equidistant from the origin in every dimension do not
+  // dominate each other.
+  const Point origin({0.0, 0.0});
+  EXPECT_FALSE(
+      DynamicallyDominates(Point({1.0, -2.0}), Point({-1.0, 2.0}), origin));
+  EXPECT_FALSE(
+      DynamicallyDominates(Point({-1.0, 2.0}), Point({1.0, -2.0}), origin));
+}
+
+TEST(DynamicDominanceTest, SelfNeverDominatesSelf) {
+  const Point origin({3.0, 4.0});
+  const Point p({1.0, 9.0});
+  EXPECT_FALSE(DynamicallyDominates(p, p, origin));
+}
+
+TEST(DominancePropertyTest, TransitivityOnRandomPoints) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Point a(3);
+    Point b(3);
+    Point c(3);
+    for (size_t i = 0; i < 3; ++i) {
+      a[i] = rng.NextDouble(0, 4);
+      b[i] = rng.NextDouble(0, 4);
+      c[i] = rng.NextDouble(0, 4);
+    }
+    if (Dominates(a, b) && Dominates(b, c)) {
+      EXPECT_TRUE(Dominates(a, c))
+          << a.ToString() << b.ToString() << c.ToString();
+    }
+  }
+}
+
+TEST(DominancePropertyTest, DynamicEqualsStaticAfterTransform) {
+  // DynamicallyDominates(a, b, o) must agree with Dominates on the
+  // |o - x| transform, by Definition 2.
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Point a(2);
+    Point b(2);
+    Point o(2);
+    for (size_t i = 0; i < 2; ++i) {
+      a[i] = rng.NextDouble(-5, 5);
+      b[i] = rng.NextDouble(-5, 5);
+      o[i] = rng.NextDouble(-5, 5);
+    }
+    Point ta(2);
+    Point tb(2);
+    for (size_t i = 0; i < 2; ++i) {
+      ta[i] = std::abs(o[i] - a[i]);
+      tb[i] = std::abs(o[i] - b[i]);
+    }
+    EXPECT_EQ(DynamicallyDominates(a, b, o), Dominates(ta, tb));
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

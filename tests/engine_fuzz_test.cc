@@ -1,0 +1,84 @@
+// Randomized consistency of the mutable engine: interleaved product
+// additions/removals and reverse-skyline queries must match a fresh
+// engine rebuilt from the live points after every mutation batch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+class EngineFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzzTest, MutationsMatchRebuiltEngine) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  Dataset ds = GenerateCarDb(300, seed);
+  WhyNotEngine engine{Dataset(ds)};
+
+  // Track the live set alongside the engine: id -> live?
+  std::vector<Point> points = ds.points;
+  std::vector<bool> live(points.size(), true);
+
+  for (int round = 0; round < 12; ++round) {
+    // Mutation batch.
+    for (int m = 0; m < 8; ++m) {
+      if (rng.NextBool(0.5)) {
+        Point p({rng.NextDouble(1000, 60000), rng.NextDouble(0, 200000)});
+        const size_t id = engine.AddProduct(p);
+        ASSERT_EQ(id, points.size());
+        points.push_back(std::move(p));
+        live.push_back(true);
+      } else {
+        // Remove a random live product.
+        size_t victim = rng.NextUint64(points.size());
+        for (size_t probe = 0; probe < points.size(); ++probe) {
+          const size_t id = (victim + probe) % points.size();
+          if (live[id]) {
+            victim = id;
+            break;
+          }
+        }
+        if (!live[victim]) continue;
+        ASSERT_TRUE(engine.RemoveProduct(victim));
+        live[victim] = false;
+      }
+    }
+
+    // Oracle: a fresh engine over only the live points, with an id map.
+    Dataset live_ds;
+    live_ds.dims = 2;
+    std::vector<size_t> id_of_live;
+    for (size_t id = 0; id < points.size(); ++id) {
+      if (live[id]) {
+        live_ds.points.push_back(points[id]);
+        id_of_live.push_back(id);
+      }
+    }
+    WhyNotEngine oracle{std::move(live_ds)};
+
+    for (int trial = 0; trial < 4; ++trial) {
+      Point q = points[rng.NextUint64(points.size())];
+      q[0] += rng.NextGaussian(0.0, 300.0);
+      q[1] += rng.NextGaussian(0.0, 1500.0);
+      std::vector<size_t> got = engine.ReverseSkyline(q);
+      std::vector<size_t> expected;
+      for (size_t idx : oracle.ReverseSkyline(q)) {
+        expected.push_back(id_of_live[idx]);
+      }
+      std::sort(expected.begin(), expected.end());
+      ASSERT_EQ(got, expected) << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,113 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/dominance.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+TEST(ExplainTest, MemberHasNothingToExplain) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const WhyNotExplanation ex =
+      ExplainWhyNot(tree, ds.points, ds.points[1], PaperExampleQuery(), 1);
+  EXPECT_TRUE(ex.already_member);
+  EXPECT_TRUE(ex.culprits.empty());
+  EXPECT_TRUE(ex.frontier.empty());
+}
+
+TEST(ExplainTest, PaperExampleCulprit) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const WhyNotExplanation ex =
+      ExplainWhyNot(tree, ds.points, ds.points[0], PaperExampleQuery(), 0);
+  EXPECT_FALSE(ex.already_member);
+  EXPECT_EQ(ex.culprits, (std::vector<RStarTree::Id>{1}));
+  EXPECT_EQ(ex.frontier, (std::vector<RStarTree::Id>{1}));
+}
+
+TEST(ExplainTest, FrontierIsTheQSideSkylineOfCulprits) {
+  const Dataset ds = GenerateCarDb(800, 71);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(72);
+  int exercised = 0;
+  for (int trial = 0; trial < 40 && exercised < 15; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point q = ds.points[rng.NextUint64(ds.points.size())];
+    const WhyNotExplanation ex = ExplainWhyNot(
+        tree, ds.points, ds.points[c_idx], q,
+        static_cast<RStarTree::Id>(c_idx));
+    if (ex.already_member) continue;
+    ++exercised;
+    ASSERT_FALSE(ex.culprits.empty());
+    ASSERT_FALSE(ex.frontier.empty());
+    // Every frontier member is a culprit.
+    for (RStarTree::Id f : ex.frontier) {
+      EXPECT_TRUE(std::find(ex.culprits.begin(), ex.culprits.end(), f) !=
+                  ex.culprits.end());
+    }
+    // No culprit dynamically dominates a frontier member w.r.t. q, and
+    // every non-frontier culprit is dominated by someone.
+    for (RStarTree::Id f : ex.frontier) {
+      for (RStarTree::Id e : ex.culprits) {
+        if (e == f) continue;
+        EXPECT_FALSE(DynamicallyDominates(
+            ds.points[static_cast<size_t>(e)],
+            ds.points[static_cast<size_t>(f)], q))
+            << "frontier id " << f << " dominated by culprit " << e;
+      }
+    }
+    for (RStarTree::Id e : ex.culprits) {
+      if (std::find(ex.frontier.begin(), ex.frontier.end(), e) !=
+          ex.frontier.end()) {
+        continue;
+      }
+      bool dominated = false;
+      for (RStarTree::Id o : ex.culprits) {
+        if (o != e && DynamicallyDominates(
+                          ds.points[static_cast<size_t>(o)],
+                          ds.points[static_cast<size_t>(e)], q)) {
+          dominated = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated) << "non-frontier culprit " << e
+                             << " not dominated";
+    }
+  }
+  EXPECT_GE(exercised, 5);
+}
+
+TEST(ExplainTest, DeletingCulpritsAdmitsTheCustomer) {
+  // Lemma 1: removing Λ from P puts c_t into RSL(q).
+  const Dataset ds = GenerateCarDb(300, 73);
+  Rng rng(74);
+  int exercised = 0;
+  for (int trial = 0; trial < 20 && exercised < 5; ++trial) {
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point q = ds.points[rng.NextUint64(ds.points.size())];
+    const WhyNotExplanation ex = ExplainWhyNot(
+        tree, ds.points, ds.points[c_idx], q,
+        static_cast<RStarTree::Id>(c_idx));
+    if (ex.already_member || ex.culprits.size() > 200) continue;
+    ++exercised;
+    for (RStarTree::Id id : ex.culprits) {
+      ASSERT_TRUE(tree.Delete(
+          Rectangle::FromPoint(ds.points[static_cast<size_t>(id)]), id));
+    }
+    EXPECT_TRUE(WindowEmpty(tree, ds.points[c_idx], q,
+                            static_cast<RStarTree::Id>(c_idx)));
+  }
+  EXPECT_GE(exercised, 3);
+}
+
+}  // namespace
+}  // namespace wnrs

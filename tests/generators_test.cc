@@ -1,0 +1,150 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wnrs {
+namespace {
+
+double Correlation(const std::vector<Point>& points) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const double n = static_cast<double>(points.size());
+  for (const Point& p : points) {
+    sx += p[0];
+    sy += p[1];
+    sxx += p[0] * p[0];
+    syy += p[1] * p[1];
+    sxy += p[0] * p[1];
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  return cov / std::sqrt(vx * vy);
+}
+
+TEST(GeneratorsTest, SizesAndDimsRespected) {
+  EXPECT_EQ(GenerateUniform(100, 3, 1).points.size(), 100u);
+  EXPECT_EQ(GenerateUniform(100, 3, 1).dims, 3u);
+  EXPECT_EQ(GenerateCorrelated(50, 2, 1).points.size(), 50u);
+  EXPECT_EQ(GenerateAnticorrelated(50, 4, 1).points.size(), 50u);
+  EXPECT_EQ(GenerateClustered(50, 2, 1, 5, 0.05).points.size(), 50u);
+  EXPECT_EQ(GenerateCarDb(50, 1).points.size(), 50u);
+  EXPECT_EQ(GenerateCarDb(50, 1).dims, 2u);
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  const Dataset a = GenerateUniform(100, 2, 42);
+  const Dataset b = GenerateUniform(100, 2, 42);
+  EXPECT_EQ(a.points, b.points);
+  const Dataset c = GenerateCarDb(100, 9);
+  const Dataset d = GenerateCarDb(100, 9);
+  EXPECT_EQ(c.points, d.points);
+}
+
+TEST(GeneratorsTest, SeedsChangeData) {
+  EXPECT_FALSE(GenerateUniform(100, 2, 1).points ==
+               GenerateUniform(100, 2, 2).points);
+}
+
+TEST(GeneratorsTest, UniformInUnitBox) {
+  const Dataset ds = GenerateUniform(5000, 2, 3);
+  for (const Point& p : ds.points) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LT(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LT(p[1], 1.0);
+  }
+  // Near-zero correlation.
+  EXPECT_NEAR(Correlation(ds.points), 0.0, 0.05);
+}
+
+TEST(GeneratorsTest, CorrelatedHasHighPositiveCorrelation) {
+  const Dataset ds = GenerateCorrelated(5000, 2, 4);
+  EXPECT_GT(Correlation(ds.points), 0.8);
+}
+
+TEST(GeneratorsTest, AnticorrelatedHasNegativeCorrelation) {
+  const Dataset ds = GenerateAnticorrelated(5000, 2, 5);
+  EXPECT_LT(Correlation(ds.points), -0.3);
+  for (const Point& p : ds.points) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 1.0);
+  }
+}
+
+TEST(GeneratorsTest, CarDbRangesAndShape) {
+  const Dataset ds = GenerateCarDb(20000, 6);
+  double min_price = 1e18;
+  double max_price = 0;
+  double max_mileage = 0;
+  for (const Point& p : ds.points) {
+    min_price = std::min(min_price, p[0]);
+    max_price = std::max(max_price, p[0]);
+    max_mileage = std::max(max_mileage, p[1]);
+    EXPECT_GE(p[1], 0.0);
+  }
+  EXPECT_GE(min_price, 500.0);
+  EXPECT_LE(max_price, 90000.0);
+  EXPECT_LE(max_mileage, 250000.0);
+  // Mild price-mileage anti-correlation, like the real CarDB.
+  EXPECT_LT(Correlation(ds.points), -0.2);
+}
+
+TEST(GeneratorsTest, CarDbIsSparse) {
+  // "The distribution of data is sparse": no exact duplicates expected in
+  // a continuous mixture sample.
+  Dataset ds = GenerateCarDb(5000, 7);
+  std::sort(ds.points.begin(), ds.points.end());
+  EXPECT_EQ(std::adjacent_find(ds.points.begin(), ds.points.end()),
+            ds.points.end());
+}
+
+TEST(GeneratorsTest, SkylineSizeOrdering) {
+  // Skyline cardinality: correlated < uniform < anti-correlated (the
+  // classic Börzsönyi property the experiments rely on).
+  auto skyline_size = [](const Dataset& ds) {
+    size_t count = 0;
+    for (size_t i = 0; i < ds.points.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < ds.points.size() && !dominated; ++j) {
+        if (i == j) continue;
+        bool weak = true;
+        bool strict = false;
+        for (size_t d = 0; d < 2; ++d) {
+          if (ds.points[j][d] > ds.points[i][d]) weak = false;
+          if (ds.points[j][d] < ds.points[i][d]) strict = true;
+        }
+        dominated = weak && strict;
+      }
+      if (!dominated) ++count;
+    }
+    return count;
+  };
+  const size_t co = skyline_size(GenerateCorrelated(2000, 2, 8));
+  const size_t un = skyline_size(GenerateUniform(2000, 2, 8));
+  const size_t ac = skyline_size(GenerateAnticorrelated(2000, 2, 8));
+  EXPECT_LT(co, un);
+  EXPECT_LT(un, ac);
+}
+
+TEST(GeneratorsTest, PaperExampleMatchesFig1a) {
+  const Dataset ds = PaperExampleDataset();
+  ASSERT_EQ(ds.points.size(), 8u);
+  EXPECT_EQ(ds.points[0], Point({5.0, 30.0}));
+  EXPECT_EQ(ds.points[7], Point({16.0, 80.0}));
+  EXPECT_EQ(PaperExampleQuery(), Point({8.5, 55.0}));
+}
+
+TEST(GeneratorsTest, ClusteredStaysInUnitBox) {
+  const Dataset ds = GenerateClustered(2000, 3, 11, 8, 0.1);
+  for (const Point& p : ds.points) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(p[i], 0.0);
+      EXPECT_LE(p[i], 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,205 @@
+// End-to-end invariants across the whole pipeline on realistic workloads:
+// the properties the paper's evaluation section rests on (Section VI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace wnrs {
+namespace {
+
+class PipelineTest : public ::testing::TestWithParam<int> {
+ protected:
+  static Dataset MakeData(int dist, size_t n, uint64_t seed) {
+    switch (dist) {
+      case 0:
+        return GenerateUniform(n, 2, seed);
+      case 1:
+        return GenerateCorrelated(n, 2, seed);
+      case 2:
+        return GenerateAnticorrelated(n, 2, seed);
+      default:
+        return GenerateCarDb(n, seed);
+    }
+  }
+};
+
+TEST_P(PipelineTest, WorkloadDrivenWhyNotRoundTrip) {
+  const int dist = GetParam();
+  WhyNotEngine engine(MakeData(dist, 800, 4000 + dist));
+  const auto queries = SampleQueriesByRslSize(
+      engine.customers(),
+      [&](const Point& q) { return engine.ReverseSkyline(q); }, 1, 6, 1500,
+      4100 + dist);
+  ASSERT_FALSE(queries.empty());
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    const size_t c = wq.why_not_index;
+    // The why-not point is genuinely missing.
+    ASSERT_FALSE(engine.IsReverseSkylineMember(c, wq.q));
+
+    // Aspect 1: there is always at least one culprit.
+    const WhyNotExplanation why = engine.Explain(c, wq.q);
+    EXPECT_FALSE(why.already_member);
+    EXPECT_FALSE(why.culprits.empty());
+    EXPECT_FALSE(why.frontier.empty());
+    EXPECT_LE(why.frontier.size(), why.culprits.size());
+
+    // MWP produces candidates admitting the customer after the nudge.
+    const MwpResult mwp = engine.ModifyWhyNot(c, wq.q);
+    ASSERT_FALSE(mwp.candidates.empty());
+    const std::optional<Point> strict =
+        engine.NudgeToStrictMember(mwp.candidates.front().point, wq.q, c);
+    EXPECT_TRUE(strict.has_value());
+
+    // MWQ stays within budget: never more than MWP.
+    const MwqResult mwq = engine.ModifyBoth(c, wq.q);
+    EXPECT_LE(mwq.best_cost, mwp.candidates.front().cost + 1e-9);
+
+    // MWQ keeps every existing reverse-skyline member at its suggested
+    // q*.
+    ASSERT_FALSE(mwq.query_candidates.empty());
+    const Point& q_star = mwq.query_candidates.front().point;
+    for (size_t member : wq.rsl) {
+      EXPECT_TRUE(engine.IsReverseSkylineMember(member, q_star))
+          << "dist " << dist << ": customer " << member << " lost";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, PipelineTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(PipelineInvariantTest, BichromaticPipelineRoundTrip) {
+  // Distinct product and customer relations through the whole pipeline.
+  Dataset products = GenerateCarDb(600, 4800);
+  Dataset customers = GenerateCarDb(250, 4801);
+  WhyNotEngine engine(std::move(products), std::move(customers));
+  ASSERT_FALSE(engine.shared_relation());
+  const auto queries = SampleQueriesByRslSize(
+      engine.customers(),
+      [&](const Point& q) { return engine.ReverseSkyline(q); }, 1, 5, 1500,
+      4802);
+  ASSERT_FALSE(queries.empty());
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    const size_t c = wq.why_not_index;
+    ASSERT_FALSE(engine.IsReverseSkylineMember(c, wq.q));
+    const MwpResult mwp = engine.ModifyWhyNot(c, wq.q);
+    ASSERT_FALSE(mwp.candidates.empty());
+    const MwqResult mwq = engine.ModifyBoth(c, wq.q);
+    EXPECT_LE(mwq.best_cost, mwp.candidates.front().cost + 1e-9);
+    ASSERT_FALSE(mwq.query_candidates.empty());
+    for (size_t member : wq.rsl) {
+      EXPECT_TRUE(engine.IsReverseSkylineMember(
+          member, mwq.query_candidates.front().point));
+    }
+    // No self-exclusion in bichromatic mode: a product identical to the
+    // customer would genuinely block it, so Explain must never flag
+    // already_member for a sampled non-member.
+    EXPECT_FALSE(engine.Explain(c, wq.q).already_member);
+  }
+}
+
+TEST(PipelineInvariantTest, SafeRegionCanonicalizationIsTransparent) {
+  // Safe regions computed with aggressive canonicalization (threshold
+  // crossed) answer membership identically to the raw intersections:
+  // compare the engine's region against per-customer membership probes
+  // at random locations.
+  WhyNotEngine engine(GenerateAnticorrelated(700, 2, 4900));
+  Rng rng(4901);
+  int checked = 0;
+  for (int trial = 0; trial < 25 && checked < 6; ++trial) {
+    const Point q = engine.products().points[rng.NextUint64(700)];
+    const std::vector<size_t> rsl = engine.ReverseSkyline(q);
+    if (rsl.size() < 4 || rsl.size() > 12) continue;
+    ++checked;
+    const SafeRegionResult& sr = engine.SafeRegion(q);
+    for (int s = 0; s < 300; ++s) {
+      const Point probe({rng.NextDouble(), rng.NextDouble()});
+      if (!sr.region.Contains(probe)) continue;
+      // Inside the region (strictly or on the boundary): no member may be
+      // lost except by boundary ties; accept either strict keep or a tie
+      // at the exact border.
+      size_t kept = 0;
+      for (size_t member : rsl) {
+        if (engine.IsReverseSkylineMember(member, probe)) ++kept;
+      }
+      EXPECT_GE(kept + 1, rsl.size())
+          << "more than a boundary tie lost at " << probe.ToString();
+    }
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(PipelineInvariantTest, SafeRegionAreaShrinksWithRslSize) {
+  // Fig. 14's trend on a real workload: average safe-region area is
+  // non-increasing as |RSL| grows (checked coarsely: the largest bucket
+  // has a smaller area than the smallest).
+  WhyNotEngine engine(GenerateCarDb(1500, 4200));
+  const auto queries = SampleQueriesByRslSize(
+      engine.customers(),
+      [&](const Point& q) { return engine.ReverseSkyline(q); }, 1, 10, 3000,
+      4300);
+  ASSERT_GE(queries.size(), 4u);
+  const Rectangle bounds = engine.universe();
+  const double total_area = bounds.Volume();
+  double first_area = -1.0;
+  double last_area = -1.0;
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    const double area =
+        engine.SafeRegion(wq.q).region.UnionVolume() / total_area;
+    if (first_area < 0) first_area = area;
+    last_area = area;
+  }
+  EXPECT_LT(last_area, first_area + 1e-12);
+}
+
+TEST(PipelineInvariantTest, ApproxMwqFasterButNoWorseThanMwp) {
+  WhyNotEngine engine(GenerateCarDb(800, 4400));
+  engine.PrecomputeApproxDsls(10);
+  const auto queries = SampleQueriesByRslSize(
+      engine.customers(),
+      [&](const Point& q) { return engine.ReverseSkyline(q); }, 1, 6, 1500,
+      4500);
+  ASSERT_FALSE(queries.empty());
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    const MwqResult approx = engine.ModifyBothApprox(wq.why_not_index, wq.q);
+    const MwpResult mwp = engine.ModifyWhyNot(wq.why_not_index, wq.q);
+    ASSERT_FALSE(mwp.candidates.empty());
+    EXPECT_LE(approx.best_cost, mwp.candidates.front().cost + 1e-9);
+    // Approximate safe regions keep members too (subset of exact).
+    ASSERT_FALSE(approx.query_candidates.empty());
+    for (size_t member : wq.rsl) {
+      EXPECT_TRUE(engine.IsReverseSkylineMember(
+          member, approx.query_candidates.front().point));
+    }
+  }
+}
+
+TEST(PipelineInvariantTest, ExactMwqNeverWorseThanApproxMwq) {
+  // The approximated safe region is a subset of the exact one, so the
+  // exact MWQ can only do better (or equal).
+  WhyNotEngine engine(GenerateAnticorrelated(500, 2, 4600));
+  engine.PrecomputeApproxDsls(5);
+  Rng rng(4700);
+  int exercised = 0;
+  for (int trial = 0; trial < 30 && exercised < 10; ++trial) {
+    const Point q =
+        engine.products().points[rng.NextUint64(engine.products().size())];
+    if (engine.ReverseSkyline(q).size() > 8) continue;
+    const size_t c = rng.NextUint64(engine.customers().size());
+    const MwqResult exact = engine.ModifyBoth(c, q);
+    const MwqResult approx = engine.ModifyBothApprox(c, q);
+    if (exact.already_member) continue;
+    ++exercised;
+    EXPECT_LE(exact.best_cost, approx.best_cost + 1e-9);
+  }
+  EXPECT_GE(exercised, 5);
+}
+
+}  // namespace
+}  // namespace wnrs

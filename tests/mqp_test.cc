@@ -1,0 +1,183 @@
+#include "core/mqp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+class MqpTest : public ::testing::Test {
+ protected:
+  MqpTest()
+      : data_(PaperExampleDataset()),
+        tree_(BulkLoadPoints(2, data_.points)),
+        cost_(CostModel::EqualWeightsFor(data_.Bounds())),
+        q_(PaperExampleQuery()) {}
+
+  Dataset data_;
+  RStarTree tree_;
+  CostModel cost_;
+  Point q_;
+};
+
+TEST_F(MqpTest, AlreadyMemberShortCircuits) {
+  const MqpResult r = ModifyQueryPoint(tree_, data_.points, data_.points[1],
+                                       q_, cost_, 0, 1);
+  EXPECT_TRUE(r.already_member);
+  ASSERT_EQ(r.candidates.size(), 1u);
+  EXPECT_EQ(r.candidates[0].point, q_);
+}
+
+TEST_F(MqpTest, PaperExampleCandidates) {
+  const MqpResult r = ModifyQueryPoint(tree_, data_.points, data_.points[0],
+                                       q_, cost_, 0, 0);
+  EXPECT_FALSE(r.already_member);
+  ASSERT_EQ(r.candidates.size(), 2u);
+  // (7.5, 55) is the cheaper option ("decrease the price at least 1K").
+  EXPECT_TRUE(r.candidates[0].point.ApproxEquals(Point({7.5, 55.0})));
+  EXPECT_TRUE(r.candidates[1].point.ApproxEquals(Point({8.5, 42.0})));
+}
+
+/// Nudges q* slightly toward c_t (shrinking its transformed coordinates)
+/// and checks that c_t becomes a reverse-skyline member.
+bool NudgedMembership(const RStarTree& tree, const Point& c_t,
+                      const Point& q_star,
+                      std::optional<RStarTree::Id> exclude) {
+  for (double eps : {1e-9, 1e-7, 1e-5}) {
+    Point nudged = q_star;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      nudged[i] += eps * (c_t[i] - nudged[i]);
+    }
+    if (WindowEmpty(tree, c_t, nudged, exclude)) return true;
+  }
+  return false;
+}
+
+class MqpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MqpPropertyTest, CandidatesAdmitTheCustomerAfterNudge) {
+  const int dist = GetParam();
+  Dataset ds;
+  switch (dist) {
+    case 0:
+      ds = GenerateUniform(400, 2, 2401);
+      break;
+    case 1:
+      ds = GenerateCorrelated(400, 2, 2402);
+      break;
+    case 2:
+      ds = GenerateAnticorrelated(400, 2, 2403);
+      break;
+    default:
+      ds = GenerateCarDb(400, 2404);
+      break;
+  }
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const CostModel cost = CostModel::EqualWeightsFor(ds.Bounds());
+  Rng rng(900 + dist);
+  int exercised = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point q = ds.points[rng.NextUint64(ds.points.size())];
+    const Point& c_t = ds.points[c_idx];
+    const MqpResult r = ModifyQueryPoint(
+        tree, ds.points, c_t, q, cost, 0, static_cast<RStarTree::Id>(c_idx));
+    if (r.already_member) continue;
+    ++exercised;
+    ASSERT_FALSE(r.candidates.empty());
+    for (const Candidate& cand : r.candidates) {
+      EXPECT_TRUE(NudgedMembership(tree, c_t, cand.point,
+                                   static_cast<RStarTree::Id>(c_idx)))
+          << "dist " << dist << " c_t " << c_t.ToString() << " q "
+          << q.ToString() << " q* " << cand.point.ToString();
+    }
+    for (size_t i = 1; i < r.candidates.size(); ++i) {
+      EXPECT_LE(r.candidates[i - 1].cost, r.candidates[i].cost);
+    }
+  }
+  EXPECT_GT(exercised, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, MqpPropertyTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(MqpFastTest, FastPathMatchesReferenceCandidates) {
+  for (int dist = 0; dist < 4; ++dist) {
+    Dataset ds;
+    switch (dist) {
+      case 0:
+        ds = GenerateUniform(500, 2, 8801);
+        break;
+      case 1:
+        ds = GenerateCorrelated(500, 2, 8802);
+        break;
+      case 2:
+        ds = GenerateAnticorrelated(500, 2, 8803);
+        break;
+      default:
+        ds = GenerateCarDb(500, 8804);
+        break;
+    }
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    const CostModel cost = CostModel::EqualWeightsFor(ds.Bounds());
+    Rng rng(8850 + dist);
+    for (int trial = 0; trial < 40; ++trial) {
+      const size_t c_idx = rng.NextUint64(ds.points.size());
+      const Point q = ds.points[rng.NextUint64(ds.points.size())];
+      const auto exclude = static_cast<RStarTree::Id>(c_idx);
+      const MqpResult slow = ModifyQueryPoint(tree, ds.points,
+                                              ds.points[c_idx], q, cost, 0,
+                                              exclude);
+      const MqpResult fast = ModifyQueryPointFast(
+          tree, ds.points, ds.points[c_idx], q, cost, 0, exclude);
+      EXPECT_EQ(slow.already_member, fast.already_member);
+      ASSERT_EQ(slow.candidates.size(), fast.candidates.size())
+          << "dist " << dist << " trial " << trial;
+      for (size_t i = 0; i < slow.candidates.size(); ++i) {
+        EXPECT_TRUE(
+            slow.candidates[i].point.ApproxEquals(fast.candidates[i].point))
+            << slow.candidates[i].point.ToString() << " vs "
+            << fast.candidates[i].point.ToString();
+      }
+    }
+  }
+}
+
+TEST(MqpOrientationTest, CustomerAboveQuery) {
+  std::vector<Point> products = {Point({6.0, 6.0}), Point({7.0, 7.5})};
+  RStarTree tree = BulkLoadPoints(2, products);
+  const CostModel cost =
+      CostModel::EqualWeightsFor(Rectangle(Point({0, 0}), Point({10, 10})));
+  const Point c_t({9.0, 9.0});
+  const Point q({4.0, 4.0});
+  const MqpResult r = ModifyQueryPoint(tree, products, c_t, q, cost, 0);
+  ASSERT_FALSE(r.already_member);
+  for (const Candidate& cand : r.candidates) {
+    Point nudged = cand.point;
+    for (size_t i = 0; i < 2; ++i) nudged[i] += 1e-7 * (c_t[i] - nudged[i]);
+    EXPECT_TRUE(WindowEmpty(tree, c_t, nudged)) << cand.point.ToString();
+  }
+}
+
+TEST(MqpStructureTest, CandidateCountIsFrontierPlusOne) {
+  // A clean staircase of culprits: all on DSL(c_t), so |M| = |F| + 1
+  // modulo dedup.
+  std::vector<Point> products = {Point({4.0, 7.0}), Point({5.0, 6.0}),
+                                 Point({6.0, 4.0})};
+  RStarTree tree = BulkLoadPoints(2, products);
+  const CostModel cost =
+      CostModel::EqualWeightsFor(Rectangle(Point({0, 0}), Point({10, 10})));
+  const Point c_t({3.0, 3.0});
+  const Point q({8.0, 9.0});
+  const MqpResult r = ModifyQueryPoint(tree, products, c_t, q, cost, 0);
+  ASSERT_FALSE(r.already_member);
+  EXPECT_EQ(r.culprits.size(), 3u);
+  EXPECT_EQ(r.candidates.size(), 4u);
+}
+
+}  // namespace
+}  // namespace wnrs

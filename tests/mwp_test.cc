@@ -1,0 +1,242 @@
+#include "core/mwp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+class MwpTest : public ::testing::Test {
+ protected:
+  MwpTest()
+      : data_(PaperExampleDataset()),
+        tree_(BulkLoadPoints(2, data_.points)),
+        cost_(CostModel::EqualWeightsFor(data_.Bounds())),
+        q_(PaperExampleQuery()) {}
+
+  Dataset data_;
+  RStarTree tree_;
+  CostModel cost_;
+  Point q_;
+};
+
+TEST_F(MwpTest, AlreadyMemberShortCircuits) {
+  // c2 is already in RSL(q).
+  const MwpResult r = ModifyWhyNotPoint(tree_, data_.points, data_.points[1],
+                                        q_, cost_, 0, 1);
+  EXPECT_TRUE(r.already_member);
+  ASSERT_EQ(r.candidates.size(), 1u);
+  EXPECT_EQ(r.candidates[0].point, data_.points[1]);
+  EXPECT_EQ(r.candidates[0].cost, 0.0);
+}
+
+TEST_F(MwpTest, PaperExampleCandidates) {
+  const MwpResult r = ModifyWhyNotPoint(tree_, data_.points, data_.points[0],
+                                        q_, cost_, 0, 0);
+  EXPECT_FALSE(r.already_member);
+  EXPECT_EQ(r.culprits, (std::vector<RStarTree::Id>{1}));
+  ASSERT_EQ(r.candidates.size(), 2u);
+  // Cost-ascending: (8, 30) moves price 3/23.5*0.5; (5, 48.5) moves
+  // mileage 18.5/70*0.5.
+  EXPECT_TRUE(r.candidates[0].point.ApproxEquals(Point({8.0, 30.0})));
+  EXPECT_TRUE(r.candidates[1].point.ApproxEquals(Point({5.0, 48.5})));
+  EXPECT_LT(r.candidates[0].cost, r.candidates[1].cost);
+}
+
+TEST_F(MwpTest, CandidatesAreMutuallyNonDominatedInCost) {
+  // "No two points in M dominate each other" (Section IV): no candidate
+  // should be strictly cheaper in every dimension's movement.
+  const MwpResult r = ModifyWhyNotPoint(tree_, data_.points, data_.points[0],
+                                        q_, cost_, 0, 0);
+  const Point& c1 = data_.points[0];
+  for (const Candidate& a : r.candidates) {
+    for (const Candidate& b : r.candidates) {
+      if (a.point == b.point) continue;
+      bool a_no_worse_everywhere = true;
+      bool a_better_somewhere = false;
+      for (size_t i = 0; i < 2; ++i) {
+        const double move_a = std::abs(a.point[i] - c1[i]);
+        const double move_b = std::abs(b.point[i] - c1[i]);
+        if (move_a > move_b) a_no_worse_everywhere = false;
+        if (move_a < move_b) a_better_somewhere = true;
+      }
+      EXPECT_FALSE(a_no_worse_everywhere && a_better_somewhere)
+          << a.point.ToString() << " dominates " << b.point.ToString();
+    }
+  }
+}
+
+/// Nudges a candidate slightly toward q and checks strict membership.
+bool NudgedMember(const RStarTree& tree, const Point& cand, const Point& q,
+                  std::optional<RStarTree::Id> exclude) {
+  for (double eps : {1e-9, 1e-7, 1e-5}) {
+    Point nudged = cand;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      nudged[i] += eps * (q[i] - nudged[i]);
+    }
+    if (WindowEmpty(tree, nudged, q, exclude)) return true;
+  }
+  return false;
+}
+
+class MwpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MwpPropertyTest, CandidatesBecomeMembersAfterNudge) {
+  const int dist = GetParam();
+  Dataset ds;
+  switch (dist) {
+    case 0:
+      ds = GenerateUniform(400, 2, 1201);
+      break;
+    case 1:
+      ds = GenerateCorrelated(400, 2, 1202);
+      break;
+    case 2:
+      ds = GenerateAnticorrelated(400, 2, 1203);
+      break;
+    default:
+      ds = GenerateCarDb(400, 1204);
+      break;
+  }
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const CostModel cost = CostModel::EqualWeightsFor(ds.Bounds());
+  Rng rng(500 + dist);
+  int exercised = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point q = ds.points[rng.NextUint64(ds.points.size())];
+    const Point& c_t = ds.points[c_idx];
+    const MwpResult r = ModifyWhyNotPoint(
+        tree, ds.points, c_t, q, cost, 0,
+        static_cast<RStarTree::Id>(c_idx));
+    if (r.already_member) continue;
+    ++exercised;
+    ASSERT_FALSE(r.candidates.empty());
+    for (const Candidate& cand : r.candidates) {
+      EXPECT_TRUE(NudgedMember(tree, cand.point, q,
+                               static_cast<RStarTree::Id>(c_idx)))
+          << "dist " << dist << " c_t " << c_t.ToString() << " q "
+          << q.ToString() << " cand " << cand.point.ToString();
+      EXPECT_GE(cand.cost, 0.0);
+    }
+    // Candidates are sorted by cost.
+    for (size_t i = 1; i < r.candidates.size(); ++i) {
+      EXPECT_LE(r.candidates[i - 1].cost, r.candidates[i].cost);
+    }
+  }
+  EXPECT_GT(exercised, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, MwpPropertyTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(MwpFastTest, FastPathMatchesReferenceCandidates) {
+  for (int dist = 0; dist < 4; ++dist) {
+    Dataset ds;
+    switch (dist) {
+      case 0:
+        ds = GenerateUniform(500, 2, 9901);
+        break;
+      case 1:
+        ds = GenerateCorrelated(500, 2, 9902);
+        break;
+      case 2:
+        ds = GenerateAnticorrelated(500, 2, 9903);
+        break;
+      default:
+        ds = GenerateCarDb(500, 9904);
+        break;
+    }
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    const CostModel cost = CostModel::EqualWeightsFor(ds.Bounds());
+    Rng rng(9950 + dist);
+    for (int trial = 0; trial < 40; ++trial) {
+      const size_t c_idx = rng.NextUint64(ds.points.size());
+      const Point q = ds.points[rng.NextUint64(ds.points.size())];
+      const auto exclude = static_cast<RStarTree::Id>(c_idx);
+      const MwpResult slow = ModifyWhyNotPoint(tree, ds.points,
+                                               ds.points[c_idx], q, cost, 0,
+                                               exclude);
+      const MwpResult fast = ModifyWhyNotPointFast(
+          tree, ds.points, ds.points[c_idx], q, cost, 0, exclude);
+      EXPECT_EQ(slow.already_member, fast.already_member);
+      ASSERT_EQ(slow.candidates.size(), fast.candidates.size())
+          << "dist " << dist << " trial " << trial;
+      for (size_t i = 0; i < slow.candidates.size(); ++i) {
+        EXPECT_TRUE(
+            slow.candidates[i].point.ApproxEquals(fast.candidates[i].point))
+            << slow.candidates[i].point.ToString() << " vs "
+            << fast.candidates[i].point.ToString();
+      }
+    }
+  }
+}
+
+TEST(MwpFastTest, FastFrontierIsSubsetOfCulprits) {
+  const Dataset ds = GenerateCarDb(1000, 9905);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const CostModel cost = CostModel::EqualWeightsFor(ds.Bounds());
+  Rng rng(9906);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point q = ds.points[rng.NextUint64(ds.points.size())];
+    const auto exclude = static_cast<RStarTree::Id>(c_idx);
+    const MwpResult slow = ModifyWhyNotPoint(tree, ds.points,
+                                             ds.points[c_idx], q, cost, 0,
+                                             exclude);
+    const MwpResult fast = ModifyWhyNotPointFast(
+        tree, ds.points, ds.points[c_idx], q, cost, 0, exclude);
+    if (slow.already_member) continue;
+    EXPECT_LE(fast.culprits.size(), slow.culprits.size());
+    for (RStarTree::Id id : fast.culprits) {
+      EXPECT_TRUE(std::find(slow.culprits.begin(), slow.culprits.end(),
+                            id) != slow.culprits.end());
+    }
+  }
+}
+
+TEST(MwpOrientationTest, WorksWhenWhyNotIsAboveQuery) {
+  // c_t dominates... sits up-right of q: the mirrored orientation path.
+  std::vector<Point> products = {Point({6.0, 6.0}), Point({5.5, 5.5})};
+  Dataset ds;
+  ds.dims = 2;
+  ds.points = products;
+  RStarTree tree = BulkLoadPoints(2, products);
+  const CostModel cost =
+      CostModel::EqualWeightsFor(Rectangle(Point({0, 0}), Point({10, 10})));
+  const Point c_t({9.0, 9.0});
+  const Point q({4.0, 4.0});
+  const MwpResult r = ModifyWhyNotPoint(tree, products, c_t, q, cost, 0);
+  ASSERT_FALSE(r.already_member);
+  EXPECT_EQ(r.culprits.size(), 2u);
+  for (const Candidate& cand : r.candidates) {
+    Point nudged = cand.point;
+    for (size_t i = 0; i < 2; ++i) nudged[i] += 1e-7 * (q[i] - nudged[i]);
+    EXPECT_TRUE(WindowEmpty(tree, nudged, q))
+        << cand.point.ToString();
+  }
+}
+
+TEST(MwpOrientationTest, MixedOrientation3D) {
+  std::vector<Point> products = {Point({4.0, 6.0, 5.0})};
+  RStarTree tree = BulkLoadPoints(3, products);
+  const CostModel cost = CostModel::EqualWeightsFor(
+      Rectangle(Point({0, 0, 0}), Point({10, 10, 10})));
+  const Point c_t({2.0, 9.0, 5.0});
+  const Point q({6.0, 3.0, 6.0});
+  const MwpResult r = ModifyWhyNotPoint(tree, products, c_t, q, cost, 0);
+  if (!r.already_member) {
+    for (const Candidate& cand : r.candidates) {
+      Point nudged = cand.point;
+      for (size_t i = 0; i < 3; ++i) nudged[i] += 1e-7 * (q[i] - nudged[i]);
+      EXPECT_TRUE(WindowEmpty(tree, nudged, q)) << cand.point.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

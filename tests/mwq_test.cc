@@ -1,0 +1,144 @@
+#include "core/mwq.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/mwp.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/naive.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Dataset dataset)
+      : data(std::move(dataset)),
+        tree(BulkLoadPoints(2, data.points)),
+        cost(CostModel::EqualWeightsFor(data.Bounds())) {}
+
+  std::vector<size_t> Rsl(const Point& q) const {
+    return ReverseSkylineNaive(tree, data.points, q, true);
+  }
+
+  SafeRegionResult Sr(const Point& q) const {
+    return ComputeSafeRegion(tree, data.points, data.points, Rsl(q), q,
+                             data.Bounds(), true);
+  }
+
+  MwqResult Mwq(size_t c, const Point& q) const {
+    return ModifyQueryAndWhyNotPoint(tree, data.points, data.points[c], q,
+                                     Sr(q).region, data.Bounds(), cost, 0,
+                                     static_cast<RStarTree::Id>(c));
+  }
+
+  Dataset data;
+  RStarTree tree;
+  CostModel cost;
+};
+
+TEST(MwqTest, AlreadyMemberShortCircuits) {
+  Fixture fx(PaperExampleDataset());
+  const MwqResult r = fx.Mwq(1, PaperExampleQuery());
+  EXPECT_TRUE(r.already_member);
+  EXPECT_EQ(r.best_cost, 0.0);
+}
+
+TEST(MwqTest, PaperCaseC1AndC2) {
+  Fixture fx(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  const MwqResult c7 = fx.Mwq(6, q);
+  EXPECT_TRUE(c7.overlap);
+  EXPECT_EQ(c7.best_cost, 0.0);
+  const MwqResult c1 = fx.Mwq(0, q);
+  EXPECT_FALSE(c1.overlap);
+  EXPECT_GT(c1.best_cost, 0.0);
+}
+
+class MwqPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MwqPropertyTest, InvariantsOnRandomWorkloads) {
+  const int dist = GetParam();
+  Dataset ds;
+  switch (dist) {
+    case 0:
+      ds = GenerateUniform(300, 2, 3501);
+      break;
+    case 1:
+      ds = GenerateAnticorrelated(300, 2, 3502);
+      break;
+    default:
+      ds = GenerateCarDb(300, 3503);
+      break;
+  }
+  Fixture fx(std::move(ds));
+  Rng rng(3600 + dist);
+  int exercised = 0;
+  for (int trial = 0; trial < 40 && exercised < 15; ++trial) {
+    const Point q = fx.data.points[rng.NextUint64(fx.data.points.size())];
+    const std::vector<size_t> rsl = fx.Rsl(q);
+    if (rsl.size() > 10) continue;
+    const size_t c_idx = rng.NextUint64(fx.data.points.size());
+    const MwqResult r = fx.Mwq(c_idx, q);
+    if (r.already_member) continue;
+    ++exercised;
+
+    const MwpResult mwp = ModifyWhyNotPoint(
+        fx.tree, fx.data.points, fx.data.points[c_idx], q, fx.cost, 0,
+        static_cast<RStarTree::Id>(c_idx));
+    ASSERT_FALSE(mwp.candidates.empty());
+
+    if (r.overlap) {
+      // C1: zero cost, and the returned q* really admits the customer
+      // while keeping every existing member.
+      EXPECT_EQ(r.best_cost, 0.0);
+      ASSERT_FALSE(r.query_candidates.empty());
+      const Point& q_star = r.query_candidates.front().point;
+      EXPECT_TRUE(WindowEmpty(fx.tree, fx.data.points[c_idx], q_star,
+                              static_cast<RStarTree::Id>(c_idx)));
+      for (size_t c : rsl) {
+        EXPECT_TRUE(WindowEmpty(fx.tree, fx.data.points[c], q_star,
+                                static_cast<RStarTree::Id>(c)))
+            << "existing customer " << c << " lost in case C1";
+      }
+    } else {
+      // C2: cost never exceeds plain MWP (Table III/IV's headline
+      // property: MWQ <= MWP; equality when SR degenerates to q).
+      EXPECT_GT(r.best_cost, 0.0);
+      EXPECT_LE(r.best_cost, mwp.candidates.front().cost + 1e-9)
+          << "MWQ worse than MWP for q " << q.ToString();
+      ASSERT_FALSE(r.why_not_candidates.empty());
+      // The recommended q* stays inside the safe region (never loses
+      // existing members).
+      ASSERT_FALSE(r.query_candidates.empty());
+      const SafeRegionResult sr = fx.Sr(q);
+      EXPECT_TRUE(sr.region.Contains(r.query_candidates.front().point));
+    }
+  }
+  EXPECT_GE(exercised, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, MwqPropertyTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(MwqTest, EmptyRslActsLikeUnconstrainedQueryMove) {
+  // With no existing reverse-skyline customers the safe region is the
+  // whole universe, so MWQ always lands in case C1 with zero cost.
+  Fixture fx(GenerateUniform(200, 2, 3701));
+  Rng rng(3702);
+  int checked = 0;
+  for (int trial = 0; trial < 30 && checked < 5; ++trial) {
+    const Point q({rng.NextDouble(), rng.NextDouble()});
+    if (!fx.Rsl(q).empty()) continue;
+    const size_t c_idx = rng.NextUint64(fx.data.points.size());
+    const MwqResult r = fx.Mwq(c_idx, q);
+    if (r.already_member) continue;
+    ++checked;
+    EXPECT_TRUE(r.overlap);
+    EXPECT_EQ(r.best_cost, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,134 @@
+// Near-optimality oracles: in 2-D, Algorithm 1's candidate set should
+// contain (up to the closed-boundary epsilon) the minimum-cost feasible
+// movement, and Algorithm 2's should contain the minimum-cost query
+// movement. Verified against dense grid search over the data space.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "core/mqp.h"
+#include "core/mwp.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+constexpr int kGrid = 160;
+
+struct GridEnv {
+  explicit GridEnv(Dataset dataset)
+      : data(std::move(dataset)),
+        tree(BulkLoadPoints(2, data.points)),
+        bounds(data.Bounds()),
+        cost(CostModel::EqualWeightsFor(bounds)) {}
+
+  Point Cell(int ix, int iy) const {
+    return Point({bounds.lo()[0] +
+                      (ix + 0.5) / kGrid * (bounds.hi()[0] - bounds.lo()[0]),
+                  bounds.lo()[1] +
+                      (iy + 0.5) / kGrid * (bounds.hi()[1] - bounds.lo()[1])});
+  }
+
+  Dataset data;
+  RStarTree tree;
+  Rectangle bounds;
+  CostModel cost;
+};
+
+TEST(MwpOptimalityTest, BestCandidateMatchesGridSearch) {
+  GridEnv env(GenerateCarDb(250, 81));
+  Rng rng(82);
+  int exercised = 0;
+  for (int trial = 0; trial < 30 && exercised < 6; ++trial) {
+    const size_t c_idx = rng.NextUint64(env.data.points.size());
+    const Point q = env.data.points[rng.NextUint64(env.data.points.size())];
+    const Point& c_t = env.data.points[c_idx];
+    const auto exclude = static_cast<RStarTree::Id>(c_idx);
+    const MwpResult r = ModifyWhyNotPoint(env.tree, env.data.points, c_t, q,
+                                          env.cost, 0, exclude);
+    if (r.already_member) continue;
+    ++exercised;
+
+    // Grid search: cheapest strictly-feasible customer location.
+    double grid_best = std::numeric_limits<double>::infinity();
+    for (int ix = 0; ix < kGrid; ++ix) {
+      for (int iy = 0; iy < kGrid; ++iy) {
+        const Point cand = env.Cell(ix, iy);
+        if (!WindowEmpty(env.tree, cand, q, exclude)) continue;
+        grid_best =
+            std::min(grid_best, env.cost.WhyNotMoveCost(c_t, cand));
+      }
+    }
+    if (!std::isfinite(grid_best)) continue;  // Grid too coarse here.
+    ASSERT_FALSE(r.candidates.empty());
+    // The algorithm's best (a boundary infimum) must not exceed the grid
+    // optimum. (No lower bound: the feasible sliver past the boundary can
+    // be thinner than a grid cell, so the algorithm legitimately finds
+    // answers the grid cannot certify; their feasibility is established
+    // by the epsilon-nudge membership test below.)
+    const Candidate& best = r.candidates.front();
+    EXPECT_LE(best.cost, grid_best + 1e-9)
+        << "grid found a cheaper strict solution than the algorithm";
+    bool feasible = false;
+    for (double eps : {1e-9, 1e-7, 1e-5}) {
+      Point nudged = best.point;
+      for (size_t i = 0; i < 2; ++i) nudged[i] += eps * (q[i] - nudged[i]);
+      if (WindowEmpty(env.tree, nudged, q, exclude)) {
+        feasible = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(feasible) << best.point.ToString();
+  }
+  EXPECT_GE(exercised, 3);
+}
+
+TEST(MqpOptimalityTest, BestCandidateMatchesGridSearch) {
+  GridEnv env(GenerateCarDb(250, 83));
+  Rng rng(84);
+  int exercised = 0;
+  for (int trial = 0; trial < 30 && exercised < 6; ++trial) {
+    const size_t c_idx = rng.NextUint64(env.data.points.size());
+    const Point q = env.data.points[rng.NextUint64(env.data.points.size())];
+    const Point& c_t = env.data.points[c_idx];
+    const auto exclude = static_cast<RStarTree::Id>(c_idx);
+    const MqpResult r = ModifyQueryPoint(env.tree, env.data.points, c_t, q,
+                                         env.cost, 0, exclude);
+    if (r.already_member) continue;
+    ++exercised;
+
+    double grid_best = std::numeric_limits<double>::infinity();
+    for (int ix = 0; ix < kGrid; ++ix) {
+      for (int iy = 0; iy < kGrid; ++iy) {
+        const Point cand = env.Cell(ix, iy);
+        if (!WindowEmpty(env.tree, c_t, cand, exclude)) continue;
+        grid_best = std::min(grid_best, env.cost.QueryMoveCost(q, cand));
+      }
+    }
+    if (!std::isfinite(grid_best)) continue;
+    ASSERT_FALSE(r.candidates.empty());
+    const Candidate& best = r.candidates.front();
+    EXPECT_LE(best.cost, grid_best + 1e-9);
+    bool feasible = false;
+    for (double eps : {1e-9, 1e-7, 1e-5}) {
+      Point nudged = best.point;
+      for (size_t i = 0; i < 2; ++i) {
+        nudged[i] += eps * (c_t[i] - nudged[i]);
+      }
+      if (WindowEmpty(env.tree, c_t, nudged, exclude)) {
+        feasible = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(feasible) << best.point.ToString();
+  }
+  EXPECT_GE(exercised, 3);
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,73 @@
+#include "geometry/point.h"
+
+#include <gtest/gtest.h>
+
+namespace wnrs {
+namespace {
+
+TEST(PointTest, ConstructionVariants) {
+  EXPECT_EQ(Point().dims(), 0u);
+  EXPECT_TRUE(Point().empty());
+
+  Point origin(3);
+  EXPECT_EQ(origin.dims(), 3u);
+  EXPECT_EQ(origin[0], 0.0);
+  EXPECT_EQ(origin[2], 0.0);
+
+  Point p({1.0, 2.0});
+  EXPECT_EQ(p.dims(), 2u);
+  EXPECT_EQ(p[1], 2.0);
+
+  Point from_vec(std::vector<double>{4.0, 5.0, 6.0});
+  EXPECT_EQ(from_vec.dims(), 3u);
+  EXPECT_EQ(from_vec[2], 6.0);
+}
+
+TEST(PointTest, MutationThroughIndex) {
+  Point p(2);
+  p[0] = 3.5;
+  EXPECT_EQ(p[0], 3.5);
+}
+
+TEST(PointTest, EqualityAndOrdering) {
+  EXPECT_EQ(Point({1.0, 2.0}), Point({1.0, 2.0}));
+  EXPECT_FALSE(Point({1.0, 2.0}) == Point({1.0, 3.0}));
+  EXPECT_TRUE(Point({1.0, 2.0}) < Point({1.0, 3.0}));
+  EXPECT_TRUE(Point({0.0, 9.0}) < Point({1.0, 0.0}));
+}
+
+TEST(PointTest, ApproxEquals) {
+  EXPECT_TRUE(Point({1.0}).ApproxEquals(Point({1.0 + 1e-12})));
+  EXPECT_FALSE(Point({1.0}).ApproxEquals(Point({1.1})));
+  EXPECT_TRUE(Point({1.0}).ApproxEquals(Point({1.05}), 0.1));
+  // Dimension mismatch is just "not equal".
+  EXPECT_FALSE(Point({1.0}).ApproxEquals(Point({1.0, 2.0})));
+}
+
+TEST(PointTest, Norms) {
+  EXPECT_DOUBLE_EQ(Point({3.0, -4.0}).L1Norm(), 7.0);
+  EXPECT_DOUBLE_EQ(Point({3.0, -4.0}).L2Distance(Point({0.0, 0.0})), 5.0);
+}
+
+TEST(PointTest, Distances) {
+  const Point a({1.0, 2.0});
+  const Point b({4.0, -2.0});
+  EXPECT_DOUBLE_EQ(a.L1Distance(b), 7.0);
+  EXPECT_DOUBLE_EQ(a.L2Distance(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.L1Distance(a), 0.0);
+}
+
+TEST(PointTest, WeightedL1Distance) {
+  const Point a({0.0, 0.0});
+  const Point b({2.0, 10.0});
+  EXPECT_DOUBLE_EQ(a.WeightedL1Distance(b, {0.5, 0.1}), 2.0);
+  EXPECT_DOUBLE_EQ(a.WeightedL1Distance(b, {0.0, 0.0}), 0.0);
+}
+
+TEST(PointTest, ToStringFormatsCompactly) {
+  EXPECT_EQ(Point({8.5, 55.0}).ToString(), "(8.5, 55)");
+  EXPECT_EQ(Point({1.0}).ToString(), "(1)");
+}
+
+}  // namespace
+}  // namespace wnrs

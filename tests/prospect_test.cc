@@ -1,0 +1,122 @@
+#include "core/prospect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+TEST(ProspectTest, PaperExampleRanksNonMembers) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  ProspectOptions options;
+  options.max_prospects = 10;
+  const std::vector<Prospect> prospects = RankProspects(engine, q, options);
+  // Non-members are c1, c5, c7; all should be ranked.
+  ASSERT_EQ(prospects.size(), 3u);
+  std::vector<size_t> who;
+  for (const Prospect& p : prospects) who.push_back(p.customer);
+  std::sort(who.begin(), who.end());
+  EXPECT_EQ(who, (std::vector<size_t>{0, 4, 6}));
+  // c7 is the free win (case C1 of the paper's MWQ example).
+  for (const Prospect& p : prospects) {
+    if (p.customer == 6) {
+      EXPECT_TRUE(p.free_win);
+      EXPECT_EQ(p.cost, 0.0);
+      EXPECT_FALSE(p.customer_move.has_value());
+    } else {
+      EXPECT_FALSE(p.free_win);
+      EXPECT_GT(p.cost, 0.0);
+      EXPECT_TRUE(p.customer_move.has_value());
+    }
+  }
+  // Cost-ascending: the free win leads.
+  EXPECT_EQ(prospects.front().customer, 6u);
+  for (size_t i = 1; i < prospects.size(); ++i) {
+    EXPECT_LE(prospects[i - 1].cost, prospects[i].cost);
+  }
+}
+
+TEST(ProspectTest, MaxProspectsTruncates) {
+  WhyNotEngine engine(PaperExampleDataset());
+  ProspectOptions options;
+  options.max_prospects = 1;
+  const auto prospects =
+      RankProspects(engine, PaperExampleQuery(), options);
+  ASSERT_EQ(prospects.size(), 1u);
+  EXPECT_EQ(prospects.front().customer, 6u);
+}
+
+TEST(ProspectTest, DistanceFilterLimitsCandidates) {
+  WhyNotEngine engine(GenerateCarDb(1000, 51));
+  const Point q({15000.0, 60000.0});
+  ProspectOptions narrow;
+  narrow.max_prospects = 1000;
+  narrow.max_preference_distance = 10000.0;
+  const auto near = RankProspects(engine, q, narrow);
+  for (const Prospect& p : near) {
+    EXPECT_LE(engine.customers().points[p.customer].L1Distance(q),
+              10000.0);
+  }
+  ProspectOptions wide = narrow;
+  wide.max_preference_distance = 50000.0;
+  const auto far = RankProspects(engine, q, wide);
+  EXPECT_GE(far.size(), near.size());
+}
+
+TEST(ProspectTest, SuggestionsAreActionable) {
+  // Every suggested query move keeps all existing members, and free wins
+  // really admit the prospect.
+  WhyNotEngine engine(GenerateCarDb(600, 52));
+  Rng rng(53);
+  const Point q = engine.products().points[rng.NextUint64(600)];
+  const std::vector<size_t> members = engine.ReverseSkyline(q);
+  ProspectOptions options;
+  options.max_prospects = 8;
+  options.max_preference_distance = 30000.0;
+  for (const Prospect& p : RankProspects(engine, q, options)) {
+    for (size_t m : members) {
+      EXPECT_TRUE(engine.IsReverseSkylineMember(m, p.query_move))
+          << "member " << m << " lost by prospect " << p.customer;
+    }
+    if (p.free_win) {
+      EXPECT_TRUE(
+          engine.IsReverseSkylineMember(p.customer, p.query_move));
+    }
+  }
+}
+
+TEST(ProspectTest, ApproxModeAgreesOnFreeWins) {
+  WhyNotEngine engine(GenerateCarDb(400, 54));
+  engine.PrecomputeApproxDsls(10);
+  Rng rng(55);
+  const Point q = engine.products().points[rng.NextUint64(400)];
+  ProspectOptions exact_options;
+  exact_options.max_prospects = 200;
+  exact_options.max_preference_distance = 40000.0;
+  ProspectOptions approx_options = exact_options;
+  approx_options.use_approx = true;
+  const auto exact = RankProspects(engine, q, exact_options);
+  const auto approx = RankProspects(engine, q, approx_options);
+  // Approx free wins are a subset of exact free wins (smaller region).
+  auto free_set = [](const std::vector<Prospect>& v) {
+    std::vector<size_t> out;
+    for (const Prospect& p : v) {
+      if (p.free_win) out.push_back(p.customer);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto exact_free = free_set(exact);
+  for (size_t c : free_set(approx)) {
+    EXPECT_TRUE(std::binary_search(exact_free.begin(), exact_free.end(), c))
+        << "approx-free customer " << c << " not exact-free";
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,127 @@
+#include "geometry/rectangle.h"
+
+#include <gtest/gtest.h>
+
+namespace wnrs {
+namespace {
+
+Rectangle Rect(double x0, double y0, double x1, double y1) {
+  return Rectangle(Point({x0, y0}), Point({x1, y1}));
+}
+
+TEST(RectangleTest, EmptyDetection) {
+  EXPECT_TRUE(Rectangle().IsEmpty());
+  EXPECT_FALSE(Rect(0, 0, 1, 1).IsEmpty());
+  EXPECT_TRUE(Rect(2, 0, 1, 1).IsEmpty());
+  // Degenerate (zero-extent) rectangles are not empty.
+  EXPECT_FALSE(Rect(1, 1, 1, 1).IsEmpty());
+}
+
+TEST(RectangleTest, FromCornersNormalizesOrder) {
+  const Rectangle r = Rectangle::FromCorners(Point({3, 0}), Point({1, 2}));
+  EXPECT_EQ(r.lo(), Point({1, 0}));
+  EXPECT_EQ(r.hi(), Point({3, 2}));
+}
+
+TEST(RectangleTest, FromPointIsDegenerate) {
+  const Rectangle r = Rectangle::FromPoint(Point({2, 3}));
+  EXPECT_TRUE(r.Contains(Point({2, 3})));
+  EXPECT_DOUBLE_EQ(r.Volume(), 0.0);
+}
+
+TEST(RectangleTest, ContainsClosedSemantics) {
+  const Rectangle r = Rect(0, 0, 2, 2);
+  EXPECT_TRUE(r.Contains(Point({0, 0})));
+  EXPECT_TRUE(r.Contains(Point({2, 2})));
+  EXPECT_TRUE(r.Contains(Point({1, 1})));
+  EXPECT_FALSE(r.Contains(Point({2.0001, 1})));
+  EXPECT_FALSE(r.Contains(Point({-0.0001, 1})));
+}
+
+TEST(RectangleTest, ContainsRect) {
+  const Rectangle outer = Rect(0, 0, 4, 4);
+  EXPECT_TRUE(outer.ContainsRect(Rect(1, 1, 2, 2)));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect(Rect(1, 1, 5, 2)));
+  // Empty rectangles are contained in anything.
+  EXPECT_TRUE(outer.ContainsRect(Rect(3, 3, 1, 1)));
+}
+
+TEST(RectangleTest, IntersectionBasics) {
+  const Rectangle a = Rect(0, 0, 2, 2);
+  const Rectangle b = Rect(1, 1, 3, 3);
+  ASSERT_TRUE(a.Intersects(b));
+  const auto inter = a.Intersection(b);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(inter->lo(), Point({1, 1}));
+  EXPECT_EQ(inter->hi(), Point({2, 2}));
+}
+
+TEST(RectangleTest, TouchingRectanglesIntersectDegenerately) {
+  const Rectangle a = Rect(0, 0, 1, 1);
+  const Rectangle b = Rect(1, 0, 2, 1);
+  ASSERT_TRUE(a.Intersects(b));
+  const auto inter = a.Intersection(b);
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_DOUBLE_EQ(inter->Volume(), 0.0);
+}
+
+TEST(RectangleTest, DisjointNoIntersection) {
+  const Rectangle a = Rect(0, 0, 1, 1);
+  const Rectangle b = Rect(2, 2, 3, 3);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersection(b).has_value());
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.0);
+}
+
+TEST(RectangleTest, BoundingUnion) {
+  const Rectangle u = Rect(0, 0, 1, 1).BoundingUnion(Rect(2, -1, 3, 0.5));
+  EXPECT_EQ(u.lo(), Point({0, -1}));
+  EXPECT_EQ(u.hi(), Point({3, 1}));
+  // Union with empty is identity.
+  EXPECT_EQ(Rect(0, 0, 1, 1).BoundingUnion(Rectangle(Point({5, 5}),
+                                                     Point({4, 4}))),
+            Rect(0, 0, 1, 1));
+}
+
+TEST(RectangleTest, VolumeMarginCenterExtent) {
+  const Rectangle r = Rect(0, 0, 2, 5);
+  EXPECT_DOUBLE_EQ(r.Volume(), 10.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 7.0);
+  EXPECT_EQ(r.Center(), Point({1, 2.5}));
+  EXPECT_DOUBLE_EQ(r.Extent(0), 2.0);
+  EXPECT_DOUBLE_EQ(r.Extent(1), 5.0);
+}
+
+TEST(RectangleTest, NearestPointClamps) {
+  const Rectangle r = Rect(0, 0, 2, 2);
+  EXPECT_EQ(r.NearestPointTo(Point({5, 1})), Point({2, 1}));
+  EXPECT_EQ(r.NearestPointTo(Point({-1, -1})), Point({0, 0}));
+  EXPECT_EQ(r.NearestPointTo(Point({1, 1})), Point({1, 1}));
+}
+
+TEST(RectangleTest, Distances) {
+  const Rectangle r = Rect(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(r.MinL1Distance(Point({5, 3})), 4.0);
+  EXPECT_DOUBLE_EQ(r.MinL1Distance(Point({1, 1})), 0.0);
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(Point({5, 3})), 10.0);
+  EXPECT_DOUBLE_EQ(r.MinDistSquared(Point({1, 3})), 1.0);
+}
+
+TEST(RectangleTest, EnlargementAndOverlap) {
+  const Rectangle a = Rect(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(a.EnlargementToInclude(Rect(0, 0, 1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(a.EnlargementToInclude(Rect(0, 0, 4, 2)), 4.0);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(Rect(1, 1, 3, 3)), 1.0);
+}
+
+TEST(RectangleTest, ThreeDimensional) {
+  const Rectangle r(Point({0, 0, 0}), Point({1, 2, 3}));
+  EXPECT_DOUBLE_EQ(r.Volume(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 6.0);
+  EXPECT_TRUE(r.Contains(Point({0.5, 1.5, 2.5})));
+  EXPECT_FALSE(r.Contains(Point({0.5, 1.5, 3.5})));
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,229 @@
+#include "geometry/region.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wnrs {
+namespace {
+
+Rectangle Rect(double x0, double y0, double x1, double y1) {
+  return Rectangle(Point({x0, y0}), Point({x1, y1}));
+}
+
+TEST(RectRegionTest, AddDropsEmptyRectangles) {
+  RectRegion region;
+  region.Add(Rect(2, 2, 1, 1));  // Empty (lo > hi).
+  EXPECT_TRUE(region.empty());
+  region.Add(Rect(0, 0, 1, 1));
+  EXPECT_EQ(region.size(), 1u);
+}
+
+TEST(RectRegionTest, ContainsAnyConstituent) {
+  RectRegion region({Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)});
+  EXPECT_TRUE(region.Contains(Point({0.5, 0.5})));
+  EXPECT_TRUE(region.Contains(Point({6, 6})));
+  EXPECT_FALSE(region.Contains(Point({3, 3})));
+}
+
+TEST(RectRegionTest, IntersectPairwise) {
+  RectRegion a({Rect(0, 0, 2, 2), Rect(4, 0, 6, 2)});
+  RectRegion b({Rect(1, 1, 5, 3)});
+  RectRegion inter = a.Intersect(b);
+  EXPECT_EQ(inter.size(), 2u);
+  EXPECT_TRUE(inter.Contains(Point({1.5, 1.5})));
+  EXPECT_TRUE(inter.Contains(Point({4.5, 1.5})));
+  EXPECT_FALSE(inter.Contains(Point({3, 1.5})));
+}
+
+TEST(RectRegionTest, IntersectWithDisjointIsEmpty) {
+  RectRegion a({Rect(0, 0, 1, 1)});
+  RectRegion b({Rect(5, 5, 6, 6)});
+  EXPECT_TRUE(a.Intersect(b).empty());
+}
+
+TEST(RectRegionTest, PruneContainedRemovesNestedAndDuplicates) {
+  RectRegion region({Rect(0, 0, 4, 4), Rect(1, 1, 2, 2), Rect(0, 0, 4, 4)});
+  region.PruneContained();
+  EXPECT_EQ(region.size(), 1u);
+  EXPECT_EQ(region.rects().front(), Rect(0, 0, 4, 4));
+}
+
+TEST(RectRegionTest, PruneKeepsPartialOverlaps) {
+  RectRegion region({Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)});
+  region.PruneContained();
+  EXPECT_EQ(region.size(), 2u);
+}
+
+TEST(RectRegionTest, UnionVolumeDisjoint) {
+  RectRegion region({Rect(0, 0, 1, 1), Rect(2, 2, 4, 3)});
+  EXPECT_DOUBLE_EQ(region.UnionVolume(), 3.0);
+}
+
+TEST(RectRegionTest, UnionVolumeCountsOverlapOnce) {
+  RectRegion region({Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)});
+  EXPECT_DOUBLE_EQ(region.UnionVolume(), 7.0);
+}
+
+TEST(RectRegionTest, UnionVolumeNestedEqualsOuter) {
+  RectRegion region({Rect(0, 0, 4, 4), Rect(1, 1, 2, 2)});
+  EXPECT_DOUBLE_EQ(region.UnionVolume(), 16.0);
+}
+
+TEST(RectRegionTest, UnionVolume3D) {
+  RectRegion region({Rectangle(Point({0, 0, 0}), Point({2, 2, 2})),
+                     Rectangle(Point({1, 1, 1}), Point({3, 3, 3}))});
+  // 8 + 8 - 1 overlap.
+  EXPECT_DOUBLE_EQ(region.UnionVolume(), 15.0);
+}
+
+TEST(RectRegionTest, UnionVolumeMonteCarloAgreement) {
+  // Property: exact sweep volume matches Monte Carlo estimation on random
+  // rectangle soup.
+  Rng rng(99);
+  RectRegion region;
+  for (int i = 0; i < 12; ++i) {
+    const double x0 = rng.NextDouble(0, 8);
+    const double y0 = rng.NextDouble(0, 8);
+    region.Add(Rect(x0, y0, x0 + rng.NextDouble(0.5, 3),
+                    y0 + rng.NextDouble(0.5, 3)));
+  }
+  const double exact = region.UnionVolume();
+  int hits = 0;
+  const int samples = 200000;
+  for (int s = 0; s < samples; ++s) {
+    Point p({rng.NextDouble(0, 11), rng.NextDouble(0, 11)});
+    if (region.Contains(p)) ++hits;
+  }
+  const double mc = 11.0 * 11.0 * hits / samples;
+  EXPECT_NEAR(exact, mc, 0.05 * 11 * 11);
+}
+
+TEST(RectRegionTest, BoundingBox) {
+  RectRegion region({Rect(0, 0, 1, 1), Rect(4, -2, 5, 0)});
+  const Rectangle box = region.BoundingBox();
+  EXPECT_EQ(box.lo(), Point({0, -2}));
+  EXPECT_EQ(box.hi(), Point({5, 1}));
+  EXPECT_TRUE(RectRegion().BoundingBox().IsEmpty());
+}
+
+TEST(RectRegionTest, NearestPointPicksClosestRect) {
+  RectRegion region({Rect(0, 0, 1, 1), Rect(10, 0, 11, 1)});
+  double dist = -1.0;
+  const Point near = region.NearestPointTo(Point({9, 0.5}), &dist);
+  EXPECT_EQ(near, Point({10, 0.5}));
+  EXPECT_DOUBLE_EQ(dist, 1.0);
+  // Inside a rect: distance 0, identity point.
+  const Point inside = region.NearestPointTo(Point({0.5, 0.5}), &dist);
+  EXPECT_EQ(inside, Point({0.5, 0.5}));
+  EXPECT_DOUBLE_EQ(dist, 0.0);
+}
+
+TEST(RectRegionTest, ClipTo) {
+  RectRegion region({Rect(0, 0, 4, 4), Rect(10, 10, 12, 12)});
+  region.ClipTo(Rect(2, 2, 8, 8));
+  EXPECT_EQ(region.size(), 1u);
+  EXPECT_EQ(region.rects().front(), Rect(2, 2, 4, 4));
+}
+
+TEST(RectRegionTest, CanonicalizePreservesMembership) {
+  Rng rng(17);
+  RectRegion region;
+  for (int i = 0; i < 25; ++i) {
+    const double x0 = rng.NextDouble(0, 8);
+    const double y0 = rng.NextDouble(0, 8);
+    region.Add(Rect(x0, y0, x0 + rng.NextDouble(0.2, 4),
+                    y0 + rng.NextDouble(0.2, 4)));
+  }
+  RectRegion canonical = region;
+  canonical.Canonicalize();
+  // A disjoint decomposition of overlapping soup may have more pieces
+  // than the overlapping form (its payoff is collapsing the redundancy of
+  // iterated intersections), but it is bounded by the slab grid.
+  EXPECT_LE(canonical.size(), region.size() * region.size());
+  EXPECT_NEAR(canonical.UnionVolume(), region.UnionVolume(), 1e-9);
+  for (int s = 0; s < 20000; ++s) {
+    const Point p({rng.NextDouble(-0.5, 12.5), rng.NextDouble(-0.5, 12.5)});
+    EXPECT_EQ(canonical.Contains(p), region.Contains(p)) << p.ToString();
+  }
+}
+
+TEST(RectRegionTest, CanonicalizeProducesDisjointInteriors) {
+  Rng rng(18);
+  RectRegion region;
+  for (int i = 0; i < 15; ++i) {
+    const double x0 = rng.NextDouble(0, 5);
+    const double y0 = rng.NextDouble(0, 5);
+    region.Add(Rect(x0, y0, x0 + rng.NextDouble(0.5, 3),
+                    y0 + rng.NextDouble(0.5, 3)));
+  }
+  region.Canonicalize();
+  const auto& rects = region.rects();
+  for (size_t i = 0; i < rects.size(); ++i) {
+    for (size_t j = i + 1; j < rects.size(); ++j) {
+      EXPECT_LE(rects[i].OverlapVolume(rects[j]), 1e-12)
+          << rects[i].ToString() << " overlaps " << rects[j].ToString();
+    }
+  }
+}
+
+TEST(RectRegionTest, CanonicalizeKeepsUncoveredDegenerateRects) {
+  RectRegion region({Rect(0, 0, 2, 2), Rect(5, 5, 5, 8),  // Line segment.
+                     Rect(1, 1, 1, 1.5)});                // Covered segment.
+  region.Canonicalize();
+  EXPECT_TRUE(region.Contains(Point({5, 7})));   // Segment preserved.
+  EXPECT_TRUE(region.Contains(Point({1, 1.2})));
+  EXPECT_FALSE(region.Contains(Point({5, 9})));
+  EXPECT_EQ(region.size(), 2u);  // Covered degenerate pruned.
+}
+
+TEST(RectRegionTest, CanonicalizeMergesAdjacentSlabs) {
+  // Two side-by-side rectangles with identical y-structure collapse to
+  // one.
+  RectRegion region({Rect(0, 0, 1, 3), Rect(1, 0, 2, 3)});
+  region.Canonicalize();
+  ASSERT_EQ(region.size(), 1u);
+  EXPECT_EQ(region.rects().front(), Rect(0, 0, 2, 3));
+}
+
+TEST(RectRegionTest, CanonicalizeEmptyAndSingle) {
+  RectRegion empty;
+  empty.Canonicalize();
+  EXPECT_TRUE(empty.empty());
+  RectRegion one({Rect(0, 0, 1, 1)});
+  one.Canonicalize();
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(RectRegionTest, Canonicalize3DFallsBackToPrune) {
+  RectRegion region({Rectangle(Point({0, 0, 0}), Point({4, 4, 4})),
+                     Rectangle(Point({1, 1, 1}), Point({2, 2, 2}))});
+  region.Canonicalize();
+  EXPECT_EQ(region.size(), 1u);
+}
+
+TEST(RectRegionTest, IntersectIsCommutativeOnMembership) {
+  Rng rng(5);
+  RectRegion a;
+  RectRegion b;
+  for (int i = 0; i < 6; ++i) {
+    double x0 = rng.NextDouble(0, 5);
+    double y0 = rng.NextDouble(0, 5);
+    a.Add(Rect(x0, y0, x0 + rng.NextDouble(0, 3), y0 + rng.NextDouble(0, 3)));
+    x0 = rng.NextDouble(0, 5);
+    y0 = rng.NextDouble(0, 5);
+    b.Add(Rect(x0, y0, x0 + rng.NextDouble(0, 3), y0 + rng.NextDouble(0, 3)));
+  }
+  const RectRegion ab = a.Intersect(b);
+  const RectRegion ba = b.Intersect(a);
+  for (int s = 0; s < 5000; ++s) {
+    const Point p({rng.NextDouble(0, 8), rng.NextDouble(0, 8)});
+    EXPECT_EQ(ab.Contains(p), ba.Contains(p)) << p.ToString();
+    // Membership in the intersection == membership in both inputs.
+    EXPECT_EQ(ab.Contains(p), a.Contains(p) && b.Contains(p))
+        << p.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

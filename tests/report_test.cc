@@ -1,0 +1,60 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+TEST(ReportTest, PaperExampleMentionsEveryAspect) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const std::string report =
+      RenderWhyNotReport(engine, 0, PaperExampleQuery());
+  EXPECT_NE(report.find("customer #0"), std::string::npos);
+  EXPECT_NE(report.find("cause: 1 product(s)"), std::string::npos);
+  EXPECT_NE(report.find("#1 (7.5, 42)"), std::string::npos);  // p2.
+  EXPECT_NE(report.find("option A"), std::string::npos);
+  EXPECT_NE(report.find("(8, 30)"), std::string::npos);
+  EXPECT_NE(report.find("(5, 48.5)"), std::string::npos);
+  EXPECT_NE(report.find("option B"), std::string::npos);
+  EXPECT_NE(report.find("(7.5, 55)"), std::string::npos);
+  EXPECT_NE(report.find("option C"), std::string::npos);
+  EXPECT_NE(report.find("safe region of q"), std::string::npos);
+}
+
+TEST(ReportTest, MemberShortCircuits) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const std::string report =
+      RenderWhyNotReport(engine, 1, PaperExampleQuery());
+  EXPECT_NE(report.find("already in the reverse skyline"),
+            std::string::npos);
+  EXPECT_EQ(report.find("option A"), std::string::npos);
+}
+
+TEST(ReportTest, FreeWinRendersZeroCost) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const std::string report =
+      RenderWhyNotReport(engine, 6, PaperExampleQuery());  // c7, case C1.
+  EXPECT_NE(report.find("ZERO cost"), std::string::npos);
+}
+
+TEST(ReportTest, CapsAreHonored) {
+  WhyNotEngine engine(GenerateCarDb(500, 61));
+  ReportOptions options;
+  options.max_candidates = 1;
+  options.max_culprits_listed = 2;
+  options.include_safe_region = false;
+  // Find a why-not case.
+  for (size_t c = 0; c < 100; ++c) {
+    const Point q = engine.products().points[(c + 37) % 500];
+    if (engine.IsReverseSkylineMember(c, q)) continue;
+    const std::string report = RenderWhyNotReport(engine, c, q, options);
+    EXPECT_EQ(report.find("safe region of q"), std::string::npos);
+    return;
+  }
+  FAIL() << "no why-not case found";
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,94 @@
+#include "core/reposition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+TEST(RepositionTest, BaselineOptionIsNeutral) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  const RepositionAnalysis analysis = AnalyzeRepositioning(engine, q, {q});
+  ASSERT_EQ(analysis.options.size(), 1u);
+  EXPECT_EQ(analysis.options.front().net(), 0);
+  EXPECT_TRUE(analysis.options.front().gained.empty());
+  EXPECT_TRUE(analysis.options.front().lost.empty());
+  EXPECT_EQ(analysis.options.front().move_cost, 0.0);
+  EXPECT_EQ(analysis.current_members,
+            (std::vector<size_t>{1, 2, 3, 5, 7}));
+}
+
+TEST(RepositionTest, SafeRegionCandidatesLoseNobody) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  const RepositionAnalysis analysis = AnalyzeRepositioning(engine, q);
+  ASSERT_FALSE(analysis.options.empty());
+  // Auto candidates come from inside SR(q), so no option loses anyone.
+  for (const RepositionOption& option : analysis.options) {
+    EXPECT_TRUE(option.lost.empty())
+        << option.q_star.ToString() << " loses "
+        << option.lost.size() << " member(s)";
+  }
+  // The paper's MWQ(c7) story in what-if form: some safe location gains
+  // customers for free.
+  const bool some_gain = std::any_of(
+      analysis.options.begin(), analysis.options.end(),
+      [](const RepositionOption& o) { return !o.gained.empty(); });
+  EXPECT_TRUE(some_gain);
+}
+
+TEST(RepositionTest, ExplicitCandidateTradeoffsAreExact) {
+  WhyNotEngine engine(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  // A deliberately disruptive move: to the far corner of the market.
+  const Point far({25.0, 21.0});
+  const RepositionAnalysis analysis =
+      AnalyzeRepositioning(engine, q, {far});
+  ASSERT_EQ(analysis.options.size(), 1u);
+  const RepositionOption& option = analysis.options.front();
+  // Gained/lost must match per-customer membership probes.
+  for (size_t c : option.gained) {
+    EXPECT_TRUE(engine.IsReverseSkylineMember(c, far));
+    EXPECT_FALSE(std::binary_search(analysis.current_members.begin(),
+                                    analysis.current_members.end(), c));
+  }
+  for (size_t c : option.lost) {
+    EXPECT_FALSE(engine.IsReverseSkylineMember(c, far));
+    EXPECT_TRUE(std::binary_search(analysis.current_members.begin(),
+                                   analysis.current_members.end(), c));
+  }
+  EXPECT_EQ(option.lost, engine.LostCustomers(q, far));
+}
+
+TEST(RepositionTest, SortedByNetThenCost) {
+  WhyNotEngine engine(GenerateCarDb(400, 57));
+  Rng rng(58);
+  const Point q = engine.products().points[rng.NextUint64(400)];
+  std::vector<Point> candidates;
+  for (int i = 0; i < 12; ++i) {
+    candidates.push_back(engine.products().points[rng.NextUint64(400)]);
+  }
+  const RepositionAnalysis analysis =
+      AnalyzeRepositioning(engine, q, candidates, 12);
+  for (size_t i = 1; i < analysis.options.size(); ++i) {
+    const auto& a = analysis.options[i - 1];
+    const auto& b = analysis.options[i];
+    EXPECT_TRUE(a.net() > b.net() ||
+                (a.net() == b.net() && a.move_cost <= b.move_cost));
+  }
+}
+
+TEST(RepositionTest, MaxOptionsHonored) {
+  WhyNotEngine engine(GenerateCarDb(300, 59));
+  const Point q = engine.products().points[0];
+  const RepositionAnalysis analysis = AnalyzeRepositioning(engine, q, {}, 3);
+  EXPECT_LE(analysis.options.size(), 3u);
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/bbrs.h"
+#include "reverse_skyline/naive.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+namespace {
+
+std::vector<size_t> ToSizes(const std::vector<RStarTree::Id>& ids) {
+  std::vector<size_t> out;
+  out.reserve(ids.size());
+  for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
+  return out;
+}
+
+TEST(ReverseSkylineTest, PaperExampleAllMethodsAgree) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point q = PaperExampleQuery();
+  const std::vector<size_t> expected = {1, 2, 3, 5, 7};
+  EXPECT_EQ(ReverseSkylineNaive(tree, ds.points, q, true), expected);
+  EXPECT_EQ(ToSizes(BbrsReverseSkyline(tree, q)), expected);
+  RStarTree ctree = BulkLoadPoints(2, ds.points);
+  EXPECT_EQ(ToSizes(BbrsReverseSkylineBichromatic(ctree, tree, q, true)),
+            expected);
+}
+
+TEST(GlobalSkylineTest, SupersetOfReverseSkyline) {
+  const Dataset ds = GenerateUniform(800, 2, 5);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(6);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point q({rng.NextDouble(), rng.NextDouble()});
+    const std::vector<RStarTree::Id> gsl = GlobalSkylineCandidates(tree, q);
+    const std::vector<RStarTree::Id> rsl = BbrsReverseSkyline(tree, q);
+    for (RStarTree::Id r : rsl) {
+      EXPECT_TRUE(std::binary_search(gsl.begin(), gsl.end(), r))
+          << "RSL id " << r << " missing from global skyline";
+    }
+  }
+}
+
+class ReverseSkylineAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(ReverseSkylineAgreementTest, BbrsMatchesNaive) {
+  const auto [dist, n] = GetParam();
+  Dataset ds;
+  switch (dist) {
+    case 0:
+      ds = GenerateUniform(n, 2, 100 + n);
+      break;
+    case 1:
+      ds = GenerateCorrelated(n, 2, 100 + n);
+      break;
+    case 2:
+      ds = GenerateAnticorrelated(n, 2, 100 + n);
+      break;
+    default:
+      ds = GenerateCarDb(n, 100 + n);
+      break;
+  }
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(n);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Query points follow the data distribution, as in the paper.
+    Point q = ds.points[rng.NextUint64(ds.points.size())];
+    const Rectangle bounds = ds.Bounds();
+    for (size_t i = 0; i < 2; ++i) {
+      q[i] += rng.NextGaussian(0.0, 0.01 * (bounds.hi()[i] - bounds.lo()[i]));
+    }
+    const std::vector<size_t> naive =
+        ReverseSkylineNaive(tree, ds.points, q, true);
+    EXPECT_EQ(ToSizes(BbrsReverseSkyline(tree, q)), naive)
+        << "dist " << dist << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReverseSkylineAgreementTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(size_t{100}, size_t{1000})));
+
+TEST(ReverseSkylineTest, BichromaticSeparateRelations) {
+  // Distinct product and customer sets: verify against a brute-force
+  // oracle on every customer.
+  const Dataset products = GenerateUniform(400, 2, 21);
+  const Dataset customers = GenerateUniform(150, 2, 22);
+  RStarTree ptree = BulkLoadPoints(2, products.points);
+  RStarTree ctree = BulkLoadPoints(2, customers.points);
+  Rng rng(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Point q({rng.NextDouble(), rng.NextDouble()});
+    std::vector<size_t> expected;
+    for (size_t c = 0; c < customers.points.size(); ++c) {
+      if (WindowQueryBrute(products.points, customers.points[c], q)
+              .empty()) {
+        expected.push_back(c);
+      }
+    }
+    EXPECT_EQ(ToSizes(BbrsReverseSkylineBichromatic(ctree, ptree, q, false)),
+              expected);
+    EXPECT_EQ(ReverseSkylineNaive(ptree, customers.points, q, false),
+              expected);
+  }
+}
+
+TEST(ReverseSkylineTest, QueryFarOutsideDataHasLargeRsl) {
+  // A product far outside the data cloud on the "good" side dominates
+  // nothing in anyone's window... every customer window centered at c
+  // with q outside tends to include other products, so RSL is small; but
+  // a q very close to a customer makes that customer a member.
+  const Dataset ds = GenerateUniform(200, 2, 31);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point near = ds.points[0];
+  Point q = near;
+  q[0] += 1e-6;
+  q[1] += 1e-6;
+  const std::vector<size_t> rsl =
+      ReverseSkylineNaive(tree, ds.points, q, true);
+  EXPECT_TRUE(std::find(rsl.begin(), rsl.end(), 0u) != rsl.end());
+}
+
+TEST(ReverseSkylineTest, BbrsReadsFewerNodesThanNaive) {
+  const Dataset ds = GenerateCarDb(20000, 41);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(42);
+  const Point q = ds.points[rng.NextUint64(ds.points.size())];
+  tree.ResetStats();
+  const auto bbrs = BbrsReverseSkyline(tree, q);
+  const uint64_t bbrs_reads = tree.stats().node_reads;
+  tree.ResetStats();
+  const auto naive = ReverseSkylineNaive(tree, ds.points, q, true);
+  const uint64_t naive_reads = tree.stats().node_reads;
+  EXPECT_EQ(ToSizes(bbrs), naive);
+  EXPECT_LT(bbrs_reads, naive_reads / 2)
+      << "BBRS " << bbrs_reads << " vs naive " << naive_reads;
+}
+
+}  // namespace
+}  // namespace wnrs

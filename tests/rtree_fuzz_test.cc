@@ -1,0 +1,102 @@
+// Randomized mixed-workload consistency test: the R*-tree must agree
+// with a flat vector baseline under arbitrary interleavings of inserts,
+// deletes and queries, while maintaining its structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "index/rtree.h"
+
+namespace wnrs {
+namespace {
+
+class RTreeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeFuzzTest, MixedWorkloadMatchesBaseline) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  RStarTree tree(2);
+  std::map<RStarTree::Id, Point> baseline;
+  RStarTree::Id next_id = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.55 || baseline.empty()) {
+      // Insert (sometimes duplicates of an existing point).
+      Point p(2);
+      if (!baseline.empty() && rng.NextBool(0.1)) {
+        auto it = baseline.begin();
+        std::advance(it, static_cast<long>(
+                             rng.NextUint64(baseline.size())));
+        p = it->second;
+      } else {
+        p[0] = rng.NextDouble(0, 100);
+        p[1] = rng.NextDouble(0, 100);
+      }
+      tree.Insert(p, next_id);
+      baseline.emplace(next_id, p);
+      ++next_id;
+    } else if (dice < 0.85) {
+      // Delete a random live entry.
+      auto it = baseline.begin();
+      std::advance(it,
+                   static_cast<long>(rng.NextUint64(baseline.size())));
+      ASSERT_TRUE(tree.Delete(Rectangle::FromPoint(it->second), it->first))
+          << "op " << op;
+      baseline.erase(it);
+    } else {
+      // Range query vs baseline scan.
+      const double x0 = rng.NextDouble(0, 95);
+      const double y0 = rng.NextDouble(0, 95);
+      const Rectangle window(
+          Point({x0, y0}), Point({x0 + rng.NextDouble(0.5, 20),
+                                  y0 + rng.NextDouble(0.5, 20)}));
+      std::vector<RStarTree::Id> got = tree.RangeQueryIds(window);
+      std::sort(got.begin(), got.end());
+      std::vector<RStarTree::Id> expected;
+      for (const auto& [id, p] : baseline) {
+        if (window.Contains(p)) expected.push_back(id);
+      }
+      ASSERT_EQ(got, expected) << "op " << op;
+    }
+    if (op % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << "op " << op << ": " << tree.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(tree.size(), baseline.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 1234, 987654321));
+
+TEST(RTreeFuzzTest, SmallPageStress) {
+  // A tiny fan-out maximizes split/reinsert/condense churn.
+  RTreeOptions options;
+  options.page_size_bytes = 200;  // max_entries >= 4 floor applies.
+  Rng rng(77);
+  RStarTree tree(2, options);
+  std::map<RStarTree::Id, Point> baseline;
+  for (RStarTree::Id id = 0; id < 600; ++id) {
+    Point p({rng.NextDouble(0, 10), rng.NextDouble(0, 10)});
+    tree.Insert(p, id);
+    baseline.emplace(id, p);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  // Remove two-thirds.
+  for (RStarTree::Id id = 0; id < 400; ++id) {
+    ASSERT_TRUE(tree.Delete(Rectangle::FromPoint(baseline.at(id)), id));
+    baseline.erase(id);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  std::vector<RStarTree::Id> all =
+      tree.RangeQueryIds(Rectangle(Point({-1, -1}), Point({11, 11})));
+  EXPECT_EQ(all.size(), baseline.size());
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,306 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+
+namespace wnrs {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    Point p(dims);
+    for (size_t i = 0; i < dims; ++i) p[i] = rng.NextDouble(0, 100);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<RStarTree::Id> BruteRange(const std::vector<Point>& points,
+                                      const Rectangle& window) {
+  std::vector<RStarTree::Id> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (window.Contains(points[i])) {
+      out.push_back(static_cast<RStarTree::Id>(i));
+    }
+  }
+  return out;
+}
+
+TEST(RTreeTest, FanOutFollowsPageSize) {
+  RTreeOptions options;
+  options.page_size_bytes = 1536;
+  RStarTree tree(2, options);
+  // 2-D entry = 4 doubles + 1 id = 40 bytes; (1536 - 16) / 40 = 38.
+  EXPECT_EQ(tree.max_entries(), 38u);
+  EXPECT_EQ(tree.min_entries(), 15u);
+}
+
+TEST(RTreeTest, EmptyTreeBehaves) {
+  RStarTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_TRUE(tree.RangeQueryIds(Rectangle(Point({0, 0}), Point({1, 1})))
+                  .empty());
+  EXPECT_TRUE(tree.NearestNeighbors(Point({0, 0}), 3).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, InsertAndExactRangeQuery) {
+  RStarTree tree(2);
+  const std::vector<Point> points = RandomPoints(500, 2, 1);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x0 = rng.NextDouble(0, 90);
+    const double y0 = rng.NextDouble(0, 90);
+    const Rectangle window(Point({x0, y0}),
+                           Point({x0 + rng.NextDouble(1, 30),
+                                  y0 + rng.NextDouble(1, 30)}));
+    std::vector<RStarTree::Id> got = tree.RangeQueryIds(window);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteRange(points, window));
+  }
+}
+
+TEST(RTreeTest, RangeQueryEarlyTermination) {
+  RStarTree tree(2);
+  const std::vector<Point> points = RandomPoints(200, 2, 3);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  int visited = 0;
+  tree.RangeQuery(Rectangle(Point({0, 0}), Point({100, 100})),
+                  [&](const Rectangle&, RStarTree::Id) {
+                    ++visited;
+                    return visited < 5;
+                  });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(RTreeTest, AnyInRangeWithPredicate) {
+  RStarTree tree(2);
+  tree.Insert(Point({1, 1}), 0);
+  tree.Insert(Point({2, 2}), 1);
+  const Rectangle window(Point({0, 0}), Point({3, 3}));
+  EXPECT_TRUE(tree.AnyInRange(window));
+  EXPECT_TRUE(tree.AnyInRange(
+      window, [](const Rectangle&, RStarTree::Id id) { return id == 1; }));
+  EXPECT_FALSE(tree.AnyInRange(
+      window, [](const Rectangle&, RStarTree::Id id) { return id == 9; }));
+  EXPECT_FALSE(tree.AnyInRange(Rectangle(Point({5, 5}), Point({6, 6}))));
+}
+
+TEST(RTreeTest, NearestNeighborsMatchBruteForce) {
+  RStarTree tree(2);
+  const std::vector<Point> points = RandomPoints(300, 2, 4);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point query({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    const auto got = tree.NearestNeighbors(query, 7);
+    ASSERT_EQ(got.size(), 7u);
+    // Brute-force distances.
+    std::vector<double> dists;
+    for (const Point& p : points) dists.push_back(p.L2Distance(query));
+    std::sort(dists.begin(), dists.end());
+    for (size_t k = 0; k < got.size(); ++k) {
+      EXPECT_NEAR(got[k].second, dists[k], 1e-9);
+    }
+    // Results are sorted ascending.
+    for (size_t k = 1; k < got.size(); ++k) {
+      EXPECT_LE(got[k - 1].second, got[k].second);
+    }
+  }
+}
+
+TEST(RTreeTest, DeleteRemovesAndKeepsInvariants) {
+  RStarTree tree(2);
+  const std::vector<Point> points = RandomPoints(400, 2, 6);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  Rng rng(7);
+  std::set<size_t> removed;
+  for (int k = 0; k < 250; ++k) {
+    size_t victim = rng.NextUint64(points.size());
+    while (removed.count(victim) > 0) {
+      victim = rng.NextUint64(points.size());
+    }
+    ASSERT_TRUE(tree.Delete(Rectangle::FromPoint(points[victim]),
+                            static_cast<RStarTree::Id>(victim)));
+    removed.insert(victim);
+    if (k % 25 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << tree.CheckInvariants().ToString();
+    }
+  }
+  EXPECT_EQ(tree.size(), points.size() - removed.size());
+  // Remaining points still discoverable.
+  const Rectangle all(Point({-1, -1}), Point({101, 101}));
+  std::vector<RStarTree::Id> ids = tree.RangeQueryIds(all);
+  EXPECT_EQ(ids.size(), points.size() - removed.size());
+  for (RStarTree::Id id : ids) {
+    EXPECT_EQ(removed.count(static_cast<size_t>(id)), 0u);
+  }
+}
+
+TEST(RTreeTest, DeleteNonexistentReturnsFalse) {
+  RStarTree tree(2);
+  tree.Insert(Point({1, 1}), 0);
+  EXPECT_FALSE(tree.Delete(Rectangle::FromPoint(Point({9, 9})), 0));
+  EXPECT_FALSE(tree.Delete(Rectangle::FromPoint(Point({1, 1})), 5));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, DeleteToEmptyAndReuse) {
+  RStarTree tree(2);
+  for (int i = 0; i < 50; ++i) {
+    tree.Insert(Point({static_cast<double>(i), 0.0}), i);
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Delete(
+        Rectangle::FromPoint(Point({static_cast<double>(i), 0.0})), i));
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // The tree is reusable after emptying.
+  tree.Insert(Point({5, 5}), 99);
+  EXPECT_EQ(tree.RangeQueryIds(Rectangle(Point({4, 4}), Point({6, 6}))),
+            (std::vector<RStarTree::Id>{99}));
+}
+
+TEST(RTreeTest, DuplicatePointsSupported) {
+  RStarTree tree(2);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(Point({1.0, 1.0}), i);
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.RangeQueryIds(Rectangle(Point({1, 1}), Point({1, 1})))
+                .size(),
+            100u);
+}
+
+TEST(RTreeTest, RectangleEntries) {
+  RStarTree tree(2);
+  tree.Insert(Rectangle(Point({0, 0}), Point({2, 2})), 0);
+  tree.Insert(Rectangle(Point({5, 5}), Point({7, 7})), 1);
+  EXPECT_EQ(tree.RangeQueryIds(Rectangle(Point({1, 1}), Point({6, 6})))
+                .size(),
+            2u);
+  EXPECT_EQ(tree.RangeQueryIds(Rectangle(Point({3, 3}), Point({4, 4})))
+                .size(),
+            0u);
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RStarTree tree(2);
+  tree.Insert(Point({1, 1}), 7);
+  RStarTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.RangeQueryIds(Rectangle(Point({0, 0}), Point({2, 2}))),
+            (std::vector<RStarTree::Id>{7}));
+}
+
+TEST(RTreeTest, StatsCountNodeReads) {
+  RStarTree tree(2);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(Point({static_cast<double>(i % 37), std::floor(i / 37.0)}),
+                i);
+  }
+  tree.ResetStats();
+  tree.RangeQueryIds(Rectangle(Point({0, 0}), Point({1, 1})));
+  EXPECT_GT(tree.stats().node_reads, 0u);
+  const uint64_t after_one = tree.stats().node_reads;
+  tree.RangeQueryIds(Rectangle(Point({0, 0}), Point({40, 40})));
+  EXPECT_GT(tree.stats().node_reads, after_one);
+}
+
+class RTreeScaleTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeScaleTest, InvariantsAndQueriesAtScale) {
+  const size_t n = GetParam();
+  RStarTree tree(2);
+  const std::vector<Point> points = RandomPoints(n, 2, 1000 + n);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  // Height grows logarithmically.
+  EXPECT_LE(tree.height(),
+            2 + static_cast<size_t>(std::log(static_cast<double>(n)) /
+                                    std::log(double(tree.min_entries()))));
+  Rng rng(n);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double x0 = rng.NextDouble(0, 95);
+    const double y0 = rng.NextDouble(0, 95);
+    const Rectangle window(Point({x0, y0}), Point({x0 + 5, y0 + 5}));
+    std::vector<RStarTree::Id> got = tree.RangeQueryIds(window);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteRange(points, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeScaleTest,
+                         ::testing::Values(10, 100, 1000, 5000));
+
+class RTreeDimsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeDimsTest, WorksAcrossDimensionalities) {
+  const size_t dims = GetParam();
+  RStarTree tree(dims);
+  const std::vector<Point> points = RandomPoints(300, dims, dims * 17);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  Point lo(dims);
+  Point hi(dims);
+  for (size_t i = 0; i < dims; ++i) {
+    lo[i] = 20;
+    hi[i] = 70;
+  }
+  const Rectangle window(lo, hi);
+  std::vector<RStarTree::Id> got = tree.RangeQueryIds(window);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, BruteRange(points, window));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RTreeDimsTest, ::testing::Values(1, 2, 3, 5));
+
+class RTreePageSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreePageSizeTest, InvariantsForAllPageSizes) {
+  RTreeOptions options;
+  options.page_size_bytes = GetParam();
+  RStarTree tree(2, options);
+  const std::vector<Point> points = RandomPoints(1500, 2, GetParam());
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  EXPECT_EQ(
+      tree.RangeQueryIds(Rectangle(Point({-1, -1}), Point({101, 101})))
+          .size(),
+      1500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, RTreePageSizeTest,
+                         ::testing::Values(256, 512, 1536, 4096, 16384));
+
+}  // namespace
+}  // namespace wnrs

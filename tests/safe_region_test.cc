@@ -1,0 +1,180 @@
+#include "core/safe_region.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/naive.h"
+#include "reverse_skyline/window_query.h"
+#include "skyline/approx.h"
+#include "skyline/bbs.h"
+#include "geometry/transform.h"
+
+namespace wnrs {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Dataset dataset)
+      : data(std::move(dataset)), tree(BulkLoadPoints(2, data.points)) {}
+
+  std::vector<size_t> Rsl(const Point& q) const {
+    return ReverseSkylineNaive(tree, data.points, q, true);
+  }
+
+  SafeRegionResult Exact(const Point& q) const {
+    return ComputeSafeRegion(tree, data.points, data.points, Rsl(q), q,
+                             data.Bounds(), /*shared_relation=*/true);
+  }
+
+  Dataset data;
+  RStarTree tree;
+};
+
+TEST(SafeRegionTest, PaperExampleRegion) {
+  Fixture fx(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  const SafeRegionResult sr = fx.Exact(q);
+  EXPECT_EQ(sr.customers_processed, 5u);
+  EXPECT_TRUE(sr.region.Contains(q));
+  EXPECT_EQ(sr.region.size(), 2u);
+}
+
+TEST(SafeRegionTest, EmptyRslGivesWholeUniverse) {
+  Fixture fx(PaperExampleDataset());
+  const Point q = PaperExampleQuery();
+  const SafeRegionResult sr =
+      ComputeSafeRegion(fx.tree, fx.data.points, fx.data.points, {}, q,
+                        fx.data.Bounds(), true);
+  ASSERT_EQ(sr.region.size(), 1u);
+  EXPECT_EQ(sr.region.rects().front(), fx.data.Bounds());
+}
+
+TEST(SafeRegionPropertyTest, EverySafePointKeepsTheReverseSkyline) {
+  // Definition 7 on random data: sample points inside SR(q) and verify no
+  // reverse-skyline customer is lost.
+  Fixture fx(GenerateCarDb(600, 301));
+  Rng rng(302);
+  int verified_queries = 0;
+  for (int trial = 0; trial < 30 && verified_queries < 8; ++trial) {
+    const Point q = fx.data.points[rng.NextUint64(fx.data.points.size())];
+    const std::vector<size_t> rsl = fx.Rsl(q);
+    if (rsl.empty() || rsl.size() > 12) continue;
+    ++verified_queries;
+    const SafeRegionResult sr = fx.Exact(q);
+    ASSERT_TRUE(sr.region.Contains(q));
+    for (const Rectangle& rect : sr.region.rects()) {
+      // Degenerate faces are closed-boundary artifacts where membership
+      // ties; only full-dimensional rectangles are probed.
+      if (rect.Extent(0) <= 0.0 || rect.Extent(1) <= 0.0) continue;
+      for (int s = 0; s < 20; ++s) {
+        Point q_star(2);
+        for (size_t i = 0; i < 2; ++i) {
+          q_star[i] =
+              rng.NextDouble(rect.lo()[i], std::nextafter(rect.hi()[i],
+                                                          rect.lo()[i]));
+        }
+        for (size_t c : rsl) {
+          EXPECT_TRUE(WindowEmpty(fx.tree, fx.data.points[c], q_star,
+                                  static_cast<RStarTree::Id>(c)))
+              << "customer " << c << " lost at " << q_star.ToString()
+              << " for q " << q.ToString();
+        }
+      }
+    }
+  }
+  EXPECT_GE(verified_queries, 5);
+}
+
+TEST(SafeRegionPropertyTest, ShrinksAsRslGrows) {
+  // Fig. 14's driving property: intersecting more anti-dominance regions
+  // never grows the safe region. Verify monotonicity along prefixes of
+  // RSL(q).
+  Fixture fx(GenerateUniform(500, 2, 303));
+  Rng rng(304);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q = fx.data.points[rng.NextUint64(fx.data.points.size())];
+    const std::vector<size_t> rsl = fx.Rsl(q);
+    if (rsl.size() < 3) continue;
+    double prev = std::numeric_limits<double>::infinity();
+    for (size_t prefix = 1; prefix <= rsl.size(); ++prefix) {
+      const std::vector<size_t> subset(rsl.begin(),
+                                       rsl.begin() + prefix);
+      SafeRegionResult sr =
+          ComputeSafeRegion(fx.tree, fx.data.points, fx.data.points, subset,
+                            q, fx.data.Bounds(), true);
+      const double area = sr.region.UnionVolume();
+      EXPECT_LE(area, prev + 1e-9);
+      prev = area;
+    }
+  }
+}
+
+TEST(SafeRegionTest, TruncationFlagHonorsCap) {
+  Fixture fx(GenerateAnticorrelated(800, 2, 305));
+  Rng rng(306);
+  SafeRegionOptions options;
+  options.max_rectangles = 2;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q = fx.data.points[rng.NextUint64(fx.data.points.size())];
+    const std::vector<size_t> rsl = fx.Rsl(q);
+    if (rsl.size() < 2) continue;
+    const SafeRegionResult sr =
+        ComputeSafeRegion(fx.tree, fx.data.points, fx.data.points, rsl, q,
+                          fx.data.Bounds(), true, options);
+    EXPECT_LE(sr.region.size(), 2u);
+  }
+}
+
+TEST(ApproxSafeRegionTest, SubsetOfExactAndStillSafe) {
+  Fixture fx(GenerateCarDb(500, 307));
+  // Precompute approximated DSLs with k = 5.
+  std::vector<std::vector<Point>> approx_dsls(fx.data.points.size());
+  for (size_t c = 0; c < fx.data.points.size(); ++c) {
+    const std::vector<RStarTree::Id> dsl = BbsDynamicSkyline(
+        fx.tree, fx.data.points[c], static_cast<RStarTree::Id>(c));
+    std::vector<Point> transformed;
+    for (RStarTree::Id id : dsl) {
+      transformed.push_back(ToDistanceSpace(
+          fx.data.points[static_cast<size_t>(id)], fx.data.points[c]));
+    }
+    approx_dsls[c] = ApproximateSkyline(std::move(transformed), 5);
+  }
+
+  Rng rng(308);
+  int checked = 0;
+  for (int trial = 0; trial < 30 && checked < 6; ++trial) {
+    const Point q = fx.data.points[rng.NextUint64(fx.data.points.size())];
+    const std::vector<size_t> rsl = fx.Rsl(q);
+    if (rsl.empty() || rsl.size() > 10) continue;
+    ++checked;
+    const SafeRegionResult exact = fx.Exact(q);
+    const SafeRegionResult approx = ComputeApproxSafeRegion(
+        fx.data.points, approx_dsls, rsl, q, fx.data.Bounds());
+    // Approximate region is a subset of the exact one (probe by samples).
+    for (const Rectangle& rect : approx.region.rects()) {
+      if (rect.Extent(0) <= 0.0 || rect.Extent(1) <= 0.0) continue;
+      for (int s = 0; s < 30; ++s) {
+        Point p(2);
+        for (size_t i = 0; i < 2; ++i) {
+          p[i] = rng.NextDouble(rect.lo()[i],
+                                std::nextafter(rect.hi()[i], rect.lo()[i]));
+        }
+        EXPECT_TRUE(exact.region.Contains(p))
+            << p.ToString() << " in approx SR but not exact SR";
+        // And still safe.
+        for (size_t c : rsl) {
+          EXPECT_TRUE(WindowEmpty(fx.tree, fx.data.points[c], p,
+                                  static_cast<RStarTree::Id>(c)));
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 3);
+}
+
+}  // namespace
+}  // namespace wnrs

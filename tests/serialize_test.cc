@@ -1,0 +1,126 @@
+#include "index/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+
+namespace wnrs {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string Path(const std::string& name) {
+    path_ = ::testing::TempDir() + "/" + name;
+    return path_;
+  }
+  std::string path_;
+};
+
+TEST_F(SerializeTest, RoundTripsBulkLoadedTree) {
+  const Dataset ds = GenerateCarDb(3000, 91);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const std::string path = Path("tree.txt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), tree.size());
+  EXPECT_EQ(loaded->height(), tree.height());
+  EXPECT_EQ(loaded->max_entries(), tree.max_entries());
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+
+  // Identical query answers.
+  Rng rng(92);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x0 = rng.NextDouble(500, 60000);
+    const double y0 = rng.NextDouble(0, 180000);
+    const Rectangle window(Point({x0, y0}),
+                           Point({x0 + 8000, y0 + 30000}));
+    std::vector<RStarTree::Id> a = tree.RangeQueryIds(window);
+    std::vector<RStarTree::Id> b = loaded->RangeQueryIds(window);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(SerializeTest, RoundTripsInsertionBuiltTree) {
+  RStarTree tree(3);
+  Rng rng(93);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(Point({rng.NextDouble(), rng.NextDouble(), rng.NextDouble()}),
+                i);
+  }
+  const std::string path = Path("tree3d.txt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 500u);
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+}
+
+TEST_F(SerializeTest, LoadedTreeSupportsMutation) {
+  const Dataset ds = GenerateUniform(800, 2, 94);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const std::string path = Path("mut.txt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok());
+  loaded->Insert(Point({2.0, 2.0}), 999);
+  EXPECT_TRUE(loaded->Delete(Rectangle::FromPoint(ds.points[0]), 0));
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+  EXPECT_EQ(loaded->size(), 800u);
+}
+
+TEST_F(SerializeTest, EmptyTreeRoundTrips) {
+  RStarTree tree(2);
+  const std::string path = Path("empty.txt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  Result<RStarTree> loaded = LoadTree(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST_F(SerializeTest, RejectsGarbageAndTruncation) {
+  const std::string path = Path("garbage.txt");
+  std::ofstream(path) << "not a tree\n";
+  EXPECT_FALSE(LoadTree(path).ok());
+
+  // Truncated: valid header, missing nodes.
+  std::ofstream(path, std::ios::trunc)
+      << "wnrs-rtree 1\n2 1536 0.4 0.3 100 2\nI 2\n0 0 1 1\nL 1\n";
+  EXPECT_FALSE(LoadTree(path).ok());
+
+  EXPECT_FALSE(LoadTree("/nonexistent/nope.txt").ok());
+}
+
+TEST_F(SerializeTest, RejectsInconsistentMetadata) {
+  // Structure says 2 points, header claims 5: invariant check refuses.
+  const std::string path = Path("badmeta.txt");
+  RStarTree tree(2);
+  tree.Insert(Point({1, 1}), 0);
+  tree.Insert(Point({2, 2}), 1);
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  // Patch the size field.
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  const size_t pos = content.find(" 2 1\nL");
+  ASSERT_NE(pos, std::string::npos) << content;
+  content.replace(pos, 4, " 5 1");
+  std::ofstream(path, std::ios::trunc) << content;
+  EXPECT_FALSE(LoadTree(path).ok());
+}
+
+}  // namespace
+}  // namespace wnrs

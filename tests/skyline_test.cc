@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/dominance.h"
+#include "index/bulk_load.h"
+#include "skyline/bbs.h"
+#include "skyline/bnl.h"
+#include "skyline/dnc.h"
+#include "skyline/dynamic.h"
+#include "skyline/sfs.h"
+
+namespace wnrs {
+namespace {
+
+/// Quadratic reference skyline.
+std::vector<size_t> BruteSkyline(const std::vector<Point>& points) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && Dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(BnlTest, EmptyAndSingle) {
+  EXPECT_TRUE(SkylineIndicesBnl({}).empty());
+  EXPECT_EQ(SkylineIndicesBnl({Point({1, 2})}),
+            (std::vector<size_t>{0}));
+}
+
+TEST(BnlTest, PaperExample) {
+  EXPECT_EQ(SkylineIndicesBnl(PaperExampleDataset().points),
+            (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(BnlTest, DuplicatesAllKept) {
+  const std::vector<Point> points = {Point({1, 1}), Point({1, 1}),
+                                     Point({2, 2})};
+  EXPECT_EQ(SkylineIndicesBnl(points), (std::vector<size_t>{0, 1}));
+}
+
+TEST(BnlTest, TotallyOrderedChainKeepsMinimum) {
+  std::vector<Point> points;
+  for (int i = 10; i >= 0; --i) {
+    points.push_back(Point({double(i), double(i)}));
+  }
+  EXPECT_EQ(SkylineIndicesBnl(points), (std::vector<size_t>{10}));
+}
+
+TEST(BnlTest, AntiChainKeepsEverything) {
+  std::vector<Point> points;
+  for (int i = 0; i <= 10; ++i) {
+    points.push_back(Point({double(i), double(10 - i)}));
+  }
+  EXPECT_EQ(SkylineIndicesBnl(points).size(), 11u);
+}
+
+TEST(BnlTest, SkylinePointsWrapper) {
+  const std::vector<Point> sk =
+      SkylineBnl({Point({2, 1}), Point({1, 2}), Point({3, 3})});
+  EXPECT_EQ(sk.size(), 2u);
+}
+
+class SkylineDistributionTest
+    : public ::testing::TestWithParam<std::tuple<int, size_t, size_t>> {};
+
+TEST_P(SkylineDistributionTest, BnlMatchesBruteForce) {
+  const auto [dist, n, dims] = GetParam();
+  Dataset ds;
+  switch (dist) {
+    case 0:
+      ds = GenerateUniform(n, dims, n * dims);
+      break;
+    case 1:
+      ds = GenerateCorrelated(n, dims, n * dims);
+      break;
+    default:
+      ds = GenerateAnticorrelated(n, dims, n * dims);
+      break;
+  }
+  EXPECT_EQ(SkylineIndicesBnl(ds.points), BruteSkyline(ds.points));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SkylineDistributionTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(size_t{50}, size_t{500}),
+                       ::testing::Values(size_t{2}, size_t{3}, size_t{4})));
+
+TEST(SfsTest, MatchesBnlAcrossDistributions) {
+  for (int dist = 0; dist < 3; ++dist) {
+    for (size_t dims : {size_t{2}, size_t{3}}) {
+      Dataset ds;
+      switch (dist) {
+        case 0:
+          ds = GenerateUniform(700, dims, 31 + dims);
+          break;
+        case 1:
+          ds = GenerateCorrelated(700, dims, 32 + dims);
+          break;
+        default:
+          ds = GenerateAnticorrelated(700, dims, 33 + dims);
+          break;
+      }
+      EXPECT_EQ(SkylineIndicesSfs(ds.points), SkylineIndicesBnl(ds.points))
+          << "dist " << dist << " dims " << dims;
+    }
+  }
+}
+
+TEST(SfsTest, EdgeCases) {
+  EXPECT_TRUE(SkylineIndicesSfs({}).empty());
+  EXPECT_EQ(SkylineIndicesSfs({Point({1, 2})}), (std::vector<size_t>{0}));
+  // Duplicates: both kept, like BNL.
+  EXPECT_EQ(SkylineIndicesSfs({Point({1, 1}), Point({1, 1})}),
+            (std::vector<size_t>{0, 1}));
+}
+
+TEST(SfsTest, PaperExample) {
+  EXPECT_EQ(SkylineIndicesSfs(PaperExampleDataset().points),
+            (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(DncTest, MatchesBnlAcrossDistributions) {
+  for (int dist = 0; dist < 3; ++dist) {
+    Dataset ds;
+    switch (dist) {
+      case 0:
+        ds = GenerateUniform(900, 2, 41);
+        break;
+      case 1:
+        ds = GenerateCorrelated(900, 2, 42);
+        break;
+      default:
+        ds = GenerateAnticorrelated(900, 2, 43);
+        break;
+    }
+    EXPECT_EQ(SkylineIndicesDnc(ds.points), SkylineIndicesBnl(ds.points))
+        << "dist " << dist;
+  }
+}
+
+TEST(DncTest, TiesAndDuplicates) {
+  // Equal-x columns, equal-y rows, and exact duplicates.
+  const std::vector<Point> pts = {Point({1, 5}), Point({1, 3}),
+                                  Point({1, 3}), Point({2, 3}),
+                                  Point({3, 1}), Point({3, 1}),
+                                  Point({4, 1})};
+  EXPECT_EQ(SkylineIndicesDnc(pts), SkylineIndicesBnl(pts));
+}
+
+TEST(DncTest, EdgeCasesAndHigherDims) {
+  EXPECT_TRUE(SkylineIndicesDnc({}).empty());
+  EXPECT_EQ(SkylineIndicesDnc({Point({7, 7})}), (std::vector<size_t>{0}));
+  // 3-D falls back but stays correct.
+  const Dataset ds = GenerateUniform(300, 3, 44);
+  EXPECT_EQ(SkylineIndicesDnc(ds.points), SkylineIndicesBnl(ds.points));
+}
+
+TEST(DncTest, PaperExample) {
+  EXPECT_EQ(SkylineIndicesDnc(PaperExampleDataset().points),
+            (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(BbsTest, MatchesBnlOnRandomData) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    const Dataset ds = GenerateUniform(800, 2, seed);
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    std::vector<RStarTree::Id> bbs = BbsSkyline(tree);
+    std::sort(bbs.begin(), bbs.end());
+    const std::vector<size_t> bnl = SkylineIndicesBnl(ds.points);
+    ASSERT_EQ(bbs.size(), bnl.size()) << "seed " << seed;
+    for (size_t i = 0; i < bbs.size(); ++i) {
+      EXPECT_EQ(static_cast<size_t>(bbs[i]), bnl[i]);
+    }
+  }
+}
+
+TEST(BbsTest, MatchesBnlOnAnticorrelated) {
+  const Dataset ds = GenerateAnticorrelated(1000, 2, 7);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  std::vector<RStarTree::Id> bbs = BbsSkyline(tree);
+  std::sort(bbs.begin(), bbs.end());
+  const std::vector<size_t> bnl = SkylineIndicesBnl(ds.points);
+  ASSERT_EQ(bbs.size(), bnl.size());
+  for (size_t i = 0; i < bbs.size(); ++i) {
+    EXPECT_EQ(static_cast<size_t>(bbs[i]), bnl[i]);
+  }
+}
+
+TEST(BbsTest, PrunesNodes) {
+  // BBS should touch far fewer nodes than a full scan on correlated data.
+  const Dataset ds = GenerateCorrelated(20000, 2, 3);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  tree.ResetStats();
+  BbsSkyline(tree);
+  const uint64_t bbs_reads = tree.stats().node_reads;
+  tree.ResetStats();
+  tree.RangeQueryIds(Rectangle(Point({-1, -1}), Point({2, 2})));
+  const uint64_t scan_reads = tree.stats().node_reads;
+  EXPECT_LT(bbs_reads, scan_reads / 2);
+}
+
+TEST(DynamicSkylineTest, PaperAnchors) {
+  const Dataset ds = PaperExampleDataset();
+  const Point q = PaperExampleQuery();
+  EXPECT_EQ(DynamicSkylineIndices(ds.points, q),
+            (std::vector<size_t>{1, 5}));
+  EXPECT_EQ(DynamicSkylineIndices(ds.points, ds.points[1], 1),
+            (std::vector<size_t>{0, 3, 5}));
+}
+
+TEST(DynamicSkylineTest, BbsDynamicMatchesBruteTransform) {
+  for (uint64_t seed = 11; seed <= 14; ++seed) {
+    const Dataset ds = GenerateUniform(600, 2, seed);
+    RStarTree tree = BulkLoadPoints(2, ds.points);
+    Rng rng(seed);
+    for (int trial = 0; trial < 5; ++trial) {
+      const Point origin({rng.NextDouble(), rng.NextDouble()});
+      std::vector<RStarTree::Id> bbs = BbsDynamicSkyline(tree, origin);
+      std::sort(bbs.begin(), bbs.end());
+      const std::vector<size_t> brute =
+          DynamicSkylineIndices(ds.points, origin);
+      ASSERT_EQ(bbs.size(), brute.size());
+      for (size_t i = 0; i < bbs.size(); ++i) {
+        EXPECT_EQ(static_cast<size_t>(bbs[i]), brute[i]);
+      }
+    }
+  }
+}
+
+TEST(DynamicSkylineTest, ExcludeIdIsHonored) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point c2 = ds.points[1];
+  // Without exclusion, c2's own tuple (distance 0) dominates everything.
+  const std::vector<RStarTree::Id> with_self = BbsDynamicSkyline(tree, c2);
+  EXPECT_EQ(with_self, (std::vector<RStarTree::Id>{1}));
+  // With exclusion, the paper's DSL(c2).
+  std::vector<RStarTree::Id> without = BbsDynamicSkyline(tree, c2, 1);
+  std::sort(without.begin(), without.end());
+  EXPECT_EQ(without, (std::vector<RStarTree::Id>{0, 3, 5}));
+}
+
+TEST(DynamicSkylineTest, InDynamicSkylineMembership) {
+  const Dataset ds = PaperExampleDataset();
+  const Point q = PaperExampleQuery();
+  // q is in DSL(c2) but not DSL(c1).
+  EXPECT_TRUE(InDynamicSkyline(ds.points, ds.points[1], q, 1));
+  EXPECT_FALSE(InDynamicSkyline(ds.points, ds.points[0], q, 0));
+}
+
+TEST(DynamicSkylinePropertyTest, SkylineMembersAreMutuallyNonDominated) {
+  const Dataset ds = GenerateAnticorrelated(400, 3, 21);
+  Rng rng(22);
+  for (int trial = 0; trial < 5; ++trial) {
+    Point origin(3);
+    for (size_t i = 0; i < 3; ++i) origin[i] = rng.NextDouble();
+    const std::vector<size_t> dsl = DynamicSkylineIndices(ds.points, origin);
+    for (size_t a : dsl) {
+      for (size_t b : dsl) {
+        if (a == b) continue;
+        EXPECT_FALSE(
+            DynamicallyDominates(ds.points[a], ds.points[b], origin));
+      }
+    }
+    // And every non-member is dominated by some member.
+    std::vector<bool> in_dsl(ds.points.size(), false);
+    for (size_t i : dsl) in_dsl[i] = true;
+    for (size_t i = 0; i < ds.points.size(); ++i) {
+      if (in_dsl[i]) continue;
+      bool dominated = false;
+      for (size_t s : dsl) {
+        if (DynamicallyDominates(ds.points[s], ds.points[i], origin)) {
+          dominated = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated) << "point " << i << " escaped the skyline";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

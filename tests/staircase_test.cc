@@ -1,0 +1,129 @@
+#include "skyline/staircase.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wnrs {
+namespace {
+
+TEST(StaircaseTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(
+      StaircaseCandidates({}, 0, StaircaseMerge::kMin, Point({0, 0}))
+          .empty());
+}
+
+TEST(StaircaseTest, SinglePointMinMergeMatchesAlgorithm1Example) {
+  // Paper Section IV: u = (8, 48.5), anchor c1 = (5, 30) ->
+  // {(5, 48.5), (8, 30)}.
+  std::vector<Point> out = StaircaseCandidates(
+      {Point({8.0, 48.5})}, 0, StaircaseMerge::kMin, Point({5.0, 30.0}));
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Point({5.0, 48.5}));
+  EXPECT_EQ(out[1], Point({8.0, 30.0}));
+}
+
+TEST(StaircaseTest, SinglePointMaxMergeMatchesAlgorithm2Example) {
+  // Paper Section V-A (transformed space): u = (2.5, 12), anchor
+  // q_t = (3.5, 25) -> {(2.5, 25), (3.5, 12)}.
+  std::vector<Point> out = StaircaseCandidates(
+      {Point({2.5, 12.0})}, 0, StaircaseMerge::kMax, Point({3.5, 25.0}));
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Point({2.5, 25.0}));
+  EXPECT_EQ(out[1], Point({3.5, 12.0}));
+}
+
+TEST(StaircaseTest, TwoPointsMaxMergeMatchesFig10) {
+  // Fig. 10: DSL = {A, B} gives three rectangles: A extended in y,
+  // max(A, B), B extended in x.
+  const Point a({1.0, 5.0});
+  const Point b({4.0, 2.0});
+  const Point anchor({10.0, 20.0});
+  std::vector<Point> out =
+      StaircaseCandidates({a, b}, 0, StaircaseMerge::kMax, anchor);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], Point({1.0, 20.0}));   // A with y -> anchor.
+  EXPECT_EQ(out[1], Point({4.0, 5.0}));    // max merge.
+  EXPECT_EQ(out[2], Point({10.0, 2.0}));   // B with x -> anchor.
+}
+
+TEST(StaircaseTest, TwoPointsMinMerge) {
+  const Point u1({2.0, 8.0});
+  const Point u2({6.0, 3.0});
+  const Point anchor({0.0, 0.0});
+  std::vector<Point> out =
+      StaircaseCandidates({u1, u2}, 0, StaircaseMerge::kMin, anchor);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], Point({0.0, 8.0}));  // u1 with sort dim -> anchor.
+  EXPECT_EQ(out[1], Point({2.0, 3.0}));  // min merge.
+  EXPECT_EQ(out[2], Point({6.0, 0.0}));  // u2 with other dims -> anchor.
+}
+
+TEST(StaircaseTest, OutputSizeIsKPlusOne) {
+  std::vector<Point> pts;
+  for (int i = 0; i < 9; ++i) {
+    pts.push_back(Point({double(i), double(9 - i)}));
+  }
+  const std::vector<Point> out =
+      StaircaseCandidates(pts, 0, StaircaseMerge::kMax, Point({20, 20}));
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(StaircaseTest, SortDimensionOneWorks) {
+  // Sorting on dim 1 mirrors the roles of the dimensions.
+  const Point a({5.0, 1.0});
+  const Point b({2.0, 4.0});
+  const Point anchor({10.0, 10.0});
+  std::vector<Point> out =
+      StaircaseCandidates({a, b}, 1, StaircaseMerge::kMax, anchor);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], Point({2.0, 10.0}));
+  EXPECT_EQ(out[1], Point({5.0, 4.0}));
+  EXPECT_EQ(out[2], Point({10.0, 1.0}));
+}
+
+TEST(StaircaseTest, DeduplicatesWhenAnchorEqualsPoint) {
+  // Anchor equal to the single input point collapses both ends to the
+  // same candidate.
+  std::vector<Point> out = StaircaseCandidates(
+      {Point({3.0, 4.0})}, 0, StaircaseMerge::kMax, Point({3.0, 4.0}));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Point({3.0, 4.0}));
+}
+
+TEST(StaircaseTest, ThreeDimensionalShapes) {
+  const Point a({1.0, 5.0, 5.0});
+  const Point b({4.0, 2.0, 4.0});
+  const Point anchor({9.0, 9.0, 9.0});
+  std::vector<Point> out =
+      StaircaseCandidates({a, b}, 0, StaircaseMerge::kMax, anchor);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], Point({1.0, 9.0, 9.0}));  // First: others anchored.
+  EXPECT_EQ(out[1], Point({4.0, 5.0, 5.0}));  // Max merge.
+  EXPECT_EQ(out[2], Point({9.0, 2.0, 4.0}));  // Last: sort dim anchored.
+}
+
+TEST(StaircaseTest, MinMergeCandidatesEscapeEveryThresholdBox) {
+  // Property behind Algorithm 1 (2-D): every emitted candidate must be
+  // strictly outside, or on the boundary of, each threshold's lower-left
+  // box — i.e., >= the threshold in at least one dimension.
+  const std::vector<Point> thresholds = {Point({2.0, 9.0}), Point({5.0, 6.0}),
+                                         Point({8.0, 1.0})};
+  const std::vector<Point> out = StaircaseCandidates(
+      thresholds, 0, StaircaseMerge::kMin, Point({0.0, 0.0}));
+  for (const Point& cand : out) {
+    for (const Point& u : thresholds) {
+      EXPECT_TRUE(cand[0] >= u[0] || cand[1] >= u[1])
+          << cand.ToString() << " inside box of " << u.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,78 @@
+#include "geometry/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wnrs {
+namespace {
+
+Rectangle Viewport() { return Rectangle(Point({0, 0}), Point({10, 5})); }
+
+TEST(SvgCanvasTest, HeaderFollowsViewportAspect) {
+  SvgCanvas canvas(Viewport(), 800.0);
+  const std::string svg = canvas.ToString();
+  EXPECT_NE(svg.find("<svg "), std::string::npos);
+  EXPECT_NE(svg.find("width=\"800\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"400\""), std::string::npos);  // 5/10 aspect.
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, RectMapsDataToPixelsWithYFlip) {
+  SvgCanvas canvas(Viewport(), 100.0);  // 10 px per data-x unit.
+  canvas.AddRect(Rectangle(Point({1, 1}), Point({3, 2})), "#fff");
+  const std::string svg = canvas.ToString();
+  // x = 1 -> 10 px; rect top is data y=2 -> 50 - 2*10 = 30 px.
+  EXPECT_NE(svg.find("<rect x=\"10.00\" y=\"30.00\" width=\"20.00\" "
+                     "height=\"10.00\""),
+            std::string::npos)
+      << svg;
+}
+
+TEST(SvgCanvasTest, EmptyRectSkipped) {
+  SvgCanvas canvas(Viewport());
+  canvas.AddRect(Rectangle(Point({3, 3}), Point({1, 1})), "#fff");
+  // Only the background rect is present.
+  const std::string svg = canvas.ToString();
+  size_t count = 0;
+  for (size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SvgCanvasTest, RegionAndMarkers) {
+  SvgCanvas canvas(Viewport());
+  canvas.AddRegion(RectRegion({Rectangle(Point({0, 0}), Point({1, 1})),
+                               Rectangle(Point({2, 2}), Point({3, 3}))}),
+                   "#00ff00");
+  canvas.AddPoint(Point({5, 2.5}), "#ff0000", 4.0, "q");
+  canvas.AddText(Point({1, 1}), "hello");
+  const std::string svg = canvas.ToString();
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find(">q</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">hello</text>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, WriteToRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/canvas.svg";
+  SvgCanvas canvas(Viewport());
+  canvas.AddPoint(Point({1, 1}), "#123456");
+  ASSERT_TRUE(canvas.WriteTo(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), canvas.ToString());
+  std::remove(path.c_str());
+}
+
+TEST(SvgCanvasTest, WriteToBadPathFails) {
+  SvgCanvas canvas(Viewport());
+  EXPECT_FALSE(canvas.WriteTo("/nonexistent/dir/x.svg").ok());
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,82 @@
+#include "geometry/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace wnrs {
+namespace {
+
+TEST(TransformTest, ToDistanceSpaceBasics) {
+  const Point origin({8.5, 55.0});
+  // Paper Fig. 2(a): p2(7.5, 42) maps to (1, 13) w.r.t. q.
+  EXPECT_EQ(ToDistanceSpace(Point({7.5, 42.0}), origin), Point({1.0, 13.0}));
+  EXPECT_EQ(ToDistanceSpace(origin, origin), Point({0.0, 0.0}));
+}
+
+TEST(TransformTest, RectToDistanceSpaceOriginInside) {
+  const Rectangle r(Point({0, 0}), Point({4, 4}));
+  const Rectangle t = RectToDistanceSpace(r, Point({1, 3}));
+  EXPECT_EQ(t.lo(), Point({0, 0}));
+  EXPECT_EQ(t.hi(), Point({3, 3}));
+}
+
+TEST(TransformTest, RectToDistanceSpaceOriginOutside) {
+  const Rectangle r(Point({2, 2}), Point({4, 6}));
+  const Rectangle t = RectToDistanceSpace(r, Point({0, 10}));
+  EXPECT_EQ(t.lo(), Point({2, 4}));
+  EXPECT_EQ(t.hi(), Point({4, 8}));
+}
+
+TEST(TransformTest, RectTransformBoundsAllContainedPoints) {
+  // Property: for random rectangles and random contained points, the
+  // transformed point lies inside the transformed rectangle.
+  Rng rng(31);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Point lo(2);
+    Point hi(2);
+    Point origin(2);
+    for (size_t i = 0; i < 2; ++i) {
+      lo[i] = rng.NextDouble(-5, 5);
+      hi[i] = lo[i] + rng.NextDouble(0, 4);
+      origin[i] = rng.NextDouble(-6, 6);
+    }
+    const Rectangle r(lo, hi);
+    const Rectangle t = RectToDistanceSpace(r, origin);
+    Point inside(2);
+    for (size_t i = 0; i < 2; ++i) {
+      inside[i] = rng.NextDouble(lo[i], hi[i]);
+    }
+    const Point mapped = ToDistanceSpace(inside, origin);
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_GE(mapped[i], t.lo()[i] - 1e-12);
+      EXPECT_LE(mapped[i], t.hi()[i] + 1e-12);
+    }
+  }
+}
+
+TEST(TransformTest, SymmetricRectAround) {
+  const Rectangle r = SymmetricRectAround(Point({5, 5}), Point({7, 4}));
+  EXPECT_EQ(r.lo(), Point({3, 4}));
+  EXPECT_EQ(r.hi(), Point({7, 6}));
+}
+
+TEST(TransformTest, InWindowMatchesPaperExample) {
+  // Fig. 4(b): p2 is in c1's window w.r.t. q; Fig. 4(a): nothing is in
+  // c2's window.
+  const Point q({8.5, 55.0});
+  EXPECT_TRUE(InWindow(Point({7.5, 42.0}), Point({5.0, 30.0}), q));
+  EXPECT_FALSE(InWindow(Point({5.0, 30.0}), Point({7.5, 42.0}), q));
+}
+
+TEST(TransformTest, InWindowRequiresStrictness) {
+  // A mirror image of q ties in every dimension and is not "in the
+  // window" (it does not dynamically dominate q).
+  const Point c({0.0, 0.0});
+  const Point q({2.0, 2.0});
+  EXPECT_FALSE(InWindow(Point({-2.0, -2.0}), c, q));
+  EXPECT_TRUE(InWindow(Point({-2.0, -1.0}), c, q));
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,158 @@
+#include "reverse_skyline/window_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "geometry/dominance.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+
+namespace wnrs {
+namespace {
+
+TEST(WindowRectTest, ExtentsAreDistancesToQ) {
+  const Rectangle w = WindowRect(Point({5, 30}), Point({8.5, 55}));
+  EXPECT_EQ(w.lo(), Point({1.5, 5.0}));
+  EXPECT_EQ(w.hi(), Point({8.5, 55.0}));
+}
+
+TEST(WindowRectTest, DegenerateWhenCEqualsQ) {
+  const Rectangle w = WindowRect(Point({3, 3}), Point({3, 3}));
+  EXPECT_EQ(w.lo(), w.hi());
+}
+
+TEST(WindowQueryTest, PaperExample) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point q = PaperExampleQuery();
+  EXPECT_EQ(WindowQuery(tree, ds.points[0], q, 0),
+            (std::vector<RStarTree::Id>{1}));
+  EXPECT_TRUE(WindowQuery(tree, ds.points[1], q, 1).empty());
+  EXPECT_FALSE(WindowEmpty(tree, ds.points[0], q, 0));
+  EXPECT_TRUE(WindowEmpty(tree, ds.points[1], q, 1));
+}
+
+TEST(WindowQueryTest, ExcludeIdSkipsSelf) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point q = PaperExampleQuery();
+  // Without exclusion, c2's own tuple dominates q w.r.t. itself.
+  EXPECT_FALSE(WindowEmpty(tree, ds.points[1], q));
+  EXPECT_TRUE(WindowEmpty(tree, ds.points[1], q, 1));
+}
+
+TEST(WindowQueryTest, TreeMatchesBruteForce) {
+  const Dataset ds = GenerateUniform(500, 2, 55);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(56);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point c({rng.NextDouble(), rng.NextDouble()});
+    const Point q({rng.NextDouble(), rng.NextDouble()});
+    std::vector<RStarTree::Id> via_tree = WindowQuery(tree, c, q);
+    std::sort(via_tree.begin(), via_tree.end());
+    const std::vector<size_t> brute = WindowQueryBrute(ds.points, c, q);
+    ASSERT_EQ(via_tree.size(), brute.size());
+    for (size_t i = 0; i < brute.size(); ++i) {
+      EXPECT_EQ(static_cast<size_t>(via_tree[i]), brute[i]);
+    }
+    EXPECT_EQ(WindowEmpty(tree, c, q), brute.empty());
+  }
+}
+
+TEST(WindowQueryTest, MirrorPointNotReturned) {
+  // A product that mirrors q around c ties in every dimension and must
+  // not count as a culprit.
+  std::vector<Point> products = {Point({2.0, 2.0})};  // Mirror of q=(4,4)
+                                                      // around c=(3,3).
+  RStarTree tree = BulkLoadPoints(2, products);
+  EXPECT_TRUE(WindowQuery(tree, Point({3, 3}), Point({4, 4})).empty());
+}
+
+TEST(WindowQueryTest, ProductAtCAlwaysDominates) {
+  // A product exactly at c dominates any q != c.
+  std::vector<Point> products = {Point({3.0, 3.0})};
+  RStarTree tree = BulkLoadPoints(2, products);
+  EXPECT_FALSE(WindowEmpty(tree, Point({3, 3}), Point({4, 4})));
+  // Unless it is excluded (shared relation).
+  EXPECT_TRUE(WindowEmpty(tree, Point({3, 3}), Point({4, 4}), 0));
+}
+
+TEST(WindowSkylineTest, MatchesBruteForceFrontier) {
+  const Dataset ds = GenerateCarDb(800, 66);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  Rng rng(67);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t c_idx = rng.NextUint64(ds.points.size());
+    const Point& c = ds.points[c_idx];
+    const Point q = ds.points[rng.NextUint64(ds.points.size())];
+    for (const Point& origin : {q, c}) {
+      // Oracle: window query then skyline of the transformed contents.
+      const std::vector<size_t> lambda =
+          WindowQueryBrute(ds.points, c, q, c_idx);
+      std::vector<size_t> expected;
+      for (size_t a : lambda) {
+        bool dominated = false;
+        for (size_t b : lambda) {
+          if (a == b) continue;
+          if (DynamicallyDominates(ds.points[b], ds.points[a], origin)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) expected.push_back(a);
+      }
+      std::vector<RStarTree::Id> got = WindowSkyline(
+          tree, c, q, origin, static_cast<RStarTree::Id>(c_idx));
+      ASSERT_EQ(got.size(), expected.size())
+          << "trial " << trial << " origin " << origin.ToString();
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(static_cast<size_t>(got[i]), expected[i]);
+      }
+    }
+  }
+}
+
+TEST(WindowSkylineTest, EmptyWindowGivesEmptyFrontier) {
+  const Dataset ds = PaperExampleDataset();
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point q = PaperExampleQuery();
+  EXPECT_TRUE(WindowSkyline(tree, ds.points[1], q, q, 1).empty());
+  EXPECT_EQ(WindowSkyline(tree, ds.points[0], q, q, 0),
+            (std::vector<RStarTree::Id>{1}));
+}
+
+TEST(WindowSkylineTest, TouchesFewerNodesThanFullWindowQuery) {
+  const Dataset ds = GenerateUniform(50000, 2, 68);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  // Huge window: c in one corner, q in the other.
+  const Point c({0.05, 0.05});
+  const Point q({0.95, 0.95});
+  tree.ResetStats();
+  const auto frontier = WindowSkyline(tree, c, q, q);
+  const uint64_t fast_reads = tree.stats().node_reads;
+  tree.ResetStats();
+  const auto lambda = WindowQuery(tree, c, q);
+  const uint64_t full_reads = tree.stats().node_reads;
+  EXPECT_LT(frontier.size(), lambda.size() / 10);
+  EXPECT_LT(fast_reads, full_reads / 4)
+      << "fast " << fast_reads << " full " << full_reads;
+}
+
+TEST(WindowQueryTest, EarlyExitTouchesFewerNodes) {
+  const Dataset ds = GenerateUniform(20000, 2, 77);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  const Point c({0.5, 0.5});
+  const Point q({0.1, 0.1});  // Huge window: many culprits.
+  tree.ResetStats();
+  ASSERT_FALSE(WindowEmpty(tree, c, q));
+  const uint64_t probe_reads = tree.stats().node_reads;
+  tree.ResetStats();
+  WindowQuery(tree, c, q);
+  const uint64_t full_reads = tree.stats().node_reads;
+  EXPECT_LT(probe_reads, full_reads / 4);
+}
+
+}  // namespace
+}  // namespace wnrs

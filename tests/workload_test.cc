@@ -1,0 +1,84 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "reverse_skyline/naive.h"
+
+namespace wnrs {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest()
+      : data_(GenerateCarDb(2000, 13)),
+        tree_(BulkLoadPoints(2, data_.points)) {}
+
+  RslFn MakeRslFn() {
+    return [this](const Point& q) {
+      return ReverseSkylineNaive(tree_, data_.points, q, true);
+    };
+  }
+
+  Dataset data_;
+  RStarTree tree_;
+};
+
+TEST_F(WorkloadTest, BucketsHaveRequestedRslSizes) {
+  const auto queries =
+      SampleQueriesByRslSize(data_, MakeRslFn(), 1, 8, 4000, 99);
+  ASSERT_FALSE(queries.empty());
+  std::set<size_t> seen;
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    EXPECT_GE(wq.rsl.size(), 1u);
+    EXPECT_LE(wq.rsl.size(), 8u);
+    EXPECT_TRUE(seen.insert(wq.rsl.size()).second)
+        << "duplicate bucket " << wq.rsl.size();
+  }
+  // Most buckets should be fillable on 2k points.
+  EXPECT_GE(queries.size(), 4u);
+}
+
+TEST_F(WorkloadTest, RslMatchesOracle) {
+  const auto queries =
+      SampleQueriesByRslSize(data_, MakeRslFn(), 1, 5, 2000, 7);
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    EXPECT_EQ(wq.rsl, ReverseSkylineNaive(tree_, data_.points, wq.q, true));
+  }
+}
+
+TEST_F(WorkloadTest, WhyNotPointIsOutsideRsl) {
+  const auto queries =
+      SampleQueriesByRslSize(data_, MakeRslFn(), 1, 6, 2000, 17);
+  for (const WhyNotWorkloadQuery& wq : queries) {
+    EXPECT_EQ(std::find(wq.rsl.begin(), wq.rsl.end(), wq.why_not_index),
+              wq.rsl.end());
+    EXPECT_LT(wq.why_not_index, data_.points.size());
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  const auto a = SampleQueriesByRslSize(data_, MakeRslFn(), 1, 4, 1000, 3);
+  const auto b = SampleQueriesByRslSize(data_, MakeRslFn(), 1, 4, 1000, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].q, b[i].q);
+    EXPECT_EQ(a[i].rsl, b[i].rsl);
+    EXPECT_EQ(a[i].why_not_index, b[i].why_not_index);
+  }
+}
+
+TEST_F(WorkloadTest, RespectsAttemptBudget) {
+  // A tiny budget fills few (possibly zero) buckets but must not loop
+  // forever or crash.
+  const auto queries =
+      SampleQueriesByRslSize(data_, MakeRslFn(), 1, 15, 5, 3);
+  EXPECT_LE(queries.size(), 5u);
+}
+
+}  // namespace
+}  // namespace wnrs

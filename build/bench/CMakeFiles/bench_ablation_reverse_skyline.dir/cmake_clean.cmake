@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reverse_skyline.dir/bench_ablation_reverse_skyline.cc.o"
+  "CMakeFiles/bench_ablation_reverse_skyline.dir/bench_ablation_reverse_skyline.cc.o.d"
+  "bench_ablation_reverse_skyline"
+  "bench_ablation_reverse_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reverse_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_whynot.dir/bench_ablation_whynot.cc.o"
+  "CMakeFiles/bench_ablation_whynot.dir/bench_ablation_whynot.cc.o.d"
+  "bench_ablation_whynot"
+  "bench_ablation_whynot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_whynot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

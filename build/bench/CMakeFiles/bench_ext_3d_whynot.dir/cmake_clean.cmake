@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_3d_whynot.dir/bench_ext_3d_whynot.cc.o"
+  "CMakeFiles/bench_ext_3d_whynot.dir/bench_ext_3d_whynot.cc.o.d"
+  "bench_ext_3d_whynot"
+  "bench_ext_3d_whynot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_3d_whynot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bichromatic.dir/bench_ext_bichromatic.cc.o"
+  "CMakeFiles/bench_ext_bichromatic.dir/bench_ext_bichromatic.cc.o.d"
+  "bench_ext_bichromatic"
+  "bench_ext_bichromatic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bichromatic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_svg.dir/export_svg.cc.o"
+  "CMakeFiles/export_svg.dir/export_svg.cc.o.d"
+  "export_svg"
+  "export_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

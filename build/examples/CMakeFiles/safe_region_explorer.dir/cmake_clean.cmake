@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_region_explorer.dir/safe_region_explorer.cc.o"
+  "CMakeFiles/safe_region_explorer.dir/safe_region_explorer.cc.o.d"
+  "safe_region_explorer"
+  "safe_region_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_region_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

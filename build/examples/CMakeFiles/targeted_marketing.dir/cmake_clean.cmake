@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_marketing.dir/targeted_marketing.cc.o"
+  "CMakeFiles/targeted_marketing.dir/targeted_marketing.cc.o.d"
+  "targeted_marketing"
+  "targeted_marketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_marketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_cli.dir/wnrs_cli.cc.o"
+  "CMakeFiles/wnrs_cli.dir/wnrs_cli.cc.o.d"
+  "wnrs_cli"
+  "wnrs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_common.dir/common/logging.cc.o"
+  "CMakeFiles/wnrs_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/wnrs_common.dir/common/random.cc.o"
+  "CMakeFiles/wnrs_common.dir/common/random.cc.o.d"
+  "CMakeFiles/wnrs_common.dir/common/status.cc.o"
+  "CMakeFiles/wnrs_common.dir/common/status.cc.o.d"
+  "CMakeFiles/wnrs_common.dir/common/string_util.cc.o"
+  "CMakeFiles/wnrs_common.dir/common/string_util.cc.o.d"
+  "libwnrs_common.a"
+  "libwnrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwnrs_common.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cc" "src/CMakeFiles/wnrs_core.dir/core/cost.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/cost.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/wnrs_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/wnrs_core.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/mqp.cc" "src/CMakeFiles/wnrs_core.dir/core/mqp.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/mqp.cc.o.d"
+  "/root/repo/src/core/mwp.cc" "src/CMakeFiles/wnrs_core.dir/core/mwp.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/mwp.cc.o.d"
+  "/root/repo/src/core/mwq.cc" "src/CMakeFiles/wnrs_core.dir/core/mwq.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/mwq.cc.o.d"
+  "/root/repo/src/core/prospect.cc" "src/CMakeFiles/wnrs_core.dir/core/prospect.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/prospect.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/wnrs_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/reposition.cc" "src/CMakeFiles/wnrs_core.dir/core/reposition.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/reposition.cc.o.d"
+  "/root/repo/src/core/safe_region.cc" "src/CMakeFiles/wnrs_core.dir/core/safe_region.cc.o" "gcc" "src/CMakeFiles/wnrs_core.dir/core/safe_region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wnrs_reverse_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_skyline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

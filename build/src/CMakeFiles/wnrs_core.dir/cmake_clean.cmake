@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_core.dir/core/cost.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/cost.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/engine.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/engine.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/explain.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/explain.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/mqp.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/mqp.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/mwp.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/mwp.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/mwq.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/mwq.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/prospect.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/prospect.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/report.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/report.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/reposition.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/reposition.cc.o.d"
+  "CMakeFiles/wnrs_core.dir/core/safe_region.cc.o"
+  "CMakeFiles/wnrs_core.dir/core/safe_region.cc.o.d"
+  "libwnrs_core.a"
+  "libwnrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/wnrs_data.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/wnrs_data.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/wnrs_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/wnrs_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/wnrs_data.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/wnrs_data.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/workload.cc" "src/CMakeFiles/wnrs_data.dir/data/workload.cc.o" "gcc" "src/CMakeFiles/wnrs_data.dir/data/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wnrs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

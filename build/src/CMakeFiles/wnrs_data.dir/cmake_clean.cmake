@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_data.dir/data/csv.cc.o"
+  "CMakeFiles/wnrs_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/wnrs_data.dir/data/dataset.cc.o"
+  "CMakeFiles/wnrs_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/wnrs_data.dir/data/generators.cc.o"
+  "CMakeFiles/wnrs_data.dir/data/generators.cc.o.d"
+  "CMakeFiles/wnrs_data.dir/data/workload.cc.o"
+  "CMakeFiles/wnrs_data.dir/data/workload.cc.o.d"
+  "libwnrs_data.a"
+  "libwnrs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

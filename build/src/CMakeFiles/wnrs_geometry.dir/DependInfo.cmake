@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/dominance.cc" "src/CMakeFiles/wnrs_geometry.dir/geometry/dominance.cc.o" "gcc" "src/CMakeFiles/wnrs_geometry.dir/geometry/dominance.cc.o.d"
+  "/root/repo/src/geometry/point.cc" "src/CMakeFiles/wnrs_geometry.dir/geometry/point.cc.o" "gcc" "src/CMakeFiles/wnrs_geometry.dir/geometry/point.cc.o.d"
+  "/root/repo/src/geometry/rectangle.cc" "src/CMakeFiles/wnrs_geometry.dir/geometry/rectangle.cc.o" "gcc" "src/CMakeFiles/wnrs_geometry.dir/geometry/rectangle.cc.o.d"
+  "/root/repo/src/geometry/region.cc" "src/CMakeFiles/wnrs_geometry.dir/geometry/region.cc.o" "gcc" "src/CMakeFiles/wnrs_geometry.dir/geometry/region.cc.o.d"
+  "/root/repo/src/geometry/svg.cc" "src/CMakeFiles/wnrs_geometry.dir/geometry/svg.cc.o" "gcc" "src/CMakeFiles/wnrs_geometry.dir/geometry/svg.cc.o.d"
+  "/root/repo/src/geometry/transform.cc" "src/CMakeFiles/wnrs_geometry.dir/geometry/transform.cc.o" "gcc" "src/CMakeFiles/wnrs_geometry.dir/geometry/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wnrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_geometry.dir/geometry/dominance.cc.o"
+  "CMakeFiles/wnrs_geometry.dir/geometry/dominance.cc.o.d"
+  "CMakeFiles/wnrs_geometry.dir/geometry/point.cc.o"
+  "CMakeFiles/wnrs_geometry.dir/geometry/point.cc.o.d"
+  "CMakeFiles/wnrs_geometry.dir/geometry/rectangle.cc.o"
+  "CMakeFiles/wnrs_geometry.dir/geometry/rectangle.cc.o.d"
+  "CMakeFiles/wnrs_geometry.dir/geometry/region.cc.o"
+  "CMakeFiles/wnrs_geometry.dir/geometry/region.cc.o.d"
+  "CMakeFiles/wnrs_geometry.dir/geometry/svg.cc.o"
+  "CMakeFiles/wnrs_geometry.dir/geometry/svg.cc.o.d"
+  "CMakeFiles/wnrs_geometry.dir/geometry/transform.cc.o"
+  "CMakeFiles/wnrs_geometry.dir/geometry/transform.cc.o.d"
+  "libwnrs_geometry.a"
+  "libwnrs_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

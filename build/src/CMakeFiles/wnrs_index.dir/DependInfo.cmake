@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/bulk_load.cc" "src/CMakeFiles/wnrs_index.dir/index/bulk_load.cc.o" "gcc" "src/CMakeFiles/wnrs_index.dir/index/bulk_load.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/CMakeFiles/wnrs_index.dir/index/rtree.cc.o" "gcc" "src/CMakeFiles/wnrs_index.dir/index/rtree.cc.o.d"
+  "/root/repo/src/index/serialize.cc" "src/CMakeFiles/wnrs_index.dir/index/serialize.cc.o" "gcc" "src/CMakeFiles/wnrs_index.dir/index/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wnrs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

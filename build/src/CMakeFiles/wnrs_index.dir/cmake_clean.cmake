@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_index.dir/index/bulk_load.cc.o"
+  "CMakeFiles/wnrs_index.dir/index/bulk_load.cc.o.d"
+  "CMakeFiles/wnrs_index.dir/index/rtree.cc.o"
+  "CMakeFiles/wnrs_index.dir/index/rtree.cc.o.d"
+  "CMakeFiles/wnrs_index.dir/index/serialize.cc.o"
+  "CMakeFiles/wnrs_index.dir/index/serialize.cc.o.d"
+  "libwnrs_index.a"
+  "libwnrs_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_reverse_skyline.dir/reverse_skyline/bbrs.cc.o"
+  "CMakeFiles/wnrs_reverse_skyline.dir/reverse_skyline/bbrs.cc.o.d"
+  "CMakeFiles/wnrs_reverse_skyline.dir/reverse_skyline/naive.cc.o"
+  "CMakeFiles/wnrs_reverse_skyline.dir/reverse_skyline/naive.cc.o.d"
+  "CMakeFiles/wnrs_reverse_skyline.dir/reverse_skyline/window_query.cc.o"
+  "CMakeFiles/wnrs_reverse_skyline.dir/reverse_skyline/window_query.cc.o.d"
+  "libwnrs_reverse_skyline.a"
+  "libwnrs_reverse_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_reverse_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

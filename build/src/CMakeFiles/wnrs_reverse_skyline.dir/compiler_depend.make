@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wnrs_reverse_skyline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skyline/approx.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/approx.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/approx.cc.o.d"
+  "/root/repo/src/skyline/bbs.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/bbs.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/bbs.cc.o.d"
+  "/root/repo/src/skyline/bnl.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/bnl.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/bnl.cc.o.d"
+  "/root/repo/src/skyline/ddr.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/ddr.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/ddr.cc.o.d"
+  "/root/repo/src/skyline/dnc.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/dnc.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/dnc.cc.o.d"
+  "/root/repo/src/skyline/dynamic.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/dynamic.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/dynamic.cc.o.d"
+  "/root/repo/src/skyline/sfs.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/sfs.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/sfs.cc.o.d"
+  "/root/repo/src/skyline/staircase.cc" "src/CMakeFiles/wnrs_skyline.dir/skyline/staircase.cc.o" "gcc" "src/CMakeFiles/wnrs_skyline.dir/skyline/staircase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wnrs_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wnrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

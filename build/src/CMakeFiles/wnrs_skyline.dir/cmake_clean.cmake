@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wnrs_skyline.dir/skyline/approx.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/approx.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/bbs.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/bbs.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/bnl.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/bnl.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/ddr.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/ddr.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/dnc.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/dnc.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/dynamic.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/dynamic.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/sfs.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/sfs.cc.o.d"
+  "CMakeFiles/wnrs_skyline.dir/skyline/staircase.cc.o"
+  "CMakeFiles/wnrs_skyline.dir/skyline/staircase.cc.o.d"
+  "libwnrs_skyline.a"
+  "libwnrs_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wnrs_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_test.dir/ddr_test.cc.o"
+  "CMakeFiles/ddr_test.dir/ddr_test.cc.o.d"
+  "ddr_test"
+  "ddr_test.pdb"
+  "ddr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

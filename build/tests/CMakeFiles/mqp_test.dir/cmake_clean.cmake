@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqp_test.dir/mqp_test.cc.o"
+  "CMakeFiles/mqp_test.dir/mqp_test.cc.o.d"
+  "mqp_test"
+  "mqp_test.pdb"
+  "mqp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

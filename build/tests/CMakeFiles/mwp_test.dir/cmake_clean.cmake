@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwp_test.dir/mwp_test.cc.o"
+  "CMakeFiles/mwp_test.dir/mwp_test.cc.o.d"
+  "mwp_test"
+  "mwp_test.pdb"
+  "mwp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwq_test.dir/mwq_test.cc.o"
+  "CMakeFiles/mwq_test.dir/mwq_test.cc.o.d"
+  "mwq_test"
+  "mwq_test.pdb"
+  "mwq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prospect_test.dir/prospect_test.cc.o"
+  "CMakeFiles/prospect_test.dir/prospect_test.cc.o.d"
+  "prospect_test"
+  "prospect_test.pdb"
+  "prospect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prospect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rectangle_test.dir/rectangle_test.cc.o"
+  "CMakeFiles/rectangle_test.dir/rectangle_test.cc.o.d"
+  "rectangle_test"
+  "rectangle_test.pdb"
+  "rectangle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rectangle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reposition_test.dir/reposition_test.cc.o"
+  "CMakeFiles/reposition_test.dir/reposition_test.cc.o.d"
+  "reposition_test"
+  "reposition_test.pdb"
+  "reposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_skyline_test.dir/reverse_skyline_test.cc.o"
+  "CMakeFiles/reverse_skyline_test.dir/reverse_skyline_test.cc.o.d"
+  "reverse_skyline_test"
+  "reverse_skyline_test.pdb"
+  "reverse_skyline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

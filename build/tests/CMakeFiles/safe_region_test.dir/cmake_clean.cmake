@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_region_test.dir/safe_region_test.cc.o"
+  "CMakeFiles/safe_region_test.dir/safe_region_test.cc.o.d"
+  "safe_region_test"
+  "safe_region_test.pdb"
+  "safe_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

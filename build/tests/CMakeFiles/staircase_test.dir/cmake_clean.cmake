@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staircase_test.dir/staircase_test.cc.o"
+  "CMakeFiles/staircase_test.dir/staircase_test.cc.o.d"
+  "staircase_test"
+  "staircase_test.pdb"
+  "staircase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staircase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

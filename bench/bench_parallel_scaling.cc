@@ -1,0 +1,87 @@
+// Scaling of the parallel execution layer: wall-clock time and speedup
+// of batch MWQ answering (ModifyBothBatch) and offline approx-DSL
+// precomputation (PrecomputeApproxDsls) at 1/2/4/8 threads.
+//
+// Expected shape on a multi-core host: near-linear scaling for the
+// precompute pass (independent per-customer BBS runs) and sublinear but
+// clearly >1x scaling for batch MWQ (the shared safe-region computation
+// is serial; the per-why-not refinement fans out). On a single-core
+// host all rows collapse to ~1x — the speedup column, not the absolute
+// times, is the quantity of interest.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+
+namespace {
+
+using namespace wnrs;
+using namespace wnrs::bench;
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+WhyNotEngine MakeEngine(const Dataset& data, size_t num_threads) {
+  WhyNotEngineOptions options;
+  options.num_threads = num_threads;
+  return WhyNotEngine(data, options);
+}
+
+void BenchBatchMwq(const Dataset& data, size_t batch_size) {
+  // One fixed query with a non-trivial reverse skyline, answered for a
+  // batch of why-not customers — the paper's Section V batch setting.
+  const Point q = data.points[7];
+  std::vector<size_t> whos;
+  for (size_t c = 0; c < batch_size; ++c) {
+    whos.push_back(c * 13 % data.points.size());
+  }
+
+  std::printf("\n--- batch MWQ (n=%zu, batch=%zu) ---\n", data.points.size(),
+              batch_size);
+  std::printf("%-10s %-14s %-10s\n", "threads", "time (ms)", "speedup");
+  double serial_ms = 0.0;
+  for (size_t threads : kThreadCounts) {
+    // A fresh engine per row so every run pays the same cold caches.
+    WhyNotEngine engine = MakeEngine(data, threads);
+    WallTimer timer;
+    const std::vector<MwqResult> results = engine.ModifyBothBatch(whos, q);
+    const double ms = timer.ElapsedMillis();
+    WNRS_CHECK(results.size() == whos.size());
+    if (threads == 1) serial_ms = ms;
+    std::printf("%-10zu %-14.1f %-10.2f\n", threads, ms, serial_ms / ms);
+  }
+}
+
+void BenchPrecompute(const Dataset& data, size_t k) {
+  std::printf("\n--- PrecomputeApproxDsls (n=%zu, k=%zu) ---\n",
+              data.points.size(), k);
+  std::printf("%-10s %-14s %-10s\n", "threads", "time (ms)", "speedup");
+  double serial_ms = 0.0;
+  for (size_t threads : kThreadCounts) {
+    WhyNotEngine engine = MakeEngine(data, threads);
+    WallTimer timer;
+    engine.PrecomputeApproxDsls(k);
+    const double ms = timer.ElapsedMillis();
+    if (threads == 1) serial_ms = ms;
+    std::printf("%-10zu %-14.1f %-10.2f\n", threads, ms, serial_ms / ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Parallel scaling: batch MWQ and approx-DSL precompute ===\n"
+      "hardware threads available: %zu\n",
+      ThreadPool::HardwareConcurrency());
+
+  const Dataset cardb = MakeDataset("CarDB", 20000, 9100);
+  BenchBatchMwq(cardb, 64);
+  BenchPrecompute(cardb, 8);
+
+  const Dataset anti = MakeDataset("AC", 20000, 9200);
+  BenchBatchMwq(anti, 64);
+  BenchPrecompute(anti, 8);
+  return 0;
+}

@@ -1,0 +1,110 @@
+#include "common/thread_pool.h"
+
+namespace wnrs {
+namespace {
+
+/// True while the current thread executes loop bodies of some ParallelFor
+/// (a pool worker, or the submitter participating in its own loop).
+/// Nested ParallelFor calls observe it and run inline.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+size_t ThreadPool::HardwareConcurrency() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? HardwareConcurrency() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunJob(Job* job) {
+  const bool was_in_region = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  const size_t total = job->end - job->begin;
+  size_t i;
+  while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) < job->end) {
+    (*job->fn)(i);
+    // acq_rel so the submitter's acquire read of `completed == total`
+    // orders every loop body's writes before ParallelFor returns.
+    if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  tls_in_parallel_region = was_in_region;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_seq_ != last_seq);
+      });
+      if (stop_) return;
+      job = job_;
+      last_seq = job_seq_;
+      ++job->active;
+    }
+    RunJob(job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->active;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t total = end - begin;
+  // Serial paths: a 1-thread pool, a single-element range (fn may still
+  // parallelize internally), or a nested call from inside a running loop
+  // (must not re-enter submit_mu_, and the pool is busy anyway).
+  if (workers_.empty() || total == 1 || tls_in_parallel_region) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.fn = &fn;
+  job.next.store(begin, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+  RunJob(&job);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.completed.load(std::memory_order_acquire) == total &&
+             job.active == 0;
+    });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace wnrs

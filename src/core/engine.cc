@@ -1,7 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/logging.h"
@@ -15,6 +17,11 @@
 
 namespace wnrs {
 namespace {
+
+/// Bound on the query-keyed reverse-skyline memo; evicted FIFO. Workloads
+/// revisit a handful of query points (the paper's batch setting), so a
+/// small bound suffices and keeps lookup a linear scan.
+constexpr size_t kRslCacheCapacity = 64;
 
 Rectangle UnionBounds(const Dataset& a, const Dataset& b) {
   Rectangle bounds = a.Bounds();
@@ -38,6 +45,7 @@ CostModel MakeCostModel(const Rectangle& universe,
 WhyNotEngine::WhyNotEngine(Dataset products, Dataset customers,
                            WhyNotEngineOptions options)
     : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
       shared_relation_(false),
       products_(std::move(products)),
       customers_(std::move(customers)),
@@ -53,6 +61,7 @@ WhyNotEngine::WhyNotEngine(Dataset products, Dataset customers,
 
 WhyNotEngine::WhyNotEngine(Dataset data, WhyNotEngineOptions options)
     : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
       shared_relation_(true),
       products_(std::move(data)),
       tree_(BulkLoadPoints(products_.dims, products_.points, options.rtree)),
@@ -73,17 +82,39 @@ const Point& WhyNotEngine::CustomerPoint(size_t c) const {
   return ds.points[c];
 }
 
-std::vector<size_t> WhyNotEngine::ReverseSkyline(const Point& q) const {
+std::vector<size_t> WhyNotEngine::ComputeReverseSkyline(const Point& q) const {
   std::vector<RStarTree::Id> ids;
   if (shared_relation_) {
-    ids = BbrsReverseSkyline(tree_, q);
+    ids = BbrsReverseSkyline(tree_, q, pool_.get());
   } else {
     ids = BbrsReverseSkylineBichromatic(*customer_tree_, tree_, q,
-                                        /*shared_relation=*/false);
+                                        /*shared_relation=*/false,
+                                        pool_.get());
   }
   std::vector<size_t> out;
   out.reserve(ids.size());
   for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
+  return out;
+}
+
+std::vector<size_t> WhyNotEngine::ReverseSkyline(const Point& q) const {
+  {
+    std::lock_guard<std::mutex> lock(rsl_cache_mu_);
+    for (const auto& [key, rsl] : cached_rsl_) {
+      if (key == q) return rsl;
+    }
+  }
+  // Compute outside the lock; concurrent misses for the same q may both
+  // compute, but the results are identical and the first insert wins.
+  std::vector<size_t> out = ComputeReverseSkyline(q);
+  std::lock_guard<std::mutex> lock(rsl_cache_mu_);
+  for (const auto& [key, rsl] : cached_rsl_) {
+    if (key == q) return rsl;
+  }
+  if (cached_rsl_.size() >= kRslCacheCapacity) {
+    cached_rsl_.erase(cached_rsl_.begin());
+  }
+  cached_rsl_.emplace_back(q, out);
   return out;
 }
 
@@ -160,13 +191,17 @@ const SafeRegionResult& WhyNotEngine::ApproxSafeRegion(const Point& q) const {
 KeepsMembersFn WhyNotEngine::MakeKeepsMembersFn(const Point& q) const {
   std::vector<size_t> rsl = ReverseSkyline(q);
   return [this, rsl = std::move(rsl)](const Point& q_star) {
-    for (size_t member : rsl) {
-      if (!WindowEmpty(tree_, CustomerPoint(member), q_star,
-                       ExcludeFor(member))) {
-        return false;
+    // One independent membership probe per RSL member. Inside an outer
+    // parallel loop (batch answering) this degrades to the serial scan.
+    std::atomic<bool> keeps{true};
+    pool_->ParallelFor(0, rsl.size(), [&](size_t i) {
+      if (!keeps.load(std::memory_order_relaxed)) return;
+      if (!WindowEmpty(tree_, CustomerPoint(rsl[i]), q_star,
+                       ExcludeFor(rsl[i]))) {
+        keeps.store(false, std::memory_order_relaxed);
       }
-    }
-    return true;
+    });
+    return keeps.load(std::memory_order_relaxed);
   };
 }
 
@@ -184,7 +219,8 @@ MwqResult WhyNotEngine::ModifyBothApprox(size_t c, const Point& q) const {
   return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
                                    q, sr.region, universe_, cost_model_,
                                    options_.sort_dim, ExcludeFor(c),
-                                   MakeKeepsMembersFn(q));
+                                   MakeKeepsMembersFn(q),
+                                   options_.fast_frontier);
 }
 
 SafeRegionResult WhyNotEngine::ConstrainedSafeRegion(
@@ -210,30 +246,35 @@ MwqResult WhyNotEngine::ModifyBothConstrained(size_t c, const Point& q,
 
 std::vector<size_t> WhyNotEngine::LostCustomers(const Point& q,
                                                 const Point& q_star) const {
+  const std::vector<size_t> members = ReverseSkyline(q);
+  const std::vector<unsigned char> is_lost =
+      pool_->ParallelMap<unsigned char>(members.size(), [&](size_t i) {
+        return WindowEmpty(tree_, CustomerPoint(members[i]), q_star,
+                           ExcludeFor(members[i]))
+                   ? static_cast<unsigned char>(0)
+                   : static_cast<unsigned char>(1);
+      });
   std::vector<size_t> lost;
-  for (size_t member : ReverseSkyline(q)) {
-    if (!WindowEmpty(tree_, CustomerPoint(member), q_star,
-                     ExcludeFor(member))) {
-      lost.push_back(member);
-    }
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (is_lost[i] != 0) lost.push_back(members[i]);
   }
   return lost;
 }
 
 std::vector<MwqResult> WhyNotEngine::ModifyBothBatch(
     const std::vector<size_t>& whos, const Point& q, bool use_approx) const {
-  // Materialize the safe region once; every batch entry reuses the cache.
+  // Materialize the safe region and RSL(q) once, before fanning out; the
+  // parallel workers below then only read the warmed caches (the
+  // safe-region slot is lock-free, so a cold cache would race).
   if (use_approx) {
     (void)ApproxSafeRegion(q);
   } else {
     (void)SafeRegion(q);
   }
-  std::vector<MwqResult> out;
-  out.reserve(whos.size());
-  for (size_t c : whos) {
-    out.push_back(use_approx ? ModifyBothApprox(c, q) : ModifyBoth(c, q));
-  }
-  return out;
+  (void)ReverseSkyline(q);
+  return pool_->ParallelMap<MwqResult>(whos.size(), [&](size_t i) {
+    return use_approx ? ModifyBothApprox(whos[i], q) : ModifyBoth(whos[i], q);
+  });
 }
 
 void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
@@ -241,7 +282,9 @@ void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
   const Dataset& ds = customers();
   approx_dsls_.clear();
   approx_dsls_.resize(ds.points.size());
-  for (size_t c = 0; c < ds.points.size(); ++c) {
+  // One dynamic skyline per customer, each writing its own slot: the
+  // embarrassingly parallel offline pass of Section VI-B.1.
+  pool_->ParallelFor(0, ds.points.size(), [&](size_t c) {
     const std::vector<RStarTree::Id> dsl =
         BbsDynamicSkyline(tree_, ds.points[c], ExcludeFor(c));
     std::vector<Point> transformed;
@@ -252,7 +295,7 @@ void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
     }
     approx_dsls_[c] =
         ApproximateSkyline(std::move(transformed), k, options_.sort_dim);
-  }
+  });
   approx_k_ = k;
   cached_approx_sr_query_.reset();
 }
@@ -260,6 +303,10 @@ void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
 void WhyNotEngine::InvalidateDerivedState() {
   cached_sr_query_.reset();
   cached_approx_sr_query_.reset();
+  {
+    std::lock_guard<std::mutex> lock(rsl_cache_mu_);
+    cached_rsl_.clear();
+  }
   // The approximated-DSL store is a function of the product set; a stale
   // store could silently lose safety, so it is dropped outright.
   approx_dsls_.clear();
@@ -339,6 +386,12 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
   if (!in.good() || magic != "wnrs-approx-dsl" || version != 1) {
     return Status::InvalidArgument("not a wnrs approx-DSL store: " + path);
   }
+  // PrecomputeApproxDsls enforces k >= 2 (the sampling rule needs a first
+  // and a last point); a loaded store must satisfy the same invariant.
+  if (k < 2) {
+    return Status::InvalidArgument(
+        StrFormat("approx-DSL store has k=%zu; k >= 2 required", k));
+  }
   if (dims != products_.dims) {
     return Status::InvalidArgument("store dimensionality mismatch");
   }
@@ -348,17 +401,35 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
                   customers().points.size()));
   }
   std::vector<std::vector<Point>> loaded(count);
+  std::string token;
   for (size_t c = 0; c < count; ++c) {
     size_t entries = 0;
-    in >> entries;
+    if (!(in >> entries)) {
+      return Status::InvalidArgument("truncated approx-DSL store: " + path);
+    }
     loaded[c].reserve(entries);
     for (size_t e = 0; e < entries; ++e) {
       Point p(dims);
-      for (size_t i = 0; i < dims; ++i) in >> p[i];
+      for (size_t i = 0; i < dims; ++i) {
+        // Parse via strtod (istream extraction rejects "nan"/"inf"
+        // outright, which would misreport them as truncation).
+        if (!(in >> token)) {
+          return Status::InvalidArgument("truncated approx-DSL store: " +
+                                         path);
+        }
+        char* end_ptr = nullptr;
+        const double v = std::strtod(token.c_str(), &end_ptr);
+        if (end_ptr == token.c_str() || *end_ptr != '\0') {
+          return Status::InvalidArgument("malformed coordinate '" + token +
+                                         "' in approx-DSL store: " + path);
+        }
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument(
+              "non-finite coordinate in approx-DSL store: " + path);
+        }
+        p[i] = v;
+      }
       loaded[c].push_back(std::move(p));
-    }
-    if (!in.good()) {
-      return Status::InvalidArgument("truncated approx-DSL store: " + path);
     }
   }
   approx_dsls_ = std::move(loaded);
@@ -379,14 +450,18 @@ double WhyNotEngine::MqpEvaluationCost(const Point& q,
   } else {
     cost += cost_model_.QueryMoveCost(q, q_star);
   }
-  // beta-cost of winning back every lost reverse-skyline customer.
-  for (size_t c : ReverseSkyline(q)) {
-    if (IsReverseSkylineMember(c, q_star)) continue;
-    const MwpResult mwp = ModifyWhyNot(c, q_star);
-    if (!mwp.candidates.empty()) {
-      cost += mwp.candidates.front().cost;
-    }
-  }
+  // beta-cost of winning back every lost reverse-skyline customer. The
+  // per-member costs are computed in parallel but summed in member order,
+  // keeping the total bit-identical to the serial loop.
+  const std::vector<size_t> rsl = ReverseSkyline(q);
+  const std::vector<double> win_back =
+      pool_->ParallelMap<double>(rsl.size(), [&](size_t i) {
+        const size_t c = rsl[i];
+        if (IsReverseSkylineMember(c, q_star)) return 0.0;
+        const MwpResult mwp = ModifyWhyNot(c, q_star);
+        return mwp.candidates.empty() ? 0.0 : mwp.candidates.front().cost;
+      });
+  for (double v : win_back) cost += v;
   return cost;
 }
 

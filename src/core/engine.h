@@ -2,9 +2,12 @@
 #define WNRS_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/cost.h"
 #include "core/explain.h"
 #include "core/mqp.h"
@@ -36,6 +39,12 @@ struct WhyNotEngineOptions {
   /// answers into strict reverse-skyline members, as a fraction of each
   /// dimension's data range.
   double epsilon_fraction = 1e-9;
+  /// Thread count for the engine's parallel loops (batch why-not
+  /// answering, approximated-DSL precomputation, reverse-skyline
+  /// verification). 0 = hardware concurrency; 1 = bit-exact serial
+  /// execution with no worker threads. Every thread count produces
+  /// identical results; only the scheduling differs.
+  size_t num_threads = 0;
 };
 
 /// Facade over the full why-not pipeline of the paper: reverse skylines
@@ -52,6 +61,12 @@ struct WhyNotEngineOptions {
 /// shared-relation mode (one relation is both P and C, as in every
 /// experiment of the paper) customer index == product id and a customer's
 /// own tuple is excluded from its window queries.
+///
+/// Threading: the engine parallelizes its own hot loops internally on a
+/// ThreadPool sized by WhyNotEngineOptions::num_threads, with results
+/// identical to the serial path. The public API itself follows the
+/// single-caller convention of the caches: do not invoke methods of one
+/// engine from multiple external threads concurrently.
 class WhyNotEngine {
  public:
   /// Bichromatic constructor: separate products and customers.
@@ -188,9 +203,15 @@ class WhyNotEngine {
   /// Builds the q*-validator that probes every member of RSL(q).
   KeepsMembersFn MakeKeepsMembersFn(const Point& q) const;
 
+  /// Uncached reverse-skyline computation behind ReverseSkyline().
+  std::vector<size_t> ComputeReverseSkyline(const Point& q) const;
+
   void InvalidateDerivedState();
 
   WhyNotEngineOptions options_;
+  /// Pool behind all parallel loops; always non-null. With
+  /// options_.num_threads == 1 it owns no workers and runs serially.
+  std::unique_ptr<ThreadPool> pool_;
   bool shared_relation_ = false;
   std::vector<bool> removed_;  // Tombstones for RemoveProduct.
   Dataset products_;
@@ -207,6 +228,14 @@ class WhyNotEngine {
   mutable SafeRegionResult cached_sr_;
   mutable std::optional<Point> cached_approx_sr_query_;
   mutable SafeRegionResult cached_approx_sr_;
+
+  // Query-keyed reverse-skyline memo: RSL(q) is computed once per
+  // distinct q and shared by SafeRegion, ApproxSafeRegion,
+  // MqpEvaluationCost, LostCustomers, and MakeKeepsMembersFn.
+  // Invalidated by InvalidateDerivedState(). Mutex-guarded so cache
+  // probes from the parallel loops stay race-free.
+  mutable std::mutex rsl_cache_mu_;
+  mutable std::vector<std::pair<Point, std::vector<size_t>>> cached_rsl_;
 };
 
 }  // namespace wnrs

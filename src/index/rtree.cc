@@ -49,7 +49,8 @@ RStarTree& RStarTree::operator=(RStarTree&& other) noexcept {
   root_ = other.root_;
   size_ = other.size_;
   height_ = other.height_;
-  stats_ = other.stats_;
+  node_reads_.store(other.node_reads_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   other.root_ = nullptr;
   other.size_ = 0;
   other.height_ = 1;
@@ -371,7 +372,7 @@ bool RStarTree::Delete(const Rectangle& r, Id id) {
   while (!stack.empty() && target_leaf == nullptr) {
     Node* node = stack.back();
     stack.pop_back();
-    ++stats_.node_reads;
+    CountNodeRead();
     if (node->is_leaf) {
       for (size_t i = 0; i < node->entries.size(); ++i) {
         if (node->entries[i].id == id && node->entries[i].mbr == r) {
@@ -465,7 +466,7 @@ void RStarTree::RangeQuery(
   while (!stack.empty()) {
     const Node* node = stack.back();
     stack.pop_back();
-    ++stats_.node_reads;
+    CountNodeRead();
     if (node->is_leaf) {
       for (const Entry& e : node->entries) {
         if (e.mbr.Intersects(window)) {
@@ -526,7 +527,7 @@ std::vector<std::pair<RStarTree::Id, double>> RStarTree::NearestNeighbors(
       out.emplace_back(item.id, std::sqrt(item.dist2));
       continue;
     }
-    ++stats_.node_reads;
+    CountNodeRead();
     for (const Entry& e : item.node->entries) {
       if (item.node->is_leaf) {
         pq.push({e.mbr.MinDistSquared(p), nullptr, e.mbr, e.id});

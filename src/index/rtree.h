@@ -1,6 +1,7 @@
 #ifndef WNRS_INDEX_RTREE_H_
 #define WNRS_INDEX_RTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,7 +35,8 @@ struct RTreeOptions {
 /// benchmarks can report I/O-equivalent work.
 ///
 /// Move-only. Not thread-safe for concurrent mutation; concurrent reads of
-/// a quiescent tree are safe except for the node-access counters.
+/// a quiescent tree are safe, including the node-access counter, which is
+/// atomic so I/O statistics stay exact under the engine's parallel loops.
 class RStarTree {
  public:
   using Id = int64_t;
@@ -112,11 +114,19 @@ class RStarTree {
   const Node* root() const { return root_; }
 
   /// Counts a node read for an externally-driven traversal, so BBS/BBRS
-  /// accesses show up in stats() too.
-  void CountNodeRead() const { ++stats_.node_reads; }
+  /// accesses show up in stats() too. Safe to call from concurrent query
+  /// threads; the count stays exact.
+  void CountNodeRead() const {
+    node_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  /// Snapshot of the traversal counters.
+  Stats stats() const {
+    Stats s;
+    s.node_reads = node_reads_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() { node_reads_.store(0, std::memory_order_relaxed); }
 
   /// Structural self-check for tests: parent pointers, MBR containment,
   /// fill-factor bounds, uniform leaf depth, and entry count.
@@ -146,7 +156,7 @@ class RStarTree {
   Node* root_ = nullptr;
   size_t size_ = 0;
   size_t height_ = 1;
-  mutable Stats stats_;
+  mutable std::atomic<uint64_t> node_reads_{0};
 };
 
 }  // namespace wnrs

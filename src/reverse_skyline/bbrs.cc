@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "geometry/transform.h"
 #include "reverse_skyline/window_query.h"
 
@@ -159,15 +160,26 @@ std::vector<RStarTree::Id> GlobalSkylineCandidates(
 }
 
 std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
-                                              const Point& q) {
+                                              const Point& q,
+                                              ThreadPool* pool) {
   WNRS_CHECK(q.dims() == tree.dims());
-  std::vector<RStarTree::Id> out;
   const std::vector<GlobalPoint> candidates =
       ComputeGlobalSkyline(tree, q, std::nullopt);
-  for (const GlobalPoint& g : candidates) {
-    if (WindowEmpty(tree, g.original, q, g.id)) {
-      out.push_back(g.id);
-    }
+  // The verification probes are independent read-only window queries;
+  // each writes its own flag slot, so scheduling cannot change the result.
+  std::vector<unsigned char> member(candidates.size(), 0);
+  auto verify = [&](size_t i) {
+    member[i] =
+        WindowEmpty(tree, candidates[i].original, q, candidates[i].id) ? 1 : 0;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, candidates.size(), verify);
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) verify(i);
+  }
+  std::vector<RStarTree::Id> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (member[i] != 0) out.push_back(candidates[i].id);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -175,13 +187,20 @@ std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
 
 std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
     const RStarTree& customers, const RStarTree& products, const Point& q,
-    bool shared_relation) {
+    bool shared_relation, ThreadPool* pool) {
   WNRS_CHECK(q.dims() == customers.dims());
   WNRS_CHECK(q.dims() == products.dims());
   const std::vector<GlobalPoint> pruners =
       ComputeGlobalSkyline(products, q, std::nullopt);
 
-  std::vector<RStarTree::Id> out;
+  // Phase 1 (serial): traverse the customer tree, collecting every
+  // customer that survives the midpoint-rule pruning. Phase 2 verifies
+  // the survivors with independent window probes, optionally in parallel.
+  struct Survivor {
+    Point point;
+    RStarTree::Id id;
+  };
+  std::vector<Survivor> survivors;
   std::vector<const RStarTree::Node*> stack = {customers.root()};
   while (!stack.empty()) {
     const RStarTree::Node* node = stack.back();
@@ -189,12 +208,7 @@ std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
     customers.CountNodeRead();
     for (const RStarTree::Entry& e : node->entries) {
       if (node->is_leaf) {
-        const Point& c = e.mbr.lo();
-        std::optional<RStarTree::Id> exclude;
-        if (shared_relation) exclude = e.id;
-        if (WindowEmpty(products, c, q, exclude)) {
-          out.push_back(e.id);
-        }
+        survivors.push_back({e.mbr.lo(), e.id});
       } else {
         // Midpoint rule: skip the subtree when some pruner dynamically
         // dominates q w.r.t. every customer the MBR can contain. (With a
@@ -236,6 +250,22 @@ std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
         if (!pruned) stack.push_back(e.child);
       }
     }
+  }
+
+  std::vector<unsigned char> member(survivors.size(), 0);
+  auto verify = [&](size_t i) {
+    std::optional<RStarTree::Id> exclude;
+    if (shared_relation) exclude = survivors[i].id;
+    member[i] = WindowEmpty(products, survivors[i].point, q, exclude) ? 1 : 0;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, survivors.size(), verify);
+  } else {
+    for (size_t i = 0; i < survivors.size(); ++i) verify(i);
+  }
+  std::vector<RStarTree::Id> out;
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    if (member[i] != 0) out.push_back(survivors[i].id);
   }
   std::sort(out.begin(), out.end());
   return out;

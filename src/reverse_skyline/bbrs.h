@@ -8,6 +8,8 @@
 
 namespace wnrs {
 
+class ThreadPool;
+
 /// Global skyline of `tree` w.r.t. `q` (Dellis & Seeger [9]): points not
 /// globally dominated, where p globally dominates p' iff p lies in the
 /// same q-quadrant as p' and dominates it in q's distance space. Every
@@ -21,9 +23,12 @@ std::vector<RStarTree::Id> GlobalSkylineCandidates(
 /// BBRS for the monochromatic case (one relation is both P and C, as in
 /// the paper's experiments): global-skyline candidate generation followed
 /// by a window-query verification per candidate, excluding the candidate's
-/// own tuple. Returns RSL(q) as ids, ascending.
+/// own tuple. Returns RSL(q) as ids, ascending. When `pool` is non-null
+/// the per-candidate verification probes run on it; the result is
+/// identical to the serial pass (the output is sorted either way).
 std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
-                                              const Point& q);
+                                              const Point& q,
+                                              ThreadPool* pool = nullptr);
 
 /// Bichromatic BBRS: customers and products live in separate trees. The
 /// product global skyline serves as a pruning set — a customer subtree is
@@ -31,10 +36,11 @@ std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
 /// every customer in the subtree's MBR (midpoint rule) — and surviving
 /// customers are verified with window queries. `shared_relation` excludes
 /// the same-id product from each customer's window (use when both trees
-/// index the same tuples). Returns customer ids, ascending.
+/// index the same tuples). Returns customer ids, ascending. A non-null
+/// `pool` parallelizes the per-customer verification probes.
 std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
     const RStarTree& customers, const RStarTree& products, const Point& q,
-    bool shared_relation = false);
+    bool shared_relation = false, ThreadPool* pool = nullptr);
 
 }  // namespace wnrs
 

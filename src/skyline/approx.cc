@@ -20,7 +20,9 @@ std::vector<Point> ApproximateSkyline(std::vector<Point> skyline, size_t k,
   const size_t n = skyline.size();
   const size_t stride = std::max<size_t>(1, n / k);
   std::vector<Point> out;
-  out.reserve(k + 2);
+  // The loop emits ceil(n / stride) points and the tail append at most
+  // one more; when n % k != 0 that exceeds the naive k + 2 estimate.
+  out.reserve((n + stride - 1) / stride + 1);
   for (size_t i = 0; i < n; i += stride) {
     out.push_back(skyline[i]);
   }

@@ -64,6 +64,34 @@ TEST(ApproximateSkylineTest, OutputStaysSortedOnSortDim) {
   }
 }
 
+TEST(ApproximateSkylineTest, NonDivisibleSizeKeepsFirstEveryStrideAndLast) {
+  // Regression: with n % k != 0 the loop emits ceil(n / stride) points —
+  // up to ~2k of them — while the reserve assumed k + 2. The documented
+  // contents ("first + every stride-th + last") must hold regardless.
+  {
+    // n = 10, k = 4: stride = 2, so indices 0, 2, 4, 6, 8 plus the last.
+    const std::vector<Point> sk = Staircase(10);
+    const std::vector<Point> approx = ApproximateSkyline(sk, 4);
+    const std::vector<Point> expected = {sk[0], sk[2], sk[4],
+                                         sk[6], sk[8], sk[9]};
+    EXPECT_EQ(approx, expected);
+  }
+  {
+    // n = 7, k = 4: stride = 1 keeps every point — 7 outputs, beyond the
+    // old k + 2 = 6 reserve.
+    const std::vector<Point> sk = Staircase(7);
+    EXPECT_EQ(ApproximateSkyline(sk, 4), sk);
+  }
+  {
+    // n = 11, k = 4: stride = 2 and the last index (10) is already a
+    // stride point, so no duplicate tail is appended.
+    const std::vector<Point> sk = Staircase(11);
+    const std::vector<Point> expected = {sk[0], sk[2], sk[4],
+                                         sk[6], sk[8], sk[10]};
+    EXPECT_EQ(ApproximateSkyline(sk, 4), expected);
+  }
+}
+
 TEST(ApproximateSkylineTest, UnsortedInputHandled) {
   std::vector<Point> sk = Staircase(40);
   std::reverse(sk.begin(), sk.end());

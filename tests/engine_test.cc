@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
+
 #include "common/random.h"
 #include "data/generators.h"
 
@@ -261,6 +265,81 @@ TEST(EngineTest, AddProductOutsideUniverseExtendsIt) {
   engine.AddProduct(Point({100.0, 300.0}));
   EXPECT_TRUE(engine.universe().ContainsRect(before));
   EXPECT_TRUE(engine.universe().Contains(Point({100.0, 300.0})));
+}
+
+TEST(EngineTest, ApproxPathForwardsFastFrontierOption) {
+  // Regression: ModifyBothApprox used to drop options_.fast_frontier, so
+  // fast_frontier = false silently still took the fast path. The two
+  // paths return identical candidates; the observable difference is the
+  // I/O work (the reference path materializes the culprit set Λ, the
+  // fast path extracts only the window-skyline frontier).
+  const Dataset data = GenerateCarDb(2000, 91);
+  WhyNotEngineOptions slow_options;
+  slow_options.fast_frontier = false;
+  WhyNotEngine fast(data);  // fast_frontier = true by default.
+  WhyNotEngine slow(data, slow_options);
+  fast.PrecomputeApproxDsls(6);
+  slow.PrecomputeApproxDsls(6);
+
+  // Find a why-not case answered through C2 (corner MWP calls) — C1
+  // never invokes the frontier machinery.
+  const Point q = data.points[11];
+  (void)fast.ApproxSafeRegion(q);  // Warm both engines' caches so the
+  (void)slow.ApproxSafeRegion(q);  // deltas isolate the answer itself.
+  (void)fast.ReverseSkyline(q);
+  (void)slow.ReverseSkyline(q);
+  bool exercised = false;
+  for (size_t c = 0; c < data.points.size() && !exercised; ++c) {
+    if (fast.IsReverseSkylineMember(c, q)) continue;
+    const uint64_t fast_before = fast.product_tree().stats().node_reads;
+    const MwqResult fr = fast.ModifyBothApprox(c, q);
+    const uint64_t fast_reads =
+        fast.product_tree().stats().node_reads - fast_before;
+    if (fr.overlap || fr.already_member) continue;  // C1: no MWP calls.
+    const uint64_t slow_before = slow.product_tree().stats().node_reads;
+    const MwqResult sr = slow.ModifyBothApprox(c, q);
+    const uint64_t slow_reads =
+        slow.product_tree().stats().node_reads - slow_before;
+    EXPECT_DOUBLE_EQ(fr.best_cost, sr.best_cost) << "customer " << c;
+    // With the option forwarded, the reference path does strictly more
+    // node reads than the pruned frontier extraction.
+    EXPECT_GT(slow_reads, fast_reads) << "customer " << c;
+    exercised = true;
+  }
+  EXPECT_TRUE(exercised) << "no C2 why-not case found; weaken the query";
+}
+
+TEST(EngineTest, LoadApproxDslsRejectsKBelowTwo) {
+  WhyNotEngine engine(GenerateCarDb(3, 101));
+  const std::string path = ::testing::TempDir() + "/approx_store_k0.txt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    // A store claiming k=0 over 3 customers with one 2-D point each.
+    out << "wnrs-approx-dsl 1\n0 2 3\n";
+    out << "1 0.5 0.5\n1 0.25 0.75\n1 0.75 0.25\n";
+  }
+  const Status status = engine.LoadApproxDsls(path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("k >= 2"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(engine.HasApproxDsls());
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, LoadApproxDslsRejectsNonFiniteCoordinates) {
+  WhyNotEngine engine(GenerateCarDb(2, 102));
+  const std::string path = ::testing::TempDir() + "/approx_store_nan.txt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "wnrs-approx-dsl 1\n5 2 2\n";
+    out << "1 0.5 nan\n1 0.25 0.75\n";
+  }
+  const Status status = engine.LoadApproxDsls(path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("non-finite"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(engine.HasApproxDsls());
+  std::remove(path.c_str());
 }
 
 TEST(EngineTest, ReverseSkylineMatchesPerCustomerMembership) {

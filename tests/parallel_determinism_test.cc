@@ -1,0 +1,183 @@
+// Determinism guarantees of the parallel execution layer: every engine
+// answer must be identical under num_threads = 1 (bit-exact serial
+// fallback) and num_threads = 8, and the query-keyed reverse-skyline
+// memo must return the same answers before and after invalidation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+WhyNotEngineOptions WithThreads(size_t n) {
+  WhyNotEngineOptions options;
+  options.num_threads = n;
+  return options;
+}
+
+void ExpectSameMwq(const MwqResult& a, const MwqResult& b,
+                   const std::string& label) {
+  EXPECT_EQ(a.already_member, b.already_member) << label;
+  EXPECT_EQ(a.overlap, b.overlap) << label;
+  EXPECT_EQ(a.best_cost, b.best_cost) << label;  // Bit-exact.
+  ASSERT_EQ(a.query_candidates.size(), b.query_candidates.size()) << label;
+  for (size_t i = 0; i < a.query_candidates.size(); ++i) {
+    EXPECT_EQ(a.query_candidates[i].point, b.query_candidates[i].point)
+        << label << " query candidate " << i;
+    EXPECT_EQ(a.query_candidates[i].cost, b.query_candidates[i].cost)
+        << label << " query candidate " << i;
+  }
+  ASSERT_EQ(a.why_not_candidates.size(), b.why_not_candidates.size())
+      << label;
+  for (size_t i = 0; i < a.why_not_candidates.size(); ++i) {
+    EXPECT_EQ(a.why_not_candidates[i].point, b.why_not_candidates[i].point)
+        << label << " why-not candidate " << i;
+    EXPECT_EQ(a.why_not_candidates[i].cost, b.why_not_candidates[i].cost)
+        << label << " why-not candidate " << i;
+  }
+}
+
+std::string FileContents(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(ParallelDeterminismTest, ReverseSkylineIdenticalAcrossThreadCounts) {
+  const Dataset data = GenerateCarDb(500, 77);
+  WhyNotEngine serial(data, WithThreads(1));
+  WhyNotEngine parallel(data, WithThreads(8));
+  Rng rng(78);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q = data.points[rng.NextUint64(data.points.size())];
+    EXPECT_EQ(serial.ReverseSkyline(q), parallel.ReverseSkyline(q))
+        << "trial " << trial;
+  }
+}
+
+TEST(ParallelDeterminismTest,
+     BichromaticReverseSkylineIdenticalAcrossThreadCounts) {
+  const Dataset products = GenerateUniform(400, 2, 11);
+  const Dataset customers = GenerateUniform(150, 2, 12);
+  WhyNotEngine serial(products, customers, WithThreads(1));
+  WhyNotEngine parallel(products, customers, WithThreads(8));
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q = products.points[rng.NextUint64(products.points.size())];
+    EXPECT_EQ(serial.ReverseSkyline(q), parallel.ReverseSkyline(q))
+        << "trial " << trial;
+  }
+}
+
+TEST(ParallelDeterminismTest, ModifyBothBatchIdenticalAcrossThreadCounts) {
+  const Dataset data = GenerateCarDb(400, 31);
+  WhyNotEngine serial(data, WithThreads(1));
+  WhyNotEngine parallel(data, WithThreads(8));
+  const Point q = data.points[7];
+  std::vector<size_t> whos;
+  for (size_t c = 0; c < 32; ++c) whos.push_back(c * 11 % data.points.size());
+  const std::vector<MwqResult> a = serial.ModifyBothBatch(whos, q);
+  const std::vector<MwqResult> b = parallel.ModifyBothBatch(whos, q);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectSameMwq(a[i], b[i], "batch entry " + std::to_string(i));
+  }
+}
+
+TEST(ParallelDeterminismTest,
+     ApproxBatchAndPrecomputeIdenticalAcrossThreadCounts) {
+  const Dataset data = GenerateCarDb(300, 47);
+  WhyNotEngine serial(data, WithThreads(1));
+  WhyNotEngine parallel(data, WithThreads(8));
+  serial.PrecomputeApproxDsls(8);
+  parallel.PrecomputeApproxDsls(8);
+
+  // The precomputed stores must be byte-identical on disk: the offline
+  // pass writes one independent slot per customer regardless of schedule.
+  const std::string path_a = ::testing::TempDir() + "/dsl_serial.txt";
+  const std::string path_b = ::testing::TempDir() + "/dsl_parallel.txt";
+  ASSERT_TRUE(serial.SaveApproxDsls(path_a).ok());
+  ASSERT_TRUE(parallel.SaveApproxDsls(path_b).ok());
+  EXPECT_EQ(FileContents(path_a), FileContents(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  const Point q = data.points[3];
+  const std::vector<size_t> whos = {0, 5, 9, 17, 42, 99, 128, 250};
+  const std::vector<MwqResult> a =
+      serial.ModifyBothBatch(whos, q, /*use_approx=*/true);
+  const std::vector<MwqResult> b =
+      parallel.ModifyBothBatch(whos, q, /*use_approx=*/true);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectSameMwq(a[i], b[i], "approx batch entry " + std::to_string(i));
+  }
+}
+
+TEST(ParallelDeterminismTest, LostCustomersAndMqpCostIdentical) {
+  const Dataset data = GenerateCarDb(350, 53);
+  WhyNotEngine serial(data, WithThreads(1));
+  WhyNotEngine parallel(data, WithThreads(8));
+  Rng rng(54);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Point q = data.points[rng.NextUint64(data.points.size())];
+    const Point q_star = data.points[rng.NextUint64(data.points.size())];
+    EXPECT_EQ(serial.LostCustomers(q, q_star),
+              parallel.LostCustomers(q, q_star))
+        << "trial " << trial;
+    EXPECT_EQ(serial.MqpEvaluationCost(q, q_star),
+              parallel.MqpEvaluationCost(q, q_star))
+        << "trial " << trial;  // Bit-exact: parallel costs summed in order.
+  }
+}
+
+TEST(ParallelDeterminismTest, RslCacheInvalidatedByProductMutations) {
+  WhyNotEngine engine(GenerateCarDb(200, 61), WithThreads(4));
+  WhyNotEngine reference(GenerateCarDb(200, 61), WithThreads(1));
+  const Point q = engine.products().points[5];
+
+  // Warm the memo, then hit it: identical answer both times.
+  const std::vector<size_t> cold = engine.ReverseSkyline(q);
+  EXPECT_EQ(cold, engine.ReverseSkyline(q));
+  EXPECT_EQ(cold, reference.ReverseSkyline(q));
+
+  // A mutation must drop the memo: the cached answer may no longer hold.
+  const size_t added = engine.AddProduct(q);  // A twin of q at q itself.
+  reference.AddProduct(q);
+  const std::vector<size_t> after_add = engine.ReverseSkyline(q);
+  EXPECT_EQ(after_add, reference.ReverseSkyline(q));
+
+  ASSERT_TRUE(engine.RemoveProduct(added));
+  ASSERT_TRUE(reference.RemoveProduct(added));
+  const std::vector<size_t> after_remove = engine.ReverseSkyline(q);
+  EXPECT_EQ(after_remove, reference.ReverseSkyline(q));
+  // Removing the twin restores the original market.
+  EXPECT_EQ(after_remove, cold);
+}
+
+TEST(ParallelDeterminismTest, SafeRegionUsesRslMemo) {
+  // SafeRegion and the memo must agree on RSL(q) — the safe region built
+  // from a stale RSL would silently lose customers.
+  WhyNotEngine engine(GenerateCarDb(250, 67), WithThreads(4));
+  const Point q = engine.products().points[9];
+  const std::vector<size_t> rsl = engine.ReverseSkyline(q);
+  const SafeRegionResult& sr = engine.SafeRegion(q);
+  for (size_t c : rsl) {
+    // Every member must still be a member anywhere in SR(q); probe q.
+    EXPECT_TRUE(engine.IsReverseSkylineMember(c, q)) << "member " << c;
+  }
+  EXPECT_TRUE(sr.region.Contains(q));
+}
+
+}  // namespace
+}  // namespace wnrs

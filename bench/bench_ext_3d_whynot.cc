@@ -6,29 +6,39 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf(
       "=== Extension: 3-D why-not quality (beyond the paper's 2-D eval) "
       "===\n");
-  const struct {
+  BenchReporter reporter("ext_3d_whynot", args);
+  struct Config {
     int dist;
     const char* label;
-  } kConfigs[] = {{0, "UN-20K (3-D)"}, {2, "AC-20K (3-D)"}};
-  for (const auto& config : kConfigs) {
+  };
+  const std::vector<Config> configs =
+      args.short_mode ? std::vector<Config>{{0, "UN-10K (3-D)"}}
+                      : std::vector<Config>{{0, "UN-20K (3-D)"},
+                                            {2, "AC-20K (3-D)"}};
+  const size_t n = args.short_mode ? 10000 : 20000;
+  const size_t attempts = args.short_mode ? 1000 : 3000;
+  for (const auto& config : configs) {
+    reporter.Begin(config.label);
     WallTimer timer;
-    Dataset ds = config.dist == 0 ? GenerateUniform(20000, 3, 8800)
-                                  : GenerateAnticorrelated(20000, 3, 8801);
+    Dataset ds = config.dist == 0 ? GenerateUniform(n, 3, 8800)
+                                  : GenerateAnticorrelated(n, 3, 8801);
     WhyNotEngine engine(std::move(ds));
     // 3-D reverse skylines are larger than 2-D ones (weaker dominance),
     // so the buckets reach farther.
-    const auto workload = MakeWorkload(engine, 3000, 8900, 1, 30);
+    const auto workload = MakeWorkload(engine, attempts, 8900, 1, 30);
     const auto rows = EvaluateQuality(engine, workload, false);
     PrintQualityTable(config.label, rows, std::nullopt);
     PrintShapeChecks(rows);
     std::printf("(%zu queries, %.1fs)\n", rows.size(),
                 timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

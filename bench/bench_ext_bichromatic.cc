@@ -7,12 +7,18 @@
 #include "bench_util.h"
 #include "common/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf(
       "=== Extension: bichromatic why-not (distinct P and C) ===\n");
-  for (const size_t n : {size_t{20000}, size_t{100000}}) {
+  BenchReporter reporter("ext_bichromatic", args);
+  const std::vector<size_t> sizes =
+      args.short_mode ? std::vector<size_t>{20000}
+                      : std::vector<size_t>{20000, 100000};
+  for (const size_t n : sizes) {
+    reporter.Begin(StrFormat("CarDB-%zuK", n / 1000));
     WallTimer timer;
     // Products and customers drawn from shifted market segments: the
     // customer population prefers slightly cheaper, higher-mileage cars
@@ -34,6 +40,7 @@ int main() {
     PrintShapeChecks(rows);
     std::printf("(%zu queries, %.1fs)\n", rows.size(),
                 timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

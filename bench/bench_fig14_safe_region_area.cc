@@ -4,14 +4,21 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Fig. 14: |RSL| vs safe-region area (normalized) ===\n");
-  for (const size_t n : {size_t{50000}, size_t{100000}, size_t{200000}}) {
+  BenchReporter reporter("fig14_safe_region_area", args);
+  const std::vector<size_t> sizes =
+      args.short_mode ? std::vector<size_t>{20000}
+                      : std::vector<size_t>{50000, 100000, 200000};
+  const size_t max_rsl = args.short_mode ? 8 : 15;
+  for (const size_t n : sizes) {
+    reporter.Begin(StrFormat("CarDB-%zuK", n / 1000));
     WallTimer timer;
     WhyNotEngine engine(MakeDataset("CarDB", n, 1000 + n));
-    const auto workload = MakeWorkload(engine, 4000, 77 + n);
+    const auto workload = MakeWorkload(engine, 4000, 77 + n, 1, max_rsl);
     const double universe_area = engine.universe().Volume();
     std::printf("\n--- CarDB-%zuK ---\n", n / 1000);
     std::printf("%-8s %-14s %-10s\n", "|RSL|", "SR area", "rects");
@@ -29,6 +36,7 @@ int main() {
         "shape: area trend is decreasing (%zu local upticks over %zu "
         "buckets), %.1fs\n",
         monotone_violations, workload.size(), timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

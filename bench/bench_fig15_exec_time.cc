@@ -13,9 +13,9 @@ namespace {
 using namespace wnrs;
 using namespace wnrs::bench;
 
-void RunConfig(const char* kind, size_t n, uint64_t seed) {
+void RunConfig(const char* kind, size_t n, uint64_t seed, size_t max_rsl) {
   WhyNotEngine engine(MakeDataset(kind, n, seed));
-  const auto workload = MakeWorkload(engine, 3000, seed + 7, 1, 15);
+  const auto workload = MakeWorkload(engine, 3000, seed + 7, 1, max_rsl);
   std::printf("\n--- %s-%zuK ---\n", kind, n / 1000);
   std::printf("%-8s %-12s %-12s %-12s %-12s\n", "|RSL|", "MWP (ms)",
               "MQP (ms)", "SR (ms)", "MWQ (ms)");
@@ -62,15 +62,26 @@ void RunConfig(const char* kind, size_t n, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf(
       "=== Fig. 15: execution time of MWP, MQP, SR and MWQ ===\n"
       "(SR and MWQ are timed without the per-query SR cache, so each "
       "includes\ncomputing the DSL of every reverse-skyline point, as in "
       "the paper.)\n");
-  RunConfig("CarDB", 100000, 5100);
-  RunConfig("CarDB", 200000, 5200);
-  RunConfig("UN", 100000, 5300);
-  RunConfig("AC", 100000, 5400);
-  return 0;
+  BenchReporter reporter("fig15_exec_time", args);
+  auto run = [&](const char* kind, size_t n, uint64_t seed, size_t max_rsl) {
+    reporter.Begin(StrFormat("%s-%zuK", kind, n / 1000));
+    RunConfig(kind, n, seed, max_rsl);
+    reporter.End();
+  };
+  if (args.short_mode) {
+    run("CarDB", 20000, 5100, 8);
+  } else {
+    run("CarDB", 100000, 5100, 15);
+    run("CarDB", 200000, 5200, 15);
+    run("UN", 100000, 5300, 15);
+    run("AC", 100000, 5400, 15);
+  }
+  return reporter.Write() ? 0 : 1;
 }

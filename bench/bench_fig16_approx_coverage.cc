@@ -11,24 +11,33 @@
 #include "skyline/bbs.h"
 #include "skyline/ddr.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf(
       "=== Fig. 16: approximated DDR coverage vs k ===\n"
       "coverage = area(approx DDR) / area(exact DDR), averaged over "
       "customers\n");
-  const size_t kCustomers = 200;
-  for (const char* kind : {"CarDB", "AC"}) {
-    const Dataset ds = MakeDataset(kind, 50000, 616);
-    WhyNotEngine engine{MakeDataset(kind, 50000, 616)};
+  BenchReporter reporter("fig16_approx_coverage", args);
+  const size_t kCustomers = args.short_mode ? 50 : 200;
+  const size_t data_n = args.short_mode ? 20000 : 50000;
+  const std::vector<const char*> kinds =
+      args.short_mode ? std::vector<const char*>{"CarDB"}
+                      : std::vector<const char*>{"CarDB", "AC"};
+  const std::vector<size_t> ks =
+      args.short_mode ? std::vector<size_t>{2, 10}
+                      : std::vector<size_t>{2, 3, 5, 10, 20, 40};
+  for (const char* kind : kinds) {
+    reporter.Begin(StrFormat("%s-%zuK", kind, data_n / 1000));
+    const Dataset ds = MakeDataset(kind, data_n, 616);
+    WhyNotEngine engine{MakeDataset(kind, data_n, 616)};
     const Rectangle universe = engine.universe();
     Rng rng(617);
-    std::printf("\n--- %s-50K (%zu sampled customers) ---\n", kind,
-                kCustomers);
+    std::printf("\n--- %s-%zuK (%zu sampled customers) ---\n", kind,
+                data_n / 1000, kCustomers);
     std::printf("%-8s %-12s %-14s\n", "k", "coverage", "avg |DSL| kept");
-    for (const size_t k : {size_t{2}, size_t{3}, size_t{5}, size_t{10},
-                           size_t{20}, size_t{40}}) {
+    for (const size_t k : ks) {
       double coverage_sum = 0.0;
       double kept_sum = 0.0;
       size_t counted = 0;
@@ -60,6 +69,7 @@ int main() {
       std::printf("%-8zu %-12.6f %-14.1f\n", k, coverage_sum / counted,
                   kept_sum / counted);
     }
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -11,12 +11,13 @@ namespace {
 using namespace wnrs;
 using namespace wnrs::bench;
 
-void RunConfig(const char* kind, size_t n, size_t k, uint64_t seed) {
+void RunConfig(const char* kind, size_t n, size_t k, uint64_t seed,
+               size_t max_rsl) {
   WhyNotEngine engine(MakeDataset(kind, n, seed));
   WallTimer precompute_timer;
   engine.PrecomputeApproxDsls(k);
   const double precompute_s = precompute_timer.ElapsedSeconds();
-  const auto workload = MakeWorkload(engine, 3000, seed + 7, 1, 15);
+  const auto workload = MakeWorkload(engine, 3000, seed + 7, 1, max_rsl);
   std::printf("\n--- %s-%zuK (k=%zu, offline precompute %.1fs) ---\n", kind,
               n / 1000, k, precompute_s);
   std::printf("%-8s %-10s %-10s %-14s %-14s %-16s %-14s\n", "|RSL|",
@@ -65,11 +66,23 @@ void RunConfig(const char* kind, size_t n, size_t k, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Fig. 17: execution time with precomputed approx DSLs ===\n");
-  RunConfig("CarDB", 100000, 10, 6100);
-  RunConfig("CarDB", 200000, 20, 6200);
-  RunConfig("UN", 100000, 10, 6300);
-  RunConfig("AC", 100000, 10, 6400);
-  return 0;
+  BenchReporter reporter("fig17_approx_exec_time", args);
+  auto run = [&](const char* kind, size_t n, size_t k, uint64_t seed,
+                 size_t max_rsl) {
+    reporter.Begin(StrFormat("%s-%zuK-k%zu", kind, n / 1000, k));
+    RunConfig(kind, n, k, seed, max_rsl);
+    reporter.End();
+  };
+  if (args.short_mode) {
+    run("CarDB", 20000, 10, 6100, 8);
+  } else {
+    run("CarDB", 100000, 10, 6100, 15);
+    run("CarDB", 200000, 20, 6200, 15);
+    run("UN", 100000, 10, 6300, 15);
+    run("AC", 100000, 10, 6400, 15);
+  }
+  return reporter.Write() ? 0 : 1;
 }

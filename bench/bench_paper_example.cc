@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/engine.h"
 #include "data/generators.h"
 #include "skyline/bnl.h"
@@ -33,11 +34,17 @@ void Row(const char* what, const std::string& paper,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // The running example is a fixed 14-point dataset — short mode and full
+  // mode run the identical workload; the flags exist so the CI harness can
+  // invoke every bench uniformly.
+  const wnrs::bench::BenchArgs args = wnrs::bench::ParseBenchArgs(argc, argv);
+  wnrs::bench::BenchReporter reporter("paper_example", args);
   std::printf("=== Paper running example (Fig. 1(a), q = (8.5K, 55K)) ===\n");
   const wnrs::Dataset data = wnrs::PaperExampleDataset();
   const Point q = wnrs::PaperExampleQuery();
   wnrs::WhyNotEngine engine{wnrs::PaperExampleDataset()};
+  reporter.Begin("example");
 
   Row("SK (Fig. 1b)", "p1,p3,p5",
       Names(wnrs::SkylineIndicesBnl(data.points), "p"));
@@ -97,5 +104,6 @@ int main() {
     std::printf("  c1* = %-18s cost %.6f\n", c.point.ToString().c_str(),
                 c.cost);
   }
-  return 0;
+  reporter.End();
+  return reporter.Write() ? 0 : 1;
 }

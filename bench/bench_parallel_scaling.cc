@@ -70,18 +70,34 @@ void BenchPrecompute(const Dataset& data, size_t k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf(
       "=== Parallel scaling: batch MWQ and approx-DSL precompute ===\n"
       "hardware threads available: %zu\n",
       ThreadPool::HardwareConcurrency());
+  BenchReporter reporter("parallel_scaling", args);
 
-  const Dataset cardb = MakeDataset("CarDB", 20000, 9100);
-  BenchBatchMwq(cardb, 64);
-  BenchPrecompute(cardb, 8);
+  const size_t n = args.short_mode ? 10000 : 20000;
+  const size_t batch = args.short_mode ? 16 : 64;
+  const size_t k = args.short_mode ? 4 : 8;
 
-  const Dataset anti = MakeDataset("AC", 20000, 9200);
-  BenchBatchMwq(anti, 64);
-  BenchPrecompute(anti, 8);
-  return 0;
+  const Dataset cardb = MakeDataset("CarDB", n, 9100);
+  reporter.Begin(StrFormat("CarDB-%zuK-batch%zu", n / 1000, batch));
+  BenchBatchMwq(cardb, batch);
+  reporter.End();
+  reporter.Begin(StrFormat("CarDB-%zuK-precompute", n / 1000));
+  BenchPrecompute(cardb, k);
+  reporter.End();
+
+  if (!args.short_mode) {
+    const Dataset anti = MakeDataset("AC", n, 9200);
+    reporter.Begin(StrFormat("AC-%zuK-batch%zu", n / 1000, batch));
+    BenchBatchMwq(anti, batch);
+    reporter.End();
+    reporter.Begin(StrFormat("AC-%zuK-precompute", n / 1000));
+    BenchPrecompute(anti, k);
+    reporter.End();
+  }
+  return reporter.Write() ? 0 : 1;
 }

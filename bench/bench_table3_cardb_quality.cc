@@ -8,27 +8,27 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Table III: quality of results in CarDB datasets ===\n");
-  const struct {
-    size_t n;
-    const char* label;
-  } kConfigs[] = {
-      {50000, "(a) CarDB-50K"},
-      {100000, "(b) CarDB-100K"},
-      {200000, "(c) CarDB-200K"},
-  };
-  for (const auto& config : kConfigs) {
+  BenchReporter reporter("table3_cardb_quality", args);
+  const std::vector<size_t> sizes =
+      args.short_mode ? std::vector<size_t>{20000}
+                      : std::vector<size_t>{50000, 100000, 200000};
+  const size_t max_rsl = args.short_mode ? 8 : 15;
+  for (const size_t n : sizes) {
+    reporter.Begin(StrFormat("CarDB-%zuK", n / 1000));
     WallTimer timer;
-    WhyNotEngine engine(MakeDataset("CarDB", config.n, 1000 + config.n));
-    const auto workload = MakeWorkload(engine, 4000, 77 + config.n);
+    WhyNotEngine engine(MakeDataset("CarDB", n, 1000 + n));
+    const auto workload = MakeWorkload(engine, 4000, 77 + n, 1, max_rsl);
     const auto rows = EvaluateQuality(engine, workload, false);
-    PrintQualityTable(config.label, rows, std::nullopt);
+    PrintQualityTable(StrFormat("CarDB-%zuK", n / 1000), rows, std::nullopt);
     PrintShapeChecks(rows);
     std::printf("(%zu queries, %.1fs)\n", rows.size(),
                 timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

@@ -6,20 +6,26 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Table IV: quality of results in synthetic datasets ===\n");
-  const struct {
+  BenchReporter reporter("table4_synth_quality", args);
+  struct Config {
     const char* kind;
     size_t n;
-    const char* label;
-  } kConfigs[] = {
-      {"UN", 100000, "(a) UN-100K"}, {"CO", 100000, "(b) CO-100K"},
-      {"AC", 100000, "(c) AC-100K"}, {"UN", 200000, "(d) UN-200K"},
-      {"CO", 200000, "(e) CO-200K"}, {"AC", 200000, "(f) AC-200K"},
   };
-  for (const auto& config : kConfigs) {
+  const std::vector<Config> configs =
+      args.short_mode
+          ? std::vector<Config>{{"UN", 20000}, {"AC", 20000}}
+          : std::vector<Config>{{"UN", 100000}, {"CO", 100000},
+                                {"AC", 100000}, {"UN", 200000},
+                                {"CO", 200000}, {"AC", 200000}};
+  for (const Config& config : configs) {
+    const std::string label =
+        StrFormat("%s-%zuK", config.kind, config.n / 1000);
+    reporter.Begin(label);
     WallTimer timer;
     WhyNotEngine engine(
         MakeDataset(config.kind, config.n, 2000 + config.n));
@@ -27,10 +33,11 @@ int main() {
     // (their synthetic tables stop at |RSL| = 4).
     const auto workload = MakeWorkload(engine, 2500, 99 + config.n, 1, 8);
     const auto rows = EvaluateQuality(engine, workload, false);
-    PrintQualityTable(config.label, rows, std::nullopt);
+    PrintQualityTable(label, rows, std::nullopt);
     PrintShapeChecks(rows);
     std::printf("(%zu queries, %.1fs)\n", rows.size(),
                 timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

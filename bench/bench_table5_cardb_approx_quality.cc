@@ -6,26 +6,32 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf(
       "=== Table V: CarDB quality incl. Approx-MWQ ===\n");
-  const struct {
+  BenchReporter reporter("table5_cardb_approx_quality", args);
+  struct Config {
     size_t n;
     size_t k;
-    const char* label;
-  } kConfigs[] = {
-      {100000, 10, "(a) CarDB-100K, k=10"},
-      {200000, 20, "(b) CarDB-200K, k=20"},
   };
-  for (const auto& config : kConfigs) {
+  const std::vector<Config> configs =
+      args.short_mode ? std::vector<Config>{{20000, 10}}
+                      : std::vector<Config>{{100000, 10}, {200000, 20}};
+  const size_t max_rsl = args.short_mode ? 8 : 15;
+  for (const Config& config : configs) {
+    const std::string label =
+        StrFormat("CarDB-%zuK-k%zu", config.n / 1000, config.k);
+    reporter.Begin(label);
     WallTimer timer;
     WhyNotEngine engine(MakeDataset("CarDB", config.n, 1000 + config.n));
     engine.PrecomputeApproxDsls(config.k);
-    const auto workload = MakeWorkload(engine, 4000, 77 + config.n);
+    const auto workload =
+        MakeWorkload(engine, 4000, 77 + config.n, 1, max_rsl);
     const auto rows = EvaluateQuality(engine, workload, true);
-    PrintQualityTable(config.label, rows, config.k);
+    PrintQualityTable(label, rows, config.k);
     PrintShapeChecks(rows);
     size_t approx_no_worse_than_mwp = 0;
     for (const QualityRow& row : rows) {
@@ -38,6 +44,7 @@ int main() {
                 approx_no_worse_than_mwp, rows.size());
     std::printf("(%zu queries, %.1fs)\n", rows.size(),
                 timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

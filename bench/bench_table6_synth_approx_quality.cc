@@ -4,32 +4,37 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wnrs;
   using namespace wnrs::bench;
+  const BenchArgs args = ParseBenchArgs(argc, argv);
   std::printf("=== Table VI: synthetic quality incl. Approx-MWQ ===\n");
-  const struct {
+  BenchReporter reporter("table6_synth_approx_quality", args);
+  struct Config {
     const char* kind;
     size_t n;
-    const char* label;
-  } kConfigs[] = {
-      {"UN", 100000, "(a) UN-100K"},
-      {"CO", 100000, "(b) CO-100K"},
-      {"AC", 100000, "(c) AC-100K"},
-      {"UN", 200000, "(d) UN-200K"},
   };
+  const std::vector<Config> configs =
+      args.short_mode
+          ? std::vector<Config>{{"UN", 20000}}
+          : std::vector<Config>{{"UN", 100000}, {"CO", 100000},
+                                {"AC", 100000}, {"UN", 200000}};
   const size_t kApproxK = 10;
-  for (const auto& config : kConfigs) {
+  for (const Config& config : configs) {
+    const std::string label =
+        StrFormat("%s-%zuK", config.kind, config.n / 1000);
+    reporter.Begin(label);
     WallTimer timer;
     WhyNotEngine engine(
         MakeDataset(config.kind, config.n, 2000 + config.n));
     engine.PrecomputeApproxDsls(kApproxK);
     const auto workload = MakeWorkload(engine, 2500, 99 + config.n, 1, 8);
     const auto rows = EvaluateQuality(engine, workload, true);
-    PrintQualityTable(config.label, rows, kApproxK);
+    PrintQualityTable(label, rows, kApproxK);
     PrintShapeChecks(rows);
     std::printf("(%zu queries, %.1fs)\n", rows.size(),
                 timer.ElapsedSeconds());
+    reporter.End();
   }
-  return 0;
+  return reporter.Write() ? 0 : 1;
 }

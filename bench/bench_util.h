@@ -7,17 +7,139 @@
 // costs of Section VI-A, and table printing.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/engine.h"
 #include "data/generators.h"
 #include "data/workload.h"
 
 namespace wnrs::bench {
+
+/// Common command-line flags of every paper-reproduction bench binary:
+///   --short        reduced configurations for CI smoke runs
+///   --json <path>  machine-readable per-config records (wall time + the
+///                  QueryStats counter deltas) written to <path>
+struct BenchArgs {
+  bool short_mode = false;
+  std::string json_path;
+};
+
+/// Parses the common flags; exits with status 2 on unknown arguments so
+/// CI catches typos instead of silently running the full bench.
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      args.short_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--short] [--json <path>]\n"
+                   "unknown argument: %s\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Collects one JSON record per bench configuration: wall time plus the
+/// delta of every QueryStats counter over the measured region (captured
+/// from the global MetricsRegistry). Usage:
+///
+///   BenchReporter reporter("fig15_exec_time", args);
+///   reporter.Begin("CarDB-100K");
+///   ... run the configuration ...
+///   reporter.End();
+///   ...
+///   return reporter.Write() ? 0 : 1;
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, BenchArgs args)
+      : bench_name_(std::move(bench_name)), args_(std::move(args)) {}
+
+  const BenchArgs& args() const { return args_; }
+
+  /// Starts measuring a configuration.
+  void Begin(const std::string& config) {
+    WNRS_CHECK(!in_config_);
+    in_config_ = true;
+    current_config_ = config;
+    start_stats_ = MetricsRegistry::Default().CaptureQueryStats();
+    timer_.Restart();
+  }
+
+  /// Finishes the configuration opened by Begin.
+  void End() {
+    WNRS_CHECK(in_config_);
+    Record record;
+    record.config = current_config_;
+    record.wall_ms = timer_.ElapsedMillis();
+    record.counters =
+        MetricsRegistry::Default().CaptureQueryStats() - start_stats_;
+    records_.push_back(std::move(record));
+    in_config_ = false;
+  }
+
+  /// Writes the collected records to args.json_path (no-op without
+  /// --json). Returns false if the file cannot be written.
+  bool Write() const {
+    WNRS_CHECK(!in_config_);
+    if (args_.json_path.empty()) return true;
+    std::string out = "{\n";
+    out += StrFormat("  \"bench\": \"%s\",\n", bench_name_.c_str());
+    out += StrFormat("  \"short_mode\": %s,\n",
+                     args_.short_mode ? "true" : "false");
+    out += "  \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out += StrFormat(
+          "    {\"config\": \"%s\", \"wall_ms\": %.3f, \"counters\": %s}%s\n",
+          r.config.c_str(), r.wall_ms, r.counters.ToJson().c_str(),
+          i + 1 < records_.size() ? "," : "");
+    }
+    out += "  ]\n}\n";
+    std::ofstream file(args_.json_path, std::ios::trunc);
+    if (!file.is_open()) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   args_.json_path.c_str());
+      return false;
+    }
+    file << out;
+    file.flush();
+    if (!file.good()) {
+      std::fprintf(stderr, "write failure: %s\n", args_.json_path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu records)\n", args_.json_path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string config;
+    double wall_ms = 0.0;
+    QueryStats counters;
+  };
+
+  std::string bench_name_;
+  BenchArgs args_;
+  std::vector<Record> records_;
+  bool in_config_ = false;
+  std::string current_config_;
+  QueryStats start_stats_;
+  WallTimer timer_;
+};
 
 /// Builds one of the evaluation datasets: "CarDB", "UN", "CO", "AC".
 inline Dataset MakeDataset(const std::string& kind, size_t n,

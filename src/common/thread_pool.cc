@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "common/metrics.h"
+
 namespace wnrs {
 namespace {
 
@@ -21,6 +23,8 @@ ThreadPool::ThreadPool(size_t num_threads)
   for (size_t i = 0; i + 1 < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  MetricSetGauge(GaugeId::kPoolThreads,
+                 static_cast<int64_t>(num_threads_));
 }
 
 ThreadPool::~ThreadPool() {
@@ -36,9 +40,11 @@ void ThreadPool::RunJob(Job* job) {
   const bool was_in_region = tls_in_parallel_region;
   tls_in_parallel_region = true;
   const size_t total = job->end - job->begin;
+  uint64_t executed = 0;
   size_t i;
   while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) < job->end) {
     (*job->fn)(i);
+    ++executed;
     // acq_rel so the submitter's acquire read of `completed == total`
     // orders every loop body's writes before ParallelFor returns.
     if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
@@ -46,6 +52,7 @@ void ThreadPool::RunJob(Job* job) {
       done_cv_.notify_all();
     }
   }
+  if (executed > 0) MetricAdd(CounterId::kPoolTasksExecuted, executed);
   tls_in_parallel_region = was_in_region;
 }
 
@@ -63,6 +70,11 @@ void ThreadPool::WorkerLoop() {
       last_seq = job_seq_;
       ++job->active;
     }
+    MetricRecord(HistogramId::kPoolQueueWaitMicros,
+                 static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - job->submitted)
+                         .count()));
     RunJob(job);
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -85,11 +97,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   }
 
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MetricAdd(CounterId::kPoolParallelFors);
   Job job;
   job.begin = begin;
   job.end = end;
   job.fn = &fn;
   job.next.store(begin, std::memory_order_relaxed);
+  job.submitted = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &job;

@@ -2,6 +2,7 @@
 #define WNRS_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -74,6 +75,8 @@ class ThreadPool {
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
     int active = 0;
+    /// Submission time, for the queue-wait histogram.
+    std::chrono::steady_clock::time_point submitted;
   };
 
   void WorkerLoop();

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "geometry/transform.h"
 #include "index/bulk_load.h"
@@ -41,6 +43,51 @@ CostModel MakeCostModel(const Rectangle& universe,
 }
 
 }  // namespace
+
+/// Snapshot-delta scope. The constructor captures the registry at entry
+/// of the outermost public call; the destructor captures again and books
+/// the difference into the engine's cumulative and last-call stats. The
+/// depth counter is engine-wide (not thread-local) so the worker-side
+/// calls of a batch fan-out fold into the outermost call's delta instead
+/// of double-counting.
+class WhyNotEngine::StatsScope {
+ public:
+  explicit StatsScope(const WhyNotEngine* engine) : engine_(engine) {
+    outermost_ =
+        engine_->stats_depth_.fetch_add(1, std::memory_order_relaxed) == 0;
+    if (outermost_) {
+      start_ = MetricsRegistry::Default().CaptureQueryStats();
+      start_time_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  StatsScope(const StatsScope&) = delete;
+  StatsScope& operator=(const StatsScope&) = delete;
+
+  ~StatsScope() {
+    if (outermost_) {
+      QueryStats delta =
+          MetricsRegistry::Default().CaptureQueryStats() - start_;
+      delta.engine_queries = 1;
+      MetricAdd(CounterId::kEngineQueries);
+      MetricRecord(
+          HistogramId::kEngineQueryMicros,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start_time_)
+                  .count()));
+      engine_->last_query_stats_ = delta;
+      engine_->cum_stats_ += delta;
+    }
+    engine_->stats_depth_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const WhyNotEngine* engine_;
+  bool outermost_ = false;
+  QueryStats start_;
+  std::chrono::steady_clock::time_point start_time_;
+};
 
 WhyNotEngine::WhyNotEngine(Dataset products, Dataset customers,
                            WhyNotEngineOptions options)
@@ -98,12 +145,17 @@ std::vector<size_t> WhyNotEngine::ComputeReverseSkyline(const Point& q) const {
 }
 
 std::vector<size_t> WhyNotEngine::ReverseSkyline(const Point& q) const {
+  StatsScope scope(this);
   {
     std::lock_guard<std::mutex> lock(rsl_cache_mu_);
     for (const auto& [key, rsl] : cached_rsl_) {
-      if (key == q) return rsl;
+      if (key == q) {
+        MetricAdd(CounterId::kRslCacheHits);
+        return rsl;
+      }
     }
   }
+  MetricAdd(CounterId::kRslCacheMisses);
   // Compute outside the lock; concurrent misses for the same q may both
   // compute, but the results are identical and the first insert wins.
   std::vector<size_t> out = ComputeReverseSkyline(q);
@@ -113,8 +165,11 @@ std::vector<size_t> WhyNotEngine::ReverseSkyline(const Point& q) const {
   }
   if (cached_rsl_.size() >= kRslCacheCapacity) {
     cached_rsl_.erase(cached_rsl_.begin());
+    MetricAdd(CounterId::kRslCacheEvictions);
   }
   cached_rsl_.emplace_back(q, out);
+  MetricSetGauge(GaugeId::kRslCacheSize,
+                 static_cast<int64_t>(cached_rsl_.size()));
   return out;
 }
 
@@ -134,11 +189,13 @@ std::vector<size_t> WhyNotEngine::CustomersInRange(
 }
 
 WhyNotExplanation WhyNotEngine::Explain(size_t c, const Point& q) const {
+  StatsScope scope(this);
   return ExplainWhyNot(tree_, products_.points, CustomerPoint(c), q,
                        ExcludeFor(c));
 }
 
 MwpResult WhyNotEngine::ModifyWhyNot(size_t c, const Point& q) const {
+  StatsScope scope(this);
   if (options_.fast_frontier) {
     return ModifyWhyNotPointFast(tree_, products_.points, CustomerPoint(c),
                                  q, cost_model_, options_.sort_dim,
@@ -149,6 +206,7 @@ MwpResult WhyNotEngine::ModifyWhyNot(size_t c, const Point& q) const {
 }
 
 MqpResult WhyNotEngine::ModifyQuery(size_t c, const Point& q) const {
+  StatsScope scope(this);
   if (options_.fast_frontier) {
     return ModifyQueryPointFast(tree_, products_.points, CustomerPoint(c),
                                 q, cost_model_, options_.sort_dim,
@@ -159,6 +217,7 @@ MqpResult WhyNotEngine::ModifyQuery(size_t c, const Point& q) const {
 }
 
 const SafeRegionResult& WhyNotEngine::SafeRegion(const Point& q) const {
+  StatsScope scope(this);
   if (cached_sr_query_.has_value() && *cached_sr_query_ == q) {
     return cached_sr_;
   }
@@ -174,6 +233,7 @@ const SafeRegionResult& WhyNotEngine::SafeRegion(const Point& q) const {
 }
 
 const SafeRegionResult& WhyNotEngine::ApproxSafeRegion(const Point& q) const {
+  StatsScope scope(this);
   WNRS_CHECK(HasApproxDsls());
   if (cached_approx_sr_query_.has_value() && *cached_approx_sr_query_ == q) {
     return cached_approx_sr_;
@@ -206,6 +266,7 @@ KeepsMembersFn WhyNotEngine::MakeKeepsMembersFn(const Point& q) const {
 }
 
 MwqResult WhyNotEngine::ModifyBoth(size_t c, const Point& q) const {
+  StatsScope scope(this);
   const SafeRegionResult& sr = SafeRegion(q);
   return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
                                    q, sr.region, universe_, cost_model_,
@@ -215,6 +276,7 @@ MwqResult WhyNotEngine::ModifyBoth(size_t c, const Point& q) const {
 }
 
 MwqResult WhyNotEngine::ModifyBothApprox(size_t c, const Point& q) const {
+  StatsScope scope(this);
   const SafeRegionResult& sr = ApproxSafeRegion(q);
   return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
                                    q, sr.region, universe_, cost_model_,
@@ -236,6 +298,7 @@ SafeRegionResult WhyNotEngine::ConstrainedSafeRegion(
 
 MwqResult WhyNotEngine::ModifyBothConstrained(size_t c, const Point& q,
                                               const Rectangle& limits) const {
+  StatsScope scope(this);
   const SafeRegionResult sr = ConstrainedSafeRegion(q, limits);
   return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
                                    q, sr.region, universe_, cost_model_,
@@ -246,6 +309,7 @@ MwqResult WhyNotEngine::ModifyBothConstrained(size_t c, const Point& q,
 
 std::vector<size_t> WhyNotEngine::LostCustomers(const Point& q,
                                                 const Point& q_star) const {
+  StatsScope scope(this);
   const std::vector<size_t> members = ReverseSkyline(q);
   const std::vector<unsigned char> is_lost =
       pool_->ParallelMap<unsigned char>(members.size(), [&](size_t i) {
@@ -263,6 +327,7 @@ std::vector<size_t> WhyNotEngine::LostCustomers(const Point& q,
 
 std::vector<MwqResult> WhyNotEngine::ModifyBothBatch(
     const std::vector<size_t>& whos, const Point& q, bool use_approx) const {
+  StatsScope scope(this);
   // Materialize the safe region and RSL(q) once, before fanning out; the
   // parallel workers below then only read the warmed caches (the
   // safe-region slot is lock-free, so a cold cache would race).
@@ -278,6 +343,7 @@ std::vector<MwqResult> WhyNotEngine::ModifyBothBatch(
 }
 
 void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
+  StatsScope scope(this);
   WNRS_CHECK(k >= 2);
   const Dataset& ds = customers();
   approx_dsls_.clear();
@@ -306,6 +372,7 @@ void WhyNotEngine::InvalidateDerivedState() {
   {
     std::lock_guard<std::mutex> lock(rsl_cache_mu_);
     cached_rsl_.clear();
+    MetricSetGauge(GaugeId::kRslCacheSize, 0);
   }
   // The approximated-DSL store is a function of the product set; a stale
   // store could silently lose safety, so it is dropped outright.
@@ -440,6 +507,7 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
 
 double WhyNotEngine::MqpEvaluationCost(const Point& q,
                                        const Point& q_star) const {
+  StatsScope scope(this);
   // alpha-cost of leaving the safe region: distance from the closest safe
   // point q' to q*.
   const SafeRegionResult& sr = SafeRegion(q);

@@ -1,12 +1,14 @@
 #ifndef WNRS_CORE_ENGINE_H_
 #define WNRS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/cost.h"
 #include "core/explain.h"
@@ -197,7 +199,29 @@ class WhyNotEngine {
                                            const Point& q,
                                            size_t customer_index) const;
 
+  /// Cumulative work counters over every outermost public call since
+  /// construction (or ResetStats): R*-tree node reads, dominance tests,
+  /// cache hits, and the rest of QueryStats. Derived from registry
+  /// snapshots around each call, so with several engines doing work
+  /// concurrently the attribution follows the single-caller convention.
+  QueryStats stats() const { return cum_stats_; }
+
+  /// Work done by the most recent outermost public call alone.
+  const QueryStats& last_query_stats() const { return last_query_stats_; }
+
+  /// Zeroes stats() and last_query_stats(). Does not touch the global
+  /// MetricsRegistry.
+  void ResetStats() const {
+    cum_stats_ = QueryStats();
+    last_query_stats_ = QueryStats();
+  }
+
  private:
+  /// RAII registry-snapshot delta around the outermost public call;
+  /// nested calls (ModifyBoth -> SafeRegion, batch workers) see a
+  /// non-zero depth and record nothing.
+  class StatsScope;
+
   std::optional<RStarTree::Id> ExcludeFor(size_t customer_index) const;
   const Point& CustomerPoint(size_t c) const;
   /// Builds the q*-validator that probes every member of RSL(q).
@@ -236,6 +260,13 @@ class WhyNotEngine {
   // probes from the parallel loops stay race-free.
   mutable std::mutex rsl_cache_mu_;
   mutable std::vector<std::pair<Point, std::vector<size_t>>> cached_rsl_;
+
+  // Per-call statistics. `stats_depth_` is shared across threads so the
+  // batch fan-out's worker-side calls don't re-record; the QueryStats
+  // members are written only by the single outermost call.
+  mutable std::atomic<int> stats_depth_{0};
+  mutable QueryStats last_query_stats_;
+  mutable QueryStats cum_stats_;
 };
 
 }  // namespace wnrs

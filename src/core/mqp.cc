@@ -1,6 +1,7 @@
 #include "core/mqp.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "geometry/dominance.h"
 #include "geometry/transform.h"
 #include "reverse_skyline/window_query.h"
@@ -38,6 +39,7 @@ void FinishMqp(const Point& c_t, const Point& q,
     }
     return true;
   };
+  MetricAdd(CounterId::kCandidatesGenerated, candidates_t.size());
   std::vector<Point> kept;
   kept.reserve(candidates_t.size());
   for (Point& t : candidates_t) {
@@ -47,6 +49,7 @@ void FinishMqp(const Point& c_t, const Point& q,
     kept.push_back(Point(dims));  // All-zero: q* = c_t.
   }
 
+  MetricAdd(CounterId::kCandidatesExamined, kept.size());
   // Map transformed candidates back to the original space. Dynamic-skyline
   // membership depends only on transformed coordinates, so we pick the
   // preimage on q's side of c_t in every dimension, which minimizes

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "geometry/dominance.h"
 #include "geometry/transform.h"
 #include "reverse_skyline/window_query.h"
@@ -66,6 +67,7 @@ void FinishMwp(const Point& c_t, const Point& q,
     }
     return true;
   };
+  MetricAdd(CounterId::kCandidatesGenerated, canon_candidates.size());
   std::vector<Point> kept;
   kept.reserve(canon_candidates.size());
   for (Point& cc : canon_candidates) {
@@ -81,6 +83,7 @@ void FinishMwp(const Point& c_t, const Point& q,
     kept.push_back(std::move(u_max));
   }
 
+  MetricAdd(CounterId::kCandidatesExamined, kept.size());
   out->candidates.reserve(kept.size());
   for (const Point& cc : kept) {
     Point c_star = MirrorAround(cc, q, flip);

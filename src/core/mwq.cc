@@ -109,6 +109,7 @@ MwqResult ModifyQueryAndWhyNotPoint(
   }
   corners.push_back(q);
   WNRS_CHECK(!corners.empty());
+  MetricAdd(CounterId::kCandidatesGenerated, corners.size());
 
   // Keep corners whose transformed image (c_t as origin) is not dominated:
   // the ones closest to the why-not customer.
@@ -137,6 +138,7 @@ MwqResult ModifyQueryAndWhyNotPoint(
     // failed validation itself; fall back to keeping q in place.
     candidates_q.push_back(corners.size() - 1);
   }
+  MetricAdd(CounterId::kCandidatesExamined, candidates_q.size());
 
   double best = std::numeric_limits<double>::infinity();
   std::vector<Candidate> all_moves;

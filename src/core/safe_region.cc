@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "geometry/transform.h"
 #include "skyline/bbs.h"
 #include "skyline/ddr.h"
@@ -48,6 +49,9 @@ SafeRegionResult IntersectRegions(const std::vector<size_t>& rsl,
     }
     if (out.region.empty()) break;
   }
+  MetricAdd(CounterId::kSafeRegionsComputed);
+  MetricAdd(CounterId::kSafeRegionRects, out.region.size());
+  MetricRecord(HistogramId::kSafeRegionRectsPerQuery, out.region.size());
   return out;
 }
 

@@ -159,7 +159,14 @@ double Rectangle::OverlapVolume(const Rectangle& other) const {
 }
 
 std::string Rectangle::ToString() const {
-  return "[" + lo_.ToString() + ", " + hi_.ToString() + "]";
+  // Built by append rather than operator+ chaining, which trips a GCC 12
+  // -Wrestrict false positive (GCC bug 105651) under -O2 -Werror.
+  std::string out = "[";
+  out += lo_.ToString();
+  out += ", ";
+  out += hi_.ToString();
+  out += "]";
+  return out;
 }
 
 }  // namespace wnrs

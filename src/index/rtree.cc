@@ -164,6 +164,7 @@ void RStarTree::InsertAtLevel(Entry entry, size_t target_level,
     entry.child->parent = node;
   }
   node->entries.push_back(std::move(entry));
+  MetricAdd(CounterId::kRTreeNodeWrites);
   AdjustUpward(node);
   if (node->entries.size() > max_entries_) {
     OverflowTreatment(node, target_level, reinserted_at_level);
@@ -213,6 +214,8 @@ void RStarTree::Reinsert(Node* node, size_t level,
     }
   }
   node->entries = std::move(keep);
+  MetricAdd(CounterId::kRTreeReinserts, evicted.size());
+  MetricAdd(CounterId::kRTreeNodeWrites);
   AdjustUpward(node);
 
   // "Close reinsert": nearest evictees first.
@@ -224,6 +227,8 @@ void RStarTree::Reinsert(Node* node, size_t level,
 }
 
 void RStarTree::SplitNode(Node* node) {
+  MetricAdd(CounterId::kRTreeSplits);
+  MetricAdd(CounterId::kRTreeNodeWrites, 2);  // Both halves rewritten.
   std::vector<Entry>& entries = node->entries;
   const size_t total = entries.size();
   const size_t m = min_entries_;
@@ -391,6 +396,7 @@ bool RStarTree::Delete(const Rectangle& r, Id id) {
 
   target_leaf->entries.erase(target_leaf->entries.begin() +
                              static_cast<ptrdiff_t>(target_slot));
+  MetricAdd(CounterId::kRTreeNodeWrites);
   --size_;
 
   // CondenseTree: walk up removing underfull nodes, collecting their

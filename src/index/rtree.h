@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "geometry/point.h"
 #include "geometry/rectangle.h"
@@ -118,6 +119,7 @@ class RStarTree {
   /// threads; the count stays exact.
   void CountNodeRead() const {
     node_reads_.fetch_add(1, std::memory_order_relaxed);
+    MetricAdd(CounterId::kRTreeNodeReads);
   }
 
   /// Snapshot of the traversal counters.

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "geometry/transform.h"
 #include "reverse_skyline/window_query.h"
@@ -91,15 +92,23 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
     return signs;
   };
 
+  // Counts accumulate in locals and flush once per traversal, keeping the
+  // instrumentation out of the dominance inner loops.
+  uint64_t heap_pops = 0;
+  uint64_t dominance_tests = 0;
+  uint64_t pruned_entries = 0;
+
   heap.push({0.0, tree.root(), Point(), -1});
   while (!heap.empty()) {
     Item item = heap.top();
     heap.pop();
+    ++heap_pops;
     if (item.node == nullptr) {
       const Point t = ToDistanceSpace(item.point, q);
       const std::vector<int> sg = signs_of(item.point);
       bool dominated = false;
       for (const GlobalPoint& g : skyline) {
+        ++dominance_tests;
         if (GloballyDominatesPoint(g, t, sg)) {
           dominated = true;
           break;
@@ -107,6 +116,8 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
       }
       if (!dominated) {
         skyline.push_back({item.point, t, sg, item.id});
+      } else {
+        ++pruned_entries;
       }
       continue;
     }
@@ -119,6 +130,7 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
         const std::vector<int> sg = signs_of(p);
         bool dominated = false;
         for (const GlobalPoint& g : skyline) {
+          ++dominance_tests;
           if (GloballyDominatesPoint(g, t, sg)) {
             dominated = true;
             break;
@@ -126,10 +138,13 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
         }
         if (!dominated) {
           heap.push({t.L1Norm(), nullptr, p, e.id});
+        } else {
+          ++pruned_entries;
         }
       } else {
         bool dominated = false;
         for (const GlobalPoint& g : skyline) {
+          ++dominance_tests;
           if (GloballyDominatesRect(g, e.mbr, q)) {
             dominated = true;
             break;
@@ -138,10 +153,15 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
         if (!dominated) {
           const Rectangle t = RectToDistanceSpace(e.mbr, q);
           heap.push({t.lo().L1Norm(), e.child, Point(), -1});
+        } else {
+          ++pruned_entries;
         }
       }
     }
   }
+  MetricAdd(CounterId::kBbrsHeapPops, heap_pops);
+  MetricAdd(CounterId::kBbrsDominanceTests, dominance_tests);
+  MetricAdd(CounterId::kBbrsPrunedEntries, pruned_entries);
   return skyline;
 }
 
@@ -201,6 +221,8 @@ std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
     RStarTree::Id id;
   };
   std::vector<Survivor> survivors;
+  uint64_t dominance_tests = 0;
+  uint64_t pruned_entries = 0;
   std::vector<const RStarTree::Node*> stack = {customers.root()};
   while (!stack.empty()) {
     const RStarTree::Node* node = stack.back();
@@ -217,6 +239,7 @@ std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
         // strictly self-dominates, keeping the exclusion sound.)
         bool pruned = false;
         for (const GlobalPoint& g : pruners) {
+          ++dominance_tests;
           bool weak_all = true;
           bool strict_any = false;
           for (size_t i = 0; i < q.dims() && weak_all; ++i) {
@@ -247,10 +270,16 @@ std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
             }
           }
         }
-        if (!pruned) stack.push_back(e.child);
+        if (!pruned) {
+          stack.push_back(e.child);
+        } else {
+          ++pruned_entries;
+        }
       }
     }
   }
+  MetricAdd(CounterId::kBbrsDominanceTests, dominance_tests);
+  MetricAdd(CounterId::kBbrsPrunedEntries, pruned_entries);
 
   std::vector<unsigned char> member(survivors.size(), 0);
   auto verify = [&](size_t i) {

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "geometry/dominance.h"
 #include "geometry/transform.h"
 
@@ -25,6 +26,7 @@ Rectangle WindowRect(const Point& c, const Point& q) {
 std::vector<RStarTree::Id> WindowQuery(
     const RStarTree& products, const Point& c, const Point& q,
     std::optional<RStarTree::Id> exclude_id) {
+  MetricAdd(CounterId::kWindowProbes);
   std::vector<RStarTree::Id> out;
   products.RangeQuery(WindowRect(c, q),
                       [&](const Rectangle& mbr, RStarTree::Id id) {
@@ -42,6 +44,7 @@ std::vector<RStarTree::Id> WindowQuery(
 
 bool WindowEmpty(const RStarTree& products, const Point& c, const Point& q,
                  std::optional<RStarTree::Id> exclude_id) {
+  MetricAdd(CounterId::kWindowProbes);
   return !products.AnyInRange(
       WindowRect(c, q), [&](const Rectangle& mbr, RStarTree::Id id) {
         if (exclude_id.has_value() && id == *exclude_id) return false;
@@ -68,22 +71,40 @@ std::vector<RStarTree::Id> WindowSkyline(
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
   std::vector<Point> skyline_points;
   std::vector<RStarTree::Id> skyline_ids;
-  auto dominated = [&skyline_points](const Point& t) {
+  // Work counts accumulate locally and flush once on return, so the inner
+  // dominance loop stays free of instrumentation.
+  uint64_t heap_pops = 0;
+  uint64_t dominance_tests = 0;
+  uint64_t pruned_entries = 0;
+  auto dominated = [&skyline_points, &dominance_tests](const Point& t) {
     for (const Point& s : skyline_points) {
+      ++dominance_tests;
       if (Dominates(s, t)) return true;
     }
     return false;
   };
+  auto flush = [&] {
+    MetricAdd(CounterId::kWindowProbes);
+    MetricAdd(CounterId::kWindowHeapPops, heap_pops);
+    MetricAdd(CounterId::kWindowDominanceTests, dominance_tests);
+    MetricAdd(CounterId::kWindowPrunedEntries, pruned_entries);
+  };
 
-  if (products.size() == 0) return skyline_ids;
+  if (products.size() == 0) {
+    flush();
+    return skyline_ids;
+  }
   heap.push({0.0, products.root(), Point(), -1});
   while (!heap.empty()) {
     Item item = heap.top();
     heap.pop();
+    ++heap_pops;
     if (item.node == nullptr) {
       if (!dominated(item.transformed)) {
         skyline_points.push_back(std::move(item.transformed));
         skyline_ids.push_back(item.id);
+      } else {
+        ++pruned_entries;
       }
       continue;
     }
@@ -96,17 +117,24 @@ std::vector<RStarTree::Id> WindowSkyline(
         // membership (dynamic dominance needs strictness).
         if (!InWindow(e.mbr.lo(), c, q)) continue;
         Point t = ToDistanceSpace(e.mbr.lo(), origin);
-        if (dominated(t)) continue;
+        if (dominated(t)) {
+          ++pruned_entries;
+          continue;
+        }
         const double dist = t.L1Norm();
         heap.push({dist, nullptr, std::move(t), e.id});
       } else {
         const Rectangle t = RectToDistanceSpace(e.mbr, origin);
-        if (dominated(t.lo())) continue;
+        if (dominated(t.lo())) {
+          ++pruned_entries;
+          continue;
+        }
         heap.push({t.lo().L1Norm(), e.child, t.lo(), -1});
       }
     }
   }
   std::sort(skyline_ids.begin(), skyline_ids.end());
+  flush();
   return skyline_ids;
 }
 

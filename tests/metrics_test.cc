@@ -1,0 +1,240 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+TEST(MetricsTest, CountersStartAtZero) {
+  MetricsRegistry registry;
+  for (size_t i = 0; i < static_cast<size_t>(CounterId::kCounterIdCount);
+       ++i) {
+    EXPECT_EQ(registry.CounterValue(static_cast<CounterId>(i)), 0u);
+  }
+}
+
+TEST(MetricsTest, CounterAddAccumulates) {
+  MetricsRegistry registry;
+  registry.Add(CounterId::kRTreeNodeReads, 1);
+  registry.Add(CounterId::kRTreeNodeReads, 41);
+  registry.Add(CounterId::kBbrsHeapPops, 7);
+  EXPECT_EQ(registry.CounterValue(CounterId::kRTreeNodeReads), 42u);
+  EXPECT_EQ(registry.CounterValue(CounterId::kBbrsHeapPops), 7u);
+  EXPECT_EQ(registry.CounterValue(CounterId::kRTreeSplits), 0u);
+}
+
+TEST(MetricsTest, GaugeSetOverwrites) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GaugeValue(GaugeId::kRslCacheSize), 0);
+  registry.SetGauge(GaugeId::kRslCacheSize, 128);
+  registry.SetGauge(GaugeId::kRslCacheSize, 64);
+  EXPECT_EQ(registry.GaugeValue(GaugeId::kRslCacheSize), 64);
+}
+
+TEST(MetricsTest, HistogramBucketsArePowersOfTwo) {
+  MetricsRegistry registry;
+  // Bucket 0 is [0, 1], bucket i is (2^(i-1), 2^i].
+  registry.Record(HistogramId::kEngineQueryMicros, 0);
+  registry.Record(HistogramId::kEngineQueryMicros, 1);
+  registry.Record(HistogramId::kEngineQueryMicros, 2);
+  registry.Record(HistogramId::kEngineQueryMicros, 3);
+  registry.Record(HistogramId::kEngineQueryMicros, 4);
+  registry.Record(HistogramId::kEngineQueryMicros, 1024);
+  const HistogramSnapshot snap =
+      registry.HistogramValue(HistogramId::kEngineQueryMicros);
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_EQ(snap.sum, 0u + 1 + 2 + 3 + 4 + 1024);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1024u);
+  EXPECT_EQ(snap.buckets[0], 2u);  // 0 and 1
+  EXPECT_EQ(snap.buckets[1], 1u);  // 2
+  EXPECT_EQ(snap.buckets[2], 2u);  // 3 and 4
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1024 = 2^10
+  EXPECT_EQ(snap.BucketUpperBound(0), 1u);
+  EXPECT_EQ(snap.BucketUpperBound(10), 1024u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), (0.0 + 1 + 2 + 3 + 4 + 1024) / 6.0);
+}
+
+TEST(MetricsTest, HistogramHugeValueLandsInUnboundedBucket) {
+  MetricsRegistry registry;
+  registry.Record(HistogramId::kPoolQueueWaitMicros, UINT64_MAX);
+  const HistogramSnapshot snap =
+      registry.HistogramValue(HistogramId::kPoolQueueWaitMicros);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.buckets[kHistogramBuckets - 1], 1u);
+  EXPECT_EQ(snap.BucketUpperBound(kHistogramBuckets - 1), UINT64_MAX);
+}
+
+TEST(MetricsTest, ManyThreadsMergeAcrossShards) {
+  MetricsRegistry registry;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (uint64_t i = 0; i < kAddsPerThread; ++i) {
+        registry.Add(CounterId::kWindowDominanceTests, 1);
+      }
+      registry.Record(HistogramId::kEngineQueryMicros, 64);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Joined threads have retired their shards; the fold must lose nothing.
+  EXPECT_EQ(registry.CounterValue(CounterId::kWindowDominanceTests),
+            kThreads * kAddsPerThread);
+  const HistogramSnapshot snap =
+      registry.HistogramValue(HistogramId::kEngineQueryMicros);
+  EXPECT_EQ(snap.count, kThreads);
+  EXPECT_EQ(snap.min, 64u);
+  EXPECT_EQ(snap.max, 64u);
+}
+
+TEST(MetricsTest, LiveThreadWritesVisibleBeforeExit) {
+  // Reads must merge live shards, not just retired ones.
+  MetricsRegistry registry;
+  registry.Add(CounterId::kRslCacheHits, 3);  // main thread's live shard
+  EXPECT_EQ(registry.CounterValue(CounterId::kRslCacheHits), 3u);
+}
+
+TEST(MetricsTest, ResetZeroesCountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.Add(CounterId::kRTreeNodeReads, 9);
+  registry.SetGauge(GaugeId::kPoolThreads, 4);
+  registry.Record(HistogramId::kEngineQueryMicros, 100);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue(CounterId::kRTreeNodeReads), 0u);
+  EXPECT_EQ(registry.GaugeValue(GaugeId::kPoolThreads), 0);
+  const HistogramSnapshot snap =
+      registry.HistogramValue(HistogramId::kEngineQueryMicros);
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+}
+
+TEST(MetricsTest, CaptureQueryStatsDeltas) {
+  MetricsRegistry registry;
+  registry.Add(CounterId::kRTreeNodeReads, 10);
+  const QueryStats before = registry.CaptureQueryStats();
+  registry.Add(CounterId::kRTreeNodeReads, 5);
+  registry.Add(CounterId::kCandidatesGenerated, 2);
+  const QueryStats after = registry.CaptureQueryStats();
+  const QueryStats delta = after - before;
+  EXPECT_EQ(delta.rtree_node_reads, 5u);
+  EXPECT_EQ(delta.candidates_generated, 2u);
+  EXPECT_EQ(delta.bbrs_heap_pops, 0u);
+  QueryStats sum;
+  sum += delta;
+  sum += delta;
+  EXPECT_EQ(sum.rtree_node_reads, 10u);
+}
+
+TEST(MetricsTest, ToJsonContainsMetricNamesAndValues) {
+  MetricsRegistry registry;
+  registry.Add(CounterId::kRTreeNodeReads, 42);
+  registry.SetGauge(GaugeId::kPoolThreads, 4);
+  registry.Record(HistogramId::kEngineQueryMicros, 3);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"rtree.node_reads\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pool.threads\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine.query_us\""), std::string::npos) << json;
+  // Structural sanity: balanced braces and brackets.
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(MetricsTest, QueryStatsToJsonRoundTripsFieldNames) {
+  QueryStats stats;
+  stats.rtree_node_reads = 7;
+  stats.window_probes = 3;
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"rtree_node_reads\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window_probes\": 3"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsTest, NamesAreNonEmptyAndUnique) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < static_cast<size_t>(CounterId::kCounterIdCount);
+       ++i) {
+    names.emplace_back(MetricsRegistry::Name(static_cast<CounterId>(i)));
+  }
+  for (size_t i = 0; i < static_cast<size_t>(GaugeId::kGaugeIdCount); ++i) {
+    names.emplace_back(MetricsRegistry::Name(static_cast<GaugeId>(i)));
+  }
+  for (size_t i = 0; i < static_cast<size_t>(HistogramId::kHistogramIdCount);
+       ++i) {
+    names.emplace_back(MetricsRegistry::Name(static_cast<HistogramId>(i)));
+  }
+  for (const std::string& name : names) EXPECT_FALSE(name.empty());
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+// The per-call work an engine does must not depend on the thread count:
+// ModifyBothBatch warms the reverse-skyline and safe-region caches before
+// fanning out, so the R*-tree node reads (and all other work counters) are
+// identical whether the batch runs serially or on four workers.
+TEST(MetricsEngineTest, BatchNodeReadsIndependentOfThreadCount) {
+  const Point q = GenerateCarDb(2000, 424242).points[7];
+  std::vector<size_t> whos;
+  for (size_t i = 0; i < 24; ++i) whos.push_back(i * 37 % 2000);
+
+  QueryStats per_thread_count[2];
+  const size_t thread_counts[2] = {1, 4};
+  for (size_t variant = 0; variant < 2; ++variant) {
+    WhyNotEngineOptions options;
+    options.num_threads = thread_counts[variant];
+    WhyNotEngine engine(GenerateCarDb(2000, 424242), options);
+    const std::vector<MwqResult> results = engine.ModifyBothBatch(whos, q);
+    ASSERT_EQ(results.size(), whos.size());
+    per_thread_count[variant] = engine.stats();
+  }
+
+  const QueryStats& serial = per_thread_count[0];
+  const QueryStats& parallel = per_thread_count[1];
+  EXPECT_GT(serial.rtree_node_reads, 0u);
+  EXPECT_EQ(serial.rtree_node_reads, parallel.rtree_node_reads);
+  EXPECT_EQ(serial.bbrs_heap_pops, parallel.bbrs_heap_pops);
+  EXPECT_EQ(serial.bbrs_dominance_tests, parallel.bbrs_dominance_tests);
+  EXPECT_EQ(serial.window_probes, parallel.window_probes);
+  EXPECT_EQ(serial.candidates_generated, parallel.candidates_generated);
+  EXPECT_EQ(serial.candidates_examined, parallel.candidates_examined);
+  EXPECT_EQ(serial.engine_queries, 1u);
+  EXPECT_EQ(parallel.engine_queries, 1u);
+}
+
+TEST(MetricsEngineTest, LastQueryStatsTracksSingleCall) {
+  WhyNotEngine engine(GenerateCarDb(500, 777));
+  const Point q = GenerateCarDb(500, 777).points[3];
+  (void)engine.Explain(0, q);
+  const QueryStats first = engine.last_query_stats();
+  EXPECT_EQ(first.engine_queries, 1u);
+  EXPECT_GT(first.rtree_node_reads, 0u);
+  (void)engine.Explain(1, q);
+  EXPECT_EQ(engine.stats().engine_queries, 2u);
+  EXPECT_EQ(engine.last_query_stats().engine_queries, 1u);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().engine_queries, 0u);
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Compare bench --json outputs against a committed baseline.
+
+Usage:
+  # Gate a fresh run of the short-mode benches against the baseline:
+  python3 tools/check_bench_regression.py \
+      --baseline bench/baseline.json --current <dir-with-*.json>
+
+  # Regenerate the baseline from a directory of bench outputs:
+  python3 tools/check_bench_regression.py \
+      --current <dir-with-*.json> --write-baseline bench/baseline.json
+
+The gate is intentionally generous: CI runners and dev machines differ
+widely, so wall-clock times only fail when they exceed the baseline by
+--wall-tolerance (default 2.0x) AND the baseline time is above a noise
+floor (--wall-floor-ms, default 50 ms — sub-50 ms configs are dominated
+by scheduling jitter). Work counters (R*-tree node reads, dominance
+tests, ...) are deterministic for a fixed seed, so they use the tighter
+--counter-tolerance (default 1.5x) with an absolute floor of
+--counter-floor (default 1000) to ignore churn in tiny counts.
+
+A baseline config missing from the current run is an error: a bench that
+silently stops running a configuration must not pass the gate. New
+configs in the current run (not in the baseline) are reported but do not
+fail — they start gating once the baseline is regenerated.
+
+Exit codes: 0 = pass, 1 = regression or missing data, 2 = usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_current(current_dir):
+    """Load every *.json bench report in current_dir, keyed by bench name."""
+    benches = {}
+    paths = sorted(pathlib.Path(current_dir).glob("*.json"))
+    if not paths:
+        print(f"error: no *.json files found in {current_dir}", file=sys.stderr)
+        sys.exit(2)
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: cannot parse {path}: {e}", file=sys.stderr)
+            sys.exit(1)
+        name = doc.get("bench")
+        if not name or "records" not in doc:
+            print(f"error: {path} is not a bench report (missing 'bench'/"
+                  f"'records')", file=sys.stderr)
+            sys.exit(1)
+        if name in benches:
+            print(f"error: duplicate bench '{name}' (from {path})",
+                  file=sys.stderr)
+            sys.exit(1)
+        benches[name] = doc
+    return benches
+
+
+def records_by_config(doc):
+    return {rec["config"]: rec for rec in doc.get("records", [])}
+
+
+def check(baseline, current, args):
+    failures = []
+    warnings = []
+    for bench_name, base_doc in sorted(baseline.get("benches", {}).items()):
+        cur_doc = current.get(bench_name)
+        if cur_doc is None:
+            failures.append(f"{bench_name}: bench missing from current run")
+            continue
+        base_recs = records_by_config(base_doc)
+        cur_recs = records_by_config(cur_doc)
+        for config, base_rec in sorted(base_recs.items()):
+            cur_rec = cur_recs.get(config)
+            if cur_rec is None:
+                failures.append(
+                    f"{bench_name}/{config}: config missing from current run")
+                continue
+            base_ms = float(base_rec.get("wall_ms", 0.0))
+            cur_ms = float(cur_rec.get("wall_ms", 0.0))
+            if base_ms >= args.wall_floor_ms and \
+                    cur_ms > base_ms * args.wall_tolerance:
+                failures.append(
+                    f"{bench_name}/{config}: wall_ms {cur_ms:.1f} > "
+                    f"{base_ms:.1f} x {args.wall_tolerance:.2f}")
+            elif base_ms >= args.wall_floor_ms and \
+                    cur_ms * args.wall_tolerance < base_ms:
+                warnings.append(
+                    f"{bench_name}/{config}: wall_ms {cur_ms:.1f} is "
+                    f">{args.wall_tolerance:.2f}x faster than baseline "
+                    f"{base_ms:.1f} — consider regenerating the baseline")
+            base_counters = base_rec.get("counters", {})
+            cur_counters = cur_rec.get("counters", {})
+            for key, base_val in sorted(base_counters.items()):
+                base_val = int(base_val)
+                cur_val = int(cur_counters.get(key, 0))
+                if base_val < args.counter_floor and \
+                        cur_val < args.counter_floor:
+                    continue
+                if cur_val > base_val * args.counter_tolerance:
+                    failures.append(
+                        f"{bench_name}/{config}: counter {key} {cur_val} > "
+                        f"{base_val} x {args.counter_tolerance:.2f}")
+                elif base_val > 0 and \
+                        cur_val * args.counter_tolerance < base_val:
+                    warnings.append(
+                        f"{bench_name}/{config}: counter {key} dropped "
+                        f"{base_val} -> {cur_val} — verify the work did not "
+                        f"silently disappear")
+        for config in sorted(set(cur_recs) - set(base_recs)):
+            warnings.append(
+                f"{bench_name}/{config}: new config, not in baseline "
+                f"(not gated)")
+    for bench_name in sorted(set(current) - set(baseline.get("benches", {}))):
+        warnings.append(f"{bench_name}: new bench, not in baseline (not gated)")
+    return failures, warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", help="committed baseline JSON")
+    parser.add_argument("--current", required=True,
+                        help="directory of bench --json outputs")
+    parser.add_argument("--write-baseline", metavar="PATH",
+                        help="write a fresh baseline from --current and exit")
+    parser.add_argument("--wall-tolerance", type=float, default=2.0)
+    parser.add_argument("--wall-floor-ms", type=float, default=50.0)
+    parser.add_argument("--counter-tolerance", type=float, default=1.5)
+    parser.add_argument("--counter-floor", type=int, default=1000)
+    args = parser.parse_args()
+
+    current = load_current(args.current)
+
+    if args.write_baseline:
+        doc = {"comment": "Generated by tools/check_bench_regression.py "
+                          "--write-baseline from short-mode bench runs.",
+               "benches": current}
+        with open(args.write_baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.write_baseline} "
+              f"({len(current)} benches)")
+        return 0
+
+    if not args.baseline:
+        parser.error("--baseline is required unless --write-baseline is given")
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read baseline {args.baseline}: {e}",
+              file=sys.stderr)
+        return 1
+
+    failures, warnings = check(baseline, current, args)
+    for w in warnings:
+        print(f"warning: {w}")
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    n_benches = len(baseline.get("benches", {}))
+    if failures:
+        print(f"\n{len(failures)} regression(s) across {n_benches} "
+              f"baselined benches")
+        return 1
+    print(f"\nOK: {n_benches} baselined benches within tolerance "
+          f"({len(warnings)} warnings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+// Concurrent serving throughput: how many why-not requests per second one
+// engine sustains as external caller threads are added, (a) hammering
+// EngineSnapshot directly and (b) going through the deadline-aware
+// RequestScheduler. Single-core CI shows ~1x scaling by construction; the
+// bench still records the shape (QPS per thread count) in its JSON so
+// multi-core runs can be compared.
+//
+// Flags: --short (CI smoke), --json <path>, --threads <n> (pin one caller
+// thread count instead of the sweep), --qps <n> (throttle the offered
+// scheduler load; 0 = open throttle).
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/scheduler.h"
+
+namespace wnrs {
+namespace bench {
+namespace {
+
+/// The mixed request stream: cycles over the workload's (c, q) pairs and
+/// over request kinds, so every thread count sees the same request
+/// multiset (work is identical; only the interleaving changes).
+serve::WhyNotRequest MakeRequest(
+    const std::vector<WhyNotWorkloadQuery>& workload, size_t i) {
+  static constexpr serve::RequestKind kKinds[] = {
+      serve::RequestKind::kReverseSkyline,
+      serve::RequestKind::kModifyWhyNot,
+      serve::RequestKind::kModifyBoth,
+      serve::RequestKind::kSafeRegion,
+  };
+  const WhyNotWorkloadQuery& wq = workload[i % workload.size()];
+  serve::WhyNotRequest request;
+  request.kind = kKinds[i % (sizeof(kKinds) / sizeof(kKinds[0]))];
+  request.q = wq.q;
+  request.c = wq.why_not_index;
+  return request;
+}
+
+/// Answers one request directly against a snapshot (the no-scheduler
+/// baseline); aborts the bench on unexpected errors.
+void AnswerDirect(const EngineSnapshot& snapshot,
+                  const serve::WhyNotRequest& request) {
+  switch (request.kind) {
+    case serve::RequestKind::kReverseSkyline:
+      WNRS_CHECK(snapshot.TryReverseSkyline(request.q).ok());
+      break;
+    case serve::RequestKind::kModifyWhyNot:
+      WNRS_CHECK(snapshot.TryModifyWhyNot(request.c, request.q).ok());
+      break;
+    case serve::RequestKind::kModifyBoth:
+      WNRS_CHECK(snapshot.TryModifyBoth(request.c, request.q).ok());
+      break;
+    case serve::RequestKind::kSafeRegion:
+      WNRS_CHECK(snapshot.TrySafeRegion(request.q).ok());
+      break;
+    default:
+      WNRS_CHECK(false);
+  }
+}
+
+double RunDirect(const WhyNotEngine& engine,
+                 const std::vector<WhyNotWorkloadQuery>& workload,
+                 size_t num_threads, size_t num_requests) {
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  std::atomic<size_t> next{0};
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      EngineSnapshot snapshot = engine.Snapshot();
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_requests) break;
+        AnswerDirect(snapshot, MakeRequest(workload, i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = timer.ElapsedMillis() / 1000.0;
+  return secs > 0.0 ? static_cast<double>(num_requests) / secs : 0.0;
+}
+
+double RunScheduled(const WhyNotEngine& engine,
+                    const std::vector<WhyNotWorkloadQuery>& workload,
+                    size_t num_threads, size_t num_requests, size_t qps) {
+  serve::RequestScheduler scheduler(&engine);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  std::atomic<size_t> next{0};
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<std::future<serve::WhyNotResponse>> futures;
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_requests) break;
+        futures.push_back(scheduler.Submit(MakeRequest(workload, i)));
+        if (qps > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(1000000 / qps));
+        }
+      }
+      for (std::future<serve::WhyNotResponse>& f : futures) {
+        WNRS_CHECK(f.get().status.ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double secs = timer.ElapsedMillis() / 1000.0;
+  scheduler.Shutdown();
+  return secs > 0.0 ? static_cast<double>(num_requests) / secs : 0.0;
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchReporter reporter("serve_throughput", args);
+
+  const size_t n = args.short_mode ? 2000 : 20000;
+  WhyNotEngineOptions options;
+  // Engine-internal loops stay serial: the concurrency under test comes
+  // from the external caller threads, not the engine's own pool.
+  options.num_threads = 1;
+  WhyNotEngine engine(MakeDataset("CarDB", n, /*seed=*/7), options);
+  const std::vector<WhyNotWorkloadQuery> workload =
+      MakeWorkload(engine, args.short_mode ? 400 : 4000, /*seed=*/11);
+  WNRS_CHECK(!workload.empty());
+  engine.ResetStats();
+
+  const size_t num_requests = args.short_mode ? 64 : 512;
+  std::vector<size_t> thread_counts;
+  if (args.threads > 0) {
+    thread_counts.push_back(args.threads);
+  } else {
+    thread_counts = {1, 2, 4, 8};
+  }
+
+  std::printf("%-24s %12s\n", "config", "qps");
+  for (size_t t : thread_counts) {
+    const std::string config = StrFormat("direct_threads=%zu", t);
+    reporter.Begin(config);
+    const double qps = RunDirect(engine, workload, t, num_requests);
+    reporter.End();
+    std::printf("%-24s %12.1f\n", config.c_str(), qps);
+  }
+  for (size_t t : thread_counts) {
+    const std::string config = StrFormat("sched_threads=%zu", t);
+    reporter.Begin(config);
+    const double qps =
+        RunScheduled(engine, workload, t, num_requests, args.qps);
+    reporter.End();
+    std::printf("%-24s %12.1f\n", config.c_str(), qps);
+  }
+
+  return reporter.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wnrs
+
+int main(int argc, char** argv) { return wnrs::bench::Run(argc, argv); }

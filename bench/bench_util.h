@@ -7,12 +7,12 @@
 // costs of Section VI-A, and table printing.
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "flags.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
@@ -22,35 +22,6 @@
 #include "data/workload.h"
 
 namespace wnrs::bench {
-
-/// Common command-line flags of every paper-reproduction bench binary:
-///   --short        reduced configurations for CI smoke runs
-///   --json <path>  machine-readable per-config records (wall time + the
-///                  QueryStats counter deltas) written to <path>
-struct BenchArgs {
-  bool short_mode = false;
-  std::string json_path;
-};
-
-/// Parses the common flags; exits with status 2 on unknown arguments so
-/// CI catches typos instead of silently running the full bench.
-inline BenchArgs ParseBenchArgs(int argc, char** argv) {
-  BenchArgs args;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--short") == 0) {
-      args.short_mode = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      args.json_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--short] [--json <path>]\n"
-                   "unknown argument: %s\n",
-                   argv[0], argv[i]);
-      std::exit(2);
-    }
-  }
-  return args;
-}
 
 /// Collects one JSON record per bench configuration: wall time plus the
 /// delta of every QueryStats counter over the measured region (captured

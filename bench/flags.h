@@ -1,0 +1,58 @@
+#ifndef WNRS_BENCH_FLAGS_H_
+#define WNRS_BENCH_FLAGS_H_
+
+// Command-line flag parsing shared by every bench binary. Extracted from
+// bench_util.h so non-engine benches (e.g. the serve-throughput bench)
+// can parse flags without pulling in dataset/workload scaffolding.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace wnrs::bench {
+
+/// Common command-line flags of every paper-reproduction bench binary:
+///   --short          reduced configurations for CI smoke runs
+///   --json <path>    machine-readable per-config records (wall time +
+///                    the QueryStats counter deltas) written to <path>
+///   --threads <n>    caller-thread count for concurrency benches
+///                    (0 = hardware concurrency; ignored by serial
+///                    benches)
+///   --qps <n>        target offered load for serving benches (0 = open
+///                    throttle; ignored by non-serving benches)
+struct BenchArgs {
+  bool short_mode = false;
+  std::string json_path;
+  size_t threads = 0;
+  size_t qps = 0;
+};
+
+/// Parses the common flags; exits with status 2 on unknown arguments so
+/// CI catches typos instead of silently running the full bench.
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--short") == 0) {
+      args.short_mode = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      args.threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--qps") == 0 && i + 1 < argc) {
+      args.qps = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--short] [--json <path>] [--threads <n>] "
+                   "[--qps <n>]\n"
+                   "unknown argument: %s\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace wnrs::bench
+
+#endif  // WNRS_BENCH_FLAGS_H_

@@ -296,6 +296,10 @@ QueryStats MetricsRegistry::CaptureQueryStats() const {
   s.pool_parallel_fors = value(CounterId::kPoolParallelFors);
   s.pool_tasks_executed = value(CounterId::kPoolTasksExecuted);
   s.engine_queries = value(CounterId::kEngineQueries);
+  s.serve_requests = value(CounterId::kServeRequests);
+  s.serve_admission_rejects = value(CounterId::kServeAdmissionRejects);
+  s.serve_deadline_misses = value(CounterId::kServeDeadlineMisses);
+  s.serve_batch_share_hits = value(CounterId::kServeBatchShareHits);
   return s;
 }
 
@@ -335,6 +339,10 @@ const char* MetricsRegistry::Name(CounterId id) {
     case CounterId::kPoolParallelFors: return "pool.parallel_fors";
     case CounterId::kPoolTasksExecuted: return "pool.tasks_executed";
     case CounterId::kEngineQueries: return "engine.queries";
+    case CounterId::kServeRequests: return "serve.requests";
+    case CounterId::kServeAdmissionRejects: return "serve.admission_rejects";
+    case CounterId::kServeDeadlineMisses: return "serve.deadline_misses";
+    case CounterId::kServeBatchShareHits: return "serve.batch_share_hits";
     case CounterId::kCounterIdCount: break;
   }
   return "unknown";
@@ -344,6 +352,7 @@ const char* MetricsRegistry::Name(GaugeId id) {
   switch (id) {
     case GaugeId::kRslCacheSize: return "rsl_cache.size";
     case GaugeId::kPoolThreads: return "pool.threads";
+    case GaugeId::kServeQueueDepth: return "serve.queue_depth";
     case GaugeId::kGaugeIdCount: break;
   }
   return "unknown";
@@ -355,6 +364,7 @@ const char* MetricsRegistry::Name(HistogramId id) {
     case HistogramId::kPoolQueueWaitMicros: return "pool.queue_wait_us";
     case HistogramId::kSafeRegionRectsPerQuery:
       return "safe_region.rects_per_query";
+    case HistogramId::kServeQueueWaitMicros: return "serve.queue_wait_us";
     case HistogramId::kHistogramIdCount: break;
   }
   return "unknown";
@@ -435,6 +445,13 @@ QueryStats QueryStats::operator-(const QueryStats& other) const {
   d.pool_parallel_fors = pool_parallel_fors - other.pool_parallel_fors;
   d.pool_tasks_executed = pool_tasks_executed - other.pool_tasks_executed;
   d.engine_queries = engine_queries - other.engine_queries;
+  d.serve_requests = serve_requests - other.serve_requests;
+  d.serve_admission_rejects =
+      serve_admission_rejects - other.serve_admission_rejects;
+  d.serve_deadline_misses =
+      serve_deadline_misses - other.serve_deadline_misses;
+  d.serve_batch_share_hits =
+      serve_batch_share_hits - other.serve_batch_share_hits;
   return d;
 }
 
@@ -460,6 +477,10 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   pool_parallel_fors += other.pool_parallel_fors;
   pool_tasks_executed += other.pool_tasks_executed;
   engine_queries += other.engine_queries;
+  serve_requests += other.serve_requests;
+  serve_admission_rejects += other.serve_admission_rejects;
+  serve_deadline_misses += other.serve_deadline_misses;
+  serve_batch_share_hits += other.serve_batch_share_hits;
   return *this;
 }
 
@@ -489,7 +510,12 @@ std::string QueryStats::ToJson() const {
   out += field("safe_region_rects", safe_region_rects);
   out += field("pool_parallel_fors", pool_parallel_fors);
   out += field("pool_tasks_executed", pool_tasks_executed);
-  out += field("engine_queries", engine_queries, /*last=*/true);
+  out += field("engine_queries", engine_queries);
+  out += field("serve_requests", serve_requests);
+  out += field("serve_admission_rejects", serve_admission_rejects);
+  out += field("serve_deadline_misses", serve_deadline_misses);
+  out += field("serve_batch_share_hits", serve_batch_share_hits,
+               /*last=*/true);
   out += "}";
   return out;
 }

@@ -42,6 +42,11 @@ enum class CounterId : uint32_t {
   kPoolTasksExecuted,    ///< Loop indices executed on any thread.
   // Engine facade.
   kEngineQueries,        ///< Outermost public engine calls.
+  // Request scheduler (src/serve).
+  kServeRequests,        ///< Requests admitted into the scheduler queue.
+  kServeAdmissionRejects,///< Requests rejected by queue-depth admission.
+  kServeDeadlineMisses,  ///< Requests whose deadline expired (pre- or mid-run).
+  kServeBatchShareHits,  ///< Requests answered by sharing a same-q batch.
   kCounterIdCount,       // Keep last.
 };
 
@@ -50,6 +55,7 @@ enum class CounterId : uint32_t {
 enum class GaugeId : uint32_t {
   kRslCacheSize = 0,  ///< Entries currently in the reverse-skyline memo.
   kPoolThreads,       ///< Concurrency of the most recently built pool.
+  kServeQueueDepth,   ///< Requests currently queued in the scheduler.
   kGaugeIdCount,      // Keep last.
 };
 
@@ -61,6 +67,7 @@ enum class HistogramId : uint32_t {
   kEngineQueryMicros = 0,   ///< Latency of outermost engine calls.
   kPoolQueueWaitMicros,     ///< Submit-to-pickup delay of pool jobs.
   kSafeRegionRectsPerQuery, ///< Rectangle count of each safe region.
+  kServeQueueWaitMicros,    ///< Submit-to-dispatch delay of serve requests.
   kHistogramIdCount,        // Keep last.
 };
 
@@ -116,6 +123,10 @@ struct QueryStats {
   uint64_t pool_parallel_fors = 0;
   uint64_t pool_tasks_executed = 0;
   uint64_t engine_queries = 0;
+  uint64_t serve_requests = 0;
+  uint64_t serve_admission_rejects = 0;
+  uint64_t serve_deadline_misses = 0;
+  uint64_t serve_batch_share_hits = 0;
 
   QueryStats operator-(const QueryStats& other) const;
   QueryStats& operator+=(const QueryStats& other);

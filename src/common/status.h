@@ -19,6 +19,13 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kIoError,
+  /// A per-request deadline expired before (or while) the request ran —
+  /// the serve layer's graceful degradation signal.
+  kDeadlineExceeded,
+  /// Admission control rejected the request (queue depth cap reached).
+  kResourceExhausted,
+  /// The serving component is shutting down or not accepting work.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name ("Ok", "InvalidArgument", ...).
@@ -54,6 +61,15 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <string>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -25,6 +26,12 @@ namespace {
 /// small bound suffices and keeps lookup a linear scan.
 constexpr size_t kRslCacheCapacity = 64;
 
+/// Bound on the per-core safe-region caches (exact and approximated).
+/// Concurrent serving interleaves several query points, so the cache
+/// holds a few of them instead of the single most recent one; entries are
+/// shared_ptr so an evicted result stays alive for whoever holds it.
+constexpr size_t kSrCacheCapacity = 8;
+
 Rectangle UnionBounds(const Dataset& a, const Dataset& b) {
   Rectangle bounds = a.Bounds();
   if (!b.points.empty()) {
@@ -42,14 +49,543 @@ CostModel MakeCostModel(const Rectangle& universe,
   return CostModel(universe, std::move(alpha), std::move(beta));
 }
 
+/// Anchors for the reference-returning legacy SafeRegion/ApproxSafeRegion
+/// facade methods: the last result handed out on this thread is pinned
+/// here, so the reference stays valid across cache eviction and engine
+/// mutation until the thread's next call.
+thread_local std::shared_ptr<const SafeRegionResult> tls_sr_anchor;
+thread_local std::shared_ptr<const SafeRegionResult> tls_approx_sr_anchor;
+
 }  // namespace
+
+namespace internal {
+
+/// The immutable heart of the engine. Every field set up at construction
+/// is read-only afterwards; the caches at the bottom are internally
+/// synchronized, so a core is safe to share between any number of
+/// threads. Mutations never touch a published core — they copy it (the
+/// heavyweight components are shared_ptrs, copied only when they actually
+/// change) and publish the copy.
+struct EngineCore {
+  WhyNotEngineOptions options;
+  bool shared_relation = false;
+  std::shared_ptr<const Dataset> products;
+  /// Bichromatic mode only; null when the relation is shared.
+  std::shared_ptr<const Dataset> customers;
+  std::shared_ptr<const RStarTree> tree;
+  std::shared_ptr<const RStarTree> customer_tree;
+  /// Tombstones (shared-relation customers disappear with their product).
+  std::vector<bool> removed;
+  Rectangle universe;
+  CostModel cost_model;
+  /// Section VI-B.1 offline store; null/empty = absent.
+  std::shared_ptr<const std::vector<std::vector<Point>>> approx_dsls;
+  size_t approx_k = 0;
+  std::shared_ptr<ThreadPool> pool;
+
+  // Derived caches. Mutex-guarded FIFO memos keyed by query point; the
+  // values are shared_ptr (safe-region) or plain vectors (RSL) and are
+  // computed outside the lock, first insert wins.
+  mutable std::mutex rsl_mu;
+  mutable std::vector<std::pair<Point, std::vector<size_t>>> rsl_memo;
+  mutable std::mutex sr_mu;
+  mutable std::vector<std::pair<Point, std::shared_ptr<const SafeRegionResult>>>
+      sr_cache;
+  mutable std::mutex approx_sr_mu;
+  mutable std::vector<std::pair<Point, std::shared_ptr<const SafeRegionResult>>>
+      approx_sr_cache;
+
+  EngineCore(Dataset products_in, WhyNotEngineOptions options_in,
+             std::shared_ptr<ThreadPool> pool_in)
+      : options(options_in),
+        shared_relation(true),
+        products(std::make_shared<const Dataset>(std::move(products_in))),
+        tree(std::make_shared<const RStarTree>(BulkLoadPoints(
+            products->dims, products->points, options.rtree))),
+        universe(products->Bounds()),
+        cost_model(MakeCostModel(universe, options)),
+        pool(std::move(pool_in)) {
+    WNRS_CHECK(!products->points.empty());
+  }
+
+  EngineCore(Dataset products_in, Dataset customers_in,
+             WhyNotEngineOptions options_in,
+             std::shared_ptr<ThreadPool> pool_in)
+      : options(options_in),
+        shared_relation(false),
+        products(std::make_shared<const Dataset>(std::move(products_in))),
+        customers(std::make_shared<const Dataset>(std::move(customers_in))),
+        tree(std::make_shared<const RStarTree>(BulkLoadPoints(
+            products->dims, products->points, options.rtree))),
+        customer_tree(std::make_shared<const RStarTree>(BulkLoadPoints(
+            customers->dims, customers->points, options.rtree))),
+        universe(UnionBounds(*products, *customers)),
+        cost_model(MakeCostModel(universe, options)),
+        pool(std::move(pool_in)) {
+    WNRS_CHECK(products->dims == customers->dims);
+    WNRS_CHECK(!products->points.empty());
+    WNRS_CHECK(!customers->points.empty());
+  }
+
+  /// Copy-on-write seed: copies the state, starts with fresh (empty)
+  /// caches. Mutations adjust the fields that changed and publish.
+  EngineCore(const EngineCore& other)
+      : options(other.options),
+        shared_relation(other.shared_relation),
+        products(other.products),
+        customers(other.customers),
+        tree(other.tree),
+        customer_tree(other.customer_tree),
+        removed(other.removed),
+        universe(other.universe),
+        cost_model(other.cost_model),
+        approx_dsls(other.approx_dsls),
+        approx_k(other.approx_k),
+        pool(other.pool) {}
+  EngineCore& operator=(const EngineCore&) = delete;
+
+  const Dataset& customer_dataset() const {
+    return shared_relation ? *products : *customers;
+  }
+
+  bool HasApproxDsls() const {
+    return approx_dsls != nullptr && !approx_dsls->empty();
+  }
+
+  std::optional<RStarTree::Id> ExcludeFor(size_t customer_index) const {
+    if (!shared_relation) return std::nullopt;
+    return static_cast<RStarTree::Id>(customer_index);
+  }
+
+  const Point& CustomerPoint(size_t c) const {
+    const Dataset& ds = customer_dataset();
+    WNRS_CHECK(c < ds.points.size());
+    return ds.points[c];
+  }
+
+  // ---- Input validation (the Try* layer's non-aborting counterparts of
+  // the WNRS_CHECKs above). ----
+
+  Status ValidatePoint(const Point& p, const char* what) const {
+    if (p.dims() != products->dims) {
+      return Status::InvalidArgument(
+          StrFormat("%s has %zu dimensions, engine has %zu", what, p.dims(),
+                    products->dims));
+    }
+    for (size_t i = 0; i < p.dims(); ++i) {
+      if (!std::isfinite(p[i])) {
+        return Status::InvalidArgument(
+            StrFormat("%s has a non-finite coordinate at dimension %zu", what,
+                      i));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ValidateQuery(const Point& q) const {
+    return ValidatePoint(q, "query point");
+  }
+
+  Status ValidateCustomer(size_t c) const {
+    const Dataset& ds = customer_dataset();
+    if (c >= ds.points.size()) {
+      return Status::OutOfRange(
+          StrFormat("customer index %zu out of range (engine has %zu)", c,
+                    ds.points.size()));
+    }
+    if (shared_relation && c < removed.size() && removed[c]) {
+      return Status::NotFound(
+          StrFormat("customer %zu refers to a removed product", c));
+    }
+    return Status::Ok();
+  }
+
+  Status ValidateApproxStore() const {
+    if (!HasApproxDsls()) {
+      return Status::FailedPrecondition(
+          "approximated-DSL store missing; run PrecomputeApproxDsls or "
+          "LoadApproxDsls first");
+    }
+    return Status::Ok();
+  }
+
+  // ---- Read path. All const; results are bit-identical regardless of
+  // thread count or cache state. ----
+
+  std::vector<size_t> ComputeReverseSkyline(const Point& q) const {
+    std::vector<RStarTree::Id> ids;
+    if (shared_relation) {
+      ids = BbrsReverseSkyline(*tree, q, pool.get());
+    } else {
+      ids = BbrsReverseSkylineBichromatic(*customer_tree, *tree, q,
+                                          /*shared_relation=*/false,
+                                          pool.get());
+    }
+    std::vector<size_t> out;
+    out.reserve(ids.size());
+    for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
+    return out;
+  }
+
+  std::vector<size_t> ReverseSkyline(const Point& q) const {
+    {
+      std::lock_guard<std::mutex> lock(rsl_mu);
+      for (const auto& [key, rsl] : rsl_memo) {
+        if (key == q) {
+          MetricAdd(CounterId::kRslCacheHits);
+          return rsl;
+        }
+      }
+    }
+    MetricAdd(CounterId::kRslCacheMisses);
+    // Compute outside the lock; concurrent misses for the same q may both
+    // compute, but the results are identical and the first insert wins.
+    std::vector<size_t> out = ComputeReverseSkyline(q);
+    std::lock_guard<std::mutex> lock(rsl_mu);
+    for (const auto& [key, rsl] : rsl_memo) {
+      if (key == q) return rsl;
+    }
+    if (rsl_memo.size() >= kRslCacheCapacity) {
+      rsl_memo.erase(rsl_memo.begin());
+      MetricAdd(CounterId::kRslCacheEvictions);
+    }
+    rsl_memo.emplace_back(q, out);
+    MetricSetGauge(GaugeId::kRslCacheSize,
+                   static_cast<int64_t>(rsl_memo.size()));
+    return out;
+  }
+
+  bool IsReverseSkylineMember(size_t c, const Point& q) const {
+    return WindowEmpty(*tree, CustomerPoint(c), q, ExcludeFor(c));
+  }
+
+  std::vector<size_t> CustomersInRange(const Rectangle& window) const {
+    const RStarTree& t = shared_relation ? *tree : *customer_tree;
+    std::vector<RStarTree::Id> ids = t.RangeQueryIds(window);
+    std::sort(ids.begin(), ids.end());
+    std::vector<size_t> out;
+    out.reserve(ids.size());
+    for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
+    return out;
+  }
+
+  WhyNotExplanation Explain(size_t c, const Point& q) const {
+    return ExplainWhyNot(*tree, products->points, CustomerPoint(c), q,
+                         ExcludeFor(c));
+  }
+
+  std::optional<Point> NudgeToStrictMember(const Point& c_star, const Point& q,
+                                           size_t customer_index) const {
+    double fraction = options.epsilon_fraction;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      Point nudged = c_star;
+      for (size_t i = 0; i < nudged.dims(); ++i) {
+        const double range = universe.hi()[i] - universe.lo()[i];
+        const double eps = fraction * (range > 0.0 ? range : 1.0);
+        if (q[i] > nudged[i]) {
+          nudged[i] += eps;
+        } else if (q[i] < nudged[i]) {
+          nudged[i] -= eps;
+        }
+      }
+      // Membership of a moved customer: no product may dominate q w.r.t.
+      // the nudged location. The customer's own (old) tuple stays excluded
+      // in the shared-relation setting.
+      if (WindowEmpty(*tree, nudged, q, ExcludeFor(customer_index))) {
+        return nudged;
+      }
+      fraction *= 100.0;
+    }
+    return std::nullopt;
+  }
+
+  /// The query-side twin of NudgeToStrictMember: moves q* epsilon toward
+  /// the customer per dimension (shrinking the membership window) until
+  /// c_t is a strict member under the nudged query.
+  std::optional<Point> NudgeQueryToStrict(const Point& q_star,
+                                          size_t customer_index) const {
+    const Point& cp = CustomerPoint(customer_index);
+    double fraction = options.epsilon_fraction;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      Point nudged = q_star;
+      for (size_t i = 0; i < nudged.dims(); ++i) {
+        const double range = universe.hi()[i] - universe.lo()[i];
+        const double eps = fraction * (range > 0.0 ? range : 1.0);
+        if (cp[i] > nudged[i]) {
+          nudged[i] += eps;
+        } else if (cp[i] < nudged[i]) {
+          nudged[i] -= eps;
+        }
+      }
+      if (WindowEmpty(*tree, cp, nudged, ExcludeFor(customer_index))) {
+        return nudged;
+      }
+      fraction *= 100.0;
+    }
+    return std::nullopt;
+  }
+
+  // Semantics::kStrict post-passes. Each nudges the boundary candidates
+  // into strict membership, recomputes their costs under the same weight
+  // vector, and re-sorts; candidates whose nudge fails (adversarial 2-D
+  // staircase inputs) keep their boundary location.
+
+  void ApplyStrictMwp(size_t c, const Point& q, MwpResult* r) const {
+    if (r->already_member) return;
+    bool changed = false;
+    for (Candidate& cand : r->candidates) {
+      if (std::optional<Point> nudged = NudgeToStrictMember(cand.point, q, c)) {
+        cand.point = *nudged;
+        cand.cost = cost_model.WhyNotMoveCost(CustomerPoint(c), cand.point);
+        changed = true;
+      }
+    }
+    if (changed) SortCandidates(&r->candidates);
+  }
+
+  void ApplyStrictMqp(size_t c, const Point& q, MqpResult* r) const {
+    if (r->already_member) return;
+    bool changed = false;
+    for (Candidate& cand : r->candidates) {
+      if (std::optional<Point> nudged = NudgeQueryToStrict(cand.point, c)) {
+        cand.point = *nudged;
+        cand.cost = cost_model.QueryMoveCost(q, cand.point);
+        changed = true;
+      }
+    }
+    if (changed) SortCandidates(&r->candidates);
+  }
+
+  void ApplyStrictMwq(size_t c, MwqResult* r) const {
+    // Only the C2 why-not movements are nudged: in C1 (and for the C2
+    // query positions) q is confined to the safe region, and pushing it
+    // off the region boundary could sacrifice an existing member — the
+    // one guarantee Algorithm 4 exists to keep.
+    if (r->already_member || r->overlap) return;
+    if (r->query_candidates.empty() || r->why_not_candidates.empty()) return;
+    const Point& q_star = r->query_candidates.front().point;
+    bool changed = false;
+    for (Candidate& cand : r->why_not_candidates) {
+      if (std::optional<Point> nudged =
+              NudgeToStrictMember(cand.point, q_star, c)) {
+        cand.point = *nudged;
+        cand.cost = cost_model.WhyNotMoveCost(CustomerPoint(c), cand.point);
+        changed = true;
+      }
+    }
+    if (changed) {
+      SortCandidates(&r->why_not_candidates);
+      r->best_cost = r->why_not_candidates.front().cost;
+    }
+  }
+
+  MwpResult ModifyWhyNot(size_t c, const Point& q, Semantics semantics) const {
+    MwpResult out =
+        options.fast_frontier
+            ? ModifyWhyNotPointFast(*tree, products->points, CustomerPoint(c),
+                                    q, cost_model, options.sort_dim,
+                                    ExcludeFor(c))
+            : ModifyWhyNotPoint(*tree, products->points, CustomerPoint(c), q,
+                                cost_model, options.sort_dim, ExcludeFor(c));
+    if (semantics == Semantics::kStrict) ApplyStrictMwp(c, q, &out);
+    return out;
+  }
+
+  MqpResult ModifyQuery(size_t c, const Point& q, Semantics semantics) const {
+    MqpResult out =
+        options.fast_frontier
+            ? ModifyQueryPointFast(*tree, products->points, CustomerPoint(c),
+                                   q, cost_model, options.sort_dim,
+                                   ExcludeFor(c))
+            : ModifyQueryPoint(*tree, products->points, CustomerPoint(c), q,
+                               cost_model, options.sort_dim, ExcludeFor(c));
+    if (semantics == Semantics::kStrict) ApplyStrictMqp(c, q, &out);
+    return out;
+  }
+
+  std::shared_ptr<const SafeRegionResult> SafeRegion(const Point& q) const {
+    {
+      std::lock_guard<std::mutex> lock(sr_mu);
+      for (const auto& [key, sr] : sr_cache) {
+        if (key == q) return sr;
+      }
+    }
+    SafeRegionOptions sr_options;
+    sr_options.sort_dim = options.sort_dim;
+    sr_options.max_rectangles = options.max_safe_region_rectangles;
+    const std::vector<size_t> rsl = ReverseSkyline(q);
+    auto computed = std::make_shared<const SafeRegionResult>(
+        ComputeSafeRegion(*tree, products->points, customer_dataset().points,
+                          rsl, q, universe, shared_relation, sr_options));
+    std::lock_guard<std::mutex> lock(sr_mu);
+    for (const auto& [key, sr] : sr_cache) {
+      if (key == q) return sr;
+    }
+    if (sr_cache.size() >= kSrCacheCapacity) {
+      sr_cache.erase(sr_cache.begin());
+    }
+    sr_cache.emplace_back(q, computed);
+    return computed;
+  }
+
+  std::shared_ptr<const SafeRegionResult> ApproxSafeRegion(
+      const Point& q) const {
+    WNRS_CHECK(HasApproxDsls());
+    {
+      std::lock_guard<std::mutex> lock(approx_sr_mu);
+      for (const auto& [key, sr] : approx_sr_cache) {
+        if (key == q) return sr;
+      }
+    }
+    SafeRegionOptions sr_options;
+    sr_options.sort_dim = options.sort_dim;
+    sr_options.max_rectangles = options.max_safe_region_rectangles;
+    const std::vector<size_t> rsl = ReverseSkyline(q);
+    auto computed = std::make_shared<const SafeRegionResult>(
+        ComputeApproxSafeRegion(customer_dataset().points, *approx_dsls, rsl,
+                                q, universe, sr_options));
+    std::lock_guard<std::mutex> lock(approx_sr_mu);
+    for (const auto& [key, sr] : approx_sr_cache) {
+      if (key == q) return sr;
+    }
+    if (approx_sr_cache.size() >= kSrCacheCapacity) {
+      approx_sr_cache.erase(approx_sr_cache.begin());
+    }
+    approx_sr_cache.emplace_back(q, computed);
+    return computed;
+  }
+
+  SafeRegionResult ConstrainedSafeRegion(const Point& q,
+                                         const Rectangle& limits) const {
+    WNRS_CHECK(limits.dims() == q.dims());
+    SafeRegionResult out = *SafeRegion(q);
+    out.region.ClipTo(limits);
+    if (!out.region.Contains(q)) {
+      out.region.Add(Rectangle::FromPoint(q));
+    }
+    return out;
+  }
+
+  KeepsMembersFn MakeKeepsMembersFn(const Point& q) const {
+    std::vector<size_t> rsl = ReverseSkyline(q);
+    return [this, rsl = std::move(rsl)](const Point& q_star) {
+      // One independent membership probe per RSL member. Inside an outer
+      // parallel loop (batch answering) this degrades to the serial scan.
+      std::atomic<bool> keeps{true};
+      pool->ParallelFor(0, rsl.size(), [&](size_t i) {
+        if (!keeps.load(std::memory_order_relaxed)) return;
+        if (!WindowEmpty(*tree, CustomerPoint(rsl[i]), q_star,
+                         ExcludeFor(rsl[i]))) {
+          keeps.store(false, std::memory_order_relaxed);
+        }
+      });
+      return keeps.load(std::memory_order_relaxed);
+    };
+  }
+
+  MwqResult ModifyBoth(size_t c, const Point& q, Semantics semantics) const {
+    std::shared_ptr<const SafeRegionResult> sr = SafeRegion(q);
+    MwqResult out = ModifyQueryAndWhyNotPoint(
+        *tree, products->points, CustomerPoint(c), q, sr->region, universe,
+        cost_model, options.sort_dim, ExcludeFor(c), MakeKeepsMembersFn(q),
+        options.fast_frontier);
+    if (semantics == Semantics::kStrict) ApplyStrictMwq(c, &out);
+    return out;
+  }
+
+  MwqResult ModifyBothApprox(size_t c, const Point& q,
+                             Semantics semantics) const {
+    std::shared_ptr<const SafeRegionResult> sr = ApproxSafeRegion(q);
+    MwqResult out = ModifyQueryAndWhyNotPoint(
+        *tree, products->points, CustomerPoint(c), q, sr->region, universe,
+        cost_model, options.sort_dim, ExcludeFor(c), MakeKeepsMembersFn(q),
+        options.fast_frontier);
+    if (semantics == Semantics::kStrict) ApplyStrictMwq(c, &out);
+    return out;
+  }
+
+  MwqResult ModifyBothConstrained(size_t c, const Point& q,
+                                  const Rectangle& limits,
+                                  Semantics semantics) const {
+    const SafeRegionResult sr = ConstrainedSafeRegion(q, limits);
+    MwqResult out = ModifyQueryAndWhyNotPoint(
+        *tree, products->points, CustomerPoint(c), q, sr.region, universe,
+        cost_model, options.sort_dim, ExcludeFor(c), MakeKeepsMembersFn(q),
+        options.fast_frontier);
+    if (semantics == Semantics::kStrict) ApplyStrictMwq(c, &out);
+    return out;
+  }
+
+  std::vector<size_t> LostCustomers(const Point& q, const Point& q_star) const {
+    const std::vector<size_t> members = ReverseSkyline(q);
+    const std::vector<unsigned char> is_lost =
+        pool->ParallelMap<unsigned char>(members.size(), [&](size_t i) {
+          return WindowEmpty(*tree, CustomerPoint(members[i]), q_star,
+                             ExcludeFor(members[i]))
+                     ? static_cast<unsigned char>(0)
+                     : static_cast<unsigned char>(1);
+        });
+    std::vector<size_t> lost;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (is_lost[i] != 0) lost.push_back(members[i]);
+    }
+    return lost;
+  }
+
+  std::vector<MwqResult> ModifyBothBatch(const std::vector<size_t>& whos,
+                                         const Point& q, bool use_approx,
+                                         Semantics semantics) const {
+    // Materialize the safe region and RSL(q) once, before fanning out.
+    // The caches are synchronized, so this is a performance (and counter
+    // determinism) measure, not a safety one: without it every worker
+    // missing the cold cache would redundantly compute the same region.
+    if (use_approx) {
+      (void)ApproxSafeRegion(q);
+    } else {
+      (void)SafeRegion(q);
+    }
+    (void)ReverseSkyline(q);
+    return pool->ParallelMap<MwqResult>(whos.size(), [&](size_t i) {
+      return use_approx ? ModifyBothApprox(whos[i], q, semantics)
+                        : ModifyBoth(whos[i], q, semantics);
+    });
+  }
+
+  double MqpEvaluationCost(const Point& q, const Point& q_star) const {
+    // alpha-cost of leaving the safe region: distance from the closest
+    // safe point q' to q*.
+    std::shared_ptr<const SafeRegionResult> sr = SafeRegion(q);
+    double cost = 0.0;
+    if (!sr->region.empty()) {
+      const Point q_prime = sr->region.NearestPointTo(q_star);
+      cost += cost_model.QueryMoveCost(q_prime, q_star);
+    } else {
+      cost += cost_model.QueryMoveCost(q, q_star);
+    }
+    // beta-cost of winning back every lost reverse-skyline customer. The
+    // per-member costs are computed in parallel but summed in member
+    // order, keeping the total bit-identical to the serial loop.
+    const std::vector<size_t> rsl = ReverseSkyline(q);
+    const std::vector<double> win_back =
+        pool->ParallelMap<double>(rsl.size(), [&](size_t i) {
+          const size_t c = rsl[i];
+          if (IsReverseSkylineMember(c, q_star)) return 0.0;
+          const MwpResult mwp = ModifyWhyNot(c, q_star, Semantics::kBoundary);
+          return mwp.candidates.empty() ? 0.0 : mwp.candidates.front().cost;
+        });
+    for (double v : win_back) cost += v;
+    return cost;
+  }
+};
+
+}  // namespace internal
 
 /// Snapshot-delta scope. The constructor captures the registry at entry
 /// of the outermost public call; the destructor captures again and books
 /// the difference into the engine's cumulative and last-call stats. The
-/// depth counter is engine-wide (not thread-local) so the worker-side
-/// calls of a batch fan-out fold into the outermost call's delta instead
-/// of double-counting.
+/// depth counter is engine-wide (not thread-local), so with overlapping
+/// concurrent calls the first one in attributes the whole window — the
+/// cumulative totals stay exact, per-call attribution becomes aggregate.
 class WhyNotEngine::StatsScope {
  public:
   explicit StatsScope(const WhyNotEngine* engine) : engine_(engine) {
@@ -76,6 +612,7 @@ class WhyNotEngine::StatsScope {
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - start_time_)
                   .count()));
+      std::lock_guard<std::mutex> lock(engine_->stats_mu_);
       engine_->last_query_stats_ = delta;
       engine_->cum_stats_ += delta;
     }
@@ -89,343 +626,371 @@ class WhyNotEngine::StatsScope {
   std::chrono::steady_clock::time_point start_time_;
 };
 
+// ---------------------------------------------------------------------------
+// EngineSnapshot: thin const delegation onto the pinned core.
+// ---------------------------------------------------------------------------
+
+const Dataset& EngineSnapshot::products() const { return *core_->products; }
+const Dataset& EngineSnapshot::customers() const {
+  return core_->customer_dataset();
+}
+bool EngineSnapshot::shared_relation() const { return core_->shared_relation; }
+const CostModel& EngineSnapshot::cost_model() const {
+  return core_->cost_model;
+}
+const RStarTree& EngineSnapshot::product_tree() const { return *core_->tree; }
+const Rectangle& EngineSnapshot::universe() const { return core_->universe; }
+bool EngineSnapshot::HasApproxDsls() const { return core_->HasApproxDsls(); }
+size_t EngineSnapshot::approx_k() const { return core_->approx_k; }
+
+bool EngineSnapshot::IsLiveProduct(size_t id) const {
+  if (id >= core_->products->points.size()) return false;
+  return id >= core_->removed.size() || !core_->removed[id];
+}
+
+std::vector<size_t> EngineSnapshot::ReverseSkyline(const Point& q) const {
+  return core_->ReverseSkyline(q);
+}
+bool EngineSnapshot::IsReverseSkylineMember(size_t c, const Point& q) const {
+  return core_->IsReverseSkylineMember(c, q);
+}
+std::vector<size_t> EngineSnapshot::CustomersInRange(
+    const Rectangle& window) const {
+  return core_->CustomersInRange(window);
+}
+WhyNotExplanation EngineSnapshot::Explain(size_t c, const Point& q) const {
+  return core_->Explain(c, q);
+}
+MwpResult EngineSnapshot::ModifyWhyNot(size_t c, const Point& q,
+                                       Semantics semantics) const {
+  return core_->ModifyWhyNot(c, q, semantics);
+}
+MqpResult EngineSnapshot::ModifyQuery(size_t c, const Point& q,
+                                      Semantics semantics) const {
+  return core_->ModifyQuery(c, q, semantics);
+}
+std::shared_ptr<const SafeRegionResult> EngineSnapshot::SafeRegion(
+    const Point& q) const {
+  return core_->SafeRegion(q);
+}
+std::shared_ptr<const SafeRegionResult> EngineSnapshot::ApproxSafeRegion(
+    const Point& q) const {
+  return core_->ApproxSafeRegion(q);
+}
+SafeRegionResult EngineSnapshot::ConstrainedSafeRegion(
+    const Point& q, const Rectangle& limits) const {
+  return core_->ConstrainedSafeRegion(q, limits);
+}
+MwqResult EngineSnapshot::ModifyBoth(size_t c, const Point& q,
+                                     Semantics semantics) const {
+  return core_->ModifyBoth(c, q, semantics);
+}
+MwqResult EngineSnapshot::ModifyBothApprox(size_t c, const Point& q,
+                                           Semantics semantics) const {
+  return core_->ModifyBothApprox(c, q, semantics);
+}
+MwqResult EngineSnapshot::ModifyBothConstrained(size_t c, const Point& q,
+                                                const Rectangle& limits,
+                                                Semantics semantics) const {
+  return core_->ModifyBothConstrained(c, q, limits, semantics);
+}
+std::vector<size_t> EngineSnapshot::LostCustomers(const Point& q,
+                                                  const Point& q_star) const {
+  return core_->LostCustomers(q, q_star);
+}
+std::vector<MwqResult> EngineSnapshot::ModifyBothBatch(
+    const std::vector<size_t>& whos, const Point& q, bool use_approx,
+    Semantics semantics) const {
+  return core_->ModifyBothBatch(whos, q, use_approx, semantics);
+}
+double EngineSnapshot::MqpEvaluationCost(const Point& q,
+                                         const Point& q_star) const {
+  return core_->MqpEvaluationCost(q, q_star);
+}
+std::optional<Point> EngineSnapshot::NudgeToStrictMember(
+    const Point& c_star, const Point& q, size_t customer_index) const {
+  return core_->NudgeToStrictMember(c_star, q, customer_index);
+}
+
+Result<std::vector<size_t>> EngineSnapshot::TryReverseSkyline(
+    const Point& q) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  return core_->ReverseSkyline(q);
+}
+Result<WhyNotExplanation> EngineSnapshot::TryExplain(size_t c,
+                                                     const Point& q) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  WNRS_RETURN_IF_ERROR(core_->ValidateCustomer(c));
+  return core_->Explain(c, q);
+}
+Result<MwpResult> EngineSnapshot::TryModifyWhyNot(size_t c, const Point& q,
+                                                  Semantics semantics) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  WNRS_RETURN_IF_ERROR(core_->ValidateCustomer(c));
+  return core_->ModifyWhyNot(c, q, semantics);
+}
+Result<MqpResult> EngineSnapshot::TryModifyQuery(size_t c, const Point& q,
+                                                 Semantics semantics) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  WNRS_RETURN_IF_ERROR(core_->ValidateCustomer(c));
+  return core_->ModifyQuery(c, q, semantics);
+}
+Result<std::shared_ptr<const SafeRegionResult>> EngineSnapshot::TrySafeRegion(
+    const Point& q) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  return core_->SafeRegion(q);
+}
+Result<std::shared_ptr<const SafeRegionResult>>
+EngineSnapshot::TryApproxSafeRegion(const Point& q) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  WNRS_RETURN_IF_ERROR(core_->ValidateApproxStore());
+  return core_->ApproxSafeRegion(q);
+}
+Result<MwqResult> EngineSnapshot::TryModifyBoth(size_t c, const Point& q,
+                                                Semantics semantics) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  WNRS_RETURN_IF_ERROR(core_->ValidateCustomer(c));
+  return core_->ModifyBoth(c, q, semantics);
+}
+Result<MwqResult> EngineSnapshot::TryModifyBothApprox(
+    size_t c, const Point& q, Semantics semantics) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  WNRS_RETURN_IF_ERROR(core_->ValidateCustomer(c));
+  WNRS_RETURN_IF_ERROR(core_->ValidateApproxStore());
+  return core_->ModifyBothApprox(c, q, semantics);
+}
+Result<std::vector<MwqResult>> EngineSnapshot::TryModifyBothBatch(
+    const std::vector<size_t>& whos, const Point& q, bool use_approx,
+    Semantics semantics) const {
+  WNRS_RETURN_IF_ERROR(core_->ValidateQuery(q));
+  for (size_t c : whos) {
+    WNRS_RETURN_IF_ERROR(core_->ValidateCustomer(c));
+  }
+  if (use_approx) {
+    WNRS_RETURN_IF_ERROR(core_->ValidateApproxStore());
+  }
+  return core_->ModifyBothBatch(whos, q, use_approx, semantics);
+}
+
+// ---------------------------------------------------------------------------
+// WhyNotEngine: snapshot management + the stats-keeping serial facade.
+// ---------------------------------------------------------------------------
+
 WhyNotEngine::WhyNotEngine(Dataset products, Dataset customers,
                            WhyNotEngineOptions options)
-    : options_(options),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)),
-      shared_relation_(false),
-      products_(std::move(products)),
-      customers_(std::move(customers)),
-      tree_(BulkLoadPoints(products_.dims, products_.points, options.rtree)),
-      universe_(UnionBounds(products_, customers_)),
-      cost_model_(MakeCostModel(universe_, options_)) {
-  WNRS_CHECK(products_.dims == customers_.dims);
-  WNRS_CHECK(!products_.points.empty());
-  WNRS_CHECK(!customers_.points.empty());
-  customer_tree_ = std::make_unique<RStarTree>(
-      BulkLoadPoints(customers_.dims, customers_.points, options.rtree));
-}
+    : pool_(std::make_shared<ThreadPool>(options.num_threads)),
+      core_(std::make_shared<const internal::EngineCore>(
+          std::move(products), std::move(customers), options, pool_)) {}
 
 WhyNotEngine::WhyNotEngine(Dataset data, WhyNotEngineOptions options)
-    : options_(options),
-      pool_(std::make_unique<ThreadPool>(options.num_threads)),
-      shared_relation_(true),
-      products_(std::move(data)),
-      tree_(BulkLoadPoints(products_.dims, products_.points, options.rtree)),
-      universe_(products_.Bounds()),
-      cost_model_(MakeCostModel(universe_, options_)) {
-  WNRS_CHECK(!products_.points.empty());
+    : pool_(std::make_shared<ThreadPool>(options.num_threads)),
+      core_(std::make_shared<const internal::EngineCore>(std::move(data),
+                                                         options, pool_)) {}
+
+std::shared_ptr<const internal::EngineCore> WhyNotEngine::CurrentCore() const {
+  std::lock_guard<std::mutex> lock(core_mu_);
+  return core_;
 }
 
-std::optional<RStarTree::Id> WhyNotEngine::ExcludeFor(
-    size_t customer_index) const {
-  if (!shared_relation_) return std::nullopt;
-  return static_cast<RStarTree::Id>(customer_index);
+void WhyNotEngine::PublishCore(
+    std::shared_ptr<const internal::EngineCore> core) {
+  std::lock_guard<std::mutex> lock(core_mu_);
+  core_ = std::move(core);
 }
 
-const Point& WhyNotEngine::CustomerPoint(size_t c) const {
-  const Dataset& ds = customers();
-  WNRS_CHECK(c < ds.points.size());
-  return ds.points[c];
+const Dataset& WhyNotEngine::products() const {
+  return *CurrentCore()->products;
 }
-
-std::vector<size_t> WhyNotEngine::ComputeReverseSkyline(const Point& q) const {
-  std::vector<RStarTree::Id> ids;
-  if (shared_relation_) {
-    ids = BbrsReverseSkyline(tree_, q, pool_.get());
-  } else {
-    ids = BbrsReverseSkylineBichromatic(*customer_tree_, tree_, q,
-                                        /*shared_relation=*/false,
-                                        pool_.get());
-  }
-  std::vector<size_t> out;
-  out.reserve(ids.size());
-  for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
-  return out;
+const Dataset& WhyNotEngine::customers() const {
+  return CurrentCore()->customer_dataset();
 }
+bool WhyNotEngine::shared_relation() const {
+  return CurrentCore()->shared_relation;
+}
+const CostModel& WhyNotEngine::cost_model() const {
+  return CurrentCore()->cost_model;
+}
+const RStarTree& WhyNotEngine::product_tree() const {
+  return *CurrentCore()->tree;
+}
+const Rectangle& WhyNotEngine::universe() const {
+  return CurrentCore()->universe;
+}
+bool WhyNotEngine::HasApproxDsls() const {
+  return CurrentCore()->HasApproxDsls();
+}
+size_t WhyNotEngine::approx_k() const { return CurrentCore()->approx_k; }
 
 std::vector<size_t> WhyNotEngine::ReverseSkyline(const Point& q) const {
   StatsScope scope(this);
-  {
-    std::lock_guard<std::mutex> lock(rsl_cache_mu_);
-    for (const auto& [key, rsl] : cached_rsl_) {
-      if (key == q) {
-        MetricAdd(CounterId::kRslCacheHits);
-        return rsl;
-      }
-    }
-  }
-  MetricAdd(CounterId::kRslCacheMisses);
-  // Compute outside the lock; concurrent misses for the same q may both
-  // compute, but the results are identical and the first insert wins.
-  std::vector<size_t> out = ComputeReverseSkyline(q);
-  std::lock_guard<std::mutex> lock(rsl_cache_mu_);
-  for (const auto& [key, rsl] : cached_rsl_) {
-    if (key == q) return rsl;
-  }
-  if (cached_rsl_.size() >= kRslCacheCapacity) {
-    cached_rsl_.erase(cached_rsl_.begin());
-    MetricAdd(CounterId::kRslCacheEvictions);
-  }
-  cached_rsl_.emplace_back(q, out);
-  MetricSetGauge(GaugeId::kRslCacheSize,
-                 static_cast<int64_t>(cached_rsl_.size()));
-  return out;
+  return CurrentCore()->ReverseSkyline(q);
 }
 
 bool WhyNotEngine::IsReverseSkylineMember(size_t c, const Point& q) const {
-  return WindowEmpty(tree_, CustomerPoint(c), q, ExcludeFor(c));
+  return CurrentCore()->IsReverseSkylineMember(c, q);
 }
 
 std::vector<size_t> WhyNotEngine::CustomersInRange(
     const Rectangle& window) const {
-  const RStarTree& tree = shared_relation_ ? tree_ : *customer_tree_;
-  std::vector<RStarTree::Id> ids = tree.RangeQueryIds(window);
-  std::sort(ids.begin(), ids.end());
-  std::vector<size_t> out;
-  out.reserve(ids.size());
-  for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
-  return out;
+  return CurrentCore()->CustomersInRange(window);
 }
 
 WhyNotExplanation WhyNotEngine::Explain(size_t c, const Point& q) const {
   StatsScope scope(this);
-  return ExplainWhyNot(tree_, products_.points, CustomerPoint(c), q,
-                       ExcludeFor(c));
+  return CurrentCore()->Explain(c, q);
 }
 
-MwpResult WhyNotEngine::ModifyWhyNot(size_t c, const Point& q) const {
+MwpResult WhyNotEngine::ModifyWhyNot(size_t c, const Point& q,
+                                     Semantics semantics) const {
   StatsScope scope(this);
-  if (options_.fast_frontier) {
-    return ModifyWhyNotPointFast(tree_, products_.points, CustomerPoint(c),
-                                 q, cost_model_, options_.sort_dim,
-                                 ExcludeFor(c));
-  }
-  return ModifyWhyNotPoint(tree_, products_.points, CustomerPoint(c), q,
-                           cost_model_, options_.sort_dim, ExcludeFor(c));
+  return CurrentCore()->ModifyWhyNot(c, q, semantics);
 }
 
-MqpResult WhyNotEngine::ModifyQuery(size_t c, const Point& q) const {
+MqpResult WhyNotEngine::ModifyQuery(size_t c, const Point& q,
+                                    Semantics semantics) const {
   StatsScope scope(this);
-  if (options_.fast_frontier) {
-    return ModifyQueryPointFast(tree_, products_.points, CustomerPoint(c),
-                                q, cost_model_, options_.sort_dim,
-                                ExcludeFor(c));
-  }
-  return ModifyQueryPoint(tree_, products_.points, CustomerPoint(c), q,
-                          cost_model_, options_.sort_dim, ExcludeFor(c));
+  return CurrentCore()->ModifyQuery(c, q, semantics);
 }
 
 const SafeRegionResult& WhyNotEngine::SafeRegion(const Point& q) const {
   StatsScope scope(this);
-  if (cached_sr_query_.has_value() && *cached_sr_query_ == q) {
-    return cached_sr_;
-  }
-  SafeRegionOptions sr_options;
-  sr_options.sort_dim = options_.sort_dim;
-  sr_options.max_rectangles = options_.max_safe_region_rectangles;
-  const std::vector<size_t> rsl = ReverseSkyline(q);
-  cached_sr_ =
-      ComputeSafeRegion(tree_, products_.points, customers().points, rsl, q,
-                        universe_, shared_relation_, sr_options);
-  cached_sr_query_ = q;
-  return cached_sr_;
+  tls_sr_anchor = CurrentCore()->SafeRegion(q);
+  return *tls_sr_anchor;
 }
 
 const SafeRegionResult& WhyNotEngine::ApproxSafeRegion(const Point& q) const {
   StatsScope scope(this);
-  WNRS_CHECK(HasApproxDsls());
-  if (cached_approx_sr_query_.has_value() && *cached_approx_sr_query_ == q) {
-    return cached_approx_sr_;
-  }
-  SafeRegionOptions sr_options;
-  sr_options.sort_dim = options_.sort_dim;
-  sr_options.max_rectangles = options_.max_safe_region_rectangles;
-  const std::vector<size_t> rsl = ReverseSkyline(q);
-  cached_approx_sr_ = ComputeApproxSafeRegion(
-      customers().points, approx_dsls_, rsl, q, universe_, sr_options);
-  cached_approx_sr_query_ = q;
-  return cached_approx_sr_;
+  tls_approx_sr_anchor = CurrentCore()->ApproxSafeRegion(q);
+  return *tls_approx_sr_anchor;
 }
 
-KeepsMembersFn WhyNotEngine::MakeKeepsMembersFn(const Point& q) const {
-  std::vector<size_t> rsl = ReverseSkyline(q);
-  return [this, rsl = std::move(rsl)](const Point& q_star) {
-    // One independent membership probe per RSL member. Inside an outer
-    // parallel loop (batch answering) this degrades to the serial scan.
-    std::atomic<bool> keeps{true};
-    pool_->ParallelFor(0, rsl.size(), [&](size_t i) {
-      if (!keeps.load(std::memory_order_relaxed)) return;
-      if (!WindowEmpty(tree_, CustomerPoint(rsl[i]), q_star,
-                       ExcludeFor(rsl[i]))) {
-        keeps.store(false, std::memory_order_relaxed);
-      }
-    });
-    return keeps.load(std::memory_order_relaxed);
-  };
-}
-
-MwqResult WhyNotEngine::ModifyBoth(size_t c, const Point& q) const {
+MwqResult WhyNotEngine::ModifyBoth(size_t c, const Point& q,
+                                   Semantics semantics) const {
   StatsScope scope(this);
-  const SafeRegionResult& sr = SafeRegion(q);
-  return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
-                                   q, sr.region, universe_, cost_model_,
-                                   options_.sort_dim, ExcludeFor(c),
-                                   MakeKeepsMembersFn(q),
-                                   options_.fast_frontier);
+  return CurrentCore()->ModifyBoth(c, q, semantics);
 }
 
-MwqResult WhyNotEngine::ModifyBothApprox(size_t c, const Point& q) const {
+MwqResult WhyNotEngine::ModifyBothApprox(size_t c, const Point& q,
+                                         Semantics semantics) const {
   StatsScope scope(this);
-  const SafeRegionResult& sr = ApproxSafeRegion(q);
-  return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
-                                   q, sr.region, universe_, cost_model_,
-                                   options_.sort_dim, ExcludeFor(c),
-                                   MakeKeepsMembersFn(q),
-                                   options_.fast_frontier);
+  return CurrentCore()->ModifyBothApprox(c, q, semantics);
 }
 
 SafeRegionResult WhyNotEngine::ConstrainedSafeRegion(
     const Point& q, const Rectangle& limits) const {
-  WNRS_CHECK(limits.dims() == q.dims());
-  SafeRegionResult out = SafeRegion(q);
-  out.region.ClipTo(limits);
-  if (!out.region.Contains(q)) {
-    out.region.Add(Rectangle::FromPoint(q));
-  }
-  return out;
+  StatsScope scope(this);
+  return CurrentCore()->ConstrainedSafeRegion(q, limits);
 }
 
 MwqResult WhyNotEngine::ModifyBothConstrained(size_t c, const Point& q,
-                                              const Rectangle& limits) const {
+                                              const Rectangle& limits,
+                                              Semantics semantics) const {
   StatsScope scope(this);
-  const SafeRegionResult sr = ConstrainedSafeRegion(q, limits);
-  return ModifyQueryAndWhyNotPoint(tree_, products_.points, CustomerPoint(c),
-                                   q, sr.region, universe_, cost_model_,
-                                   options_.sort_dim, ExcludeFor(c),
-                                   MakeKeepsMembersFn(q),
-                                   options_.fast_frontier);
+  return CurrentCore()->ModifyBothConstrained(c, q, limits, semantics);
 }
 
 std::vector<size_t> WhyNotEngine::LostCustomers(const Point& q,
                                                 const Point& q_star) const {
   StatsScope scope(this);
-  const std::vector<size_t> members = ReverseSkyline(q);
-  const std::vector<unsigned char> is_lost =
-      pool_->ParallelMap<unsigned char>(members.size(), [&](size_t i) {
-        return WindowEmpty(tree_, CustomerPoint(members[i]), q_star,
-                           ExcludeFor(members[i]))
-                   ? static_cast<unsigned char>(0)
-                   : static_cast<unsigned char>(1);
-      });
-  std::vector<size_t> lost;
-  for (size_t i = 0; i < members.size(); ++i) {
-    if (is_lost[i] != 0) lost.push_back(members[i]);
-  }
-  return lost;
+  return CurrentCore()->LostCustomers(q, q_star);
 }
 
 std::vector<MwqResult> WhyNotEngine::ModifyBothBatch(
-    const std::vector<size_t>& whos, const Point& q, bool use_approx) const {
+    const std::vector<size_t>& whos, const Point& q, bool use_approx,
+    Semantics semantics) const {
   StatsScope scope(this);
-  // Materialize the safe region and RSL(q) once, before fanning out; the
-  // parallel workers below then only read the warmed caches (the
-  // safe-region slot is lock-free, so a cold cache would race).
-  if (use_approx) {
-    (void)ApproxSafeRegion(q);
-  } else {
-    (void)SafeRegion(q);
-  }
-  (void)ReverseSkyline(q);
-  return pool_->ParallelMap<MwqResult>(whos.size(), [&](size_t i) {
-    return use_approx ? ModifyBothApprox(whos[i], q) : ModifyBoth(whos[i], q);
-  });
+  return CurrentCore()->ModifyBothBatch(whos, q, use_approx, semantics);
+}
+
+Result<std::vector<size_t>> WhyNotEngine::TryReverseSkyline(
+    const Point& q) const {
+  StatsScope scope(this);
+  return Snapshot().TryReverseSkyline(q);
+}
+Result<WhyNotExplanation> WhyNotEngine::TryExplain(size_t c,
+                                                   const Point& q) const {
+  StatsScope scope(this);
+  return Snapshot().TryExplain(c, q);
+}
+Result<MwpResult> WhyNotEngine::TryModifyWhyNot(size_t c, const Point& q,
+                                                Semantics semantics) const {
+  StatsScope scope(this);
+  return Snapshot().TryModifyWhyNot(c, q, semantics);
+}
+Result<MqpResult> WhyNotEngine::TryModifyQuery(size_t c, const Point& q,
+                                               Semantics semantics) const {
+  StatsScope scope(this);
+  return Snapshot().TryModifyQuery(c, q, semantics);
+}
+Result<std::shared_ptr<const SafeRegionResult>> WhyNotEngine::TrySafeRegion(
+    const Point& q) const {
+  StatsScope scope(this);
+  return Snapshot().TrySafeRegion(q);
+}
+Result<std::shared_ptr<const SafeRegionResult>>
+WhyNotEngine::TryApproxSafeRegion(const Point& q) const {
+  StatsScope scope(this);
+  return Snapshot().TryApproxSafeRegion(q);
+}
+Result<MwqResult> WhyNotEngine::TryModifyBoth(size_t c, const Point& q,
+                                              Semantics semantics) const {
+  StatsScope scope(this);
+  return Snapshot().TryModifyBoth(c, q, semantics);
+}
+Result<MwqResult> WhyNotEngine::TryModifyBothApprox(size_t c, const Point& q,
+                                                    Semantics semantics) const {
+  StatsScope scope(this);
+  return Snapshot().TryModifyBothApprox(c, q, semantics);
+}
+Result<std::vector<MwqResult>> WhyNotEngine::TryModifyBothBatch(
+    const std::vector<size_t>& whos, const Point& q, bool use_approx,
+    Semantics semantics) const {
+  StatsScope scope(this);
+  return Snapshot().TryModifyBothBatch(whos, q, use_approx, semantics);
 }
 
 void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
   StatsScope scope(this);
   WNRS_CHECK(k >= 2);
-  const Dataset& ds = customers();
-  approx_dsls_.clear();
-  approx_dsls_.resize(ds.points.size());
+  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  const Dataset& ds = cur->customer_dataset();
+  auto store =
+      std::make_shared<std::vector<std::vector<Point>>>(ds.points.size());
   // One dynamic skyline per customer, each writing its own slot: the
   // embarrassingly parallel offline pass of Section VI-B.1.
-  pool_->ParallelFor(0, ds.points.size(), [&](size_t c) {
+  cur->pool->ParallelFor(0, ds.points.size(), [&](size_t c) {
     const std::vector<RStarTree::Id> dsl =
-        BbsDynamicSkyline(tree_, ds.points[c], ExcludeFor(c));
+        BbsDynamicSkyline(*cur->tree, ds.points[c], cur->ExcludeFor(c));
     std::vector<Point> transformed;
     transformed.reserve(dsl.size());
     for (RStarTree::Id id : dsl) {
       transformed.push_back(ToDistanceSpace(
-          products_.points[static_cast<size_t>(id)], ds.points[c]));
+          cur->products->points[static_cast<size_t>(id)], ds.points[c]));
     }
-    approx_dsls_[c] =
-        ApproximateSkyline(std::move(transformed), k, options_.sort_dim);
+    (*store)[c] =
+        ApproximateSkyline(std::move(transformed), k, cur->options.sort_dim);
   });
-  approx_k_ = k;
-  cached_approx_sr_query_.reset();
-}
-
-void WhyNotEngine::InvalidateDerivedState() {
-  cached_sr_query_.reset();
-  cached_approx_sr_query_.reset();
-  {
-    std::lock_guard<std::mutex> lock(rsl_cache_mu_);
-    cached_rsl_.clear();
-    MetricSetGauge(GaugeId::kRslCacheSize, 0);
-  }
-  // The approximated-DSL store is a function of the product set; a stale
-  // store could silently lose safety, so it is dropped outright.
-  approx_dsls_.clear();
-  approx_k_ = 0;
-}
-
-size_t WhyNotEngine::AddProduct(const Point& p) {
-  WNRS_CHECK(p.dims() == products_.dims);
-  const size_t id = products_.points.size();
-  products_.points.push_back(p);
-  removed_.resize(products_.points.size(), false);
-  tree_.Insert(p, static_cast<RStarTree::Id>(id));
-  // Keep the universe a superset of all live points; the cost model's
-  // normalization follows it when the new tuple falls outside.
-  if (!universe_.Contains(p)) {
-    universe_ = universe_.BoundingUnion(Rectangle::FromPoint(p));
-    cost_model_ = MakeCostModel(universe_, options_);
-  }
-  InvalidateDerivedState();
-  return id;
-}
-
-bool WhyNotEngine::RemoveProduct(size_t id) {
-  if (id >= products_.points.size()) return false;
-  if (id < removed_.size() && removed_[id]) return false;
-  if (!tree_.Delete(Rectangle::FromPoint(products_.points[id]),
-                    static_cast<RStarTree::Id>(id))) {
-    return false;
-  }
-  removed_.resize(products_.points.size(), false);
-  removed_[id] = true;
-  InvalidateDerivedState();
-  return true;
-}
-
-bool WhyNotEngine::IsLiveProduct(size_t id) const {
-  if (id >= products_.points.size()) return false;
-  return id >= removed_.size() || !removed_[id];
+  auto next = std::make_shared<internal::EngineCore>(*cur);
+  next->approx_dsls = std::move(store);
+  next->approx_k = k;
+  PublishCore(std::move(next));
 }
 
 Status WhyNotEngine::SaveApproxDsls(const std::string& path) const {
-  if (!HasApproxDsls()) {
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  if (!cur->HasApproxDsls()) {
     return Status::FailedPrecondition("no approximated DSL store to save");
   }
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return Status::IoError("cannot open for writing: " + path);
   }
-  const size_t dims = products_.dims;
+  const size_t dims = cur->products->dims;
+  const std::vector<std::vector<Point>>& dsls = *cur->approx_dsls;
   out << "wnrs-approx-dsl 1\n"
-      << approx_k_ << ' ' << dims << ' ' << approx_dsls_.size() << '\n';
-  for (const std::vector<Point>& dsl : approx_dsls_) {
+      << cur->approx_k << ' ' << dims << ' ' << dsls.size() << '\n';
+  for (const std::vector<Point>& dsl : dsls) {
     out << dsl.size();
     for (const Point& p : dsl) {
       for (size_t i = 0; i < dims; ++i) {
@@ -459,22 +1024,24 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
     return Status::InvalidArgument(
         StrFormat("approx-DSL store has k=%zu; k >= 2 required", k));
   }
-  if (dims != products_.dims) {
+  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  if (dims != cur->products->dims) {
     return Status::InvalidArgument("store dimensionality mismatch");
   }
-  if (count != customers().points.size()) {
+  if (count != cur->customer_dataset().points.size()) {
     return Status::InvalidArgument(
         StrFormat("store has %zu customers, engine has %zu", count,
-                  customers().points.size()));
+                  cur->customer_dataset().points.size()));
   }
-  std::vector<std::vector<Point>> loaded(count);
+  auto loaded = std::make_shared<std::vector<std::vector<Point>>>(count);
   std::string token;
   for (size_t c = 0; c < count; ++c) {
     size_t entries = 0;
     if (!(in >> entries)) {
       return Status::InvalidArgument("truncated approx-DSL store: " + path);
     }
-    loaded[c].reserve(entries);
+    (*loaded)[c].reserve(entries);
     for (size_t e = 0; e < entries; ++e) {
       Point p(dims);
       for (size_t i = 0; i < dims; ++i) {
@@ -496,66 +1063,112 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
         }
         p[i] = v;
       }
-      loaded[c].push_back(std::move(p));
+      (*loaded)[c].push_back(std::move(p));
     }
   }
-  approx_dsls_ = std::move(loaded);
-  approx_k_ = k;
-  cached_approx_sr_query_.reset();
+  auto next = std::make_shared<internal::EngineCore>(*cur);
+  next->approx_dsls = std::move(loaded);
+  next->approx_k = k;
+  PublishCore(std::move(next));
   return Status::Ok();
+}
+
+size_t WhyNotEngine::AddProduct(const Point& p) {
+  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  WNRS_CHECK(p.dims() == cur->products->dims);
+  auto new_products = std::make_shared<Dataset>(*cur->products);
+  const size_t id = new_products->points.size();
+  new_products->points.push_back(p);
+  auto new_tree = std::make_shared<RStarTree>(cur->tree->Clone());
+  new_tree->Insert(p, static_cast<RStarTree::Id>(id));
+  auto next = std::make_shared<internal::EngineCore>(*cur);
+  next->products = std::move(new_products);
+  next->tree = std::move(new_tree);
+  next->removed.resize(id + 1, false);
+  // Keep the universe a superset of all live points; the cost model's
+  // normalization follows it when the new tuple falls outside.
+  if (!next->universe.Contains(p)) {
+    next->universe = next->universe.BoundingUnion(Rectangle::FromPoint(p));
+    next->cost_model = MakeCostModel(next->universe, next->options);
+  }
+  // The approximated-DSL store is a function of the product set; a stale
+  // store could silently lose safety, so it is dropped with the snapshot.
+  next->approx_dsls.reset();
+  next->approx_k = 0;
+  PublishCore(std::move(next));
+  MetricSetGauge(GaugeId::kRslCacheSize, 0);
+  return id;
+}
+
+Result<size_t> WhyNotEngine::TryAddProduct(const Point& p) {
+  {
+    std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+    WNRS_RETURN_IF_ERROR(cur->ValidatePoint(p, "product point"));
+  }
+  return AddProduct(p);
+}
+
+bool WhyNotEngine::RemoveProduct(size_t id) {
+  return TryRemoveProduct(id).ok();
+}
+
+Status WhyNotEngine::TryRemoveProduct(size_t id) {
+  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  if (id >= cur->products->points.size()) {
+    return Status::NotFound(StrFormat("no product with id %zu", id));
+  }
+  if (id < cur->removed.size() && cur->removed[id]) {
+    return Status::NotFound(StrFormat("product %zu was already removed", id));
+  }
+  auto new_tree = std::make_shared<RStarTree>(cur->tree->Clone());
+  if (!new_tree->Delete(Rectangle::FromPoint(cur->products->points[id]),
+                        static_cast<RStarTree::Id>(id))) {
+    return Status::NotFound(StrFormat("product %zu not present in index", id));
+  }
+  auto next = std::make_shared<internal::EngineCore>(*cur);
+  next->tree = std::move(new_tree);
+  next->removed.resize(cur->products->points.size(), false);
+  next->removed[id] = true;
+  next->approx_dsls.reset();
+  next->approx_k = 0;
+  PublishCore(std::move(next));
+  MetricSetGauge(GaugeId::kRslCacheSize, 0);
+  return Status::Ok();
+}
+
+bool WhyNotEngine::IsLiveProduct(size_t id) const {
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  if (id >= cur->products->points.size()) return false;
+  return id >= cur->removed.size() || !cur->removed[id];
 }
 
 double WhyNotEngine::MqpEvaluationCost(const Point& q,
                                        const Point& q_star) const {
   StatsScope scope(this);
-  // alpha-cost of leaving the safe region: distance from the closest safe
-  // point q' to q*.
-  const SafeRegionResult& sr = SafeRegion(q);
-  double cost = 0.0;
-  if (!sr.region.empty()) {
-    const Point q_prime = sr.region.NearestPointTo(q_star);
-    cost += cost_model_.QueryMoveCost(q_prime, q_star);
-  } else {
-    cost += cost_model_.QueryMoveCost(q, q_star);
-  }
-  // beta-cost of winning back every lost reverse-skyline customer. The
-  // per-member costs are computed in parallel but summed in member order,
-  // keeping the total bit-identical to the serial loop.
-  const std::vector<size_t> rsl = ReverseSkyline(q);
-  const std::vector<double> win_back =
-      pool_->ParallelMap<double>(rsl.size(), [&](size_t i) {
-        const size_t c = rsl[i];
-        if (IsReverseSkylineMember(c, q_star)) return 0.0;
-        const MwpResult mwp = ModifyWhyNot(c, q_star);
-        return mwp.candidates.empty() ? 0.0 : mwp.candidates.front().cost;
-      });
-  for (double v : win_back) cost += v;
-  return cost;
+  return CurrentCore()->MqpEvaluationCost(q, q_star);
 }
 
 std::optional<Point> WhyNotEngine::NudgeToStrictMember(
     const Point& c_star, const Point& q, size_t customer_index) const {
-  double fraction = options_.epsilon_fraction;
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    Point nudged = c_star;
-    for (size_t i = 0; i < nudged.dims(); ++i) {
-      const double range = universe_.hi()[i] - universe_.lo()[i];
-      const double eps = fraction * (range > 0.0 ? range : 1.0);
-      if (q[i] > nudged[i]) {
-        nudged[i] += eps;
-      } else if (q[i] < nudged[i]) {
-        nudged[i] -= eps;
-      }
-    }
-    // Membership of a moved customer: no product may dominate q w.r.t.
-    // the nudged location. The customer's own (old) tuple stays excluded
-    // in the shared-relation setting.
-    if (WindowEmpty(tree_, nudged, q, ExcludeFor(customer_index))) {
-      return nudged;
-    }
-    fraction *= 100.0;
-  }
-  return std::nullopt;
+  return CurrentCore()->NudgeToStrictMember(c_star, q, customer_index);
+}
+
+QueryStats WhyNotEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return cum_stats_;
+}
+
+QueryStats WhyNotEngine::last_query_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return last_query_stats_;
+}
+
+void WhyNotEngine::ResetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  last_query_stats_ = QueryStats();
+  cum_stats_ = QueryStats();
 }
 
 }  // namespace wnrs

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/cost.h"
 #include "core/explain.h"
@@ -37,7 +38,7 @@ struct WhyNotEngineOptions {
   /// reported culprit list then holds only the frontier). Explain()
   /// always materializes the full culprit set regardless.
   bool fast_frontier = true;
-  /// Nudge applied by the *Strict variants to turn closed-boundary
+  /// Nudge applied under Semantics::kStrict to turn closed-boundary
   /// answers into strict reverse-skyline members, as a fraction of each
   /// dimension's data range.
   double epsilon_fraction = 1e-9;
@@ -49,28 +50,157 @@ struct WhyNotEngineOptions {
   size_t num_threads = 0;
 };
 
+/// Answer semantics for the modification algorithms (MWP/MQP/MWQ).
+///
+/// The paper's algorithms place answers on the *closed boundary* of the
+/// feasible region ("pay at least 3K more"); a boundary answer ties with
+/// a culprit product and is therefore not a strict reverse-skyline
+/// member. kStrict post-processes every candidate with the epsilon nudge
+/// (WhyNotEngineOptions::epsilon_fraction) toward the interior and
+/// recomputes its cost, so the returned locations pass a real strict
+/// membership probe. kBoundary (the default) returns the paper's
+/// boundary answers unchanged — the historical behavior, previously only
+/// reachable by manually chaining NudgeToStrictMember (now deprecated as
+/// a public workflow; use this parameter instead).
+enum class Semantics { kBoundary, kStrict };
+
+namespace internal {
+/// Immutable engine state (datasets, R*-tree, cost model, approx-DSL
+/// store) plus its concurrency-safe derived caches. Defined in engine.cc.
+struct EngineCore;
+}  // namespace internal
+
+/// An immutable, concurrency-safe view of one engine state — the
+/// "session" handle of the serving API. Snapshots are cheap to copy
+/// (one shared_ptr), safe to use from any number of threads at once, and
+/// unaffected by later engine mutations: a snapshot taken before
+/// AddProduct keeps answering against the old market until it is
+/// dropped. All query results are bit-identical to the serial engine
+/// facade.
+///
+/// Obtain one with WhyNotEngine::Snapshot(); it may outlive the engine.
+class EngineSnapshot {
+ public:
+  EngineSnapshot(const EngineSnapshot&) = default;
+  EngineSnapshot& operator=(const EngineSnapshot&) = default;
+  EngineSnapshot(EngineSnapshot&&) noexcept = default;
+  EngineSnapshot& operator=(EngineSnapshot&&) noexcept = default;
+
+  const Dataset& products() const;
+  const Dataset& customers() const;
+  bool shared_relation() const;
+  const CostModel& cost_model() const;
+  const RStarTree& product_tree() const;
+  const Rectangle& universe() const;
+  bool HasApproxDsls() const;
+  size_t approx_k() const;
+  bool IsLiveProduct(size_t id) const;
+
+  /// RSL(q) as customer indices (ascending); memoized per query point.
+  std::vector<size_t> ReverseSkyline(const Point& q) const;
+  bool IsReverseSkylineMember(size_t c, const Point& q) const;
+  std::vector<size_t> CustomersInRange(const Rectangle& window) const;
+  WhyNotExplanation Explain(size_t c, const Point& q) const;
+  MwpResult ModifyWhyNot(size_t c, const Point& q,
+                         Semantics semantics = Semantics::kBoundary) const;
+  MqpResult ModifyQuery(size_t c, const Point& q,
+                        Semantics semantics = Semantics::kBoundary) const;
+
+  /// SR(q), cached per query point within this snapshot's generation.
+  /// The shared_ptr keeps the result alive independently of cache
+  /// eviction, so it is safe to hold across further queries.
+  std::shared_ptr<const SafeRegionResult> SafeRegion(const Point& q) const;
+  std::shared_ptr<const SafeRegionResult> ApproxSafeRegion(
+      const Point& q) const;
+  SafeRegionResult ConstrainedSafeRegion(const Point& q,
+                                         const Rectangle& limits) const;
+
+  MwqResult ModifyBoth(size_t c, const Point& q,
+                       Semantics semantics = Semantics::kBoundary) const;
+  MwqResult ModifyBothApprox(size_t c, const Point& q,
+                             Semantics semantics = Semantics::kBoundary) const;
+  MwqResult ModifyBothConstrained(
+      size_t c, const Point& q, const Rectangle& limits,
+      Semantics semantics = Semantics::kBoundary) const;
+  std::vector<size_t> LostCustomers(const Point& q, const Point& q_star) const;
+  std::vector<MwqResult> ModifyBothBatch(
+      const std::vector<size_t>& whos, const Point& q, bool use_approx = false,
+      Semantics semantics = Semantics::kBoundary) const;
+  double MqpEvaluationCost(const Point& q, const Point& q_star) const;
+  std::optional<Point> NudgeToStrictMember(const Point& c_star, const Point& q,
+                                           size_t customer_index) const;
+
+  /// Validating (non-aborting) variants: every bad input that would trip
+  /// a WNRS_CHECK in the methods above — out-of-range or removed
+  /// customer index, dimension mismatch, non-finite coordinates, missing
+  /// approx-DSL store — comes back as a non-OK Status instead, so a
+  /// serving layer never crashes the process on a bad request.
+  Result<std::vector<size_t>> TryReverseSkyline(const Point& q) const;
+  Result<WhyNotExplanation> TryExplain(size_t c, const Point& q) const;
+  Result<MwpResult> TryModifyWhyNot(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<MqpResult> TryModifyQuery(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<std::shared_ptr<const SafeRegionResult>> TrySafeRegion(
+      const Point& q) const;
+  Result<std::shared_ptr<const SafeRegionResult>> TryApproxSafeRegion(
+      const Point& q) const;
+  Result<MwqResult> TryModifyBoth(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<MwqResult> TryModifyBothApprox(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<std::vector<MwqResult>> TryModifyBothBatch(
+      const std::vector<size_t>& whos, const Point& q, bool use_approx = false,
+      Semantics semantics = Semantics::kBoundary) const;
+
+ private:
+  friend class WhyNotEngine;
+  explicit EngineSnapshot(std::shared_ptr<const internal::EngineCore> core)
+      : core_(std::move(core)) {}
+
+  std::shared_ptr<const internal::EngineCore> core_;
+};
+
 /// Facade over the full why-not pipeline of the paper: reverse skylines
 /// (BBRS), explanations, MWP (Alg. 1), MQP (Alg. 2), exact and
 /// approximated safe regions (Alg. 3 + Section VI-B.1), and MWQ (Alg. 4).
 ///
 /// The engine owns the product/customer datasets and their R*-tree, the
-/// min-max cost model, the per-query safe-region cache (the paper:
-/// "we do not need to recompute it to answer another why-not question for
-/// the same query point"), and the optional offline store of approximated
-/// dynamic skylines.
+/// min-max cost model, the per-query safe-region and reverse-skyline
+/// caches (the paper: "we do not need to recompute it to answer another
+/// why-not question for the same query point"), and the optional offline
+/// store of approximated dynamic skylines.
 ///
 /// Customers are addressed by index into customers().points; in the
 /// shared-relation mode (one relation is both P and C, as in every
 /// experiment of the paper) customer index == product id and a customer's
 /// own tuple is excluded from its window queries.
 ///
-/// Threading: the engine parallelizes its own hot loops internally on a
-/// ThreadPool sized by WhyNotEngineOptions::num_threads, with results
-/// identical to the serial path. The public API itself follows the
-/// single-caller convention of the caches: do not invoke methods of one
-/// engine from multiple external threads concurrently.
+/// Threading: the whole read path (ReverseSkyline, Explain, ModifyWhyNot,
+/// ModifyQuery, SafeRegion, ModifyBoth*, ...) is safe for concurrent
+/// external callers — the engine state is an immutable core published
+/// through an atomic snapshot pointer and every derived cache is
+/// internally synchronized. Mutations (AddProduct, RemoveProduct,
+/// PrecomputeApproxDsls, LoadApproxDsls) are serialized against each
+/// other and publish a *new* core copy-on-write, so in-flight readers
+/// finish against the state they started with and never observe a
+/// half-applied change. For mutation-concurrent reading, prefer holding
+/// an explicit EngineSnapshot (Snapshot()): references returned by the
+/// facade accessors (products(), SafeRegion(), ...) follow the core that
+/// was current at call time and may dangle once a later mutation retires
+/// it while no snapshot pins it. The engine additionally parallelizes its
+/// own hot loops internally on a ThreadPool sized by
+/// WhyNotEngineOptions::num_threads, with results identical to the
+/// serial path.
 class WhyNotEngine {
  public:
+  /// The session handle of the concurrent API; see EngineSnapshot.
+  using Session = EngineSnapshot;
+
   /// Bichromatic constructor: separate products and customers.
   WhyNotEngine(Dataset products, Dataset customers,
                WhyNotEngineOptions options = {});
@@ -81,15 +211,17 @@ class WhyNotEngine {
   WhyNotEngine(const WhyNotEngine&) = delete;
   WhyNotEngine& operator=(const WhyNotEngine&) = delete;
 
-  const Dataset& products() const { return products_; }
-  const Dataset& customers() const {
-    return shared_relation_ ? products_ : customers_;
-  }
-  bool shared_relation() const { return shared_relation_; }
-  const CostModel& cost_model() const { return cost_model_; }
-  const RStarTree& product_tree() const { return tree_; }
+  /// The current immutable state as a shareable session object. O(1);
+  /// safe to call concurrently with queries and mutations.
+  EngineSnapshot Snapshot() const { return EngineSnapshot(CurrentCore()); }
+
+  const Dataset& products() const;
+  const Dataset& customers() const;
+  bool shared_relation() const;
+  const CostModel& cost_model() const;
+  const RStarTree& product_tree() const;
   /// Universe rectangle: data bounds (products ∪ customers).
-  const Rectangle& universe() const { return universe_; }
+  const Rectangle& universe() const;
 
   /// RSL(q) as customer indices (ascending). Uses BBRS in shared-relation
   /// mode and the bichromatic pruned traversal otherwise.
@@ -105,27 +237,34 @@ class WhyNotEngine {
   /// Aspect 1: the culprit products and binding frontier.
   WhyNotExplanation Explain(size_t c, const Point& q) const;
 
-  /// Algorithm 1. Boundary-semantics candidates; see NudgeToStrictMember
-  /// for converting one into a strict reverse-skyline member.
-  MwpResult ModifyWhyNot(size_t c, const Point& q) const;
+  /// Algorithm 1. Boundary semantics by default; pass Semantics::kStrict
+  /// for candidates nudged into strict reverse-skyline membership.
+  MwpResult ModifyWhyNot(size_t c, const Point& q,
+                         Semantics semantics = Semantics::kBoundary) const;
 
   /// Algorithm 2.
-  MqpResult ModifyQuery(size_t c, const Point& q) const;
+  MqpResult ModifyQuery(size_t c, const Point& q,
+                        Semantics semantics = Semantics::kBoundary) const;
 
   /// Exact SR(q) (Algorithm 3); cached per query point, so repeated
   /// why-not questions against the same q reuse it. RSL(q) is computed
-  /// internally.
+  /// internally. The reference stays valid until the calling thread's
+  /// next SafeRegion/ApproxSafeRegion call or an engine mutation,
+  /// whichever comes first; hold a Snapshot() and use its shared_ptr
+  /// overload to pin results for longer.
   const SafeRegionResult& SafeRegion(const Point& q) const;
 
   /// Approximated SR(q) from the offline store; PrecomputeApproxDsls must
-  /// have run. Also cached per query point.
+  /// have run. Also cached per query point (same lifetime contract).
   const SafeRegionResult& ApproxSafeRegion(const Point& q) const;
 
   /// Algorithm 4 with the exact safe region.
-  MwqResult ModifyBoth(size_t c, const Point& q) const;
+  MwqResult ModifyBoth(size_t c, const Point& q,
+                       Semantics semantics = Semantics::kBoundary) const;
 
   /// Algorithm 4 with the approximated safe region (Approx-MWQ).
-  MwqResult ModifyBothApprox(size_t c, const Point& q) const;
+  MwqResult ModifyBothApprox(size_t c, const Point& q,
+                             Semantics semantics = Semantics::kBoundary) const;
 
   /// The paper's Section V-B remark: the safe region "can be truncated
   /// ... to a smaller one by limiting certain product feature". Returns
@@ -137,8 +276,9 @@ class WhyNotEngine {
 
   /// Algorithm 4 confined to `limits` (e.g., "the price may only change
   /// within [X, Y]").
-  MwqResult ModifyBothConstrained(size_t c, const Point& q,
-                                  const Rectangle& limits) const;
+  MwqResult ModifyBothConstrained(
+      size_t c, const Point& q, const Rectangle& limits,
+      Semantics semantics = Semantics::kBoundary) const;
 
   /// The flip side of the same remark: moving q outside SR(q) ("expanding"
   /// the region) costs existing customers. Returns the members of RSL(q)
@@ -151,15 +291,43 @@ class WhyNotEngine {
   /// computing the (exact or approximated) safe region once — the reuse
   /// the paper highlights ("we do not need to recompute it to answer
   /// another why-not question for the same query point").
-  std::vector<MwqResult> ModifyBothBatch(const std::vector<size_t>& whos,
-                                         const Point& q,
-                                         bool use_approx = false) const;
+  std::vector<MwqResult> ModifyBothBatch(
+      const std::vector<size_t>& whos, const Point& q, bool use_approx = false,
+      Semantics semantics = Semantics::kBoundary) const;
+
+  /// Validating variants of the read path; see EngineSnapshot. These
+  /// replace the aborting forms for any caller that cannot trust its
+  /// inputs (the serve layer uses them exclusively); the WNRS_CHECK-ing
+  /// forms above remain for source compatibility but are deprecated for
+  /// untrusted input.
+  Result<std::vector<size_t>> TryReverseSkyline(const Point& q) const;
+  Result<WhyNotExplanation> TryExplain(size_t c, const Point& q) const;
+  Result<MwpResult> TryModifyWhyNot(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<MqpResult> TryModifyQuery(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<std::shared_ptr<const SafeRegionResult>> TrySafeRegion(
+      const Point& q) const;
+  Result<std::shared_ptr<const SafeRegionResult>> TryApproxSafeRegion(
+      const Point& q) const;
+  Result<MwqResult> TryModifyBoth(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<MwqResult> TryModifyBothApprox(
+      size_t c, const Point& q,
+      Semantics semantics = Semantics::kBoundary) const;
+  Result<std::vector<MwqResult>> TryModifyBothBatch(
+      const std::vector<size_t>& whos, const Point& q, bool use_approx = false,
+      Semantics semantics = Semantics::kBoundary) const;
 
   /// Offline pass of Section VI-B.1: computes and stores the approximated
   /// DSL (transformed space, sampled with parameter k) of every customer.
+  /// A mutation: publishes a new snapshot with the store attached.
   void PrecomputeApproxDsls(size_t k);
-  bool HasApproxDsls() const { return !approx_dsls_.empty(); }
-  size_t approx_k() const { return approx_k_; }
+  bool HasApproxDsls() const;
+  size_t approx_k() const;
 
   /// Persists the precomputed store (the paper precomputes it "off-line");
   /// a saved store can be reloaded into an engine over the same datasets,
@@ -170,17 +338,26 @@ class WhyNotEngine {
   /// does not match this engine's customer count.
   Status LoadApproxDsls(const std::string& path);
 
-  /// Appends a product to the market (R*-tree insert). Invalidates the
-  /// safe-region caches and the approximated-DSL store (both depend on
-  /// the product set). Returns the new product's id. In shared-relation
-  /// mode the tuple is simultaneously a new customer preference.
+  /// Appends a product to the market (copy-on-write R*-tree insert and
+  /// snapshot publish). Drops the safe-region caches and the
+  /// approximated-DSL store with the old snapshot (both depend on the
+  /// product set). Returns the new product's id. In shared-relation mode
+  /// the tuple is simultaneously a new customer preference.
   size_t AddProduct(const Point& p);
 
-  /// Removes product `id` from the market (R*-tree delete; the slot in
-  /// products() is tombstoned, so existing ids stay stable). Returns
-  /// false if the id is unknown or already removed. In shared-relation
-  /// mode the corresponding customer disappears with it.
+  /// Validating variant: rejects dimension mismatches and non-finite
+  /// coordinates instead of aborting.
+  Result<size_t> TryAddProduct(const Point& p);
+
+  /// Removes product `id` from the market (copy-on-write R*-tree delete;
+  /// the slot in products() is tombstoned, so existing ids stay stable).
+  /// Returns false if the id is unknown or already removed. In
+  /// shared-relation mode the corresponding customer disappears with it.
   bool RemoveProduct(size_t id);
+
+  /// Status-returning variant of RemoveProduct (NotFound on unknown or
+  /// already-removed ids).
+  Status TryRemoveProduct(size_t id);
 
   /// True iff the product id is live (not tombstoned).
   bool IsLiveProduct(size_t id) const;
@@ -194,7 +371,8 @@ class WhyNotEngine {
   /// epsilon toward q per dimension and verifies strict membership.
   /// Returns the nudged point, or nullopt if even the nudged point is not
   /// a reverse-skyline member (possible when Algorithm 1's 2-D staircase
-  /// heuristic is applied to adversarial inputs).
+  /// heuristic is applied to adversarial inputs). Deprecated as a manual
+  /// workflow: pass Semantics::kStrict to the Modify* methods instead.
   std::optional<Point> NudgeToStrictMember(const Point& c_star,
                                            const Point& q,
                                            size_t customer_index) const;
@@ -202,69 +380,45 @@ class WhyNotEngine {
   /// Cumulative work counters over every outermost public call since
   /// construction (or ResetStats): R*-tree node reads, dominance tests,
   /// cache hits, and the rest of QueryStats. Derived from registry
-  /// snapshots around each call, so with several engines doing work
-  /// concurrently the attribution follows the single-caller convention.
-  QueryStats stats() const { return cum_stats_; }
+  /// snapshots around each call; with several external threads querying
+  /// concurrently the first caller in attributes the overlapping window,
+  /// so treat concurrent-mode values as aggregate work, not an exact
+  /// per-call ledger.
+  QueryStats stats() const;
 
   /// Work done by the most recent outermost public call alone.
-  const QueryStats& last_query_stats() const { return last_query_stats_; }
+  QueryStats last_query_stats() const;
 
   /// Zeroes stats() and last_query_stats(). Does not touch the global
   /// MetricsRegistry.
-  void ResetStats() const {
-    cum_stats_ = QueryStats();
-    last_query_stats_ = QueryStats();
-  }
+  void ResetStats() const;
 
  private:
   /// RAII registry-snapshot delta around the outermost public call;
-  /// nested calls (ModifyBoth -> SafeRegion, batch workers) see a
-  /// non-zero depth and record nothing.
+  /// nested or concurrently-overlapping calls see a non-zero depth and
+  /// record nothing.
   class StatsScope;
 
-  std::optional<RStarTree::Id> ExcludeFor(size_t customer_index) const;
-  const Point& CustomerPoint(size_t c) const;
-  /// Builds the q*-validator that probes every member of RSL(q).
-  KeepsMembersFn MakeKeepsMembersFn(const Point& q) const;
+  std::shared_ptr<const internal::EngineCore> CurrentCore() const;
+  void PublishCore(std::shared_ptr<const internal::EngineCore> core);
 
-  /// Uncached reverse-skyline computation behind ReverseSkyline().
-  std::vector<size_t> ComputeReverseSkyline(const Point& q) const;
-
-  void InvalidateDerivedState();
-
-  WhyNotEngineOptions options_;
-  /// Pool behind all parallel loops; always non-null. With
+  /// Pool behind all parallel loops; always non-null and shared into
+  /// every core so snapshots can outlive the engine. With
   /// options_.num_threads == 1 it owns no workers and runs serially.
-  std::unique_ptr<ThreadPool> pool_;
-  bool shared_relation_ = false;
-  std::vector<bool> removed_;  // Tombstones for RemoveProduct.
-  Dataset products_;
-  Dataset customers_;  // Unused in shared-relation mode.
-  RStarTree tree_;
-  std::unique_ptr<RStarTree> customer_tree_;  // Bichromatic mode only.
-  Rectangle universe_;
-  CostModel cost_model_;
-  std::vector<std::vector<Point>> approx_dsls_;
-  size_t approx_k_ = 0;
+  std::shared_ptr<ThreadPool> pool_;
 
-  // Safe-region caches keyed by query point.
-  mutable std::optional<Point> cached_sr_query_;
-  mutable SafeRegionResult cached_sr_;
-  mutable std::optional<Point> cached_approx_sr_query_;
-  mutable SafeRegionResult cached_approx_sr_;
+  /// The published snapshot; swapped wholesale by mutations.
+  mutable std::mutex core_mu_;
+  std::shared_ptr<const internal::EngineCore> core_;
 
-  // Query-keyed reverse-skyline memo: RSL(q) is computed once per
-  // distinct q and shared by SafeRegion, ApproxSafeRegion,
-  // MqpEvaluationCost, LostCustomers, and MakeKeepsMembersFn.
-  // Invalidated by InvalidateDerivedState(). Mutex-guarded so cache
-  // probes from the parallel loops stay race-free.
-  mutable std::mutex rsl_cache_mu_;
-  mutable std::vector<std::pair<Point, std::vector<size_t>>> cached_rsl_;
+  /// Serializes mutations (copy-on-write builders) against each other.
+  std::mutex mutation_mu_;
 
-  // Per-call statistics. `stats_depth_` is shared across threads so the
-  // batch fan-out's worker-side calls don't re-record; the QueryStats
-  // members are written only by the single outermost call.
+  // Per-call statistics. `stats_depth_` is shared across threads so
+  // overlapping calls don't double-count registry deltas; the QueryStats
+  // members are guarded by stats_mu_.
   mutable std::atomic<int> stats_depth_{0};
+  mutable std::mutex stats_mu_;
   mutable QueryStats last_query_stats_;
   mutable QueryStats cum_stats_;
 };

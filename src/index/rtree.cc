@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -55,6 +57,32 @@ RStarTree& RStarTree::operator=(RStarTree&& other) noexcept {
   other.size_ = 0;
   other.height_ = 1;
   return *this;
+}
+
+RStarTree RStarTree::Clone() const {
+  RStarTree copy(dims_, options_);
+  // Iterative deep copy (pairs of source node / destination node), so
+  // cloning is stack-safe at any tree height.
+  copy.FreeSubtree(copy.root_);
+  copy.root_ = new Node();
+  std::vector<std::pair<const Node*, Node*>> pending = {{root_, copy.root_}};
+  while (!pending.empty()) {
+    const auto [src, dst] = pending.back();
+    pending.pop_back();
+    dst->is_leaf = src->is_leaf;
+    dst->entries = src->entries;
+    if (!src->is_leaf) {
+      for (Entry& e : dst->entries) {
+        Node* child = new Node();
+        child->parent = dst;
+        pending.emplace_back(e.child, child);
+        e.child = child;
+      }
+    }
+  }
+  copy.size_ = size_;
+  copy.height_ = height_;
+  return copy;
 }
 
 void RStarTree::FreeSubtree(Node* node) {

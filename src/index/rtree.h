@@ -71,6 +71,13 @@ class RStarTree {
   RStarTree(const RStarTree&) = delete;
   RStarTree& operator=(const RStarTree&) = delete;
 
+  /// Structure-preserving deep copy: the clone has the exact same node
+  /// layout, so an Insert/Delete applied to the clone yields the same tree
+  /// a direct mutation of the original would have. This is what lets the
+  /// engine publish copy-on-write snapshots on mutation without changing
+  /// any query answer or I/O count. Traversal counters start at zero.
+  RStarTree Clone() const;
+
   size_t dims() const { return dims_; }
   size_t size() const { return size_; }
   /// Number of levels; 1 for a tree holding only a root leaf.

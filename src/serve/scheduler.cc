@@ -1,0 +1,371 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace wnrs {
+namespace serve {
+
+namespace {
+
+uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kReverseSkyline:
+      return "reverse_skyline";
+    case RequestKind::kExplain:
+      return "explain";
+    case RequestKind::kModifyWhyNot:
+      return "modify_why_not";
+    case RequestKind::kModifyQuery:
+      return "modify_query";
+    case RequestKind::kSafeRegion:
+      return "safe_region";
+    case RequestKind::kModifyBoth:
+      return "modify_both";
+    case RequestKind::kModifyBothApprox:
+      return "modify_both_approx";
+  }
+  return "unknown";
+}
+
+RequestScheduler::RequestScheduler(const WhyNotEngine* engine,
+                                   SchedulerOptions options)
+    : engine_(engine), options_(options), paused_(options.start_paused) {
+  dispatcher_ = std::thread(&RequestScheduler::DispatcherLoop, this);
+}
+
+RequestScheduler::~RequestScheduler() { Shutdown(); }
+
+std::future<WhyNotResponse> RequestScheduler::Submit(WhyNotRequest request) {
+  std::promise<WhyNotResponse> promise;
+  std::future<WhyNotResponse> future = promise.get_future();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    lock.unlock();
+    WhyNotResponse response;
+    response.kind = request.kind;
+    response.status = Status::Unavailable("scheduler is shut down");
+    promise.set_value(std::move(response));
+    return future;
+  }
+  if (queue_.size() >= options_.max_queue_depth) {
+    ++stats_.admission_rejects;
+    lock.unlock();
+    MetricAdd(CounterId::kServeAdmissionRejects);
+    WhyNotResponse response;
+    response.kind = request.kind;
+    response.status = Status::ResourceExhausted(
+        StrFormat("admission control: queue depth cap %zu reached",
+                  options_.max_queue_depth));
+    promise.set_value(std::move(response));
+    return future;
+  }
+  ++stats_.submitted;
+  Pending pending;
+  pending.request = std::move(request);
+  pending.promise = std::move(promise);
+  pending.seq = next_seq_++;
+  pending.submitted = std::chrono::steady_clock::now();
+  queue_.push_back(std::move(pending));
+  MetricAdd(CounterId::kServeRequests);
+  MetricSetGauge(GaugeId::kServeQueueDepth,
+                 static_cast<int64_t>(queue_.size()));
+  lock.unlock();
+  cv_.notify_all();
+  return future;
+}
+
+WhyNotResponse RequestScheduler::SubmitAndWait(WhyNotRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void RequestScheduler::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void RequestScheduler::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void RequestScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::deque<Pending> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    MetricSetGauge(GaugeId::kServeQueueDepth, 0);
+  }
+  for (Pending& pending : leftover) {
+    WhyNotResponse response;
+    response.kind = pending.request.kind;
+    response.status = Status::Unavailable("scheduler shut down while queued");
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+size_t RequestScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+SchedulerStats RequestScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RequestScheduler::DispatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock,
+               [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+      if (shutdown_) return;
+      // Head of line: highest priority; FIFO (lowest seq) within a
+      // priority — the scan keeps the first maximum.
+      size_t head = 0;
+      for (size_t i = 1; i < queue_.size(); ++i) {
+        if (queue_[i].request.priority > queue_[head].request.priority) {
+          head = i;
+        }
+      }
+      // Pull every queued request sharing the head's query point (up to
+      // max_batch) into one dispatch, so SR(q)/RSL(q) is computed once.
+      const Point q = queue_[head].request.q;
+      const size_t cap = std::max<size_t>(options_.max_batch, 1);
+      std::vector<size_t> take = {head};
+      for (size_t i = 0; i < queue_.size() && take.size() < cap; ++i) {
+        if (i != head && queue_[i].request.q == q) take.push_back(i);
+      }
+      std::sort(take.begin(), take.end());
+      for (auto it = take.rbegin(); it != take.rend(); ++it) {
+        batch.push_back(std::move(queue_[*it]));
+        queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(*it));
+      }
+      std::reverse(batch.begin(), batch.end());  // Back to submission order.
+      MetricSetGauge(GaugeId::kServeQueueDepth,
+                     static_cast<int64_t>(queue_.size()));
+    }
+    ExecuteBatch(std::move(batch));
+  }
+}
+
+WhyNotResponse RequestScheduler::ExecuteOne(
+    const EngineSnapshot& snapshot, const WhyNotRequest& request) const {
+  WhyNotResponse response;
+  response.kind = request.kind;
+  switch (request.kind) {
+    case RequestKind::kReverseSkyline: {
+      Result<std::vector<size_t>> res = snapshot.TryReverseSkyline(request.q);
+      response.status = res.status();
+      if (res.ok()) {
+        response.reverse_skyline = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+    case RequestKind::kExplain: {
+      Result<WhyNotExplanation> res =
+          snapshot.TryExplain(request.c, request.q);
+      response.status = res.status();
+      if (res.ok()) {
+        response.explanation = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+    case RequestKind::kModifyWhyNot: {
+      Result<MwpResult> res =
+          snapshot.TryModifyWhyNot(request.c, request.q, request.semantics);
+      response.status = res.status();
+      if (res.ok()) {
+        response.mwp = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+    case RequestKind::kModifyQuery: {
+      Result<MqpResult> res =
+          snapshot.TryModifyQuery(request.c, request.q, request.semantics);
+      response.status = res.status();
+      if (res.ok()) {
+        response.mqp = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+    case RequestKind::kSafeRegion: {
+      Result<std::shared_ptr<const SafeRegionResult>> res =
+          snapshot.TrySafeRegion(request.q);
+      response.status = res.status();
+      if (res.ok()) {
+        response.safe_region = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+    case RequestKind::kModifyBoth: {
+      Result<MwqResult> res =
+          snapshot.TryModifyBoth(request.c, request.q, request.semantics);
+      response.status = res.status();
+      if (res.ok()) {
+        response.mwq = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+    case RequestKind::kModifyBothApprox: {
+      Result<MwqResult> res = snapshot.TryModifyBothApprox(
+          request.c, request.q, request.semantics);
+      response.status = res.status();
+      if (res.ok()) {
+        response.mwq = std::move(res).value();
+        response.completed = true;
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  const bool shared = batch.size() >= 2;
+  if (shared) {
+    MetricAdd(CounterId::kServeBatchShareHits,
+              static_cast<uint64_t>(batch.size() - 1));
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.batch_share_hits += batch.size() - 1;
+  }
+
+  // One snapshot for the whole batch: every request is answered against
+  // the same immutable engine state, and the batch keeps it pinned even
+  // if a mutation publishes a newer one mid-flight.
+  EngineSnapshot snapshot = engine_->Snapshot();
+
+  struct Slot {
+    Pending pending;
+    WhyNotResponse response;
+    bool done = false;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(batch.size());
+  for (Pending& pending : batch) {
+    Slot slot;
+    slot.pending = std::move(pending);
+    slots.push_back(std::move(slot));
+  }
+
+  // Queue-wait accounting and in-queue deadline expiry.
+  for (Slot& slot : slots) {
+    const uint64_t wait_us = MicrosBetween(slot.pending.submitted,
+                                           dispatch_time);
+    MetricRecord(HistogramId::kServeQueueWaitMicros, wait_us);
+    slot.response.kind = slot.pending.request.kind;
+    slot.response.shared_batch = shared;
+    slot.response.queue_wait = std::chrono::microseconds(wait_us);
+    const auto& deadline = slot.pending.request.deadline;
+    if (deadline.has_value() && *deadline < dispatch_time) {
+      slot.response.status = Status::DeadlineExceeded(
+          StrFormat("deadline expired after %lluus in queue",
+                    static_cast<unsigned long long>(wait_us)));
+      slot.done = true;
+      MetricAdd(CounterId::kServeDeadlineMisses);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_misses;
+    }
+  }
+
+  // Same-semantics MWQ runs fan out on the engine's ThreadPool as one
+  // batch call (exact and approx separately); everything else executes
+  // sequentially against the snapshot's warmed caches.
+  for (const bool use_approx : {false, true}) {
+    const RequestKind kind = use_approx ? RequestKind::kModifyBothApprox
+                                        : RequestKind::kModifyBoth;
+    for (const Semantics semantics :
+         {Semantics::kBoundary, Semantics::kStrict}) {
+      std::vector<size_t> group;
+      for (size_t i = 0; i < slots.size(); ++i) {
+        const WhyNotRequest& r = slots[i].pending.request;
+        if (!slots[i].done && r.kind == kind && r.semantics == semantics) {
+          group.push_back(i);
+        }
+      }
+      if (group.size() < 2) continue;
+      std::vector<size_t> whos;
+      whos.reserve(group.size());
+      for (size_t i : group) whos.push_back(slots[i].pending.request.c);
+      Result<std::vector<MwqResult>> res = snapshot.TryModifyBothBatch(
+          whos, slots[group.front()].pending.request.q, use_approx,
+          semantics);
+      if (!res.ok()) continue;  // Some input invalid: fall through to
+                                // per-request execution for exact errors.
+      for (size_t j = 0; j < group.size(); ++j) {
+        Slot& slot = slots[group[j]];
+        slot.response.status = Status::Ok();
+        slot.response.mwq = std::move(res.value()[j]);
+        slot.response.completed = true;
+        slot.done = true;
+      }
+    }
+  }
+
+  for (Slot& slot : slots) {
+    if (!slot.done) {
+      WhyNotResponse computed = ExecuteOne(snapshot, slot.pending.request);
+      computed.shared_batch = slot.response.shared_batch;
+      computed.queue_wait = slot.response.queue_wait;
+      slot.response = std::move(computed);
+      slot.done = true;
+    }
+  }
+
+  // Mid-run expiry: the payload (when computed) is kept, but the status
+  // tells the caller the answer arrived past its deadline.
+  const auto finish_time = std::chrono::steady_clock::now();
+  for (Slot& slot : slots) {
+    const auto& deadline = slot.pending.request.deadline;
+    if (slot.response.status.ok() && deadline.has_value() &&
+        *deadline < finish_time) {
+      slot.response.status =
+          Status::DeadlineExceeded("request completed after its deadline");
+      MetricAdd(CounterId::kServeDeadlineMisses);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.deadline_misses;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Slot& slot : slots) {
+      if (slot.response.completed) ++stats_.completed;
+    }
+  }
+  for (Slot& slot : slots) {
+    slot.pending.promise.set_value(std::move(slot.response));
+  }
+}
+
+}  // namespace serve
+}  // namespace wnrs

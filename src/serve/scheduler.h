@@ -1,0 +1,178 @@
+#ifndef WNRS_SERVE_SCHEDULER_H_
+#define WNRS_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace wnrs {
+namespace serve {
+
+/// Which engine entry point a request targets.
+enum class RequestKind {
+  kReverseSkyline = 0,  ///< RSL(q); ignores `c`.
+  kExplain,             ///< Aspect 1: culprits + frontier.
+  kModifyWhyNot,        ///< Algorithm 1 (MWP).
+  kModifyQuery,         ///< Algorithm 2 (MQP).
+  kSafeRegion,          ///< Exact SR(q); ignores `c`.
+  kModifyBoth,          ///< Algorithm 4 (MWQ, exact safe region).
+  kModifyBothApprox,    ///< Algorithm 4 over the approximated safe region.
+};
+
+/// Stable name for logs/JSON ("reverse_skyline", "modify_both", ...).
+const char* RequestKindName(RequestKind kind);
+
+/// One unit of work for the scheduler. Every request is validated with
+/// the engine's Try* layer, so malformed input (bad customer index,
+/// wrong-dimension query, missing approx store) degrades to an error
+/// response instead of aborting the process.
+struct WhyNotRequest {
+  RequestKind kind = RequestKind::kModifyBoth;
+  /// The query point q all kinds share; requests with equal q are batched
+  /// so SR(q)/RSL(q) is computed once for the whole batch.
+  Point q;
+  /// Why-not customer index; ignored by kReverseSkyline / kSafeRegion.
+  size_t c = 0;
+  /// Boundary or strict answer semantics for the Modify* kinds.
+  Semantics semantics = Semantics::kBoundary;
+  /// Absolute deadline. A request still queued past its deadline is
+  /// answered Status::DeadlineExceeded without running; one that expires
+  /// mid-run keeps its payload but is flagged the same way.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Higher-priority requests dispatch first (FIFO within a priority).
+  int priority = 0;
+};
+
+/// The scheduler's answer. `status` is authoritative; exactly one payload
+/// field (chosen by `kind`) is meaningful when it is OK — or when it is
+/// DeadlineExceeded with `completed` true (the answer arrived late but is
+/// still correct for the snapshot it ran against).
+struct WhyNotResponse {
+  Status status;
+  RequestKind kind = RequestKind::kModifyBoth;
+  /// True iff the payload was actually computed (late answers included).
+  bool completed = false;
+  /// True iff this request shared a same-q dispatch batch with others.
+  bool shared_batch = false;
+  /// Time spent queued before dispatch.
+  std::chrono::microseconds queue_wait{0};
+
+  std::vector<size_t> reverse_skyline;
+  WhyNotExplanation explanation;
+  MwpResult mwp;
+  MqpResult mqp;
+  std::shared_ptr<const SafeRegionResult> safe_region;
+  MwqResult mwq;
+};
+
+/// Scheduler tuning.
+struct SchedulerOptions {
+  /// Admission control: Submit rejects with ResourceExhausted once this
+  /// many requests are queued (dispatched requests no longer count).
+  size_t max_queue_depth = 1024;
+  /// Cap on how many same-q requests one dispatch batch may absorb.
+  size_t max_batch = 16;
+  /// Construct paused (no dispatching until Resume()); lets tests fill
+  /// the queue deterministically before the first dispatch.
+  bool start_paused = false;
+};
+
+/// Point-in-time scheduler counters (process-global equivalents live in
+/// MetricsRegistry under serve.*).
+struct SchedulerStats {
+  uint64_t submitted = 0;         ///< Admitted into the queue.
+  uint64_t admission_rejects = 0; ///< Refused by the queue-depth cap.
+  uint64_t deadline_misses = 0;   ///< Expired before or during execution.
+  uint64_t batch_share_hits = 0;  ///< Requests that rode a same-q batch.
+  uint64_t completed = 0;         ///< Responses delivered with a payload.
+};
+
+/// Deadline-aware request scheduler over one WhyNotEngine: the serving
+/// front end of the snapshot-isolated engine core.
+///
+/// A single dispatcher thread drains a priority+FIFO queue. Each dispatch
+/// takes the engine snapshot current at that moment, pulls every queued
+/// request with the same query point q (up to max_batch), and answers
+/// them against that one snapshot — the safe region and reverse skyline
+/// of q are computed once and shared across the batch through the
+/// snapshot's synchronized caches, and same-semantics MWQ runs fan out on
+/// the engine's existing ThreadPool (no second pool). Engine mutations
+/// interleave freely: a batch in flight keeps its snapshot while the next
+/// dispatch observes the new one.
+///
+/// Thread-safe: any number of threads may Submit concurrently.
+class RequestScheduler {
+ public:
+  /// The engine must outlive the scheduler (the scheduler pins snapshots,
+  /// not the engine itself).
+  explicit RequestScheduler(const WhyNotEngine* engine,
+                            SchedulerOptions options = {});
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Enqueues a request. The future is always eventually fulfilled:
+  /// with the answer, or with ResourceExhausted (admission control),
+  /// DeadlineExceeded (expired in queue), Unavailable (shutdown), or a
+  /// validation error from the engine's Try* layer.
+  std::future<WhyNotResponse> Submit(WhyNotRequest request);
+
+  /// Submit + block for the response.
+  WhyNotResponse SubmitAndWait(WhyNotRequest request);
+
+  /// Halts dispatching (in-flight batches finish); Submit still admits.
+  void Pause();
+  void Resume();
+
+  /// Stops the dispatcher and fails every still-queued request with
+  /// Unavailable. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Requests currently queued (excludes in-flight dispatches).
+  size_t queue_depth() const;
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Pending {
+    WhyNotRequest request;
+    std::promise<WhyNotResponse> promise;
+    uint64_t seq = 0;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void DispatcherLoop();
+  void ExecuteBatch(std::vector<Pending> batch);
+  /// Runs one validated request against the shared snapshot.
+  WhyNotResponse ExecuteOne(const EngineSnapshot& snapshot,
+                            const WhyNotRequest& request) const;
+
+  const WhyNotEngine* engine_;
+  const SchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  uint64_t next_seq_ = 0;
+  bool paused_ = false;
+  bool shutdown_ = false;
+  SchedulerStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace serve
+}  // namespace wnrs
+
+#endif  // WNRS_SERVE_SCHEDULER_H_

@@ -1,0 +1,316 @@
+// Concurrency tests for the snapshot-isolated engine core: many external
+// threads querying one engine (through the facade and through explicit
+// EngineSnapshot sessions) must produce results bit-identical to the
+// serial run, including while mutations publish new snapshots. These
+// tests are part of the TSan CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "data/generators.h"
+
+namespace wnrs {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+enum class TaskKind {
+  kReverseSkyline,
+  kSafeRegion,
+  kModifyWhyNot,
+  kModifyBoth,
+};
+
+struct Task {
+  TaskKind kind;
+  size_t c = 0;
+  Point q;
+};
+
+/// Canonical, exact string form of a task's answer, so serial and
+/// concurrent runs can be compared for bit-identity regardless of the
+/// result type.
+std::string Canonical(const EngineSnapshot& snapshot, const Task& task) {
+  std::string out;
+  switch (task.kind) {
+    case TaskKind::kReverseSkyline: {
+      for (size_t c : snapshot.ReverseSkyline(task.q)) {
+        out += StrFormat("%zu,", c);
+      }
+      return "rsl:" + out;
+    }
+    case TaskKind::kSafeRegion: {
+      const std::shared_ptr<const SafeRegionResult> sr =
+          snapshot.SafeRegion(task.q);
+      out = StrFormat("sr:%zu:%d:", sr->customers_processed,
+                      sr->truncated ? 1 : 0);
+      for (const Rectangle& r : sr->region.rects()) {
+        for (size_t i = 0; i < r.dims(); ++i) {
+          out += StrFormat("%.17g,%.17g;", r.lo()[i], r.hi()[i]);
+        }
+      }
+      return out;
+    }
+    case TaskKind::kModifyWhyNot: {
+      const MwpResult r = snapshot.ModifyWhyNot(task.c, task.q);
+      out = StrFormat("mwp:%d:", r.already_member ? 1 : 0);
+      for (const Candidate& cand : r.candidates) {
+        out += StrFormat("%.17g@", cand.cost);
+        for (size_t i = 0; i < cand.point.dims(); ++i) {
+          out += StrFormat("%.17g,", cand.point[i]);
+        }
+        out += ";";
+      }
+      return out;
+    }
+    case TaskKind::kModifyBoth: {
+      const MwqResult r = snapshot.ModifyBoth(task.c, task.q);
+      out = StrFormat("mwq:%d:%d:%.17g:", r.already_member ? 1 : 0,
+                      r.overlap ? 1 : 0, r.best_cost);
+      for (const Candidate& cand : r.query_candidates) {
+        out += StrFormat("%.17g;", cand.cost);
+      }
+      out += ":";
+      for (const Candidate& cand : r.why_not_candidates) {
+        out += StrFormat("%.17g;", cand.cost);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<Task> MakeTasks(const WhyNotEngine& engine, size_t num_queries,
+                            size_t repeats) {
+  const std::vector<Point>& pts = engine.products().points;
+  std::vector<Task> tasks;
+  for (size_t rep = 0; rep < repeats; ++rep) {
+    for (size_t qi = 0; qi < num_queries; ++qi) {
+      const Point& q = pts[qi];
+      const size_t c = (qi + 7) % pts.size();
+      tasks.push_back({TaskKind::kReverseSkyline, 0, q});
+      tasks.push_back({TaskKind::kSafeRegion, 0, q});
+      tasks.push_back({TaskKind::kModifyWhyNot, c, q});
+      tasks.push_back({TaskKind::kModifyBoth, c, q});
+    }
+  }
+  return tasks;
+}
+
+// >= 8 external threads, mixed request kinds, half through the facade's
+// Snapshot() per thread and half through a shared snapshot: every answer
+// must equal the serial one.
+TEST(ConcurrentEngineTest, EightThreadsMixedKindsMatchSerial) {
+  WhyNotEngine engine(GenerateCarDb(250, 5));
+  const std::vector<Task> tasks = MakeTasks(engine, 5, 3);
+
+  std::vector<std::string> expected(tasks.size());
+  const EngineSnapshot serial = engine.Snapshot();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    expected[i] = Canonical(serial, tasks[i]);
+  }
+
+  std::vector<std::string> got(tasks.size());
+  const EngineSnapshot shared = engine.Snapshot();
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Odd threads pin their own session; even threads share one.
+      const EngineSnapshot own = engine.Snapshot();
+      const EngineSnapshot& snapshot = (t % 2 == 0) ? shared : own;
+      for (size_t i = t; i < tasks.size(); i += kThreads) {
+        got[i] = Canonical(snapshot, tasks[i]);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "task " << i;
+  }
+}
+
+// The reference-returning facade is itself safe for concurrent callers
+// (synchronized caches and stats): hammer it from 8 threads and compare
+// against serial answers.
+TEST(ConcurrentEngineTest, ConcurrentFacadeCallsMatchSerial) {
+  WhyNotEngine engine(GenerateCarDb(200, 9));
+  const std::vector<Task> tasks = MakeTasks(engine, 4, 2);
+
+  std::vector<std::string> expected(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    expected[i] = Canonical(engine.Snapshot(), tasks[i]);
+  }
+  engine.ResetStats();
+
+  std::vector<std::string> got(tasks.size());
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < tasks.size(); i += kThreads) {
+        // Exercise the facade paths (stats scopes, legacy SafeRegion
+        // reference anchoring) rather than an explicit snapshot.
+        switch (tasks[i].kind) {
+          case TaskKind::kReverseSkyline:
+            (void)engine.ReverseSkyline(tasks[i].q);
+            break;
+          case TaskKind::kSafeRegion:
+            (void)engine.SafeRegion(tasks[i].q).region.Contains(tasks[i].q);
+            break;
+          case TaskKind::kModifyWhyNot:
+            (void)engine.ModifyWhyNot(tasks[i].c, tasks[i].q);
+            break;
+          case TaskKind::kModifyBoth:
+            (void)engine.ModifyBoth(tasks[i].c, tasks[i].q);
+            break;
+        }
+        got[i] = Canonical(engine.Snapshot(), tasks[i]);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "task " << i;
+  }
+  // Cumulative stats attributed every outermost call.
+  EXPECT_GT(engine.stats().engine_queries, 0u);
+}
+
+// A snapshot taken before a mutation answers against the old market state
+// no matter what the engine does afterwards.
+TEST(ConcurrentEngineTest, SnapshotIsolatedFromMutations) {
+  WhyNotEngine engine(GenerateCarDb(150, 3));
+  const Point q = engine.products().points[0];
+  const EngineSnapshot before = engine.Snapshot();
+  const std::vector<size_t> rsl_before = before.ReverseSkyline(q);
+  const size_t products_before = before.products().size();
+
+  // Mutate: add a clone of q (a new dominating product) and remove an
+  // existing one.
+  const size_t new_id = engine.AddProduct(q);
+  ASSERT_TRUE(engine.RemoveProduct(1));
+
+  // The old snapshot is frozen...
+  EXPECT_EQ(before.products().size(), products_before);
+  EXPECT_EQ(before.ReverseSkyline(q), rsl_before);
+  EXPECT_FALSE(before.IsLiveProduct(new_id));
+  EXPECT_TRUE(before.IsLiveProduct(1));
+
+  // ...while the engine (and any new snapshot) sees the new state.
+  const EngineSnapshot after = engine.Snapshot();
+  EXPECT_EQ(after.products().size(), products_before + 1);
+  EXPECT_TRUE(after.IsLiveProduct(new_id));
+  EXPECT_FALSE(after.IsLiveProduct(1));
+  EXPECT_EQ(after.ReverseSkyline(q), engine.ReverseSkyline(q));
+}
+
+// A session may outlive the engine that issued it: the snapshot pins the
+// core (datasets, tree, thread pool) it was created over.
+TEST(ConcurrentEngineTest, SnapshotOutlivesEngine) {
+  auto engine = std::make_unique<WhyNotEngine>(GenerateCarDb(120, 4));
+  const Point q = engine->products().points[2];
+  const std::vector<size_t> expected = engine->ReverseSkyline(q);
+  EngineSnapshot snapshot = engine->Snapshot();
+  engine.reset();
+  EXPECT_EQ(snapshot.ReverseSkyline(q), expected);
+  EXPECT_FALSE(snapshot.ModifyBoth(5, q).query_candidates.empty());
+}
+
+// Readers holding snapshots race a mutator publishing new cores: every
+// snapshot must stay self-consistent (identical answers when re-asked),
+// and the final engine state must equal the same mutations run serially.
+TEST(ConcurrentEngineTest, ConcurrentReadersWithMutationPublishing) {
+  WhyNotEngine engine(GenerateCarDb(150, 11));
+  const std::vector<Point> queries(engine.products().points.begin(),
+                                   engine.products().points.begin() + 4);
+  constexpr size_t kMutations = 6;
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> inconsistencies{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      size_t iter = 0;
+      while (!stop.load(std::memory_order_relaxed) || iter == 0) {
+        const EngineSnapshot snapshot = engine.Snapshot();
+        const Point& q = queries[(t + iter) % queries.size()];
+        const std::vector<size_t> first = snapshot.ReverseSkyline(q);
+        const MwqResult mwq = snapshot.ModifyBoth(t % 50, q);
+        const std::vector<size_t> second = snapshot.ReverseSkyline(q);
+        if (first != second || mwq.query_candidates.empty()) {
+          inconsistencies.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++iter;
+      }
+    });
+  }
+
+  // Mutator: interleaved inserts and removes, each publishing a snapshot.
+  std::vector<Point> added;
+  for (size_t m = 0; m < kMutations; ++m) {
+    Point p = queries[m % queries.size()];
+    p[0] += 1.0 + static_cast<double>(m);
+    added.push_back(p);
+    const size_t id = engine.AddProduct(p);
+    if (m % 2 == 1) {
+      EXPECT_TRUE(engine.RemoveProduct(id));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& th : readers) th.join();
+  EXPECT_EQ(inconsistencies.load(), 0u);
+
+  // The concurrent run must land on the exact serial end state.
+  WhyNotEngine serial(GenerateCarDb(150, 11));
+  for (size_t m = 0; m < kMutations; ++m) {
+    const size_t id = serial.AddProduct(added[m]);
+    if (m % 2 == 1) {
+      EXPECT_TRUE(serial.RemoveProduct(id));
+    }
+  }
+  ASSERT_EQ(engine.products().size(), serial.products().size());
+  for (const Point& q : queries) {
+    EXPECT_EQ(engine.ReverseSkyline(q), serial.ReverseSkyline(q));
+  }
+  EXPECT_TRUE(engine.product_tree().CheckInvariants().ok());
+}
+
+// Concurrent mutations serialize against each other; ids stay unique and
+// the tree invariants hold.
+TEST(ConcurrentEngineTest, ConcurrentMutationsSerialize) {
+  WhyNotEngine engine(GenerateCarDb(100, 13));
+  const size_t before = engine.products().size();
+  constexpr size_t kPerThread = 4;
+  std::vector<std::vector<size_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        Point p = engine.Snapshot().products().points[t];
+        p[1] += static_cast<double>(t * kPerThread + i + 1);
+        ids[t].push_back(engine.AddProduct(p));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::vector<size_t> all;
+  for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.size(), kThreads * kPerThread);
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "duplicate product id assigned";
+  EXPECT_EQ(engine.products().size(), before + kThreads * kPerThread);
+  EXPECT_TRUE(engine.product_tree().CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace wnrs

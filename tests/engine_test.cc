@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "data/generators.h"
+#include "reverse_skyline/window_query.h"
 
 namespace wnrs {
 namespace {
@@ -340,6 +341,134 @@ TEST(EngineTest, LoadApproxDslsRejectsNonFiniteCoordinates) {
       << status.ToString();
   EXPECT_FALSE(engine.HasApproxDsls());
   std::remove(path.c_str());
+}
+
+// ---- Try* layer: non-aborting counterparts of the checked entry points.
+
+TEST(EngineTest, TryVariantsReturnErrorsInsteadOfAborting) {
+  WhyNotEngine engine(GenerateCarDb(200, 21));
+  const Point q = engine.products().points[4];
+
+  // Wrong-dimensional query.
+  const Point bad_q(std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_EQ(engine.TryReverseSkyline(bad_q).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.TrySafeRegion(bad_q).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Out-of-range why-not customer.
+  const size_t bad_c = engine.customers().size();
+  EXPECT_EQ(engine.TryModifyWhyNot(bad_c, q).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.TryModifyQuery(bad_c, q).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.TryModifyBoth(bad_c, q).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.TryExplain(bad_c, q).status().code(),
+            StatusCode::kOutOfRange);
+
+  // Approx MWQ before PrecomputeApproxDsls.
+  EXPECT_EQ(engine.TryModifyBothApprox(7, q).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.TryApproxSafeRegion(q).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Valid input goes through and matches the aborting forms.
+  const Result<std::vector<size_t>> rsl = engine.TryReverseSkyline(q);
+  ASSERT_TRUE(rsl.ok()) << rsl.status().ToString();
+  EXPECT_EQ(rsl.value(), engine.ReverseSkyline(q));
+  const Result<MwqResult> mwq = engine.TryModifyBoth(7, q);
+  ASSERT_TRUE(mwq.ok());
+  EXPECT_EQ(mwq.value().best_cost, engine.ModifyBoth(7, q).best_cost);
+}
+
+TEST(EngineTest, TryAddAndRemoveProductValidate) {
+  WhyNotEngine engine(GenerateCarDb(100, 22));
+  const size_t before = engine.products().size();
+
+  const Result<size_t> bad =
+      engine.TryAddProduct(Point(std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.products().size(), before);
+
+  const Result<size_t> added =
+      engine.TryAddProduct(engine.products().points[0]);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(engine.products().size(), before + 1);
+  EXPECT_TRUE(engine.IsLiveProduct(added.value()));
+
+  EXPECT_EQ(engine.TryRemoveProduct(before + 100).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(engine.TryRemoveProduct(added.value()).ok());
+  // Double-remove reports NotFound (tombstoned).
+  EXPECT_EQ(engine.TryRemoveProduct(added.value()).code(),
+            StatusCode::kNotFound);
+}
+
+// ---- Semantics::kStrict: candidates are nudged off the boundary into
+// strict reverse-skyline membership.
+
+TEST(EngineTest, StrictMwpCandidatesAreStrictMembers) {
+  WhyNotEngine engine(GenerateCarDb(250, 23));
+  bool exercised = false;
+  for (size_t qi = 0; qi < 6 && !exercised; ++qi) {
+    const Point& q = engine.products().points[qi];
+    for (size_t c = 0; c < 40; ++c) {
+      if (engine.IsReverseSkylineMember(c, q)) continue;
+      const MwpResult boundary = engine.ModifyWhyNot(c, q);
+      const MwpResult strict =
+          engine.ModifyWhyNot(c, q, Semantics::kStrict);
+      if (boundary.candidates.empty()) continue;
+      ASSERT_EQ(strict.candidates.size(), boundary.candidates.size());
+      for (const Candidate& cand : strict.candidates) {
+        // Strict membership: the moved customer's window is empty.
+        EXPECT_TRUE(WindowEmpty(engine.product_tree(), cand.point, q,
+                                static_cast<RStarTree::Id>(c)))
+            << "customer " << c;
+      }
+      // Nudging moves past the boundary, so cost never decreases.
+      EXPECT_GE(strict.candidates.front().cost,
+                boundary.candidates.front().cost - 1e-12);
+      exercised = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(exercised) << "no why-not case found; widen the scan";
+}
+
+TEST(EngineTest, StrictMqpCandidatesAreStrictMembers) {
+  WhyNotEngine engine(GenerateCarDb(250, 24));
+  bool exercised = false;
+  for (size_t qi = 0; qi < 6 && !exercised; ++qi) {
+    const Point& q = engine.products().points[qi];
+    for (size_t c = 0; c < 40; ++c) {
+      if (engine.IsReverseSkylineMember(c, q)) continue;
+      const MqpResult strict = engine.ModifyQuery(c, q, Semantics::kStrict);
+      if (strict.candidates.empty() || strict.already_member) continue;
+      const Point& cp = engine.customers().points[c];
+      for (const Candidate& cand : strict.candidates) {
+        // Under the nudged query q*, customer c is a strict member.
+        EXPECT_TRUE(WindowEmpty(engine.product_tree(), cp, cand.point,
+                                static_cast<RStarTree::Id>(c)))
+            << "customer " << c;
+      }
+      exercised = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(exercised) << "no why-not case found; widen the scan";
+}
+
+TEST(EngineTest, StrictSemanticsDefaultsToBoundary) {
+  WhyNotEngine engine(GenerateCarDb(150, 25));
+  const Point& q = engine.products().points[2];
+  const MwpResult defaulted = engine.ModifyWhyNot(9, q);
+  const MwpResult boundary = engine.ModifyWhyNot(9, q, Semantics::kBoundary);
+  ASSERT_EQ(defaulted.candidates.size(), boundary.candidates.size());
+  for (size_t i = 0; i < defaulted.candidates.size(); ++i) {
+    EXPECT_EQ(defaulted.candidates[i].point, boundary.candidates[i].point);
+    EXPECT_EQ(defaulted.candidates[i].cost, boundary.candidates[i].cost);
+  }
 }
 
 TEST(EngineTest, ReverseSkylineMatchesPerCustomerMembership) {

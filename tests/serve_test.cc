@@ -1,0 +1,300 @@
+// Tests for the deadline-aware RequestScheduler: result parity with the
+// direct engine API, pinned deadline-miss and same-q batch-sharing
+// behavior, admission control, graceful degradation on malformed input,
+// and shutdown semantics. Deterministic scheduling states are arranged
+// with start_paused + Resume, never with sleeps.
+
+#include "serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "data/generators.h"
+
+namespace wnrs {
+namespace serve {
+namespace {
+
+WhyNotEngine MakeEngine(size_t n = 200, uint64_t seed = 5) {
+  WhyNotEngineOptions options;
+  options.num_threads = 1;
+  return WhyNotEngine(GenerateCarDb(n, seed), options);
+}
+
+WhyNotRequest MakeRequest(RequestKind kind, const Point& q, size_t c = 0) {
+  WhyNotRequest request;
+  request.kind = kind;
+  request.q = q;
+  request.c = c;
+  return request;
+}
+
+TEST(ServeTest, ResultsMatchDirectEngineCalls) {
+  const WhyNotEngine engine = MakeEngine();
+  RequestScheduler scheduler(&engine);
+  const Point q = engine.products().points[3];
+  const size_t c = 11;
+
+  WhyNotResponse r =
+      scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline, q));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.reverse_skyline, engine.ReverseSkyline(q));
+
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kExplain, q, c));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.explanation.culprits, engine.Explain(c, q).culprits);
+
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyWhyNot, q, c));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  const MwpResult mwp = engine.ModifyWhyNot(c, q);
+  ASSERT_EQ(r.mwp.candidates.size(), mwp.candidates.size());
+  for (size_t i = 0; i < mwp.candidates.size(); ++i) {
+    EXPECT_EQ(r.mwp.candidates[i].cost, mwp.candidates[i].cost);
+    EXPECT_EQ(r.mwp.candidates[i].point, mwp.candidates[i].point);
+  }
+
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyQuery, q, c));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  const MqpResult mqp = engine.ModifyQuery(c, q);
+  ASSERT_EQ(r.mqp.candidates.size(), mqp.candidates.size());
+
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kSafeRegion, q));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  ASSERT_NE(r.safe_region, nullptr);
+  EXPECT_EQ(r.safe_region->region.size(), engine.SafeRegion(q).region.size());
+
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyBoth, q, c));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.mwq.best_cost, engine.ModifyBoth(c, q).best_cost);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 6u);
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_EQ(stats.admission_rejects, 0u);
+}
+
+TEST(ServeTest, StrictSemanticsThreadsThrough) {
+  const WhyNotEngine engine = MakeEngine();
+  RequestScheduler scheduler(&engine);
+  const Point q = engine.products().points[3];
+  WhyNotRequest request = MakeRequest(RequestKind::kModifyWhyNot, q, 11);
+  request.semantics = Semantics::kStrict;
+  const WhyNotResponse r = scheduler.SubmitAndWait(request);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  const MwpResult strict =
+      engine.ModifyWhyNot(11, q, Semantics::kStrict);
+  ASSERT_EQ(r.mwp.candidates.size(), strict.candidates.size());
+  for (size_t i = 0; i < strict.candidates.size(); ++i) {
+    EXPECT_EQ(r.mwp.candidates[i].point, strict.candidates[i].point);
+  }
+}
+
+// A request whose deadline has already passed when the dispatcher reaches
+// it is answered DeadlineExceeded without running.
+TEST(ServeTest, ExpiredDeadlineIsMissWithoutExecution) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  RequestScheduler scheduler(&engine, options);
+  const Point q = engine.products().points[0];
+
+  WhyNotRequest request = MakeRequest(RequestKind::kModifyBoth, q, 7);
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  std::future<WhyNotResponse> expired = scheduler.Submit(request);
+  // Same q, no deadline: proves the batch-mate still runs.
+  std::future<WhyNotResponse> fine =
+      scheduler.Submit(MakeRequest(RequestKind::kModifyBoth, q, 7));
+  scheduler.Resume();
+
+  const WhyNotResponse r1 = expired.get();
+  EXPECT_EQ(r1.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(r1.completed);
+  EXPECT_TRUE(r1.mwq.query_candidates.empty());
+
+  const WhyNotResponse r2 = fine.get();
+  EXPECT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_TRUE(r2.completed);
+
+  EXPECT_EQ(scheduler.stats().deadline_misses, 1u);
+}
+
+// Same-q requests queued together dispatch as one batch: one shared
+// snapshot computation, batch_share_hits counts the riders.
+TEST(ServeTest, SameQueryRequestsShareOneBatch) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  RequestScheduler scheduler(&engine, options);
+  const Point q = engine.products().points[5];
+
+  std::vector<std::future<WhyNotResponse>> futures;
+  for (size_t c : {3u, 9u, 14u, 21u}) {
+    futures.push_back(
+        scheduler.Submit(MakeRequest(RequestKind::kModifyBoth, q, c)));
+  }
+  EXPECT_EQ(scheduler.queue_depth(), 4u);
+  scheduler.Resume();
+
+  for (auto& f : futures) {
+    const WhyNotResponse r = f.get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.shared_batch);
+    EXPECT_FALSE(r.mwq.query_candidates.empty());
+  }
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.batch_share_hits, 3u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+}
+
+// max_batch caps how many same-q requests one dispatch absorbs.
+TEST(ServeTest, MaxBatchCapsSharing) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  options.max_batch = 2;
+  RequestScheduler scheduler(&engine, options);
+  const Point q = engine.products().points[5];
+
+  std::vector<std::future<WhyNotResponse>> futures;
+  for (size_t i = 0; i < 4; ++i) {
+    futures.push_back(
+        scheduler.Submit(MakeRequest(RequestKind::kReverseSkyline, q)));
+  }
+  scheduler.Resume();
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.get().status.ok());
+  }
+  // Two batches of two -> one rider each.
+  EXPECT_EQ(scheduler.stats().batch_share_hits, 2u);
+}
+
+// Higher priority dispatches first even when submitted later.
+TEST(ServeTest, PriorityOrdersDispatch) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  RequestScheduler scheduler(&engine, options);
+  const Point q_low = engine.products().points[1];
+  const Point q_high = engine.products().points[2];
+
+  WhyNotRequest low = MakeRequest(RequestKind::kReverseSkyline, q_low);
+  WhyNotRequest high = MakeRequest(RequestKind::kReverseSkyline, q_high);
+  high.priority = 10;
+  std::future<WhyNotResponse> f_low = scheduler.Submit(low);
+  std::future<WhyNotResponse> f_high = scheduler.Submit(high);
+  scheduler.Resume();
+
+  const WhyNotResponse r_low = f_low.get();
+  const WhyNotResponse r_high = f_high.get();
+  ASSERT_TRUE(r_low.status.ok());
+  ASSERT_TRUE(r_high.status.ok());
+  // The high-priority request waited no longer than the earlier-submitted
+  // low-priority one (it jumped the queue).
+  EXPECT_LE(r_high.queue_wait.count(), r_low.queue_wait.count());
+}
+
+TEST(ServeTest, AdmissionControlRejectsWhenQueueFull) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  options.max_queue_depth = 2;
+  RequestScheduler scheduler(&engine, options);
+  const Point q = engine.products().points[0];
+
+  std::future<WhyNotResponse> f1 =
+      scheduler.Submit(MakeRequest(RequestKind::kReverseSkyline, q));
+  std::future<WhyNotResponse> f2 =
+      scheduler.Submit(MakeRequest(RequestKind::kSafeRegion, q));
+  std::future<WhyNotResponse> f3 =
+      scheduler.Submit(MakeRequest(RequestKind::kModifyBoth, q, 4));
+
+  // The third is rejected immediately (the scheduler is paused, so no
+  // queue slot can have freed up).
+  const WhyNotResponse r3 = f3.get();
+  EXPECT_EQ(r3.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(r3.completed);
+  EXPECT_EQ(scheduler.stats().admission_rejects, 1u);
+
+  scheduler.Resume();
+  EXPECT_TRUE(f1.get().status.ok());
+  EXPECT_TRUE(f2.get().status.ok());
+  EXPECT_EQ(scheduler.stats().completed, 2u);
+}
+
+// Malformed requests come back as error responses, never aborts.
+TEST(ServeTest, InvalidRequestsDegradeGracefully) {
+  const WhyNotEngine engine = MakeEngine();
+  RequestScheduler scheduler(&engine);
+  const Point q = engine.products().points[0];
+
+  // Customer index out of range.
+  WhyNotResponse r = scheduler.SubmitAndWait(
+      MakeRequest(RequestKind::kModifyWhyNot, q, engine.customers().size()));
+  EXPECT_EQ(r.status.code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(r.completed);
+
+  // Wrong-dimensional query point.
+  r = scheduler.SubmitAndWait(
+      MakeRequest(RequestKind::kReverseSkyline, Point({1.0, 2.0, 3.0})));
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+
+  // Approx MWQ without a precomputed approx store.
+  r = scheduler.SubmitAndWait(
+      MakeRequest(RequestKind::kModifyBothApprox, q, 4));
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+
+  // A bad request inside a same-q batch fails alone; its batch-mates
+  // still succeed.
+  SchedulerOptions options;
+  options.start_paused = true;
+  RequestScheduler paused(&engine, options);
+  std::future<WhyNotResponse> good =
+      paused.Submit(MakeRequest(RequestKind::kModifyBoth, q, 4));
+  std::future<WhyNotResponse> bad = paused.Submit(
+      MakeRequest(RequestKind::kModifyBoth, q, engine.customers().size()));
+  paused.Resume();
+  EXPECT_TRUE(good.get().status.ok());
+  EXPECT_EQ(bad.get().status.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ServeTest, ShutdownFailsQueuedRequests) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  RequestScheduler scheduler(&engine, options);
+  const Point q = engine.products().points[0];
+
+  std::future<WhyNotResponse> f =
+      scheduler.Submit(MakeRequest(RequestKind::kReverseSkyline, q));
+  scheduler.Shutdown();
+  const WhyNotResponse r = f.get();
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(r.completed);
+
+  // Submitting after shutdown is also Unavailable, and Shutdown is
+  // idempotent.
+  const WhyNotResponse r2 =
+      scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline, q));
+  EXPECT_EQ(r2.status.code(), StatusCode::kUnavailable);
+  scheduler.Shutdown();
+}
+
+TEST(ServeTest, RequestKindNamesAreStable) {
+  EXPECT_STREQ(RequestKindName(RequestKind::kReverseSkyline),
+               "reverse_skyline");
+  EXPECT_STREQ(RequestKindName(RequestKind::kModifyBoth), "modify_both");
+  EXPECT_STREQ(RequestKindName(RequestKind::kModifyBothApprox),
+               "modify_both_approx");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace wnrs

@@ -24,6 +24,11 @@ silently stops running a configuration must not pass the gate. New
 configs in the current run (not in the baseline) are reported but do not
 fail — they start gating once the baseline is regenerated.
 
+Counters whose values depend on the host (thread-pool task splits) or on
+scheduling interleavings (the serve.* counters, cache hit/miss splits
+under concurrent callers) are skipped entirely; benches listed in
+NONDETERMINISTIC_BENCHES gate on wall time only.
+
 Exit codes: 0 = pass, 1 = regression or missing data, 2 = usage error.
 """
 
@@ -31,6 +36,25 @@ import argparse
 import json
 import pathlib
 import sys
+
+# Counters that legitimately vary across hosts or runs: thread-pool work
+# splitting depends on core count, and the serve/cache counters depend on
+# which requests happened to share a dispatch batch or find a warm cache.
+HOST_DEPENDENT_COUNTERS = {
+    "pool_parallel_fors",
+    "pool_tasks_executed",
+    "rsl_cache_hits",
+    "rsl_cache_misses",
+    "rsl_cache_evictions",
+    "serve_requests",
+    "serve_admission_rejects",
+    "serve_deadline_misses",
+    "serve_batch_share_hits",
+}
+
+# Benches whose work counters are interleaving-dependent end to end
+# (concurrent callers racing over shared caches): gate on wall time only.
+NONDETERMINISTIC_BENCHES = {"serve_throughput", "parallel_scaling"}
 
 
 def load_current(current_dir):
@@ -93,9 +117,13 @@ def check(baseline, current, args):
                     f"{bench_name}/{config}: wall_ms {cur_ms:.1f} is "
                     f">{args.wall_tolerance:.2f}x faster than baseline "
                     f"{base_ms:.1f} — consider regenerating the baseline")
+            if bench_name in NONDETERMINISTIC_BENCHES:
+                continue
             base_counters = base_rec.get("counters", {})
             cur_counters = cur_rec.get("counters", {})
             for key, base_val in sorted(base_counters.items()):
+                if key in HOST_DEPENDENT_COUNTERS:
+                    continue
                 base_val = int(base_val)
                 cur_val = int(cur_counters.get(key, 0))
                 if base_val < args.counter_floor and \

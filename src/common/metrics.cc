@@ -296,6 +296,9 @@ QueryStats MetricsRegistry::CaptureQueryStats() const {
   s.pool_parallel_fors = value(CounterId::kPoolParallelFors);
   s.pool_tasks_executed = value(CounterId::kPoolTasksExecuted);
   s.engine_queries = value(CounterId::kEngineQueries);
+  s.packed_freezes = value(CounterId::kPackedFreezes);
+  s.packed_freeze_ns = value(CounterId::kPackedFreezeNanos);
+  s.packed_node_reads = value(CounterId::kPackedNodeReads);
   s.serve_requests = value(CounterId::kServeRequests);
   s.serve_admission_rejects = value(CounterId::kServeAdmissionRejects);
   s.serve_deadline_misses = value(CounterId::kServeDeadlineMisses);
@@ -339,6 +342,9 @@ const char* MetricsRegistry::Name(CounterId id) {
     case CounterId::kPoolParallelFors: return "pool.parallel_fors";
     case CounterId::kPoolTasksExecuted: return "pool.tasks_executed";
     case CounterId::kEngineQueries: return "engine.queries";
+    case CounterId::kPackedFreezes: return "packed.freezes";
+    case CounterId::kPackedFreezeNanos: return "packed.freeze_ns";
+    case CounterId::kPackedNodeReads: return "packed.node_reads";
     case CounterId::kServeRequests: return "serve.requests";
     case CounterId::kServeAdmissionRejects: return "serve.admission_rejects";
     case CounterId::kServeDeadlineMisses: return "serve.deadline_misses";
@@ -445,6 +451,9 @@ QueryStats QueryStats::operator-(const QueryStats& other) const {
   d.pool_parallel_fors = pool_parallel_fors - other.pool_parallel_fors;
   d.pool_tasks_executed = pool_tasks_executed - other.pool_tasks_executed;
   d.engine_queries = engine_queries - other.engine_queries;
+  d.packed_freezes = packed_freezes - other.packed_freezes;
+  d.packed_freeze_ns = packed_freeze_ns - other.packed_freeze_ns;
+  d.packed_node_reads = packed_node_reads - other.packed_node_reads;
   d.serve_requests = serve_requests - other.serve_requests;
   d.serve_admission_rejects =
       serve_admission_rejects - other.serve_admission_rejects;
@@ -477,6 +486,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   pool_parallel_fors += other.pool_parallel_fors;
   pool_tasks_executed += other.pool_tasks_executed;
   engine_queries += other.engine_queries;
+  packed_freezes += other.packed_freezes;
+  packed_freeze_ns += other.packed_freeze_ns;
+  packed_node_reads += other.packed_node_reads;
   serve_requests += other.serve_requests;
   serve_admission_rejects += other.serve_admission_rejects;
   serve_deadline_misses += other.serve_deadline_misses;
@@ -511,6 +523,9 @@ std::string QueryStats::ToJson() const {
   out += field("pool_parallel_fors", pool_parallel_fors);
   out += field("pool_tasks_executed", pool_tasks_executed);
   out += field("engine_queries", engine_queries);
+  out += field("packed_freezes", packed_freezes);
+  out += field("packed_freeze_ns", packed_freeze_ns);
+  out += field("packed_node_reads", packed_node_reads);
   out += field("serve_requests", serve_requests);
   out += field("serve_admission_rejects", serve_admission_rejects);
   out += field("serve_deadline_misses", serve_deadline_misses);

@@ -42,6 +42,10 @@ enum class CounterId : uint32_t {
   kPoolTasksExecuted,    ///< Loop indices executed on any thread.
   // Engine facade.
   kEngineQueries,        ///< Outermost public engine calls.
+  // Packed (frozen) read path.
+  kPackedFreezes,        ///< PackedRTree::Freeze calls (one per publish).
+  kPackedFreezeNanos,    ///< Nanoseconds spent freezing packed trees.
+  kPackedNodeReads,      ///< Node reads served by the packed read path.
   // Request scheduler (src/serve).
   kServeRequests,        ///< Requests admitted into the scheduler queue.
   kServeAdmissionRejects,///< Requests rejected by queue-depth admission.
@@ -123,6 +127,9 @@ struct QueryStats {
   uint64_t pool_parallel_fors = 0;
   uint64_t pool_tasks_executed = 0;
   uint64_t engine_queries = 0;
+  uint64_t packed_freezes = 0;
+  uint64_t packed_freeze_ns = 0;
+  uint64_t packed_node_reads = 0;
   uint64_t serve_requests = 0;
   uint64_t serve_admission_rejects = 0;
   uint64_t serve_deadline_misses = 0;

@@ -13,6 +13,7 @@
 #include "common/string_util.h"
 #include "geometry/transform.h"
 #include "index/bulk_load.h"
+#include "index/packed_rtree.h"
 #include "reverse_skyline/bbrs.h"
 #include "reverse_skyline/window_query.h"
 #include "skyline/approx.h"
@@ -74,6 +75,13 @@ struct EngineCore {
   std::shared_ptr<const Dataset> customers;
   std::shared_ptr<const RStarTree> tree;
   std::shared_ptr<const RStarTree> customer_tree;
+  /// Frozen arena images of the trees above, serving the query hot loops
+  /// when options.use_packed_read_path is set (null otherwise). Rebuilt
+  /// by every mutation that changes the corresponding source tree; in
+  /// shared-relation mode packed_customer_tree stays null (packed_tree
+  /// plays both roles, like `tree`).
+  std::shared_ptr<const PackedRTree> packed_tree;
+  std::shared_ptr<const PackedRTree> packed_customer_tree;
   /// Tombstones (shared-relation customers disappear with their product).
   std::vector<bool> removed;
   Rectangle universe;
@@ -106,6 +114,10 @@ struct EngineCore {
         cost_model(MakeCostModel(universe, options)),
         pool(std::move(pool_in)) {
     WNRS_CHECK(!products->points.empty());
+    if (options.use_packed_read_path) {
+      packed_tree =
+          std::make_shared<const PackedRTree>(PackedRTree::Freeze(*tree));
+    }
   }
 
   EngineCore(Dataset products_in, Dataset customers_in,
@@ -125,6 +137,12 @@ struct EngineCore {
     WNRS_CHECK(products->dims == customers->dims);
     WNRS_CHECK(!products->points.empty());
     WNRS_CHECK(!customers->points.empty());
+    if (options.use_packed_read_path) {
+      packed_tree =
+          std::make_shared<const PackedRTree>(PackedRTree::Freeze(*tree));
+      packed_customer_tree = std::make_shared<const PackedRTree>(
+          PackedRTree::Freeze(*customer_tree));
+    }
   }
 
   /// Copy-on-write seed: copies the state, starts with fresh (empty)
@@ -136,6 +154,8 @@ struct EngineCore {
         customers(other.customers),
         tree(other.tree),
         customer_tree(other.customer_tree),
+        packed_tree(other.packed_tree),
+        packed_customer_tree(other.packed_customer_tree),
         removed(other.removed),
         universe(other.universe),
         cost_model(other.cost_model),
@@ -212,10 +232,24 @@ struct EngineCore {
   // ---- Read path. All const; results are bit-identical regardless of
   // thread count or cache state. ----
 
+  /// Window-emptiness probe against the product set (the reverse-skyline
+  /// membership test), served by the packed read path when available.
+  bool ProductWindowEmpty(const Point& c, const Point& q,
+                          std::optional<RStarTree::Id> exclude) const {
+    return packed_tree != nullptr ? WindowEmpty(*packed_tree, c, q, exclude)
+                                  : WindowEmpty(*tree, c, q, exclude);
+  }
+
   std::vector<size_t> ComputeReverseSkyline(const Point& q) const {
     std::vector<RStarTree::Id> ids;
     if (shared_relation) {
-      ids = BbrsReverseSkyline(*tree, q, pool.get());
+      ids = packed_tree != nullptr
+                ? BbrsReverseSkyline(*packed_tree, q, pool.get())
+                : BbrsReverseSkyline(*tree, q, pool.get());
+    } else if (packed_tree != nullptr) {
+      ids = BbrsReverseSkylineBichromatic(*packed_customer_tree, *packed_tree,
+                                          q, /*shared_relation=*/false,
+                                          pool.get());
     } else {
       ids = BbrsReverseSkylineBichromatic(*customer_tree, *tree, q,
                                           /*shared_relation=*/false,
@@ -256,13 +290,20 @@ struct EngineCore {
   }
 
   bool IsReverseSkylineMember(size_t c, const Point& q) const {
-    return WindowEmpty(*tree, CustomerPoint(c), q, ExcludeFor(c));
+    return ProductWindowEmpty(CustomerPoint(c), q, ExcludeFor(c));
   }
 
   std::vector<size_t> CustomersInRange(const Rectangle& window) const {
-    const RStarTree& t = shared_relation ? *tree : *customer_tree;
-    std::vector<RStarTree::Id> ids = t.RangeQueryIds(window);
-    std::sort(ids.begin(), ids.end());
+    // Both RangeQueryIds implementations return ascending ids.
+    std::vector<RStarTree::Id> ids;
+    if (packed_tree != nullptr) {
+      const PackedRTree& t =
+          shared_relation ? *packed_tree : *packed_customer_tree;
+      ids = t.RangeQueryIds(window);
+    } else {
+      const RStarTree& t = shared_relation ? *tree : *customer_tree;
+      ids = t.RangeQueryIds(window);
+    }
     std::vector<size_t> out;
     out.reserve(ids.size());
     for (RStarTree::Id id : ids) out.push_back(static_cast<size_t>(id));
@@ -291,7 +332,7 @@ struct EngineCore {
       // Membership of a moved customer: no product may dominate q w.r.t.
       // the nudged location. The customer's own (old) tuple stays excluded
       // in the shared-relation setting.
-      if (WindowEmpty(*tree, nudged, q, ExcludeFor(customer_index))) {
+      if (ProductWindowEmpty(nudged, q, ExcludeFor(customer_index))) {
         return nudged;
       }
       fraction *= 100.0;
@@ -317,7 +358,7 @@ struct EngineCore {
           nudged[i] -= eps;
         }
       }
-      if (WindowEmpty(*tree, cp, nudged, ExcludeFor(customer_index))) {
+      if (ProductWindowEmpty(cp, nudged, ExcludeFor(customer_index))) {
         return nudged;
       }
       fraction *= 100.0;
@@ -474,8 +515,8 @@ struct EngineCore {
       std::atomic<bool> keeps{true};
       pool->ParallelFor(0, rsl.size(), [&](size_t i) {
         if (!keeps.load(std::memory_order_relaxed)) return;
-        if (!WindowEmpty(*tree, CustomerPoint(rsl[i]), q_star,
-                         ExcludeFor(rsl[i]))) {
+        if (!ProductWindowEmpty(CustomerPoint(rsl[i]), q_star,
+                                ExcludeFor(rsl[i]))) {
           keeps.store(false, std::memory_order_relaxed);
         }
       });
@@ -520,8 +561,8 @@ struct EngineCore {
     const std::vector<size_t> members = ReverseSkyline(q);
     const std::vector<unsigned char> is_lost =
         pool->ParallelMap<unsigned char>(members.size(), [&](size_t i) {
-          return WindowEmpty(*tree, CustomerPoint(members[i]), q_star,
-                             ExcludeFor(members[i]))
+          return ProductWindowEmpty(CustomerPoint(members[i]), q_star,
+                                    ExcludeFor(members[i]))
                      ? static_cast<unsigned char>(0)
                      : static_cast<unsigned char>(1);
         });
@@ -961,7 +1002,10 @@ void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
   // embarrassingly parallel offline pass of Section VI-B.1.
   cur->pool->ParallelFor(0, ds.points.size(), [&](size_t c) {
     const std::vector<RStarTree::Id> dsl =
-        BbsDynamicSkyline(*cur->tree, ds.points[c], cur->ExcludeFor(c));
+        cur->packed_tree != nullptr
+            ? BbsDynamicSkyline(*cur->packed_tree, ds.points[c],
+                                cur->ExcludeFor(c))
+            : BbsDynamicSkyline(*cur->tree, ds.points[c], cur->ExcludeFor(c));
     std::vector<Point> transformed;
     transformed.reserve(dsl.size());
     for (RStarTree::Id id : dsl) {
@@ -1085,6 +1129,10 @@ size_t WhyNotEngine::AddProduct(const Point& p) {
   auto next = std::make_shared<internal::EngineCore>(*cur);
   next->products = std::move(new_products);
   next->tree = std::move(new_tree);
+  if (next->options.use_packed_read_path) {
+    next->packed_tree = std::make_shared<const PackedRTree>(
+        PackedRTree::Freeze(*next->tree));
+  }
   next->removed.resize(id + 1, false);
   // Keep the universe a superset of all live points; the cost model's
   // normalization follows it when the new tuple falls outside.
@@ -1129,6 +1177,10 @@ Status WhyNotEngine::TryRemoveProduct(size_t id) {
   }
   auto next = std::make_shared<internal::EngineCore>(*cur);
   next->tree = std::move(new_tree);
+  if (next->options.use_packed_read_path) {
+    next->packed_tree = std::make_shared<const PackedRTree>(
+        PackedRTree::Freeze(*next->tree));
+  }
   next->removed.resize(cur->products->points.size(), false);
   next->removed[id] = true;
   next->approx_dsls.reset();

@@ -48,6 +48,14 @@ struct WhyNotEngineOptions {
   /// execution with no worker threads. Every thread count produces
   /// identical results; only the scheduling differs.
   size_t num_threads = 0;
+  /// Serve the query hot loops (BBS, BBRS, window probes, range queries)
+  /// from a packed, arena-backed image of the R*-tree (PackedRTree)
+  /// frozen once per mutation at snapshot-publish time, instead of
+  /// pointer-chasing the dynamic tree. Results, node-read counts, and
+  /// traversal order are bit-identical either way; the packed path is
+  /// simply faster. Freeze cost is surfaced in the packed.freezes /
+  /// packed.freeze_ns metrics. Disable to A/B the two paths.
+  bool use_packed_read_path = true;
 };
 
 /// Answer semantics for the modification algorithms (MWP/MQP/MWQ).

@@ -1,0 +1,192 @@
+#include "geometry/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wnrs {
+namespace {
+
+/// Block width of the any-dominator scan: wide enough that the inner
+/// loop vectorizes (8 doubles = one cache line), small enough that a
+/// fruitless tail block costs little.
+constexpr size_t kScanBlock = 8;
+
+/// Dominance of one dense point over another with bitwise accumulators
+/// instead of early-exit branches. D == 0 selects the runtime-d loop.
+template <size_t D>
+inline unsigned char DominatesOne(const double* a, const double* b,
+                                  size_t d) {
+  unsigned all_le = 1u;
+  unsigned any_lt = 0u;
+  if constexpr (D != 0) {
+    (void)d;
+    for (size_t j = 0; j < D; ++j) {
+      all_le &= static_cast<unsigned>(a[j] <= b[j]);
+      any_lt |= static_cast<unsigned>(a[j] < b[j]);
+    }
+  } else {
+    for (size_t j = 0; j < d; ++j) {
+      all_le &= static_cast<unsigned>(a[j] <= b[j]);
+      any_lt |= static_cast<unsigned>(a[j] < b[j]);
+    }
+  }
+  return static_cast<unsigned char>(all_le & any_lt);
+}
+
+template <size_t D>
+inline unsigned char DynamicallyDominatesOne(const double* a, const double* b,
+                                             const double* origin, size_t d) {
+  unsigned all_le = 1u;
+  unsigned any_lt = 0u;
+  const size_t n = D != 0 ? D : d;
+  for (size_t j = 0; j < n; ++j) {
+    const double da = std::fabs(origin[j] - a[j]);
+    const double db = std::fabs(origin[j] - b[j]);
+    all_le &= static_cast<unsigned>(da <= db);
+    any_lt |= static_cast<unsigned>(da < db);
+  }
+  return static_cast<unsigned char>(all_le & any_lt);
+}
+
+template <size_t D>
+void DominatesBatchImpl(const double* points, size_t n, size_t d,
+                        const double* p, unsigned char* out) {
+  const size_t step = D != 0 ? D : d;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = DominatesOne<D>(points + i * step, p, d);
+  }
+}
+
+template <size_t D>
+void DynamicallyDominatesBatchImpl(const double* points, size_t n, size_t d,
+                                   const double* p, const double* origin,
+                                   unsigned char* out) {
+  const size_t step = D != 0 ? D : d;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = DynamicallyDominatesOne<D>(points + i * step, p, origin, d);
+  }
+}
+
+template <size_t D>
+bool DominatedByAnyImpl(const double* points, size_t n, size_t d,
+                        const double* p) {
+  const size_t step = D != 0 ? D : d;
+  size_t i = 0;
+  for (; i + kScanBlock <= n; i += kScanBlock) {
+    unsigned any = 0;
+    for (size_t k = 0; k < kScanBlock; ++k) {
+      any |= DominatesOne<D>(points + (i + k) * step, p, d);
+    }
+    if (any != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (DominatesOne<D>(points + i * step, p, d) != 0) return true;
+  }
+  return false;
+}
+
+/// Transformed lower-corner coordinate of one box interval; same
+/// expression tree as RectToDistanceSpace.
+inline double IntervalMinDist(double lo, double hi, double origin) {
+  const double dlo = origin - lo;
+  const double dhi = origin - hi;
+  if (dlo >= 0.0 && dhi <= 0.0) return 0.0;
+  return std::min(std::fabs(dlo), std::fabs(dhi));
+}
+
+}  // namespace
+
+void DominatesBatch(const double* points, size_t n, size_t d, const double* p,
+                    unsigned char* out) {
+  switch (d) {
+    case 2: DominatesBatchImpl<2>(points, n, d, p, out); return;
+    case 3: DominatesBatchImpl<3>(points, n, d, p, out); return;
+    case 4: DominatesBatchImpl<4>(points, n, d, p, out); return;
+    default: DominatesBatchImpl<0>(points, n, d, p, out); return;
+  }
+}
+
+void DynamicallyDominatesBatch(const double* points, size_t n, size_t d,
+                               const double* p, const double* origin,
+                               unsigned char* out) {
+  switch (d) {
+    case 2:
+      DynamicallyDominatesBatchImpl<2>(points, n, d, p, origin, out);
+      return;
+    case 3:
+      DynamicallyDominatesBatchImpl<3>(points, n, d, p, origin, out);
+      return;
+    case 4:
+      DynamicallyDominatesBatchImpl<4>(points, n, d, p, origin, out);
+      return;
+    default:
+      DynamicallyDominatesBatchImpl<0>(points, n, d, p, origin, out);
+      return;
+  }
+}
+
+bool DominatedByAny(const double* points, size_t n, size_t d,
+                    const double* p) {
+  switch (d) {
+    case 2: return DominatedByAnyImpl<2>(points, n, d, p);
+    case 3: return DominatedByAnyImpl<3>(points, n, d, p);
+    case 4: return DominatedByAnyImpl<4>(points, n, d, p);
+    default: return DominatedByAnyImpl<0>(points, n, d, p);
+  }
+}
+
+void MinDistBatch(const double* boxes, size_t n, size_t d,
+                  const double* origin, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double* box = boxes + i * 2 * d;
+    double sum = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      sum += IntervalMinDist(box[2 * j], box[2 * j + 1], origin[j]);
+    }
+    out[i] = sum;
+  }
+}
+
+void ToDistanceSpaceSpan(const double* p, size_t stride, const double* origin,
+                         size_t d, double* out) {
+  for (size_t j = 0; j < d; ++j) {
+    out[j] = std::fabs(origin[j] - p[j * stride]);
+  }
+}
+
+void BoxMinDistCornerSpan(const double* box, const double* origin, size_t d,
+                          double* out) {
+  for (size_t j = 0; j < d; ++j) {
+    out[j] = IntervalMinDist(box[2 * j], box[2 * j + 1], origin[j]);
+  }
+}
+
+double L1NormSpan(const double* p, size_t d) {
+  double sum = 0.0;
+  for (size_t j = 0; j < d; ++j) sum += std::fabs(p[j]);
+  return sum;
+}
+
+bool DominatesSpan(const double* a, const double* b, size_t d) {
+  switch (d) {
+    case 2: return DominatesOne<2>(a, b, d) != 0;
+    case 3: return DominatesOne<3>(a, b, d) != 0;
+    case 4: return DominatesOne<4>(a, b, d) != 0;
+    default: return DominatesOne<0>(a, b, d) != 0;
+  }
+}
+
+bool InWindowSpan(const double* p, size_t stride, const double* c,
+                  const double* q, size_t d) {
+  unsigned all_le = 1u;
+  unsigned any_lt = 0u;
+  for (size_t j = 0; j < d; ++j) {
+    const double dp = std::fabs(c[j] - p[j * stride]);
+    const double dq = std::fabs(c[j] - q[j]);
+    all_le &= static_cast<unsigned>(dp <= dq);
+    any_lt |= static_cast<unsigned>(dp < dq);
+  }
+  return (all_le & any_lt) != 0u;
+}
+
+}  // namespace wnrs

@@ -1,0 +1,85 @@
+#ifndef WNRS_GEOMETRY_KERNELS_H_
+#define WNRS_GEOMETRY_KERNELS_H_
+
+#include <cstddef>
+
+namespace wnrs {
+
+/// Branch-free dominance and distance kernels over raw coordinate spans.
+///
+/// The `Point`/`Rectangle` classes each own a heap-allocated
+/// `std::vector<double>`, which is the right shape for the mutation path
+/// but poison for the query hot loops: every dominance test chases two
+/// pointers and the per-point allocations defeat vectorization. These
+/// kernels are the packed read path's counterpart — they take plain
+/// `const double*` spans (d coordinates per point, densely packed unless
+/// a stride is taken) and reduce with bitwise accumulators instead of
+/// early-exit branches, so the compiler can unroll and auto-vectorize
+/// them. A dimension-templated fast path covers d in {2, 3, 4} (the
+/// paper's experiment space); other dimensionalities fall back to a
+/// generic loop with identical semantics.
+///
+/// Semantics mirror geometry/dominance.h bit for bit: the kernels are
+/// drop-in replacements for the scalar predicates, and the packed/dynamic
+/// parity tests depend on that.
+
+/// out[i] = 1 iff point i of `points` dominates `p` (paper Definition 1:
+/// points[i*d+j] <= p[j] for all j, strict for some j), else 0.
+/// `points` holds n points of d coordinates, densely packed.
+void DominatesBatch(const double* points, size_t n, size_t d, const double* p,
+                    unsigned char* out);
+
+/// out[i] = 1 iff point i of `points` dynamically dominates `p` w.r.t.
+/// `origin` (paper Definition 2), else 0. Equivalent to DominatesBatch
+/// after mapping both sides with x -> |origin - x|, fused into one pass.
+void DynamicallyDominatesBatch(const double* points, size_t n, size_t d,
+                               const double* p, const double* origin,
+                               unsigned char* out);
+
+/// True iff any of the n points dominates `p` — the batch twin of the
+/// skyline-buffer scan in BBS/window-skyline loops. Scans in blocks so
+/// the inner comparisons vectorize while retaining early exit between
+/// blocks; the boolean result is identical to the scalar first-hit scan.
+bool DominatedByAny(const double* points, size_t n, size_t d,
+                    const double* p);
+
+/// out[i] = L1 MINDIST of box i to `origin`'s distance space: the L1 norm
+/// of the transformed lower corner (RectToDistanceSpace(box, origin).lo()
+/// computed without materializing the rectangle). `boxes` holds n boxes
+/// of 2*d doubles each in min-max-interleaved order
+/// [lo0, hi0, lo1, hi1, ...] — the PackedRTree MBR slab layout.
+void MinDistBatch(const double* boxes, size_t n, size_t d,
+                  const double* origin, double* out);
+
+// ---------------------------------------------------------------------------
+// Span primitives shared by the packed traversals. These replicate the
+// arithmetic of geometry/transform.cc exactly (same operations in the
+// same order), which is what keeps the packed read path bit-identical to
+// the Point-based one.
+// ---------------------------------------------------------------------------
+
+/// out[j] = |origin[j] - p[j]| for j < d (ToDistanceSpace on spans).
+/// `stride` is the distance between consecutive coordinates of `p`
+/// (2 for a point stored as a degenerate min-max-interleaved box).
+void ToDistanceSpaceSpan(const double* p, size_t stride, const double* origin,
+                         size_t d, double* out);
+
+/// out[j] = lower corner of the box image under x -> |origin - x|
+/// (RectToDistanceSpace(...).lo() on a min-max-interleaved box span).
+void BoxMinDistCornerSpan(const double* box, const double* origin, size_t d,
+                          double* out);
+
+/// Sum of |p[j]| for j < d (Point::L1Norm on spans).
+double L1NormSpan(const double* p, size_t d);
+
+/// True iff `a` dominates `b` (Definition 1) on dense d-spans.
+bool DominatesSpan(const double* a, const double* b, size_t d);
+
+/// True iff `p` (a point stored with coordinate stride `stride`)
+/// dynamically dominates `q` w.r.t. `c` — InWindow on spans.
+bool InWindowSpan(const double* p, size_t stride, const double* c,
+                  const double* q, size_t d);
+
+}  // namespace wnrs
+
+#endif  // WNRS_GEOMETRY_KERNELS_H_

@@ -1,0 +1,195 @@
+#include "index/packed_rtree.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace wnrs {
+
+PackedRTree& PackedRTree::operator=(PackedRTree&& other) noexcept {
+  if (this == &other) return *this;
+  dims_ = other.dims_;
+  size_ = other.size_;
+  height_ = other.height_;
+  nodes_ = std::move(other.nodes_);
+  mbrs_ = std::move(other.mbrs_);
+  refs_ = std::move(other.refs_);
+  node_reads_.store(other.node_reads_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return *this;
+}
+
+PackedRTree PackedRTree::Freeze(const RStarTree& tree) {
+  const auto start = std::chrono::steady_clock::now();
+  PackedRTree out;
+  out.dims_ = tree.dims();
+  out.size_ = tree.size();
+  out.height_ = tree.height();
+
+  // Pass 1: pre-order walk assigning arena indices, so every subtree is
+  // contiguous (parent before children, children in entry order — the
+  // order best-first and stack traversals touch them).
+  std::vector<const RStarTree::Node*> order;
+  std::vector<std::pair<const RStarTree::Node*, uint32_t>> index;
+  std::vector<const RStarTree::Node*> stack = {tree.root()};
+  size_t total_entries = 0;
+  while (!stack.empty()) {
+    const RStarTree::Node* src = stack.back();
+    stack.pop_back();
+    index.emplace_back(src, static_cast<uint32_t>(order.size()));
+    order.push_back(src);
+    total_entries += src->entries.size();
+    if (!src->is_leaf) {
+      // Reverse push so the pre-order visits children in entry order.
+      for (size_t i = src->entries.size(); i > 0; --i) {
+        stack.push_back(src->entries[i - 1].child);
+      }
+    }
+  }
+  WNRS_CHECK(order.size() <= static_cast<size_t>(kNoNode));
+  WNRS_CHECK(total_entries < static_cast<size_t>(kNoNode));
+
+  // index was appended in pre-order; child lookups need the mapping by
+  // pointer. The vector doubles as the map: sort once, binary search per
+  // child link.
+  std::sort(index.begin(), index.end());
+  auto index_of = [&index](const RStarTree::Node* n) {
+    auto it = std::lower_bound(
+        index.begin(), index.end(), n,
+        [](const auto& a, const RStarTree::Node* key) { return a.first < key; });
+    WNRS_CHECK(it != index.end() && it->first == n);
+    return it->second;
+  };
+
+  // Pass 2: fill the arena and the entry slabs.
+  out.nodes_.reserve(order.size());
+  out.mbrs_.reserve(total_entries * 2 * out.dims_);
+  out.refs_.reserve(total_entries);
+  for (const RStarTree::Node* src : order) {
+    Node node;
+    node.first_entry = static_cast<uint32_t>(out.refs_.size());
+    node.entry_count = static_cast<uint32_t>(src->entries.size());
+    node.is_leaf = src->is_leaf ? 1 : 0;
+    out.nodes_.push_back(node);
+    for (const RStarTree::Entry& e : src->entries) {
+      const Point& lo = e.mbr.lo();
+      const Point& hi = e.mbr.hi();
+      for (size_t j = 0; j < out.dims_; ++j) {
+        out.mbrs_.push_back(lo[j]);
+        out.mbrs_.push_back(hi[j]);
+      }
+      out.refs_.push_back(src->is_leaf
+                              ? e.id
+                              : static_cast<int64_t>(index_of(e.child)));
+    }
+  }
+
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  MetricAdd(CounterId::kPackedFreezes);
+  MetricAdd(CounterId::kPackedFreezeNanos, static_cast<uint64_t>(ns));
+  return out;
+}
+
+Rectangle PackedRTree::EntryRect(uint32_t e) const {
+  const double* mbr = entry_mbr(e);
+  Point lo(dims_);
+  Point hi(dims_);
+  for (size_t j = 0; j < dims_; ++j) {
+    lo[j] = mbr[2 * j];
+    hi[j] = mbr[2 * j + 1];
+  }
+  return Rectangle(std::move(lo), std::move(hi));
+}
+
+std::vector<PackedRTree::Id> PackedRTree::RangeQueryIds(
+    const Rectangle& window) const {
+  WNRS_CHECK(window.dims() == dims_);
+  const double* wlo = window.lo().coords().data();
+  const double* whi = window.hi().coords().data();
+  std::vector<Id> out;
+  std::vector<uint32_t> stack = {root()};
+  while (!stack.empty()) {
+    const uint32_t ni = stack.back();
+    stack.pop_back();
+    CountNodeRead();
+    const Node& n = nodes_[ni];
+    for (uint32_t e = n.first_entry; e < n.first_entry + n.entry_count; ++e) {
+      const double* mbr = entry_mbr(e);
+      bool intersects = true;
+      for (size_t j = 0; j < dims_; ++j) {
+        if (mbr[2 * j + 1] < wlo[j] || mbr[2 * j] > whi[j]) {
+          intersects = false;
+          break;
+        }
+      }
+      if (!intersects) continue;
+      if (n.is_leaf != 0) {
+        out.push_back(refs_[e]);
+      } else {
+        stack.push_back(entry_child(e));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status PackedRTree::CheckInvariants() const {
+  if (nodes_.empty()) {
+    return Status::Internal("packed tree has no nodes");
+  }
+  size_t data_entries = 0;
+  std::vector<std::pair<uint32_t, size_t>> stack = {{root(), 1}};
+  std::vector<bool> visited(nodes_.size(), false);
+  size_t leaf_depth = 0;
+  while (!stack.empty()) {
+    const auto [ni, depth] = stack.back();
+    stack.pop_back();
+    if (ni >= nodes_.size()) {
+      return Status::Internal(StrFormat("child index %u out of range", ni));
+    }
+    if (visited[ni]) {
+      return Status::Internal(StrFormat("node %u reachable twice", ni));
+    }
+    visited[ni] = true;
+    const Node& n = nodes_[ni];
+    const size_t end = static_cast<size_t>(n.first_entry) + n.entry_count;
+    if (end > refs_.size()) {
+      return Status::Internal(StrFormat("node %u entry slice out of range", ni));
+    }
+    if (n.is_leaf != 0) {
+      data_entries += n.entry_count;
+      if (leaf_depth == 0) {
+        leaf_depth = depth;
+      } else if (leaf_depth != depth) {
+        return Status::Internal("leaves at non-uniform depth");
+      }
+      if (depth != height_) {
+        return Status::Internal(
+            StrFormat("leaf depth %zu != height %zu", depth, height_));
+      }
+    } else {
+      for (uint32_t e = n.first_entry; e < n.first_entry + n.entry_count;
+           ++e) {
+        stack.emplace_back(entry_child(e), depth + 1);
+      }
+    }
+  }
+  if (data_entries != size_) {
+    return Status::Internal(StrFormat("entry count %zu != size %zu",
+                                      data_entries, size_));
+  }
+  for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+    if (!visited[ni]) {
+      return Status::Internal(StrFormat("node %zu unreachable", ni));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wnrs

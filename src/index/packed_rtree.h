@@ -1,0 +1,139 @@
+#ifndef WNRS_INDEX_PACKED_RTREE_H_
+#define WNRS_INDEX_PACKED_RTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "geometry/rectangle.h"
+#include "index/rtree.h"
+
+namespace wnrs {
+
+/// Arena-backed, immutable flat image of an RStarTree — the read-path
+/// half of the engine's copy-on-write split. The dynamic pointer tree
+/// stays the mutation path; at snapshot-publish time the engine freezes
+/// it into this packed form and every query algorithm (BBS, BBRS, window
+/// queries) traverses the frozen copy instead.
+///
+/// Layout: all nodes live contiguously in one arena and address their
+/// children by uint32_t index, so a traversal touches a few dense arrays
+/// instead of pointer-chasing heap nodes. Entry MBRs are a single flat
+/// double slab in min-max-interleaved order ([lo0, hi0, lo1, hi1, ...]
+/// per entry, entries of one node adjacent), which is the layout the
+/// geometry/kernels.h batch kernels consume directly. Child links and
+/// leaf data ids share one int64_t slab (disambiguated by the node's
+/// is_leaf flag).
+///
+/// Freeze() is structure-preserving: node contents and entry order match
+/// the source tree exactly, so a packed traversal makes the same pruning
+/// decisions, visits the same nodes in the same order, and reports the
+/// same node-read counts as the dynamic traversal it replaces — the
+/// packed/dynamic parity tests pin this bit for bit.
+///
+/// Move-only, like RStarTree. Immutable after Freeze, so concurrent
+/// reads need no synchronization; the node-read counter is atomic.
+class PackedRTree {
+ public:
+  using Id = RStarTree::Id;
+
+  /// Sentinel child index ("no node"); also the data-entry marker in the
+  /// packed traversal heaps.
+  static constexpr uint32_t kNoNode = UINT32_MAX;
+
+  /// One arena node: a [first_entry, first_entry + entry_count) slice of
+  /// the entry slabs.
+  struct Node {
+    uint32_t first_entry = 0;
+    uint32_t entry_count = 0;
+    uint32_t is_leaf = 1;
+  };
+
+  /// Query-side traversal statistics (mirrors RStarTree::Stats).
+  struct Stats {
+    uint64_t node_reads = 0;
+  };
+
+  /// Freezes a packed image of `tree`. O(number of entries); the cost is
+  /// recorded in the packed.freezes / packed.freeze_ns metrics so the
+  /// mutation path's publish overhead stays observable.
+  static PackedRTree Freeze(const RStarTree& tree);
+
+  PackedRTree(PackedRTree&& other) noexcept { *this = std::move(other); }
+  PackedRTree& operator=(PackedRTree&& other) noexcept;
+  PackedRTree(const PackedRTree&) = delete;
+  PackedRTree& operator=(const PackedRTree&) = delete;
+
+  size_t dims() const { return dims_; }
+  /// Number of data entries (== source tree size()).
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_entries() const { return refs_.size(); }
+
+  /// Root node index; index 0 always exists (an empty tree freezes to a
+  /// single empty leaf, like the dynamic root).
+  uint32_t root() const { return 0; }
+
+  const Node& node(uint32_t n) const { return nodes_[n]; }
+
+  /// MBR span of entry `e`: 2*dims() doubles, min-max interleaved.
+  const double* entry_mbr(uint32_t e) const {
+    return mbrs_.data() + static_cast<size_t>(e) * 2 * dims_;
+  }
+
+  /// Child node index of an internal entry.
+  uint32_t entry_child(uint32_t e) const {
+    return static_cast<uint32_t>(refs_[e]);
+  }
+
+  /// Data id of a leaf entry.
+  Id entry_id(uint32_t e) const { return refs_[e]; }
+
+  /// Materializes entry `e`'s MBR as a Rectangle (cold paths only).
+  Rectangle EntryRect(uint32_t e) const;
+
+  /// Counts one node read, mirroring RStarTree::CountNodeRead: the local
+  /// counter and the shared rtree.node_reads metric (so engine-level
+  /// node-read totals stay identical whichever path served the query)
+  /// plus packed.node_reads (so the packed path's share is observable).
+  void CountNodeRead() const {
+    node_reads_.fetch_add(1, std::memory_order_relaxed);
+    MetricAdd(CounterId::kRTreeNodeReads);
+    MetricAdd(CounterId::kPackedNodeReads);
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.node_reads = node_reads_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() { node_reads_.store(0, std::memory_order_relaxed); }
+
+  /// Ids of all entries intersecting `window` (closed semantics),
+  /// ascending — same contract as RStarTree::RangeQueryIds.
+  std::vector<Id> RangeQueryIds(const Rectangle& window) const;
+
+  /// Structural self-check for tests: slab bounds, child-index validity,
+  /// MBR containment, uniform leaf depth, and entry count.
+  Status CheckInvariants() const;
+
+ private:
+  PackedRTree() = default;
+
+  size_t dims_ = 0;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  std::vector<Node> nodes_;
+  /// 2*dims_ doubles per entry, min-max interleaved.
+  std::vector<double> mbrs_;
+  /// Child node index (internal entries) or data id (leaf entries).
+  std::vector<int64_t> refs_;
+  mutable std::atomic<uint64_t> node_reads_{0};
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_INDEX_PACKED_RTREE_H_

@@ -522,6 +522,9 @@ std::vector<RStarTree::Id> RStarTree::RangeQueryIds(
     out.push_back(id);
     return true;
   });
+  // Sorted output: callers get a canonical order independent of tree
+  // shape, so results compare equal across Clone()s and packed freezes.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

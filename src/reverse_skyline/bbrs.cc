@@ -1,11 +1,15 @@
 #include "reverse_skyline/bbrs.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <queue>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "geometry/kernels.h"
 #include "geometry/transform.h"
 #include "reverse_skyline/window_query.h"
 
@@ -13,6 +17,12 @@ namespace wnrs {
 namespace {
 
 int SignOf(double v) { return v > 0.0 ? 1 : (v < 0.0 ? -1 : 0); }
+
+/// Capacity hint for confirmed-skyline buffers (see bbs.cc): enough for
+/// the common case without committing O(n) memory up front.
+size_t SkylineReserveHint(size_t tree_size) {
+  return std::min<size_t>(tree_size, 256);
+}
 
 /// A confirmed global-skyline point: its transformed coordinates and its
 /// quadrant signature relative to q.
@@ -85,6 +95,7 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
   std::vector<GlobalPoint> skyline;
   if (tree.size() == 0) return skyline;
+  skyline.reserve(SkylineReserveHint(tree.size()));
 
   auto signs_of = [&q](const Point& p) {
     std::vector<int> signs(q.dims());
@@ -100,7 +111,9 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
 
   heap.push({0.0, tree.root(), Point(), -1});
   while (!heap.empty()) {
-    Item item = heap.top();
+    // top() is const, but the element is discarded by the pop right
+    // after — moving it out saves a Point copy per pop.
+    Item item = std::move(const_cast<Item&>(heap.top()));
     heap.pop();
     ++heap_pops;
     if (item.node == nullptr) {
@@ -163,6 +176,187 @@ std::vector<GlobalPoint> ComputeGlobalSkyline(
   MetricAdd(CounterId::kBbrsDominanceTests, dominance_tests);
   MetricAdd(CounterId::kBbrsPrunedEntries, pruned_entries);
   return skyline;
+}
+
+// ---------------------------------------------------------------------------
+// Packed (frozen read path) twins. The confirmed global skyline lives in
+// dense SoA slabs (originals, transformed coordinates, quadrant signs,
+// ids) instead of a vector of GlobalPoints; dominance tests run over raw
+// spans with the exact comparison sequence of the Point-based helpers, so
+// every pruning decision — and every work counter — is identical.
+// ---------------------------------------------------------------------------
+
+/// SoA global skyline: row i occupies [i*d, (i+1)*d) of each slab.
+struct PackedGlobalSkyline {
+  size_t d = 0;
+  std::vector<double> original;
+  std::vector<double> transformed;
+  std::vector<int8_t> signs;
+  std::vector<PackedRTree::Id> ids;
+
+  size_t size() const { return ids.size(); }
+};
+
+/// GloballyDominatesPoint on spans (same expression order).
+bool GloballyDominatesPointSpan(const double* gt, const int8_t* gs,
+                                const double* t, const int8_t* signs,
+                                size_t d) {
+  bool strict = false;
+  for (size_t i = 0; i < d; ++i) {
+    if (gs[i] != 0 && gs[i] != signs[i]) return false;
+    if (gt[i] > t[i]) return false;
+    if (gt[i] > 0.0) strict = true;
+  }
+  return strict;
+}
+
+/// GloballyDominatesRect on a min-max-interleaved MBR span.
+bool GloballyDominatesRectSpan(const double* gt, const int8_t* gs,
+                               const double* mbr, const double* q, size_t d) {
+  bool strict = false;
+  for (size_t i = 0; i < d; ++i) {
+    const double rlo = mbr[2 * i];
+    const double rhi = mbr[2 * i + 1];
+    if (gs[i] > 0) {
+      if (rlo < q[i]) return false;  // Node spans below q.
+    } else if (gs[i] < 0) {
+      if (rhi > q[i]) return false;  // Node spans above q.
+    }
+    double min_t = 0.0;
+    if (q[i] < rlo) {
+      min_t = rlo - q[i];
+    } else if (q[i] > rhi) {
+      min_t = q[i] - rhi;
+    }
+    if (gt[i] > min_t) return false;
+    if (gt[i] > 0.0) strict = true;
+  }
+  return strict;
+}
+
+PackedGlobalSkyline ComputeGlobalSkyline(
+    const PackedRTree& tree, const Point& q,
+    std::optional<PackedRTree::Id> exclude_id) {
+  const size_t d = tree.dims();
+  const double* qs = q.coords().data();
+  struct Item {
+    double mindist;
+    uint32_t node;  // kNoNode => data entry
+    size_t coord;   // offset of the original-space point in `pool`
+    PackedRTree::Id id;
+    bool operator>(const Item& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<double> pool;  // original-space candidate points, d-strided
+  PackedGlobalSkyline skyline;
+  skyline.d = d;
+  if (tree.size() == 0) return skyline;
+  const size_t hint = SkylineReserveHint(tree.size());
+  skyline.original.reserve(hint * d);
+  skyline.transformed.reserve(hint * d);
+  skyline.signs.reserve(hint * d);
+  skyline.ids.reserve(hint);
+  pool.reserve(hint * d);
+
+  std::vector<double> tbuf(d);
+  std::vector<int8_t> sbuf(d);
+  uint64_t heap_pops = 0;
+  uint64_t dominance_tests = 0;
+  uint64_t pruned_entries = 0;
+
+  // Fills tbuf/sbuf from the point at `p` (coordinate stride `stride`).
+  auto transform_and_sign = [&](const double* p, size_t stride) {
+    for (size_t i = 0; i < d; ++i) {
+      const double v = p[i * stride];
+      tbuf[i] = std::fabs(qs[i] - v);
+      sbuf[i] = static_cast<int8_t>(SignOf(v - qs[i]));
+    }
+  };
+  // Early-exit scan over the SoA skyline; counts one test per row
+  // examined, exactly like the Point-based loop.
+  auto point_dominated = [&] {
+    for (size_t g = 0; g < skyline.size(); ++g) {
+      ++dominance_tests;
+      if (GloballyDominatesPointSpan(skyline.transformed.data() + g * d,
+                                     skyline.signs.data() + g * d,
+                                     tbuf.data(), sbuf.data(), d)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  heap.push({0.0, tree.root(), 0, -1});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    ++heap_pops;
+    if (item.node == PackedRTree::kNoNode) {
+      const double* p = pool.data() + item.coord;
+      transform_and_sign(p, 1);
+      if (!point_dominated()) {
+        skyline.original.insert(skyline.original.end(), p, p + d);
+        skyline.transformed.insert(skyline.transformed.end(), tbuf.begin(),
+                                   tbuf.end());
+        skyline.signs.insert(skyline.signs.end(), sbuf.begin(), sbuf.end());
+        skyline.ids.push_back(item.id);
+      } else {
+        ++pruned_entries;
+      }
+      continue;
+    }
+    tree.CountNodeRead();
+    const PackedRTree::Node& n = tree.node(item.node);
+    const uint32_t end = n.first_entry + n.entry_count;
+    for (uint32_t e = n.first_entry; e < end; ++e) {
+      const double* mbr = tree.entry_mbr(e);
+      if (n.is_leaf != 0) {
+        const PackedRTree::Id id = tree.entry_id(e);
+        if (exclude_id.has_value() && id == *exclude_id) continue;
+        transform_and_sign(mbr, 2);
+        if (!point_dominated()) {
+          const size_t off = pool.size();
+          for (size_t j = 0; j < d; ++j) pool.push_back(mbr[2 * j]);
+          heap.push({L1NormSpan(tbuf.data(), d), PackedRTree::kNoNode, off,
+                     id});
+        } else {
+          ++pruned_entries;
+        }
+      } else {
+        bool dominated = false;
+        for (size_t g = 0; g < skyline.size(); ++g) {
+          ++dominance_tests;
+          if (GloballyDominatesRectSpan(skyline.transformed.data() + g * d,
+                                        skyline.signs.data() + g * d, mbr, qs,
+                                        d)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          BoxMinDistCornerSpan(mbr, qs, d, tbuf.data());
+          heap.push(
+              {L1NormSpan(tbuf.data(), d), tree.entry_child(e), 0, -1});
+        } else {
+          ++pruned_entries;
+        }
+      }
+    }
+  }
+  MetricAdd(CounterId::kBbrsHeapPops, heap_pops);
+  MetricAdd(CounterId::kBbrsDominanceTests, dominance_tests);
+  MetricAdd(CounterId::kBbrsPrunedEntries, pruned_entries);
+  return skyline;
+}
+
+/// Materializes row i of an SoA slab as a Point (cold path: verification
+/// probes, not traversal loops).
+Point RowAsPoint(const std::vector<double>& slab, size_t i, size_t d) {
+  Point p(d);
+  for (size_t j = 0; j < d; ++j) p[j] = slab[i * d + j];
+  return p;
 }
 
 }  // namespace
@@ -293,6 +487,145 @@ std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
     for (size_t i = 0; i < survivors.size(); ++i) verify(i);
   }
   std::vector<RStarTree::Id> out;
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    if (member[i] != 0) out.push_back(survivors[i].id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PackedRTree::Id> GlobalSkylineCandidates(
+    const PackedRTree& tree, const Point& q,
+    std::optional<PackedRTree::Id> exclude_id) {
+  WNRS_CHECK(q.dims() == tree.dims());
+  PackedGlobalSkyline skyline = ComputeGlobalSkyline(tree, q, exclude_id);
+  std::vector<PackedRTree::Id> ids = std::move(skyline.ids);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<PackedRTree::Id> BbrsReverseSkyline(const PackedRTree& tree,
+                                                const Point& q,
+                                                ThreadPool* pool) {
+  WNRS_CHECK(q.dims() == tree.dims());
+  const PackedGlobalSkyline candidates =
+      ComputeGlobalSkyline(tree, q, std::nullopt);
+  const size_t d = tree.dims();
+  std::vector<unsigned char> member(candidates.size(), 0);
+  auto verify = [&](size_t i) {
+    member[i] = WindowEmpty(tree, RowAsPoint(candidates.original, i, d), q,
+                            candidates.ids[i])
+                    ? 1
+                    : 0;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, candidates.size(), verify);
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) verify(i);
+  }
+  std::vector<PackedRTree::Id> out;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (member[i] != 0) out.push_back(candidates.ids[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PackedRTree::Id> BbrsReverseSkylineBichromatic(
+    const PackedRTree& customers, const PackedRTree& products, const Point& q,
+    bool shared_relation, ThreadPool* pool) {
+  WNRS_CHECK(q.dims() == customers.dims());
+  WNRS_CHECK(q.dims() == products.dims());
+  const size_t d = q.dims();
+  const double* qs = q.coords().data();
+  const PackedGlobalSkyline pruners =
+      ComputeGlobalSkyline(products, q, std::nullopt);
+
+  // Phase 1 (serial): midpoint-rule pruning over the packed customer
+  // arena; same traversal and decisions as the dynamic-tree pass.
+  struct Survivor {
+    Point point;
+    PackedRTree::Id id;
+  };
+  std::vector<Survivor> survivors;
+  uint64_t dominance_tests = 0;
+  uint64_t pruned_entries = 0;
+  std::vector<uint32_t> stack = {customers.root()};
+  while (!stack.empty()) {
+    const uint32_t ni = stack.back();
+    stack.pop_back();
+    customers.CountNodeRead();
+    const PackedRTree::Node& n = customers.node(ni);
+    const uint32_t end = n.first_entry + n.entry_count;
+    for (uint32_t e = n.first_entry; e < end; ++e) {
+      const double* mbr = customers.entry_mbr(e);
+      if (n.is_leaf != 0) {
+        Point p(d);
+        for (size_t j = 0; j < d; ++j) p[j] = mbr[2 * j];
+        survivors.push_back({std::move(p), customers.entry_id(e)});
+      } else {
+        bool pruned = false;
+        for (size_t g = 0; g < pruners.size(); ++g) {
+          ++dominance_tests;
+          const double* go = pruners.original.data() + g * d;
+          bool weak_all = true;
+          bool strict_any = false;
+          for (size_t i = 0; i < d && weak_all; ++i) {
+            const double gi = go[i];
+            if (gi < qs[i]) {
+              const double mid = 0.5 * (gi + qs[i]);
+              if (mbr[2 * i + 1] > mid) weak_all = false;
+              if (mbr[2 * i + 1] < mid) strict_any = true;
+            } else if (gi > qs[i]) {
+              const double mid = 0.5 * (gi + qs[i]);
+              if (mbr[2 * i] < mid) weak_all = false;
+              if (mbr[2 * i] > mid) strict_any = true;
+            }
+            // gi == qs[i]: tie in this dimension for every customer.
+          }
+          if (weak_all && strict_any && !shared_relation) {
+            pruned = true;
+            break;
+          }
+          if (weak_all && strict_any && shared_relation) {
+            // See the dynamic-tree pass: with a shared relation only
+            // prune when the pruner lies outside the MBR.
+            bool contains = true;
+            for (size_t i = 0; i < d; ++i) {
+              if (go[i] < mbr[2 * i] || go[i] > mbr[2 * i + 1]) {
+                contains = false;
+                break;
+              }
+            }
+            if (!contains) {
+              pruned = true;
+              break;
+            }
+          }
+        }
+        if (!pruned) {
+          stack.push_back(customers.entry_child(e));
+        } else {
+          ++pruned_entries;
+        }
+      }
+    }
+  }
+  MetricAdd(CounterId::kBbrsDominanceTests, dominance_tests);
+  MetricAdd(CounterId::kBbrsPrunedEntries, pruned_entries);
+
+  std::vector<unsigned char> member(survivors.size(), 0);
+  auto verify = [&](size_t i) {
+    std::optional<PackedRTree::Id> exclude;
+    if (shared_relation) exclude = survivors[i].id;
+    member[i] = WindowEmpty(products, survivors[i].point, q, exclude) ? 1 : 0;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, survivors.size(), verify);
+  } else {
+    for (size_t i = 0; i < survivors.size(); ++i) verify(i);
+  }
+  std::vector<PackedRTree::Id> out;
   for (size_t i = 0; i < survivors.size(); ++i) {
     if (member[i] != 0) out.push_back(survivors[i].id);
   }

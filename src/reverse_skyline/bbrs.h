@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "index/packed_rtree.h"
 #include "index/rtree.h"
 
 namespace wnrs {
@@ -40,6 +41,23 @@ std::vector<RStarTree::Id> BbrsReverseSkyline(const RStarTree& tree,
 /// `pool` parallelizes the per-customer verification probes.
 std::vector<RStarTree::Id> BbrsReverseSkylineBichromatic(
     const RStarTree& customers, const RStarTree& products, const Point& q,
+    bool shared_relation = false, ThreadPool* pool = nullptr);
+
+/// Packed (frozen read path) twins of the algorithms above: identical
+/// traversal order, pruning decisions, node-read and work counters, and
+/// output as the dynamic-tree overloads, but running over PackedRTree
+/// arenas with flat coordinate slabs (the confirmed global skyline is a
+/// dense SoA buffer, not a vector of Points).
+std::vector<PackedRTree::Id> GlobalSkylineCandidates(
+    const PackedRTree& tree, const Point& q,
+    std::optional<PackedRTree::Id> exclude_id = std::nullopt);
+
+std::vector<PackedRTree::Id> BbrsReverseSkyline(const PackedRTree& tree,
+                                                const Point& q,
+                                                ThreadPool* pool = nullptr);
+
+std::vector<PackedRTree::Id> BbrsReverseSkylineBichromatic(
+    const PackedRTree& customers, const PackedRTree& products, const Point& q,
     bool shared_relation = false, ThreadPool* pool = nullptr);
 
 }  // namespace wnrs

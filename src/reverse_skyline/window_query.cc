@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "geometry/dominance.h"
+#include "geometry/kernels.h"
 #include "geometry/transform.h"
 
 namespace wnrs {
@@ -96,7 +98,9 @@ std::vector<RStarTree::Id> WindowSkyline(
   }
   heap.push({0.0, products.root(), Point(), -1});
   while (!heap.empty()) {
-    Item item = heap.top();
+    // top() is const, but the element is discarded by the pop right
+    // after — moving it out saves a Point copy per pop.
+    Item item = std::move(const_cast<Item&>(heap.top()));
     heap.pop();
     ++heap_pops;
     if (item.node == nullptr) {
@@ -130,6 +134,191 @@ std::vector<RStarTree::Id> WindowSkyline(
           continue;
         }
         heap.push({t.lo().L1Norm(), e.child, t.lo(), -1});
+      }
+    }
+  }
+  std::sort(skyline_ids.begin(), skyline_ids.end());
+  flush();
+  return skyline_ids;
+}
+
+namespace {
+
+/// Packed twin of RStarTree::RangeQuery: same stack discipline, the same
+/// node-read accounting (one per popped node), and the same early stop,
+/// but testing window intersection directly on the min-max-interleaved
+/// MBR slab. `visit(mbr, id)` returns false to stop the whole traversal.
+template <typename Visit>
+void PackedRangeQuery(const PackedRTree& tree, const Rectangle& window,
+                      const Visit& visit) {
+  const size_t d = tree.dims();
+  const double* wlo = window.lo().coords().data();
+  const double* whi = window.hi().coords().data();
+  std::vector<uint32_t> stack = {tree.root()};
+  while (!stack.empty()) {
+    const uint32_t ni = stack.back();
+    stack.pop_back();
+    tree.CountNodeRead();
+    const PackedRTree::Node& n = tree.node(ni);
+    const uint32_t end = n.first_entry + n.entry_count;
+    for (uint32_t e = n.first_entry; e < end; ++e) {
+      const double* mbr = tree.entry_mbr(e);
+      bool intersects = true;
+      for (size_t j = 0; j < d; ++j) {
+        if (mbr[2 * j + 1] < wlo[j] || mbr[2 * j] > whi[j]) {
+          intersects = false;
+          break;
+        }
+      }
+      if (!intersects) continue;
+      if (n.is_leaf != 0) {
+        if (!visit(mbr, tree.entry_id(e))) return;
+      } else {
+        stack.push_back(tree.entry_child(e));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PackedRTree::Id> WindowQuery(
+    const PackedRTree& products, const Point& c, const Point& q,
+    std::optional<PackedRTree::Id> exclude_id) {
+  MetricAdd(CounterId::kWindowProbes);
+  const size_t d = products.dims();
+  const double* cs = c.coords().data();
+  const double* qs = q.coords().data();
+  std::vector<PackedRTree::Id> out;
+  PackedRangeQuery(products, WindowRect(c, q),
+                   [&](const double* mbr, PackedRTree::Id id) {
+                     if (exclude_id.has_value() && id == *exclude_id) {
+                       return true;
+                     }
+                     if (InWindowSpan(mbr, 2, cs, qs, d)) out.push_back(id);
+                     return true;
+                   });
+  return out;
+}
+
+bool WindowEmpty(const PackedRTree& products, const Point& c, const Point& q,
+                 std::optional<PackedRTree::Id> exclude_id) {
+  MetricAdd(CounterId::kWindowProbes);
+  const size_t d = products.dims();
+  const double* cs = c.coords().data();
+  const double* qs = q.coords().data();
+  bool found = false;
+  PackedRangeQuery(products, WindowRect(c, q),
+                   [&](const double* mbr, PackedRTree::Id id) {
+                     if (exclude_id.has_value() && id == *exclude_id) {
+                       return true;
+                     }
+                     if (InWindowSpan(mbr, 2, cs, qs, d)) {
+                       found = true;
+                       return false;  // Stop the traversal.
+                     }
+                     return true;
+                   });
+  return !found;
+}
+
+std::vector<PackedRTree::Id> WindowSkyline(
+    const PackedRTree& products, const Point& c, const Point& q,
+    const Point& origin, std::optional<PackedRTree::Id> exclude_id) {
+  WNRS_CHECK(c.dims() == q.dims());
+  WNRS_CHECK(origin.dims() == q.dims());
+  const size_t d = products.dims();
+  const Rectangle window = WindowRect(c, q);
+  const double* wlo = window.lo().coords().data();
+  const double* whi = window.hi().coords().data();
+  const double* cs = c.coords().data();
+  const double* qs = q.coords().data();
+  const double* os = origin.coords().data();
+
+  struct Item {
+    double mindist;
+    uint32_t node;  // kNoNode => data entry
+    size_t coord;   // offset of the transformed point in `pool`
+    PackedRTree::Id id;
+    bool operator>(const Item& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<double> pool;     // transformed candidate points, d-strided
+  std::vector<double> skyline;  // confirmed frontier coords, d-strided
+  std::vector<PackedRTree::Id> skyline_ids;
+  uint64_t heap_pops = 0;
+  uint64_t dominance_tests = 0;
+  uint64_t pruned_entries = 0;
+  auto flush = [&] {
+    MetricAdd(CounterId::kWindowProbes);
+    MetricAdd(CounterId::kWindowHeapPops, heap_pops);
+    MetricAdd(CounterId::kWindowDominanceTests, dominance_tests);
+    MetricAdd(CounterId::kWindowPrunedEntries, pruned_entries);
+  };
+
+  if (products.size() == 0) {
+    flush();
+    return skyline_ids;
+  }
+  std::vector<double> buf(d);
+  // The blocked kernel has no early exit inside a block, so the packed
+  // path reports scan width (skyline size per test) rather than the
+  // dynamic path's early-exit depth; pruning decisions are identical.
+  auto dominated = [&](const double* t) {
+    dominance_tests += skyline_ids.size();
+    return DominatedByAny(skyline.data(), skyline_ids.size(), d, t);
+  };
+  heap.push({0.0, products.root(), 0, -1});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    ++heap_pops;
+    if (item.node == PackedRTree::kNoNode) {
+      const double* t = pool.data() + item.coord;
+      if (!dominated(t)) {
+        skyline.insert(skyline.end(), t, t + d);
+        skyline_ids.push_back(item.id);
+      } else {
+        ++pruned_entries;
+      }
+      continue;
+    }
+    products.CountNodeRead();
+    const PackedRTree::Node& n = products.node(item.node);
+    const uint32_t end = n.first_entry + n.entry_count;
+    for (uint32_t e = n.first_entry; e < end; ++e) {
+      const double* mbr = products.entry_mbr(e);
+      bool intersects = true;
+      for (size_t j = 0; j < d; ++j) {
+        if (mbr[2 * j + 1] < wlo[j] || mbr[2 * j] > whi[j]) {
+          intersects = false;
+          break;
+        }
+      }
+      if (!intersects) continue;
+      if (n.is_leaf != 0) {
+        const PackedRTree::Id id = products.entry_id(e);
+        if (exclude_id.has_value() && id == *exclude_id) continue;
+        if (!InWindowSpan(mbr, 2, cs, qs, d)) continue;
+        ToDistanceSpaceSpan(mbr, 2, os, d, buf.data());
+        if (dominated(buf.data())) {
+          ++pruned_entries;
+          continue;
+        }
+        const double dist = L1NormSpan(buf.data(), d);
+        const size_t off = pool.size();
+        pool.insert(pool.end(), buf.begin(), buf.end());
+        heap.push({dist, PackedRTree::kNoNode, off, id});
+      } else {
+        BoxMinDistCornerSpan(mbr, os, d, buf.data());
+        if (dominated(buf.data())) {
+          ++pruned_entries;
+          continue;
+        }
+        heap.push(
+            {L1NormSpan(buf.data(), d), products.entry_child(e), 0, -1});
       }
     }
   }

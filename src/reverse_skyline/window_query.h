@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "index/packed_rtree.h"
 #include "index/rtree.h"
 
 namespace wnrs {
@@ -42,6 +43,23 @@ std::vector<RStarTree::Id> WindowSkyline(
     const RStarTree& products, const Point& c, const Point& q,
     const Point& origin,
     std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+/// Packed (frozen read path) twins of the probes above: identical
+/// traversal order, early-exit points, node-read counts, and results as
+/// their dynamic-tree counterparts, but running over the flat arena with
+/// the span kernels of geometry/kernels.h — no Point/Rectangle
+/// materialization per visited entry.
+std::vector<PackedRTree::Id> WindowQuery(
+    const PackedRTree& products, const Point& c, const Point& q,
+    std::optional<PackedRTree::Id> exclude_id = std::nullopt);
+
+bool WindowEmpty(const PackedRTree& products, const Point& c, const Point& q,
+                 std::optional<PackedRTree::Id> exclude_id = std::nullopt);
+
+std::vector<PackedRTree::Id> WindowSkyline(
+    const PackedRTree& products, const Point& c, const Point& q,
+    const Point& origin,
+    std::optional<PackedRTree::Id> exclude_id = std::nullopt);
 
 }  // namespace wnrs
 

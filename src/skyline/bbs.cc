@@ -4,10 +4,19 @@
 
 #include "common/logging.h"
 #include "geometry/dominance.h"
+#include "geometry/kernels.h"
 #include "geometry/transform.h"
 
 namespace wnrs {
 namespace {
+
+/// Capacity hint for the confirmed-skyline buffers: skylines are tiny
+/// compared to the dataset, so the hint is capped — enough to absorb the
+/// common case without ever reallocating, without committing O(n) memory
+/// up front for large trees.
+size_t SkylineReserveHint(size_t tree_size) {
+  return std::min<size_t>(tree_size, 256);
+}
 
 /// Shared BBS core: operates on entries already mapped into the target
 /// space by `map_rect` / `map_point`.
@@ -36,9 +45,13 @@ std::vector<RStarTree::Id> BbsCore(
   };
 
   if (tree.size() == 0) return skyline_ids;
+  skyline_points.reserve(SkylineReserveHint(tree.size()));
+  skyline_ids.reserve(SkylineReserveHint(tree.size()));
   heap.push({0.0, tree.root(), Point(), -1});
   while (!heap.empty()) {
-    Item item = heap.top();
+    // top() is const, but the element is discarded by the pop right
+    // after — moving it out saves a Point copy per pop.
+    Item item = std::move(const_cast<Item&>(heap.top()));
     heap.pop();
     if (item.node == nullptr) {
       // Data entry: re-check dominance (skyline may have grown since it
@@ -67,6 +80,86 @@ std::vector<RStarTree::Id> BbsCore(
   return skyline_ids;
 }
 
+/// Packed BBS core. Candidate coordinates live in one append-only flat
+/// pool (heap items hold offsets, not Points) and the confirmed skyline
+/// is a dense coordinate slab scanned by the batch dominance kernel. The
+/// push/pop sequence — and with it the traversal order and node-read
+/// count — matches BbsCore exactly: mindists are computed with the same
+/// arithmetic and entries are visited in the same order.
+std::vector<PackedRTree::Id> PackedBbsCore(
+    const PackedRTree& tree,
+    const double* origin,  // nullptr => identity map (static skyline)
+    std::optional<PackedRTree::Id> exclude_id) {
+  const size_t d = tree.dims();
+  struct Item {
+    double mindist;
+    uint32_t node;  // kNoNode => data entry
+    size_t coord;   // offset of the mapped point in `pool` (data entries)
+    PackedRTree::Id id;
+    bool operator>(const Item& other) const {
+      return mindist > other.mindist;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<double> pool;          // mapped candidate points, d-strided
+  std::vector<double> skyline;       // confirmed skyline coords, d-strided
+  std::vector<PackedRTree::Id> skyline_ids;
+  if (tree.size() == 0) return skyline_ids;
+  skyline.reserve(SkylineReserveHint(tree.size()) * d);
+  skyline_ids.reserve(SkylineReserveHint(tree.size()));
+  pool.reserve(SkylineReserveHint(tree.size()) * d);
+
+  std::vector<double> buf(d);
+  heap.push({0.0, tree.root(), 0, -1});
+  while (!heap.empty()) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.node == PackedRTree::kNoNode) {
+      const double* t = pool.data() + item.coord;
+      if (!DominatedByAny(skyline.data(), skyline_ids.size(), d, t)) {
+        skyline.insert(skyline.end(), t, t + d);
+        skyline_ids.push_back(item.id);
+      }
+      continue;
+    }
+    tree.CountNodeRead();
+    const PackedRTree::Node& n = tree.node(item.node);
+    const uint32_t end = n.first_entry + n.entry_count;
+    for (uint32_t e = n.first_entry; e < end; ++e) {
+      const double* mbr = tree.entry_mbr(e);
+      if (n.is_leaf != 0) {
+        const PackedRTree::Id id = tree.entry_id(e);
+        if (exclude_id.has_value() && id == *exclude_id) continue;
+        if (origin != nullptr) {
+          ToDistanceSpaceSpan(mbr, 2, origin, d, buf.data());
+        } else {
+          for (size_t j = 0; j < d; ++j) buf[j] = mbr[2 * j];
+        }
+        if (DominatedByAny(skyline.data(), skyline_ids.size(), d,
+                           buf.data())) {
+          continue;
+        }
+        const double dist = L1NormSpan(buf.data(), d);
+        const size_t off = pool.size();
+        pool.insert(pool.end(), buf.begin(), buf.end());
+        heap.push({dist, PackedRTree::kNoNode, off, id});
+      } else {
+        if (origin != nullptr) {
+          BoxMinDistCornerSpan(mbr, origin, d, buf.data());
+        } else {
+          for (size_t j = 0; j < d; ++j) buf[j] = mbr[2 * j];
+        }
+        if (DominatedByAny(skyline.data(), skyline_ids.size(), d,
+                           buf.data())) {
+          continue;
+        }
+        heap.push({L1NormSpan(buf.data(), d), tree.entry_child(e), 0, -1});
+      }
+    }
+  }
+  return skyline_ids;
+}
+
 }  // namespace
 
 std::vector<RStarTree::Id> BbsSkyline(const RStarTree& tree) {
@@ -84,6 +177,17 @@ std::vector<RStarTree::Id> BbsDynamicSkyline(
       [&origin](const Rectangle& r) { return RectToDistanceSpace(r, origin); },
       [&origin](const Point& p) { return ToDistanceSpace(p, origin); },
       exclude_id);
+}
+
+std::vector<PackedRTree::Id> BbsSkyline(const PackedRTree& tree) {
+  return PackedBbsCore(tree, nullptr, std::nullopt);
+}
+
+std::vector<PackedRTree::Id> BbsDynamicSkyline(
+    const PackedRTree& tree, const Point& origin,
+    std::optional<PackedRTree::Id> exclude_id) {
+  WNRS_CHECK(origin.dims() == tree.dims());
+  return PackedBbsCore(tree, origin.coords().data(), exclude_id);
 }
 
 }  // namespace wnrs

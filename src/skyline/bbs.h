@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "index/packed_rtree.h"
 #include "index/rtree.h"
 
 namespace wnrs {
@@ -23,6 +24,18 @@ std::vector<RStarTree::Id> BbsSkyline(const RStarTree& tree);
 std::vector<RStarTree::Id> BbsDynamicSkyline(
     const RStarTree& tree, const Point& origin,
     std::optional<RStarTree::Id> exclude_id = std::nullopt);
+
+/// BBS over the packed (frozen) read path: identical traversal order,
+/// pruning decisions, node-read counts, and output as the dynamic-tree
+/// overload, but running on the flat arena with the geometry/kernels.h
+/// batch dominance kernels and a flat coordinate pool instead of
+/// per-point heap allocations.
+std::vector<PackedRTree::Id> BbsSkyline(const PackedRTree& tree);
+
+/// Packed twin of BbsDynamicSkyline; bit-identical results.
+std::vector<PackedRTree::Id> BbsDynamicSkyline(
+    const PackedRTree& tree, const Point& origin,
+    std::optional<PackedRTree::Id> exclude_id = std::nullopt);
 
 }  // namespace wnrs
 

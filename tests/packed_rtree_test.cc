@@ -1,0 +1,350 @@
+#include "index/packed_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "data/generators.h"
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+#include "index/rtree.h"
+#include "reverse_skyline/bbrs.h"
+#include "reverse_skyline/window_query.h"
+#include "skyline/bbs.h"
+
+namespace wnrs {
+namespace {
+
+std::vector<Point> RandomPoints(size_t n, size_t dims, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    Point p(dims);
+    for (size_t i = 0; i < dims; ++i) p[i] = rng.NextDouble(0, 100);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+RStarTree BuildTree(const std::vector<Point>& points, size_t dims) {
+  RStarTree tree(dims);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], static_cast<RStarTree::Id>(i));
+  }
+  return tree;
+}
+
+/// Runs the dynamic and packed form of one query and asserts bit-identical
+/// results AND identical node-read counts — the freeze contract.
+template <typename DynFn, typename PackFn>
+void ExpectParity(RStarTree& tree, PackedRTree& packed, const DynFn& dyn,
+                  const PackFn& pack, const std::string& what) {
+  tree.ResetStats();
+  packed.ResetStats();
+  const auto dyn_out = dyn();
+  const uint64_t dyn_reads = tree.stats().node_reads;
+  const auto packed_out = pack();
+  const uint64_t packed_reads = packed.stats().node_reads;
+  EXPECT_EQ(dyn_out, packed_out) << what;
+  EXPECT_EQ(dyn_reads, packed_reads) << what << " node reads";
+}
+
+TEST(PackedRTreeTest, EmptyTreeFreezes) {
+  RStarTree tree(2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  EXPECT_EQ(packed.dims(), 2u);
+  EXPECT_EQ(packed.size(), 0u);
+  EXPECT_EQ(packed.height(), 1u);
+  // Mirrors the dynamic root: one empty leaf always exists.
+  EXPECT_EQ(packed.num_nodes(), 1u);
+  EXPECT_EQ(packed.num_entries(), 0u);
+  EXPECT_TRUE(packed.node(packed.root()).is_leaf);
+  EXPECT_TRUE(packed.CheckInvariants().ok())
+      << packed.CheckInvariants().ToString();
+  EXPECT_TRUE(
+      packed.RangeQueryIds(Rectangle(Point({0, 0}), Point({1, 1}))).empty());
+  EXPECT_TRUE(BbsSkyline(packed).empty());
+}
+
+TEST(PackedRTreeTest, SingleLeafMatchesDynamic) {
+  const std::vector<Point> points = RandomPoints(5, 2, 11);
+  RStarTree tree = BuildTree(points, 2);
+  ASSERT_EQ(tree.height(), 1u);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  EXPECT_EQ(packed.size(), 5u);
+  EXPECT_EQ(packed.num_nodes(), 1u);
+  EXPECT_TRUE(packed.CheckInvariants().ok())
+      << packed.CheckInvariants().ToString();
+  const Rectangle all(Point({-1, -1}), Point({101, 101}));
+  EXPECT_EQ(packed.RangeQueryIds(all), tree.RangeQueryIds(all));
+  EXPECT_EQ(BbsSkyline(packed), BbsSkyline(tree));
+}
+
+TEST(PackedRTreeTest, FreezePreservesShape) {
+  const std::vector<Point> points = RandomPoints(2000, 2, 21);
+  RStarTree tree = BuildTree(points, 2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  EXPECT_EQ(packed.dims(), tree.dims());
+  EXPECT_EQ(packed.size(), tree.size());
+  EXPECT_EQ(packed.height(), tree.height());
+  EXPECT_GE(packed.num_entries(), packed.size());
+  ASSERT_TRUE(packed.CheckInvariants().ok())
+      << packed.CheckInvariants().ToString();
+}
+
+TEST(PackedRTreeTest, MoveSemantics) {
+  RStarTree tree = BuildTree(RandomPoints(300, 2, 31), 2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  const Rectangle window(Point({10, 10}), Point({60, 60}));
+  const std::vector<PackedRTree::Id> expected = packed.RangeQueryIds(window);
+  PackedRTree moved = std::move(packed);
+  EXPECT_EQ(moved.size(), 300u);
+  EXPECT_EQ(moved.RangeQueryIds(window), expected);
+  EXPECT_TRUE(moved.CheckInvariants().ok());
+}
+
+// Pins the RangeQueryIds sorted-output contract on both paths — the
+// engine's CustomersInRange relies on it instead of re-sorting.
+TEST(PackedRTreeTest, RangeQueryIdsSortedAndEquivalent) {
+  const std::vector<Point> points = RandomPoints(1500, 2, 41);
+  RStarTree tree = BuildTree(points, 2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double x0 = rng.NextDouble(0, 90);
+    const double y0 = rng.NextDouble(0, 90);
+    const Rectangle window(Point({x0, y0}),
+                           Point({x0 + rng.NextDouble(1, 30),
+                                  y0 + rng.NextDouble(1, 30)}));
+    ExpectParity(
+        tree, packed, [&] { return tree.RangeQueryIds(window); },
+        [&] { return packed.RangeQueryIds(window); }, "range query");
+    const std::vector<RStarTree::Id> ids = tree.RangeQueryIds(window);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  }
+}
+
+class PackedBbsParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PackedBbsParityTest, SkylineIdsAndNodeReadsMatch) {
+  const size_t n = GetParam();
+  const std::vector<Point> points = RandomPoints(n, 2, 100 + n);
+  RStarTree tree = BuildTree(points, 2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  ExpectParity(
+      tree, packed, [&] { return BbsSkyline(tree); },
+      [&] { return BbsSkyline(packed); }, "bbs skyline");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PackedBbsParityTest,
+                         ::testing::Values(1, 10, 100, 1000, 5000));
+
+TEST(PackedRTreeTest, DynamicSkylineParityFuzzed) {
+  const std::vector<Point> points = RandomPoints(1200, 2, 51);
+  RStarTree tree = BuildTree(points, 2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  Rng rng(52);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point origin(
+        {rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    std::optional<RStarTree::Id> exclude;
+    if (trial % 3 == 0) {
+      exclude = static_cast<RStarTree::Id>(rng.NextUint64(points.size()));
+    }
+    ExpectParity(
+        tree, packed,
+        [&] { return BbsDynamicSkyline(tree, origin, exclude); },
+        [&] { return BbsDynamicSkyline(packed, origin, exclude); },
+        "dynamic skyline");
+  }
+}
+
+TEST(PackedRTreeTest, WindowProbesParityFuzzed) {
+  const std::vector<Point> points = RandomPoints(1000, 2, 61);
+  RStarTree tree = BuildTree(points, 2);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  Rng rng(62);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point& c = points[rng.NextUint64(points.size())];
+    const Point q({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    std::optional<RStarTree::Id> exclude;
+    if (trial % 2 == 0) {
+      exclude = static_cast<RStarTree::Id>(rng.NextUint64(points.size()));
+    }
+    // WindowQuery emits in traversal order; the structure-preserving
+    // freeze makes even that order identical.
+    ExpectParity(
+        tree, packed, [&] { return WindowQuery(tree, c, q, exclude); },
+        [&] { return WindowQuery(packed, c, q, exclude); }, "window query");
+    tree.ResetStats();
+    packed.ResetStats();
+    const bool dyn_empty = WindowEmpty(tree, c, q, exclude);
+    const uint64_t dyn_reads = tree.stats().node_reads;
+    const bool packed_empty = WindowEmpty(packed, c, q, exclude);
+    EXPECT_EQ(dyn_empty, packed_empty);
+    EXPECT_EQ(dyn_reads, packed.stats().node_reads) << "window empty reads";
+    ExpectParity(
+        tree, packed, [&] { return WindowSkyline(tree, c, q, q, exclude); },
+        [&] { return WindowSkyline(packed, c, q, q, exclude); },
+        "window skyline (origin q)");
+    ExpectParity(
+        tree, packed, [&] { return WindowSkyline(tree, c, q, c, exclude); },
+        [&] { return WindowSkyline(packed, c, q, c, exclude); },
+        "window skyline (origin c)");
+  }
+}
+
+TEST(PackedRTreeTest, GlobalSkylineAndBbrsParityFuzzed) {
+  const Dataset data = GenerateCarDb(1500, 71);
+  RStarTree tree = BuildTree(data.points, data.dims);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  Rng rng(72);
+  for (int trial = 0; trial < 12; ++trial) {
+    const Point& q = data.points[rng.NextUint64(data.size())];
+    std::optional<RStarTree::Id> exclude;
+    if (trial % 2 == 0) {
+      exclude = static_cast<RStarTree::Id>(rng.NextUint64(data.size()));
+    }
+    ExpectParity(
+        tree, packed,
+        [&] { return GlobalSkylineCandidates(tree, q, exclude); },
+        [&] { return GlobalSkylineCandidates(packed, q, exclude); },
+        "global skyline");
+    ExpectParity(
+        tree, packed, [&] { return BbrsReverseSkyline(tree, q); },
+        [&] { return BbrsReverseSkyline(packed, q); }, "bbrs");
+  }
+}
+
+TEST(PackedRTreeTest, BichromaticBbrsParityFuzzed) {
+  const Dataset customers = GenerateCarDb(900, 81);
+  const Dataset products = GenerateCarDb(1100, 82);
+  RStarTree ctree = BuildTree(customers.points, customers.dims);
+  RStarTree ptree = BuildTree(products.points, products.dims);
+  PackedRTree cpacked = PackedRTree::Freeze(ctree);
+  PackedRTree ppacked = PackedRTree::Freeze(ptree);
+  Rng rng(83);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Point& q = products.points[rng.NextUint64(products.size())];
+    ctree.ResetStats();
+    ptree.ResetStats();
+    cpacked.ResetStats();
+    ppacked.ResetStats();
+    const auto dyn = BbrsReverseSkylineBichromatic(ctree, ptree, q);
+    const uint64_t dyn_reads =
+        ctree.stats().node_reads + ptree.stats().node_reads;
+    const auto pck = BbrsReverseSkylineBichromatic(cpacked, ppacked, q);
+    const uint64_t pck_reads =
+        cpacked.stats().node_reads + ppacked.stats().node_reads;
+    EXPECT_EQ(dyn, pck);
+    EXPECT_EQ(dyn_reads, pck_reads);
+  }
+}
+
+TEST(PackedRTreeTest, BichromaticSharedRelationParity) {
+  const Dataset data = GenerateCarDb(800, 91);
+  RStarTree ctree = BuildTree(data.points, data.dims);
+  RStarTree ptree = BuildTree(data.points, data.dims);
+  PackedRTree cpacked = PackedRTree::Freeze(ctree);
+  PackedRTree ppacked = PackedRTree::Freeze(ptree);
+  Rng rng(92);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Point& q = data.points[rng.NextUint64(data.size())];
+    const auto dyn = BbrsReverseSkylineBichromatic(
+        ctree, ptree, q, /*shared_relation=*/true);
+    const auto pck = BbrsReverseSkylineBichromatic(
+        cpacked, ppacked, q, /*shared_relation=*/true);
+    EXPECT_EQ(dyn, pck);
+    // Shared-relation bichromatic agrees with monochromatic BBRS.
+    EXPECT_EQ(pck, BbrsReverseSkyline(ppacked, q));
+  }
+}
+
+// Clone() is structure-preserving, so a freeze of the clone must be
+// indistinguishable from a freeze of the original — the property the
+// engine's copy-on-write mutations lean on.
+TEST(PackedRTreeTest, PostCloneFreezeParity) {
+  const std::vector<Point> points = RandomPoints(1000, 2, 101);
+  RStarTree tree = BuildTree(points, 2);
+  RStarTree clone = tree.Clone();
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  PackedRTree packed_clone = PackedRTree::Freeze(clone);
+  EXPECT_EQ(packed.num_nodes(), packed_clone.num_nodes());
+  EXPECT_EQ(packed.num_entries(), packed_clone.num_entries());
+  Rng rng(102);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Point q({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    packed.ResetStats();
+    packed_clone.ResetStats();
+    EXPECT_EQ(BbsDynamicSkyline(packed, q), BbsDynamicSkyline(packed_clone, q));
+    EXPECT_EQ(packed.stats().node_reads, packed_clone.stats().node_reads);
+  }
+  // A mutation of the clone does not disturb the frozen image.
+  clone.Insert(Point({50, 50}), 7777);
+  EXPECT_EQ(packed_clone.size(), 1000u);
+  EXPECT_TRUE(packed_clone.CheckInvariants().ok());
+}
+
+class PackedDimsParityTest : public ::testing::TestWithParam<size_t> {};
+
+// Exercises the dimension-templated kernel fast paths (d = 2, 3, 4) and
+// the generic fallback (d = 5).
+TEST_P(PackedDimsParityTest, ParityAcrossDimensionalities) {
+  const size_t dims = GetParam();
+  const Dataset data = GenerateAnticorrelated(700, dims, 200 + dims);
+  RStarTree tree = BuildTree(data.points, dims);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  ASSERT_TRUE(packed.CheckInvariants().ok())
+      << packed.CheckInvariants().ToString();
+  ExpectParity(
+      tree, packed, [&] { return BbsSkyline(tree); },
+      [&] { return BbsSkyline(packed); }, "bbs skyline");
+  Rng rng(300 + dims);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Point& q = data.points[rng.NextUint64(data.size())];
+    ExpectParity(
+        tree, packed, [&] { return BbsDynamicSkyline(tree, q); },
+        [&] { return BbsDynamicSkyline(packed, q); }, "dynamic skyline");
+    ExpectParity(
+        tree, packed, [&] { return BbrsReverseSkyline(tree, q); },
+        [&] { return BbrsReverseSkyline(packed, q); }, "bbrs");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, PackedDimsParityTest,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(PackedRTreeTest, DuplicateAndDegenerateData) {
+  RStarTree tree(2);
+  for (int i = 0; i < 120; ++i) tree.Insert(Point({1.0, 1.0}), i);
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  ASSERT_TRUE(packed.CheckInvariants().ok());
+  const Rectangle window(Point({1, 1}), Point({1, 1}));
+  EXPECT_EQ(packed.RangeQueryIds(window), tree.RangeQueryIds(window));
+  EXPECT_EQ(BbsSkyline(packed), BbsSkyline(tree));
+}
+
+TEST(PackedRTreeTest, FreezeRecordsMetrics) {
+  RStarTree tree = BuildTree(RandomPoints(500, 2, 111), 2);
+  const QueryStats before = MetricsRegistry::Default().CaptureQueryStats();
+  PackedRTree packed = PackedRTree::Freeze(tree);
+  const QueryStats delta =
+      MetricsRegistry::Default().CaptureQueryStats() - before;
+  EXPECT_EQ(delta.packed_freezes, 1u);
+  EXPECT_GT(delta.packed_freeze_ns, 0u);
+  packed.ResetStats();
+  const QueryStats q0 = MetricsRegistry::Default().CaptureQueryStats();
+  BbsSkyline(packed);
+  const QueryStats q1 = MetricsRegistry::Default().CaptureQueryStats() - q0;
+  // Packed node reads feed both the shared rtree counter and their own.
+  EXPECT_EQ(q1.packed_node_reads, packed.stats().node_reads);
+  EXPECT_EQ(q1.rtree_node_reads, packed.stats().node_reads);
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -24,10 +24,20 @@ silently stops running a configuration must not pass the gate. New
 configs in the current run (not in the baseline) are reported but do not
 fail — they start gating once the baseline is regenerated.
 
-Counters whose values depend on the host (thread-pool task splits) or on
-scheduling interleavings (the serve.* counters, cache hit/miss splits
-under concurrent callers) are skipped entirely; benches listed in
-NONDETERMINISTIC_BENCHES gate on wall time only.
+Counters whose values depend on the host (thread-pool task splits,
+freeze nanoseconds) or on scheduling interleavings (the serve.* counters,
+cache hit/miss splits under concurrent callers) are skipped entirely;
+benches listed in NONDETERMINISTIC_BENCHES gate on wall time only.
+
+Improvement gates compare two configs *within the current run*, so they
+are immune to cross-host noise. Each (repeatable) spec
+
+  --improvement BENCH/FAST/SLOW[:METRIC[:FLOOR]]
+
+asserts that config FAST of bench BENCH scores strictly less than config
+SLOW times FLOOR (default 1.0) on METRIC (default wall_ms; counter names
+work too). The packed-read-path bench uses this to make "packed beats
+dynamic" a CI invariant rather than a claim.
 
 Exit codes: 0 = pass, 1 = regression or missing data, 2 = usage error.
 """
@@ -41,6 +51,7 @@ import sys
 # splitting depends on core count, and the serve/cache counters depend on
 # which requests happened to share a dispatch batch or find a warm cache.
 HOST_DEPENDENT_COUNTERS = {
+    "packed_freeze_ns",
     "pool_parallel_fors",
     "pool_tasks_executed",
     "rsl_cache_hits",
@@ -86,6 +97,77 @@ def load_current(current_dir):
 
 def records_by_config(doc):
     return {rec["config"]: rec for rec in doc.get("records", [])}
+
+
+def parse_improvement(spec):
+    """Parses BENCH/FAST/SLOW[:METRIC[:FLOOR]] into its five parts."""
+    path = spec
+    metric = "wall_ms"
+    floor = 1.0
+    if ":" in spec:
+        parts = spec.split(":")
+        if len(parts) > 3:
+            print(f"error: malformed --improvement spec '{spec}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        path = parts[0]
+        if len(parts) >= 2 and parts[1]:
+            metric = parts[1]
+        if len(parts) == 3:
+            try:
+                floor = float(parts[2])
+            except ValueError:
+                print(f"error: bad floor in --improvement spec '{spec}'",
+                      file=sys.stderr)
+                sys.exit(2)
+    pieces = path.split("/")
+    if len(pieces) != 3 or not all(pieces):
+        print(f"error: malformed --improvement spec '{spec}' "
+              f"(want BENCH/FAST/SLOW[:METRIC[:FLOOR]])", file=sys.stderr)
+        sys.exit(2)
+    return pieces[0], pieces[1], pieces[2], metric, floor
+
+
+def metric_value(rec, metric):
+    if metric == "wall_ms":
+        return float(rec.get("wall_ms", 0.0))
+    counters = rec.get("counters", {})
+    if metric not in counters:
+        return None
+    return float(counters[metric])
+
+
+def check_improvements(current, specs):
+    """Within-run gates: FAST must score < SLOW * FLOOR on METRIC."""
+    failures = []
+    for spec in specs:
+        bench, fast_cfg, slow_cfg, metric, floor = parse_improvement(spec)
+        doc = current.get(bench)
+        if doc is None:
+            failures.append(f"{bench}: bench missing, cannot check "
+                            f"improvement '{spec}'")
+            continue
+        recs = records_by_config(doc)
+        missing = [c for c in (fast_cfg, slow_cfg) if c not in recs]
+        if missing:
+            failures.append(f"{bench}: config(s) {missing} missing, cannot "
+                            f"check improvement '{spec}'")
+            continue
+        fast_val = metric_value(recs[fast_cfg], metric)
+        slow_val = metric_value(recs[slow_cfg], metric)
+        if fast_val is None or slow_val is None:
+            failures.append(f"{bench}: metric '{metric}' missing, cannot "
+                            f"check improvement '{spec}'")
+            continue
+        if fast_val >= slow_val * floor:
+            failures.append(
+                f"{bench}: {fast_cfg} {metric} {fast_val:g} >= "
+                f"{slow_cfg} {slow_val:g} x {floor:g} — expected improvement "
+                f"did not hold")
+        else:
+            print(f"improvement ok: {bench}/{fast_cfg} {metric} {fast_val:g} "
+                  f"< {slow_cfg} {slow_val:g} x {floor:g}")
+    return failures
 
 
 def check(baseline, current, args):
@@ -160,11 +242,23 @@ def main():
     parser.add_argument("--wall-floor-ms", type=float, default=50.0)
     parser.add_argument("--counter-tolerance", type=float, default=1.5)
     parser.add_argument("--counter-floor", type=int, default=1000)
+    parser.add_argument("--improvement", action="append", default=[],
+                        metavar="BENCH/FAST/SLOW[:METRIC[:FLOOR]]",
+                        help="require config FAST to beat config SLOW within "
+                             "the current run (repeatable)")
     args = parser.parse_args()
 
     current = load_current(args.current)
 
+    improvement_failures = check_improvements(current, args.improvement)
+
     if args.write_baseline:
+        if improvement_failures:
+            for f_ in improvement_failures:
+                print(f"FAIL: {f_}")
+            print("refusing to write a baseline from a run that violates "
+                  "its improvement gates")
+            return 1
         doc = {"comment": "Generated by tools/check_bench_regression.py "
                           "--write-baseline from short-mode bench runs.",
                "benches": current}
@@ -186,6 +280,7 @@ def main():
         return 1
 
     failures, warnings = check(baseline, current, args)
+    failures.extend(improvement_failures)
     for w in warnings:
         print(f"warning: {w}")
     for f_ in failures:

@@ -21,10 +21,12 @@ void RunConfig(const char* kind, size_t n, uint64_t seed, size_t max_rsl) {
               "MQP (ms)", "SR (ms)", "MWQ (ms)");
   for (const WhyNotWorkloadQuery& wq : workload) {
     WallTimer timer;
+    // wnrs-lint: allow-discard(timed region measures the call, not the answer)
     (void)engine.ModifyWhyNot(wq.why_not_index, wq.q);
     const double mwp_ms = timer.ElapsedMillis();
 
     timer.Restart();
+    // wnrs-lint: allow-discard(timed region measures the call, not the answer)
     (void)engine.ModifyQuery(wq.why_not_index, wq.q);
     const double mqp_ms = timer.ElapsedMillis();
 
@@ -44,6 +46,7 @@ void RunConfig(const char* kind, size_t n, uint64_t seed, size_t max_rsl) {
         engine.product_tree(), engine.products().points,
         engine.customers().points, wq.rsl, wq.q, engine.universe(),
         engine.shared_relation(), sr_options);
+    // wnrs-lint: allow-discard(timed region measures the call, not the answer)
     (void)ModifyQueryAndWhyNotPoint(
         engine.product_tree(), engine.products().points,
         engine.customers().points[wq.why_not_index], wq.q, sr2.region,

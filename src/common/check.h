@@ -1,0 +1,62 @@
+#ifndef WNRS_COMMON_CHECK_H_
+#define WNRS_COMMON_CHECK_H_
+
+#include "common/logging.h"
+
+/// Debug-only invariant checks, in the WNRS_CHECK family but compiled out
+/// of optimized builds. Use WNRS_DCHECK for invariants that are (a) hot
+/// enough that an always-on check would show up in profiles, or (b) so
+/// internal that a violation can only come from a bug in this library,
+/// never from caller input. Everything user-triggerable stays behind
+/// WNRS_CHECK (aborting API) or the Try* Status layer (validating API).
+///
+/// Activation: WNRS_DCHECK_IS_ON() is 1 in builds without NDEBUG (plain
+/// Debug) and in any build compiled with -DWNRS_FORCE_DCHECKS (the CMake
+/// option WNRS_FORCE_DCHECKS=ON; the sanitizer CI jobs use it so DCHECKs
+/// run under ASan/TSan). In Release/RelWithDebInfo the macros compile to
+/// a dead `while (false)` — the condition is still parsed and name-looked
+/// up (so DCHECK-only expressions cannot bit-rot and variables used only
+/// in checks are odr-used, avoiding -Wunused warnings) but the optimizer
+/// removes it entirely: zero instructions, zero side effects.
+
+#if !defined(NDEBUG) || defined(WNRS_FORCE_DCHECKS)
+#define WNRS_DCHECK_IS_ON() 1
+#else
+#define WNRS_DCHECK_IS_ON() 0
+#endif
+
+#if WNRS_DCHECK_IS_ON()
+
+#define WNRS_DCHECK(cond) WNRS_CHECK(cond)
+
+#else  // !WNRS_DCHECK_IS_ON()
+
+namespace wnrs {
+namespace internal {
+
+/// Swallows the `<< "context"` tail of a compiled-out WNRS_DCHECK.
+struct NullCheckStream {
+  template <typename T>
+  NullCheckStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace wnrs
+
+#define WNRS_DCHECK(cond)    \
+  while (false && !!(cond)) \
+  ::wnrs::internal::NullCheckStream()
+
+#endif  // WNRS_DCHECK_IS_ON()
+
+/// Comparison helpers; evaluate each operand once when on, never when off.
+#define WNRS_DCHECK_EQ(a, b) WNRS_DCHECK((a) == (b))
+#define WNRS_DCHECK_NE(a, b) WNRS_DCHECK((a) != (b))
+#define WNRS_DCHECK_LT(a, b) WNRS_DCHECK((a) < (b))
+#define WNRS_DCHECK_LE(a, b) WNRS_DCHECK((a) <= (b))
+#define WNRS_DCHECK_GT(a, b) WNRS_DCHECK((a) > (b))
+#define WNRS_DCHECK_GE(a, b) WNRS_DCHECK((a) >= (b))
+
+#endif  // WNRS_COMMON_CHECK_H_

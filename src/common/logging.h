@@ -51,6 +51,7 @@ class LogMessage {
           .stream()                                                 \
       << "Check failed: " #cond " "
 
-#define WNRS_DCHECK(cond) WNRS_CHECK(cond)
+// WNRS_DCHECK (the debug-only sibling of WNRS_CHECK) lives in
+// common/check.h together with its comparison helpers.
 
 #endif  // WNRS_COMMON_LOGGING_H_

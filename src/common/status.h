@@ -33,7 +33,13 @@ const char* StatusCodeName(StatusCode code);
 
 /// Value-type status: a code plus an optional message. Cheap to copy in the
 /// OK case (empty message).
-class Status {
+///
+/// The class-level [[nodiscard]] makes ignoring any function that returns a
+/// Status by value a -Werror diagnostic: an unobserved failure is a bug.
+/// The rare legitimate discard is written `(void)expr;` with a
+/// `// wnrs-lint: allow-discard(<reason>)` justification, which
+/// tools/wnrs_lint.py verifies.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -90,8 +96,10 @@ class Status {
 
 /// Either a value of type T or a non-OK Status. Modeled after
 /// absl::StatusOr / arrow::Result, reduced to what this library needs.
+/// [[nodiscard]] for the same reason as Status: a dropped Result hides
+/// both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error status, so functions can
   /// `return value;` or `return Status::InvalidArgument(...)`.

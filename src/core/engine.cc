@@ -11,9 +11,11 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "core/validate.h"
 #include "geometry/transform.h"
 #include "index/bulk_load.h"
 #include "index/packed_rtree.h"
+#include "index/validate.h"
 #include "reverse_skyline/bbrs.h"
 #include "reverse_skyline/window_query.h"
 #include "skyline/approx.h"
@@ -118,6 +120,7 @@ struct EngineCore {
       packed_tree =
           std::make_shared<const PackedRTree>(PackedRTree::Freeze(*tree));
     }
+    ParanoidCheckIndex();
   }
 
   EngineCore(Dataset products_in, Dataset customers_in,
@@ -143,6 +146,7 @@ struct EngineCore {
       packed_customer_tree = std::make_shared<const PackedRTree>(
           PackedRTree::Freeze(*customer_tree));
     }
+    ParanoidCheckIndex();
   }
 
   /// Copy-on-write seed: copies the state, starts with fresh (empty)
@@ -227,6 +231,44 @@ struct EngineCore {
           "LoadApproxDsls first");
     }
     return Status::Ok();
+  }
+
+  // ---- paranoid_checks hooks (deep validators; see core/validate.h and
+  // index/validate.h). Violations abort: never serve a wrong answer. ----
+
+  AnswerValidationInput MakeValidationInput() const {
+    AnswerValidationInput in;
+    in.products_tree = tree.get();
+    in.customers = &customer_dataset().points;
+    in.shared_relation = shared_relation;
+    in.epsilon_fraction = options.epsilon_fraction;
+    in.universe = universe;
+    in.cost_model = &cost_model;
+    return in;
+  }
+
+  /// Structural validation of the index state: dynamic tree invariants
+  /// plus packed-image parity. Called at construction and after every
+  /// mutation when paranoid_checks is on.
+  void ParanoidCheckIndex() const {
+    if (!options.paranoid_checks) return;
+    Status s = ValidateTree(*tree);
+    WNRS_CHECK(s.ok()) << "paranoid product tree: " << s.ToString();
+    if (customer_tree != nullptr) {
+      s = ValidateTree(*customer_tree);
+      WNRS_CHECK(s.ok()) << "paranoid customer tree: " << s.ToString();
+    }
+    if (packed_tree != nullptr) {
+      s = ValidatePacked(*packed_tree);
+      WNRS_CHECK(s.ok()) << "paranoid packed tree: " << s.ToString();
+      s = ValidatePackedMatchesDynamic(*packed_tree, *tree);
+      WNRS_CHECK(s.ok()) << "paranoid packed parity: " << s.ToString();
+    }
+    if (packed_customer_tree != nullptr) {
+      s = ValidatePackedMatchesDynamic(*packed_customer_tree, *customer_tree);
+      WNRS_CHECK(s.ok()) << "paranoid packed customer parity: "
+                         << s.ToString();
+    }
   }
 
   // ---- Read path. All const; results are bit-identical regardless of
@@ -429,6 +471,10 @@ struct EngineCore {
             : ModifyWhyNotPoint(*tree, products->points, CustomerPoint(c), q,
                                 cost_model, options.sort_dim, ExcludeFor(c));
     if (semantics == Semantics::kStrict) ApplyStrictMwp(c, q, &out);
+    if (options.paranoid_checks) {
+      const Status s = ValidateMwpAnswer(MakeValidationInput(), c, q, out);
+      WNRS_CHECK(s.ok()) << "paranoid MWP answer: " << s.ToString();
+    }
     return out;
   }
 
@@ -441,6 +487,10 @@ struct EngineCore {
             : ModifyQueryPoint(*tree, products->points, CustomerPoint(c), q,
                                cost_model, options.sort_dim, ExcludeFor(c));
     if (semantics == Semantics::kStrict) ApplyStrictMqp(c, q, &out);
+    if (options.paranoid_checks) {
+      const Status s = ValidateMqpAnswer(MakeValidationInput(), c, q, out);
+      WNRS_CHECK(s.ok()) << "paranoid MQP answer: " << s.ToString();
+    }
     return out;
   }
 
@@ -458,6 +508,11 @@ struct EngineCore {
     auto computed = std::make_shared<const SafeRegionResult>(
         ComputeSafeRegion(*tree, products->points, customer_dataset().points,
                           rsl, q, universe, shared_relation, sr_options));
+    if (options.paranoid_checks) {
+      const Status s =
+          ValidateSafeRegion(MakeValidationInput(), rsl, q, *computed);
+      WNRS_CHECK(s.ok()) << "paranoid safe region: " << s.ToString();
+    }
     std::lock_guard<std::mutex> lock(sr_mu);
     for (const auto& [key, sr] : sr_cache) {
       if (key == q) return sr;
@@ -485,6 +540,14 @@ struct EngineCore {
     auto computed = std::make_shared<const SafeRegionResult>(
         ComputeApproxSafeRegion(customer_dataset().points, *approx_dsls, rsl,
                                 q, universe, sr_options));
+    if (options.paranoid_checks) {
+      // The approximated region must be sound too — it is a subset of the
+      // exact safe region by construction, so the same sampled probes
+      // apply unchanged.
+      const Status s =
+          ValidateSafeRegion(MakeValidationInput(), rsl, q, *computed);
+      WNRS_CHECK(s.ok()) << "paranoid approx safe region: " << s.ToString();
+    }
     std::lock_guard<std::mutex> lock(approx_sr_mu);
     for (const auto& [key, sr] : approx_sr_cache) {
       if (key == q) return sr;
@@ -524,6 +587,14 @@ struct EngineCore {
     };
   }
 
+  /// MWQ results are re-proved against RSL(q) (cached) when paranoid.
+  void ParanoidCheckMwq(size_t c, const Point& q, const MwqResult& out) const {
+    if (!options.paranoid_checks) return;
+    const Status s =
+        ValidateMwqAnswer(MakeValidationInput(), c, q, ReverseSkyline(q), out);
+    WNRS_CHECK(s.ok()) << "paranoid MWQ answer: " << s.ToString();
+  }
+
   MwqResult ModifyBoth(size_t c, const Point& q, Semantics semantics) const {
     std::shared_ptr<const SafeRegionResult> sr = SafeRegion(q);
     MwqResult out = ModifyQueryAndWhyNotPoint(
@@ -531,6 +602,7 @@ struct EngineCore {
         cost_model, options.sort_dim, ExcludeFor(c), MakeKeepsMembersFn(q),
         options.fast_frontier);
     if (semantics == Semantics::kStrict) ApplyStrictMwq(c, &out);
+    ParanoidCheckMwq(c, q, out);
     return out;
   }
 
@@ -542,6 +614,7 @@ struct EngineCore {
         cost_model, options.sort_dim, ExcludeFor(c), MakeKeepsMembersFn(q),
         options.fast_frontier);
     if (semantics == Semantics::kStrict) ApplyStrictMwq(c, &out);
+    ParanoidCheckMwq(c, q, out);
     return out;
   }
 
@@ -554,6 +627,7 @@ struct EngineCore {
         cost_model, options.sort_dim, ExcludeFor(c), MakeKeepsMembersFn(q),
         options.fast_frontier);
     if (semantics == Semantics::kStrict) ApplyStrictMwq(c, &out);
+    ParanoidCheckMwq(c, q, out);
     return out;
   }
 
@@ -581,10 +655,13 @@ struct EngineCore {
     // determinism) measure, not a safety one: without it every worker
     // missing the cold cache would redundantly compute the same region.
     if (use_approx) {
+      // wnrs-lint: allow-discard(cache prewarm; workers re-read the value)
       (void)ApproxSafeRegion(q);
     } else {
+      // wnrs-lint: allow-discard(cache prewarm; workers re-read the value)
       (void)SafeRegion(q);
     }
+    // wnrs-lint: allow-discard(cache prewarm; workers re-read the value)
     (void)ReverseSkyline(q);
     return pool->ParallelMap<MwqResult>(whos.size(), [&](size_t i) {
       return use_approx ? ModifyBothApprox(whos[i], q, semantics)
@@ -1144,6 +1221,7 @@ size_t WhyNotEngine::AddProduct(const Point& p) {
   // store could silently lose safety, so it is dropped with the snapshot.
   next->approx_dsls.reset();
   next->approx_k = 0;
+  next->ParanoidCheckIndex();
   PublishCore(std::move(next));
   MetricSetGauge(GaugeId::kRslCacheSize, 0);
   return id;
@@ -1185,6 +1263,7 @@ Status WhyNotEngine::TryRemoveProduct(size_t id) {
   next->removed[id] = true;
   next->approx_dsls.reset();
   next->approx_k = 0;
+  next->ParanoidCheckIndex();
   PublishCore(std::move(next));
   MetricSetGauge(GaugeId::kRslCacheSize, 0);
   return Status::Ok();

@@ -56,6 +56,15 @@ struct WhyNotEngineOptions {
   /// simply faster. Freeze cost is surfaced in the packed.freezes /
   /// packed.freeze_ns metrics. Disable to A/B the two paths.
   bool use_packed_read_path = true;
+  /// Re-verify every answer against ground truth before returning it:
+  /// tree structure after each mutation (index/validate.h), safe-region
+  /// soundness by sampled window probes, and MWP/MQP/MWQ membership of
+  /// every returned candidate (core/validate.h). A violation aborts via
+  /// WNRS_CHECK with the violated invariant named — fail closed, never
+  /// serve a wrong answer. Expensive (each answer is re-proved with
+  /// independent probes over the dynamic tree); meant for tests, fuzzing
+  /// and canary replicas, not the serving fleet.
+  bool paranoid_checks = false;
 };
 
 /// Answer semantics for the modification algorithms (MWP/MQP/MWQ).
@@ -351,7 +360,9 @@ class WhyNotEngine {
   /// approximated-DSL store with the old snapshot (both depend on the
   /// product set). Returns the new product's id. In shared-relation mode
   /// the tuple is simultaneously a new customer preference.
-  size_t AddProduct(const Point& p);
+  /// [[nodiscard]]: dropping the id orphans the product — there is no
+  /// other way to learn it for a later RemoveProduct.
+  [[nodiscard]] size_t AddProduct(const Point& p);
 
   /// Validating variant: rejects dimension mismatches and non-finite
   /// coordinates instead of aborting.
@@ -361,7 +372,9 @@ class WhyNotEngine {
   /// the slot in products() is tombstoned, so existing ids stay stable).
   /// Returns false if the id is unknown or already removed. In
   /// shared-relation mode the corresponding customer disappears with it.
-  bool RemoveProduct(size_t id);
+  /// [[nodiscard]]: the bool is the only failure signal (false = no such
+  /// live product, nothing was removed).
+  [[nodiscard]] bool RemoveProduct(size_t id);
 
   /// Status-returning variant of RemoveProduct (NotFound on unknown or
   /// already-removed ids).

@@ -1,0 +1,288 @@
+#include "core/validate.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "reverse_skyline/window_query.h"
+
+namespace wnrs {
+
+namespace {
+
+std::optional<RStarTree::Id> ExcludeFor(const AnswerValidationInput& in,
+                                        size_t customer_index) {
+  if (!in.shared_relation) return std::nullopt;
+  return static_cast<RStarTree::Id>(customer_index);
+}
+
+/// Reverse-skyline membership of a (possibly moved) customer location
+/// under a (possibly moved) query: window_query(c, q) empty. Boundary
+/// answers tie with a culprit, so on a direct miss the probe retries with
+/// the customer location nudged toward q on the engine's escalating
+/// epsilon schedule.
+bool MemberWithNudge(const AnswerValidationInput& in, const Point& c_loc,
+                     const Point& q, std::optional<RStarTree::Id> exclude) {
+  if (WindowEmpty(*in.products_tree, c_loc, q, exclude)) return true;
+  double fraction = in.epsilon_fraction;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Point nudged = c_loc;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      const double range = in.universe.hi()[i] - in.universe.lo()[i];
+      const double eps = fraction * (range > 0.0 ? range : 1.0);
+      if (q[i] > nudged[i]) {
+        nudged[i] += eps;
+      } else if (q[i] < nudged[i]) {
+        nudged[i] -= eps;
+      }
+    }
+    if (WindowEmpty(*in.products_tree, nudged, q, exclude)) return true;
+    fraction *= 100.0;
+  }
+  return false;
+}
+
+/// The query-side mirror: membership of customer c_loc under query q,
+/// retrying with q nudged toward c_loc (shrinking the window).
+bool MemberWithQueryNudge(const AnswerValidationInput& in, const Point& c_loc,
+                          const Point& q,
+                          std::optional<RStarTree::Id> exclude) {
+  if (WindowEmpty(*in.products_tree, c_loc, q, exclude)) return true;
+  double fraction = in.epsilon_fraction;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Point nudged = q;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      const double range = in.universe.hi()[i] - in.universe.lo()[i];
+      const double eps = fraction * (range > 0.0 ? range : 1.0);
+      if (c_loc[i] > nudged[i]) {
+        nudged[i] += eps;
+      } else if (c_loc[i] < nudged[i]) {
+        nudged[i] -= eps;
+      }
+    }
+    if (WindowEmpty(*in.products_tree, c_loc, nudged, exclude)) return true;
+    fraction *= 100.0;
+  }
+  return false;
+}
+
+Status CheckCandidateOrder(const std::vector<Candidate>& candidates,
+                           const char* which) {
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].cost < candidates[i - 1].cost) {
+      return Status::Internal(StrFormat(
+          "[answer-order] %s candidate %zu has cost %.12g below its "
+          "predecessor's %.12g — candidates must be cost-ascending",
+          which, i, candidates[i].cost, candidates[i - 1].cost));
+    }
+  }
+  return Status::Ok();
+}
+
+constexpr double kCostSlack = 1e-9;
+
+}  // namespace
+
+Status ValidateSafeRegion(const AnswerValidationInput& in,
+                          const std::vector<size_t>& rsl, const Point& q,
+                          const SafeRegionResult& sr,
+                          size_t random_samples_per_rect, uint64_t seed) {
+  if (!sr.region.Contains(q)) {
+    return Status::Internal(
+        "[sr-q-membership] SR(q) does not contain q itself (Lemma 2: the "
+        "zero-move query always keeps every member)");
+  }
+  Rng rng(seed);
+  const size_t dims = q.dims();
+  for (size_t ri = 0; ri < sr.region.rects().size(); ++ri) {
+    const Rectangle& rect = sr.region.rects()[ri];
+    std::vector<Point> samples = {rect.lo(), rect.hi(), rect.Center()};
+    for (size_t s = 0; s < random_samples_per_rect; ++s) {
+      Point p(dims);
+      for (size_t j = 0; j < dims; ++j) {
+        p[j] = rect.lo()[j] == rect.hi()[j]
+                   ? rect.lo()[j]
+                   : rng.NextDouble(rect.lo()[j], rect.hi()[j]);
+      }
+      samples.push_back(std::move(p));
+    }
+    for (const Point& q_prime : samples) {
+      for (size_t c : rsl) {
+        // Closed rectangle boundaries can tie-lose a member exactly on
+        // the region border; the membership probe's query-side nudge
+        // (toward the customer, i.e. inward) absorbs exactly that tie,
+        // while a genuinely unsafe region keeps failing.
+        if (!MemberWithQueryNudge(in, (*in.customers)[c], q_prime,
+                                  ExcludeFor(in, c))) {
+          return Status::Internal(StrFormat(
+              "[sr-soundness] moving q to sampled point %s of safe-region "
+              "rectangle %zu loses reverse-skyline customer %zu — SR(q) "
+              "must be a subset of the true safe region (Eqns. 8-11)",
+              q_prime.ToString().c_str(), ri, c));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateMwpAnswer(const AnswerValidationInput& in, size_t c,
+                         const Point& q, const MwpResult& result) {
+  WNRS_RETURN_IF_ERROR(CheckCandidateOrder(result.candidates, "MWP"));
+  if (result.already_member) {
+    if (result.candidates.empty() || result.candidates.front().cost != 0.0) {
+      return Status::Internal(
+          "[answer-cost] MWP reported already_member but no zero-cost "
+          "candidate");
+    }
+    return Status::Ok();
+  }
+  const Point& c_t = (*in.customers)[c];
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    const Candidate& cand = result.candidates[i];
+    if (in.cost_model != nullptr) {
+      const double expect = in.cost_model->WhyNotMoveCost(c_t, cand.point);
+      if (std::fabs(expect - cand.cost) > kCostSlack) {
+        return Status::Internal(StrFormat(
+            "[answer-cost] MWP candidate %zu reports cost %.12g but the "
+            "beta cost model gives %.12g",
+            i, cand.cost, expect));
+      }
+    }
+    if (!MemberWithNudge(in, cand.point, q, ExcludeFor(in, c))) {
+      return Status::Internal(StrFormat(
+          "[mwp-membership] MWP candidate %zu at %s is not a reverse-skyline "
+          "member: q is outside DSL(c_t*) even after the epsilon nudge",
+          i, cand.point.ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateMqpAnswer(const AnswerValidationInput& in, size_t c,
+                         const Point& q, const MqpResult& result) {
+  WNRS_RETURN_IF_ERROR(CheckCandidateOrder(result.candidates, "MQP"));
+  if (result.already_member) {
+    if (result.candidates.empty() || result.candidates.front().cost != 0.0) {
+      return Status::Internal(
+          "[answer-cost] MQP reported already_member but no zero-cost "
+          "candidate");
+    }
+    return Status::Ok();
+  }
+  const Point& c_t = (*in.customers)[c];
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    const Candidate& cand = result.candidates[i];
+    if (in.cost_model != nullptr) {
+      const double expect = in.cost_model->QueryMoveCost(q, cand.point);
+      if (std::fabs(expect - cand.cost) > kCostSlack) {
+        return Status::Internal(StrFormat(
+            "[answer-cost] MQP candidate %zu reports cost %.12g but the "
+            "alpha cost model gives %.12g",
+            i, cand.cost, expect));
+      }
+    }
+    if (!MemberWithQueryNudge(in, c_t, cand.point, ExcludeFor(in, c))) {
+      return Status::Internal(StrFormat(
+          "[mqp-membership] MQP candidate %zu at %s does not put c_t into "
+          "RSL(q*) even after the epsilon nudge",
+          i, cand.point.ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateMwqAnswer(const AnswerValidationInput& in, size_t c,
+                         const Point& q, const std::vector<size_t>& rsl,
+                         const MwqResult& result) {
+  WNRS_RETURN_IF_ERROR(CheckCandidateOrder(result.query_candidates, "MWQ q*"));
+  WNRS_RETURN_IF_ERROR(
+      CheckCandidateOrder(result.why_not_candidates, "MWQ c_t*"));
+  if (result.already_member) return Status::Ok();
+  // Query candidates report the alpha query-move cost from q (for
+  // insight); re-derive it.
+  if (in.cost_model != nullptr) {
+    for (size_t i = 0; i < result.query_candidates.size(); ++i) {
+      const Candidate& cand = result.query_candidates[i];
+      const double expect = in.cost_model->QueryMoveCost(q, cand.point);
+      if (std::fabs(expect - cand.cost) > kCostSlack) {
+        return Status::Internal(StrFormat(
+            "[answer-cost] MWQ query candidate %zu reports cost %.12g but "
+            "the alpha cost model gives %.12g",
+            i, cand.cost, expect));
+      }
+    }
+  }
+  // The one guarantee of Algorithm 4: no proposed query location loses an
+  // existing reverse-skyline customer.
+  for (size_t i = 0; i < result.query_candidates.size(); ++i) {
+    const Point& q_star = result.query_candidates[i].point;
+    for (size_t member : rsl) {
+      if (member == c) continue;  // The why-not customer is not yet a member.
+      if (!MemberWithQueryNudge(in, (*in.customers)[member], q_star,
+                                ExcludeFor(in, member))) {
+        return Status::Internal(StrFormat(
+            "[mwq-no-lost-customer] MWQ query candidate %zu at %s loses "
+            "existing reverse-skyline customer %zu — q left the safe region",
+            i, q_star.ToString().c_str(), member));
+      }
+    }
+  }
+  if (result.overlap) {
+    // Case C1: q alone moves, the why-not customer is won at zero cost.
+    if (result.best_cost != 0.0) {
+      return Status::Internal(StrFormat(
+          "[answer-cost] MWQ case C1 (overlap) must have best_cost 0, got "
+          "%.12g",
+          result.best_cost));
+    }
+    for (size_t i = 0; i < result.query_candidates.size(); ++i) {
+      const Point& q_star = result.query_candidates[i].point;
+      if (!MemberWithQueryNudge(in, (*in.customers)[c], q_star,
+                                ExcludeFor(in, c))) {
+        return Status::Internal(StrFormat(
+            "[mwq-membership] MWQ C1 query candidate %zu at %s does not put "
+            "the why-not customer into RSL(q*)",
+            i, q_star.ToString().c_str()));
+      }
+    }
+    return Status::Ok();
+  }
+  // Case C2: q moves to a safe-region point, c_t moves the rest.
+  if (result.query_candidates.empty() || result.why_not_candidates.empty()) {
+    return Status::Ok();  // No feasible answer reported; nothing to check.
+  }
+  if (std::fabs(result.best_cost - result.why_not_candidates.front().cost) >
+      kCostSlack) {
+    return Status::Internal(StrFormat(
+        "[answer-cost] MWQ best_cost %.12g != cheapest why-not movement "
+        "%.12g",
+        result.best_cost, result.why_not_candidates.front().cost));
+  }
+  const Point& q_star = result.query_candidates.front().point;
+  if (in.cost_model != nullptr) {
+    for (size_t i = 0; i < result.why_not_candidates.size(); ++i) {
+      const Candidate& cand = result.why_not_candidates[i];
+      const double expect =
+          in.cost_model->WhyNotMoveCost((*in.customers)[c], cand.point);
+      if (std::fabs(expect - cand.cost) > kCostSlack) {
+        return Status::Internal(StrFormat(
+            "[answer-cost] MWQ why-not candidate %zu reports cost %.12g but "
+            "the beta cost model gives %.12g",
+            i, cand.cost, expect));
+      }
+    }
+  }
+  for (size_t i = 0; i < result.why_not_candidates.size(); ++i) {
+    const Candidate& cand = result.why_not_candidates[i];
+    if (!MemberWithNudge(in, cand.point, q_star, ExcludeFor(in, c))) {
+      return Status::Internal(StrFormat(
+          "[mwq-membership] MWQ why-not candidate %zu at %s is not a "
+          "reverse-skyline member under the proposed q* %s",
+          i, cand.point.ToString().c_str(), q_star.ToString().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace wnrs

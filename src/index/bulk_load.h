@@ -18,12 +18,14 @@ struct BulkEntry {
 /// recursive center-coordinate sorting, then each level is packed the same
 /// way until a single root remains. Produces much better-clustered pages
 /// than repeated insertion and is how benchmark datasets are indexed.
-RStarTree BulkLoadStr(size_t dims, std::vector<BulkEntry> entries,
-                      RTreeOptions options = RTreeOptions());
+[[nodiscard]] RStarTree BulkLoadStr(size_t dims,
+                                    std::vector<BulkEntry> entries,
+                                    RTreeOptions options = RTreeOptions());
 
 /// Convenience: bulk-loads points, assigning id = position in `points`.
-RStarTree BulkLoadPoints(size_t dims, const std::vector<Point>& points,
-                         RTreeOptions options = RTreeOptions());
+[[nodiscard]] RStarTree BulkLoadPoints(size_t dims,
+                                       const std::vector<Point>& points,
+                                       RTreeOptions options = RTreeOptions());
 
 }  // namespace wnrs
 

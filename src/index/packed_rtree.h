@@ -59,7 +59,7 @@ class PackedRTree {
   /// Freezes a packed image of `tree`. O(number of entries); the cost is
   /// recorded in the packed.freezes / packed.freeze_ns metrics so the
   /// mutation path's publish overhead stays observable.
-  static PackedRTree Freeze(const RStarTree& tree);
+  [[nodiscard]] static PackedRTree Freeze(const RStarTree& tree);
 
   PackedRTree(PackedRTree&& other) noexcept { *this = std::move(other); }
   PackedRTree& operator=(PackedRTree&& other) noexcept;

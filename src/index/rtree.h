@@ -76,7 +76,7 @@ class RStarTree {
   /// a direct mutation of the original would have. This is what lets the
   /// engine publish copy-on-write snapshots on mutation without changing
   /// any query answer or I/O count. Traversal counters start at zero.
-  RStarTree Clone() const;
+  [[nodiscard]] RStarTree Clone() const;
 
   size_t dims() const { return dims_; }
   size_t size() const { return size_; }
@@ -93,8 +93,9 @@ class RStarTree {
   void Insert(const Rectangle& r, Id id);
 
   /// Removes the entry with exactly this rectangle and id. Returns false if
-  /// no such entry exists.
-  bool Delete(const Rectangle& r, Id id);
+  /// no such entry exists. [[nodiscard]]: the bool is the only signal that
+  /// the tree was not modified.
+  [[nodiscard]] bool Delete(const Rectangle& r, Id id);
 
   /// Visits every leaf entry whose MBR intersects `window` (closed
   /// semantics). The visitor returns false to stop the query early — the

@@ -126,10 +126,12 @@ class RequestScheduler {
   /// with the answer, or with ResourceExhausted (admission control),
   /// DeadlineExceeded (expired in queue), Unavailable (shutdown), or a
   /// validation error from the engine's Try* layer.
-  std::future<WhyNotResponse> Submit(WhyNotRequest request);
+  /// [[nodiscard]]: dropping the future silently swallows admission
+  /// rejects, deadline misses, and every other per-request error.
+  [[nodiscard]] std::future<WhyNotResponse> Submit(WhyNotRequest request);
 
   /// Submit + block for the response.
-  WhyNotResponse SubmitAndWait(WhyNotRequest request);
+  [[nodiscard]] WhyNotResponse SubmitAndWait(WhyNotRequest request);
 
   /// Halts dispatching (in-flight batches finish); Submit still admits.
   void Pause();

@@ -159,15 +159,19 @@ TEST(ConcurrentEngineTest, ConcurrentFacadeCallsMatchSerial) {
         // reference anchoring) rather than an explicit snapshot.
         switch (tasks[i].kind) {
           case TaskKind::kReverseSkyline:
+            // wnrs-lint: allow-discard(races the call, not the answer)
             (void)engine.ReverseSkyline(tasks[i].q);
             break;
           case TaskKind::kSafeRegion:
+            // wnrs-lint: allow-discard(races the call, not the answer)
             (void)engine.SafeRegion(tasks[i].q).region.Contains(tasks[i].q);
             break;
           case TaskKind::kModifyWhyNot:
+            // wnrs-lint: allow-discard(races the call, not the answer)
             (void)engine.ModifyWhyNot(tasks[i].c, tasks[i].q);
             break;
           case TaskKind::kModifyBoth:
+            // wnrs-lint: allow-discard(races the call, not the answer)
             (void)engine.ModifyBoth(tasks[i].c, tasks[i].q);
             break;
         }

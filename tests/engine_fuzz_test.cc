@@ -80,5 +80,39 @@ TEST_P(EngineFuzzTest, MutationsMatchRebuiltEngine) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest,
                          ::testing::Values(11, 22, 33));
 
+// Paranoid-mode smoke: with paranoid_checks on, the engine re-validates
+// the index after construction and every mutation, and every answer
+// against the deep semantic validators (WNRS_CHECK-fatal on violation).
+// Surviving a fuzzed mutation/query mix IS the assertion; the seeded
+// corruptions in validate_test.cc prove the validators would fire.
+TEST(EngineParanoidSmokeTest, FuzzedMutationsAndQueriesPassParanoidChecks) {
+  WhyNotEngineOptions options;
+  options.paranoid_checks = true;
+  const Dataset ds = GenerateCarDb(120, 99);
+  WhyNotEngine engine{Dataset(ds), options};  // Validated at construction.
+  Rng rng(99);
+
+  for (int round = 0; round < 3; ++round) {
+    Point p({rng.NextDouble(1000, 60000), rng.NextDouble(0, 200000)});
+    const size_t id = engine.AddProduct(p);  // Index re-validated here.
+    EXPECT_GE(id, ds.points.size());
+    ASSERT_TRUE(engine.RemoveProduct(static_cast<size_t>(round)));
+
+    Point q = ds.points[rng.NextUint64(ds.points.size())];
+    q[0] += rng.NextGaussian(0.0, 300.0);
+    q[1] += rng.NextGaussian(0.0, 1500.0);
+    const std::vector<size_t> rsl = engine.ReverseSkyline(q);
+    const size_t who = 5 + static_cast<size_t>(round);
+    const MwpResult mwp = engine.ModifyWhyNot(who, q);   // Answer validated.
+    EXPECT_FALSE(mwp.already_member && mwp.candidates.empty());
+    const MqpResult mqp = engine.ModifyQuery(who, q);    // Answer validated.
+    EXPECT_FALSE(mqp.already_member && mqp.candidates.empty());
+    const SafeRegionResult& sr = engine.SafeRegion(q);   // Region validated.
+    EXPECT_TRUE(sr.region.Contains(q));
+    const MwqResult mwq = engine.ModifyBoth(who, q);     // Answer validated.
+    EXPECT_GE(mwq.best_cost, 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace wnrs

@@ -253,8 +253,12 @@ TEST(EngineTest, MutationInvalidatesApproxStoreAndCaches) {
   engine.PrecomputeApproxDsls(5);
   ASSERT_TRUE(engine.HasApproxDsls());
   const Point q = engine.products().points[0];
+  // wnrs-lint: allow-discard(warms the safe-region cache; the invalidation
+  // below is the behavior under test)
   (void)engine.SafeRegion(q);
-  engine.AddProduct(Point({12345.0, 67890.0}));
+  // wnrs-lint: allow-discard(the new id is irrelevant — the test observes
+  // the approx-store drop, not the product)
+  (void)engine.AddProduct(Point({12345.0, 67890.0}));
   EXPECT_FALSE(engine.HasApproxDsls());
   // Safe region recomputes against the new market without error.
   EXPECT_TRUE(engine.SafeRegion(q).region.Contains(q));
@@ -263,7 +267,8 @@ TEST(EngineTest, MutationInvalidatesApproxStoreAndCaches) {
 TEST(EngineTest, AddProductOutsideUniverseExtendsIt) {
   WhyNotEngine engine(PaperExampleDataset());
   const Rectangle before = engine.universe();
-  engine.AddProduct(Point({100.0, 300.0}));
+  // wnrs-lint: allow-discard(only the universe extension is observed)
+  (void)engine.AddProduct(Point({100.0, 300.0}));
   EXPECT_TRUE(engine.universe().ContainsRect(before));
   EXPECT_TRUE(engine.universe().Contains(Point({100.0, 300.0})));
 }
@@ -285,9 +290,14 @@ TEST(EngineTest, ApproxPathForwardsFastFrontierOption) {
   // Find a why-not case answered through C2 (corner MWP calls) — C1
   // never invokes the frontier machinery.
   const Point q = data.points[11];
-  (void)fast.ApproxSafeRegion(q);  // Warm both engines' caches so the
-  (void)slow.ApproxSafeRegion(q);  // deltas isolate the answer itself.
+  // wnrs-lint: allow-discard(warms both engines' caches so the deltas
+  // below isolate the answer itself)
+  (void)fast.ApproxSafeRegion(q);
+  // wnrs-lint: allow-discard(cache warmup, as above)
+  (void)slow.ApproxSafeRegion(q);
+  // wnrs-lint: allow-discard(cache warmup, as above)
   (void)fast.ReverseSkyline(q);
+  // wnrs-lint: allow-discard(cache warmup, as above)
   (void)slow.ReverseSkyline(q);
   bool exercised = false;
   for (size_t c = 0; c < data.points.size() && !exercised; ++c) {

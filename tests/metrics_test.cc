@@ -225,10 +225,12 @@ TEST(MetricsEngineTest, BatchNodeReadsIndependentOfThreadCount) {
 TEST(MetricsEngineTest, LastQueryStatsTracksSingleCall) {
   WhyNotEngine engine(GenerateCarDb(500, 777));
   const Point q = GenerateCarDb(500, 777).points[3];
+  // wnrs-lint: allow-discard(only the stats ledger is under test)
   (void)engine.Explain(0, q);
   const QueryStats first = engine.last_query_stats();
   EXPECT_EQ(first.engine_queries, 1u);
   EXPECT_GT(first.rtree_node_reads, 0u);
+  // wnrs-lint: allow-discard(only the stats ledger is under test)
   (void)engine.Explain(1, q);
   EXPECT_EQ(engine.stats().engine_queries, 2u);
   EXPECT_EQ(engine.last_query_stats().engine_queries, 1u);

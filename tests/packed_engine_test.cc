@@ -217,7 +217,9 @@ TEST(PackedEngineTest, ConcurrentSnapshotQueriesMatch) {
   const EngineSnapshot snapshot = packed_engine.Snapshot();
   // Mutate after taking the snapshot: the snapshot must keep answering
   // against the frozen pre-mutation image.
-  packed_engine.AddProduct(data.points[11]);
+  // wnrs-lint: allow-discard(the mutation itself is the point; the
+  // snapshot under test must not observe it)
+  (void)packed_engine.AddProduct(data.points[11]);
 
   constexpr int kThreads = 8;
   std::atomic<int> mismatches{0};

@@ -153,7 +153,9 @@ TEST(ParallelDeterminismTest, RslCacheInvalidatedByProductMutations) {
 
   // A mutation must drop the memo: the cached answer may no longer hold.
   const size_t added = engine.AddProduct(q);  // A twin of q at q itself.
-  reference.AddProduct(q);
+  // wnrs-lint: allow-discard(mirrors `added` above; ids match by
+  // construction since both engines saw identical mutations)
+  (void)reference.AddProduct(q);
   const std::vector<size_t> after_add = engine.ReverseSkyline(q);
   EXPECT_EQ(after_add, reference.ReverseSkyline(q));
 

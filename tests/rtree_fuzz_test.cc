@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "index/rtree.h"
+#include "index/validate.h"
 
 namespace wnrs {
 namespace {
@@ -65,10 +66,15 @@ TEST_P(RTreeFuzzTest, MixedWorkloadMatchesBaseline) {
     if (op % 500 == 0) {
       ASSERT_TRUE(tree.CheckInvariants().ok())
           << "op " << op << ": " << tree.CheckInvariants().ToString();
+      // Paranoid smoke: the deep validator (exact MBR tightness, fan-out,
+      // parent links, leaf depth) must also hold mid-churn.
+      ASSERT_TRUE(ValidateTree(tree).ok())
+          << "op " << op << ": " << ValidateTree(tree).ToString();
     }
   }
   EXPECT_EQ(tree.size(), baseline.size());
   ASSERT_TRUE(tree.CheckInvariants().ok());
+  ASSERT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RTreeFuzzTest,
@@ -93,6 +99,7 @@ TEST(RTreeFuzzTest, SmallPageStress) {
     baseline.erase(id);
   }
   ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  ASSERT_TRUE(ValidateTree(tree).ok()) << ValidateTree(tree).ToString();
   std::vector<RStarTree::Id> all =
       tree.RangeQueryIds(Rectangle(Point({-1, -1}), Point({11, 11})));
   EXPECT_EQ(all.size(), baseline.size());

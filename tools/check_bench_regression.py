@@ -245,7 +245,18 @@ def main():
     parser.add_argument("--improvement", action="append", default=[],
                         metavar="BENCH/FAST/SLOW[:METRIC[:FLOOR]]",
                         help="require config FAST to beat config SLOW within "
-                             "the current run (repeatable)")
+                             "the current run — a same-host comparison that "
+                             "is immune to runner speed variance, unlike the "
+                             "cross-run baseline gate. BENCH is the JSON "
+                             "stem under --current (e.g. packed_read_path "
+                             "for packed_read_path.json); FAST and SLOW are "
+                             "'config' names inside its records; METRIC is "
+                             "wall_ms (default) or any counter key; FLOOR "
+                             "is the minimum SLOW/FAST ratio (default 1.0, "
+                             "so 1.10 demands FAST win by >=10%%). "
+                             "Repeatable; every spec must pass. Example: "
+                             "--improvement packed_read_path/bbs-packed/"
+                             "bbs-dynamic:wall_ms:1.05")
     args = parser.parse_args()
 
     current = load_current(args.current)

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project using the exported compilation database.
+
+Usage:
+  # Configure once so build/compile_commands.json exists, then:
+  python3 tools/run_clang_tidy.py -p build
+
+  # Restrict to a subtree or a few files:
+  python3 tools/run_clang_tidy.py -p build src/index src/core/engine.cc
+
+The checks profile lives in the committed .clang-tidy at the repo root
+(allowlist style, WarningsAsErrors: '*'); this driver only selects the
+translation units, fans clang-tidy out over a process pool, and turns
+"any diagnostic anywhere" into a nonzero exit for CI.
+
+By default only first-party sources under src/ are analyzed (tests and
+benches are format- and wnrs_lint-clean but carry gtest/benchmark macro
+expansions that drown clang-tidy in third-party noise); pass --all to
+widen to every entry in the database.
+
+Exit codes: 0 = clean, 1 = diagnostics reported, 2 = environment/usage
+error (missing database, no clang-tidy binary, bad arguments).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+# Newest first; plain "clang-tidy" wins when present.
+CLANG_TIDY_CANDIDATES = ["clang-tidy"] + [
+    f"clang-tidy-{v}" for v in range(21, 13, -1)
+]
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        path = shutil.which(explicit)
+        if path is None:
+            print(f"error: requested binary '{explicit}' not found",
+                  file=sys.stderr)
+            sys.exit(2)
+        return path
+    for name in CLANG_TIDY_CANDIDATES:
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    print("error: no clang-tidy binary on PATH (tried "
+          f"{', '.join(CLANG_TIDY_CANDIDATES[:3])}, ...). Install one, or "
+          "pass --clang-tidy <binary>.", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_database(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"error: {db_path} not found — configure first "
+              "(cmake -B build -S .); CMAKE_EXPORT_COMPILE_COMMANDS is "
+              "always on.", file=sys.stderr)
+        sys.exit(2)
+    with open(db_path) as f:
+        return json.load(f)
+
+
+def select_files(database, root, selectors, include_all):
+    """Absolute paths of TUs to analyze, deduplicated, sorted."""
+    files = []
+    for entry in database:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel.startswith(".."):
+            continue  # Outside the repo (third-party fetch content).
+        if not include_all and not rel.startswith("src" + os.sep):
+            continue
+        if selectors and not any(
+                rel == s or rel.startswith(s.rstrip(os.sep) + os.sep)
+                for s in selectors):
+            continue
+        files.append(path)
+    return sorted(set(files))
+
+
+def run_one(clang_tidy, build_dir, path, extra_args):
+    cmd = [clang_tidy, "-p", build_dir, "--quiet"] + extra_args + [path]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    # clang-tidy prints "N warnings generated" chatter on stderr even when
+    # clean; keep stderr only for hard failures so CI logs stay readable.
+    return path, proc.returncode, proc.stdout.strip(), proc.stderr.strip()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build tree holding compile_commands.json "
+                             "(default: build)")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: newest on PATH)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 2,
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--all", action="store_true",
+                        help="analyze every database entry, not just src/")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggested fixes in place")
+    parser.add_argument("selectors", nargs="*",
+                        help="restrict to these files/directories "
+                             "(repo-relative)")
+    args = parser.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    database = load_database(args.build_dir)
+    files = select_files(database, root,
+                         [os.path.normpath(s) for s in args.selectors],
+                         args.all)
+    if not files:
+        print("error: no translation units matched", file=sys.stderr)
+        sys.exit(2)
+
+    extra = ["--fix"] if args.fix else []
+    print(f"{os.path.basename(clang_tidy)}: {len(files)} TUs, "
+          f"{args.jobs} jobs")
+    dirty = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [pool.submit(run_one, clang_tidy, args.build_dir, f, extra)
+                   for f in files]
+        for fut in concurrent.futures.as_completed(futures):
+            path, code, out, err = fut.result()
+            rel = os.path.relpath(path, root)
+            if code == 0 and not out:
+                continue
+            dirty += 1
+            print(f"--- {rel}")
+            if out:
+                print(out)
+            if code != 0 and not out and err:
+                print(err)  # Hard failure (bad flags, crash): show stderr.
+    if dirty:
+        print(f"\nFAIL: {dirty}/{len(files)} TUs with diagnostics")
+        return 1
+    print(f"\nOK: {len(files)} TUs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

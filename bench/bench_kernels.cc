@@ -1,0 +1,266 @@
+// Microbenchmarks for the geometry kernels: every hot predicate measured
+// once through the dispatched entry point (the explicit SIMD backend when
+// the build and CPU provide one) and once through the scalar reference in
+// scalar_kernels::. The paired "-simd" / "-scalar" configs feed the CI
+// improvement gates — the vector path must beat the scalar path on the
+// same host in the same run — and the post-run checksums double as a
+// parity assertion between the two implementations (they are required to
+// be bit-identical, so any checksum divergence is a bug, not noise).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "geometry/kernels.h"
+
+namespace wnrs::bench {
+namespace {
+
+struct KernelInputs {
+  size_t d = 0;
+  size_t n = 0;
+  size_t cap = 0;               // KernelPad(n): plane stride
+  std::vector<double> points;   // n x d dense, point-major
+  std::vector<double> probe;    // mid-range point: mixed dominance results
+  std::vector<double> zeros;    // probe nothing dominates: full-depth scans
+  std::vector<double> origin;   // distance-space origin
+  std::vector<double> slab;     // SoA planes, NaN-padded like the packed slab
+  std::vector<double> wlo, whi; // overlap window
+  std::vector<double> c, q;     // InWindow customer / query
+
+  SoaPlanes planes() const { return {slab.data(), cap, d}; }
+};
+
+KernelInputs MakeInputs(size_t d, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  KernelInputs in;
+  in.d = d;
+  in.n = n;
+  in.cap = KernelPad(n);
+  in.points.resize(n * d);
+  for (double& v : in.points) v = rng.NextDouble();
+  in.probe.resize(d);
+  for (double& v : in.probe) v = rng.NextDouble(0.4, 0.6);
+  in.zeros.assign(d, 0.0);
+  in.origin.resize(d);
+  for (double& v : in.origin) v = rng.NextDouble(0.3, 0.7);
+  in.slab.assign(2 * d * in.cap, std::numeric_limits<double>::quiet_NaN());
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t j = 0; j < d; ++j) {
+      const double lo = rng.NextDouble();
+      in.slab[j * in.cap + k] = lo;
+      in.slab[(d + j) * in.cap + k] = lo + rng.NextDouble(0.0, 0.1);
+    }
+  }
+  in.wlo.resize(d);
+  in.whi.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    in.wlo[j] = rng.NextDouble(0.0, 0.4);
+    in.whi[j] = in.wlo[j] + rng.NextDouble(0.2, 0.5);
+  }
+  in.c.resize(d);
+  in.q.resize(d);
+  for (double& v : in.c) v = rng.NextDouble();
+  for (double& v : in.q) v = rng.NextDouble();
+  return in;
+}
+
+uint64_t MaskSum(const unsigned char* mask, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += mask[i];
+  return sum;
+}
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  BenchReporter reporter("kernels", args);
+
+  // Even short mode runs each config for tens of milliseconds: the CI
+  // improvement gates compare paired configs within one run, and a
+  // single scheduler preemption (~ms) must not be able to flip a
+  // comparison between two 4 ms regions.
+  const size_t n = 4096;
+  const size_t iters = args.short_mode ? 2500 : 12000;
+  std::printf("kernel backend: %s (%zu entries x %zu iterations)\n",
+              KernelBackend(), n, iters);
+
+  uint64_t sink = 0;
+  bool parity_ok = true;
+
+  struct Timing {
+    std::string label;
+    double simd_ms = 0.0;
+    double scalar_ms = 0.0;
+  };
+  std::vector<Timing> timings;
+  WallTimer timer;
+
+  for (size_t d : {size_t{2}, size_t{4}}) {
+    const KernelInputs in = MakeInputs(d, n, 0x5EED00 + d);
+    std::vector<unsigned char> mask(in.cap, 0);
+    std::vector<double> corners(d * in.cap, 0.0);
+    std::vector<double> dist(in.cap, 0.0);
+
+    // Times `body` under the given config name; `checksum` runs outside
+    // the measured region (every iteration recomputes the same outputs,
+    // and the kernels live in another TU, so the calls cannot fold).
+    const auto measure = [&](const std::string& cfg, const auto& body,
+                             const auto& checksum, double* ms) {
+      body();  // untimed warmup: fault in the scratch buffers
+      reporter.Begin(cfg);
+      timer.Restart();
+      for (size_t i = 0; i < iters; ++i) body();
+      *ms = timer.ElapsedMillis();
+      reporter.End();
+      return checksum();
+    };
+
+    const auto gate_pair = [&](const char* kernel, const auto& simd_body,
+                               const auto& scalar_body,
+                               const auto& checksum) {
+      const std::string base = StrFormat("%s-d%zu-", kernel, d);
+      Timing t;
+      t.label = StrFormat("%s-d%zu", kernel, d);
+      const uint64_t simd_sum =
+          measure(base + "simd", simd_body, checksum, &t.simd_ms);
+      const uint64_t scalar_sum =
+          measure(base + "scalar", scalar_body, checksum, &t.scalar_ms);
+      if (simd_sum != scalar_sum) {
+        std::fprintf(stderr,
+                     "PARITY FAILURE: %s checksum %llu (dispatched) != "
+                     "%llu (scalar)\n",
+                     t.label.c_str(),
+                     static_cast<unsigned long long>(simd_sum),
+                     static_cast<unsigned long long>(scalar_sum));
+        parity_ok = false;
+      }
+      sink ^= simd_sum;
+      timings.push_back(std::move(t));
+    };
+
+    const auto mask_sum = [&] { return MaskSum(mask.data(), n); };
+    const auto dist_sum = [&] {
+      double s = 0.0;
+      for (size_t k = 0; k < n; ++k) s += dist[k];
+      uint64_t bits = 0;
+      std::memcpy(&bits, &s, sizeof(bits));
+      return bits;
+    };
+
+    gate_pair(
+        "dominates",
+        [&] {
+          DominatesBatch(in.points.data(), n, d, in.probe.data(),
+                         mask.data());
+        },
+        [&] {
+          scalar_kernels::DominatesBatch(in.points.data(), n, d,
+                                         in.probe.data(), mask.data());
+        },
+        mask_sum);
+
+    gate_pair(
+        "dyndom",
+        [&] {
+          DynamicallyDominatesBatch(in.points.data(), n, d, in.probe.data(),
+                                    in.origin.data(), mask.data());
+        },
+        [&] {
+          scalar_kernels::DynamicallyDominatesBatch(
+              in.points.data(), n, d, in.probe.data(), in.origin.data(),
+              mask.data());
+        },
+        mask_sum);
+
+    // `zeros` is dominated by nothing, so every call scans the full
+    // buffer — the worst case of the skyline-membership probe.
+    gate_pair(
+        "anydom",
+        [&] {
+          mask[0] = static_cast<unsigned char>(
+              DominatedByAny(in.points.data(), n, d, in.zeros.data()));
+        },
+        [&] {
+          mask[0] = static_cast<unsigned char>(scalar_kernels::DominatedByAny(
+              in.points.data(), n, d, in.zeros.data()));
+        },
+        [&] { return MaskSum(mask.data(), 1); });
+
+    gate_pair(
+        "overlap",
+        [&] {
+          BoxOverlapMaskSoa(in.planes(), 0, n, in.wlo.data(), in.whi.data(),
+                            mask.data());
+        },
+        [&] {
+          scalar_kernels::BoxOverlapMaskSoa(in.planes(), 0, n, in.wlo.data(),
+                                            in.whi.data(), mask.data());
+        },
+        mask_sum);
+
+    gate_pair(
+        "mindist",
+        [&] {
+          MinDistCornerBatchSoa(in.planes(), 0, n, in.origin.data(),
+                                corners.data(), in.cap, dist.data());
+        },
+        [&] {
+          scalar_kernels::MinDistCornerBatchSoa(in.planes(), 0, n,
+                                                in.origin.data(),
+                                                corners.data(), in.cap,
+                                                dist.data());
+        },
+        dist_sum);
+
+    gate_pair(
+        "todist",
+        [&] {
+          ToDistanceSpaceBatchSoa(in.planes(), 0, n, in.origin.data(),
+                                  corners.data(), in.cap, dist.data());
+        },
+        [&] {
+          scalar_kernels::ToDistanceSpaceBatchSoa(in.planes(), 0, n,
+                                                  in.origin.data(),
+                                                  corners.data(), in.cap,
+                                                  dist.data());
+        },
+        dist_sum);
+
+    gate_pair(
+        "inwindow",
+        [&] {
+          InWindowMaskSoa(in.planes(), 0, n, in.c.data(), in.q.data(),
+                          mask.data());
+        },
+        [&] {
+          scalar_kernels::InWindowMaskSoa(in.planes(), 0, n, in.c.data(),
+                                          in.q.data(), mask.data());
+        },
+        mask_sum);
+  }
+
+  std::printf("\n--- kernels: %zu entries/call, %zu calls/config ---\n", n,
+              iters);
+  std::printf("%-14s %14s %14s %10s\n", "kernel", "scalar (ms)",
+              "dispatched (ms)", "speedup");
+  for (const Timing& t : timings) {
+    std::printf("%-14s %14.2f %14.2f %9.2fx\n", t.label.c_str(), t.scalar_ms,
+                t.simd_ms,
+                t.simd_ms > 0.0 ? t.scalar_ms / t.simd_ms : 0.0);
+  }
+  std::printf("checksum sink: %llu\n",
+              static_cast<unsigned long long>(sink));
+  if (!parity_ok) return 1;
+
+  return reporter.Write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wnrs::bench
+
+int main(int argc, char** argv) { return wnrs::bench::Run(argc, argv); }

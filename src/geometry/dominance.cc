@@ -6,11 +6,19 @@
 
 namespace wnrs {
 
+// NaN discipline, shared with the branch-free kernels in
+// geometry/kernels.cc: every early exit tests the *negation* of the
+// comparison the definition requires (`!(a <= b)`, not `a > b`), so an
+// unordered dimension fails the requirement and the point does not
+// dominate. The `a > b` form looks equivalent but silently treats NaN
+// dimensions as ties, which made these predicates disagree with the
+// kernels' `all_le &= (a <= b)` accumulators on non-finite data.
+
 bool Dominates(const Point& a, const Point& b) {
   WNRS_CHECK(a.dims() == b.dims());
   bool strict = false;
   for (size_t i = 0; i < a.dims(); ++i) {
-    if (a[i] > b[i]) return false;
+    if (!(a[i] <= b[i])) return false;
     if (a[i] < b[i]) strict = true;
   }
   return strict;
@@ -19,7 +27,7 @@ bool Dominates(const Point& a, const Point& b) {
 bool StrictlyDominatesAllDims(const Point& a, const Point& b) {
   WNRS_CHECK(a.dims() == b.dims());
   for (size_t i = 0; i < a.dims(); ++i) {
-    if (a[i] >= b[i]) return false;
+    if (!(a[i] < b[i])) return false;
   }
   return true;
 }
@@ -27,7 +35,7 @@ bool StrictlyDominatesAllDims(const Point& a, const Point& b) {
 bool WeaklyDominates(const Point& a, const Point& b) {
   WNRS_CHECK(a.dims() == b.dims());
   for (size_t i = 0; i < a.dims(); ++i) {
-    if (a[i] > b[i]) return false;
+    if (!(a[i] <= b[i])) return false;
   }
   return true;
 }
@@ -40,7 +48,7 @@ bool DynamicallyDominates(const Point& a, const Point& b,
   for (size_t i = 0; i < a.dims(); ++i) {
     const double da = std::fabs(origin[i] - a[i]);
     const double db = std::fabs(origin[i] - b[i]);
-    if (da > db) return false;
+    if (!(da <= db)) return false;
     if (da < db) strict = true;
   }
   return strict;
@@ -51,8 +59,16 @@ DominanceRelation CompareDominance(const Point& a, const Point& b) {
   bool a_better = false;
   bool b_better = false;
   for (size_t i = 0; i < a.dims(); ++i) {
-    if (a[i] < b[i]) a_better = true;
-    if (b[i] < a[i]) b_better = true;
+    if (a[i] < b[i]) {
+      a_better = true;
+    } else if (b[i] < a[i]) {
+      b_better = true;
+    } else if (!(a[i] == b[i])) {
+      // Unordered dimension: neither point can dominate, and they are
+      // not equal — consistent with Dominates() returning false both
+      // ways.
+      return DominanceRelation::kIncomparable;
+    }
     if (a_better && b_better) return DominanceRelation::kIncomparable;
   }
   if (a_better) return DominanceRelation::kFirstDominates;

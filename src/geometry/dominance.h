@@ -7,7 +7,10 @@ namespace wnrs {
 
 /// Static dominance (paper Definition 1, smaller-is-better in every
 /// dimension): `a` dominates `b` iff a_i <= b_i for all i and a_j < b_j for
-/// some j.
+/// some j. IEEE-754 reading on non-finite data: a NaN coordinate fails
+/// every ordered comparison, so a point with a NaN dimension neither
+/// dominates nor is dominated — bit-identical to the branch-free kernels
+/// in geometry/kernels.h (the kernel parity fuzz test pins this).
 bool Dominates(const Point& a, const Point& b);
 
 /// True iff a_i < b_i in every dimension.

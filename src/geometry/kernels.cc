@@ -1,52 +1,24 @@
 #include "geometry/kernels.h"
 
-#include <algorithm>
 #include <cmath>
 
+#include "geometry/kernels_scalar.h"
+
 namespace wnrs {
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. These are the semantics: the SIMD
+// path in geometry/kernels_simd.cc must reproduce them bit for bit, and
+// the kernel parity tests enforce that with NaN/±0/±inf fuzzing.
+// ---------------------------------------------------------------------------
+
+namespace scalar_kernels {
 namespace {
 
-/// Block width of the any-dominator scan: wide enough that the inner
-/// loop vectorizes (8 doubles = one cache line), small enough that a
-/// fruitless tail block costs little.
-constexpr size_t kScanBlock = 8;
-
-/// Dominance of one dense point over another with bitwise accumulators
-/// instead of early-exit branches. D == 0 selects the runtime-d loop.
-template <size_t D>
-inline unsigned char DominatesOne(const double* a, const double* b,
-                                  size_t d) {
-  unsigned all_le = 1u;
-  unsigned any_lt = 0u;
-  if constexpr (D != 0) {
-    (void)d;
-    for (size_t j = 0; j < D; ++j) {
-      all_le &= static_cast<unsigned>(a[j] <= b[j]);
-      any_lt |= static_cast<unsigned>(a[j] < b[j]);
-    }
-  } else {
-    for (size_t j = 0; j < d; ++j) {
-      all_le &= static_cast<unsigned>(a[j] <= b[j]);
-      any_lt |= static_cast<unsigned>(a[j] < b[j]);
-    }
-  }
-  return static_cast<unsigned char>(all_le & any_lt);
-}
-
-template <size_t D>
-inline unsigned char DynamicallyDominatesOne(const double* a, const double* b,
-                                             const double* origin, size_t d) {
-  unsigned all_le = 1u;
-  unsigned any_lt = 0u;
-  const size_t n = D != 0 ? D : d;
-  for (size_t j = 0; j < n; ++j) {
-    const double da = std::fabs(origin[j] - a[j]);
-    const double db = std::fabs(origin[j] - b[j]);
-    all_le &= static_cast<unsigned>(da <= db);
-    any_lt |= static_cast<unsigned>(da < db);
-  }
-  return static_cast<unsigned char>(all_le & any_lt);
-}
+using kernel_detail::DominatesOne;
+using kernel_detail::DynamicallyDominatesOne;
+using kernel_detail::IntervalMinDist;
+using kernel_detail::kScanBlock;
 
 template <size_t D>
 void DominatesBatchImpl(const double* points, size_t n, size_t d,
@@ -83,15 +55,6 @@ bool DominatedByAnyImpl(const double* points, size_t n, size_t d,
     if (DominatesOne<D>(points + i * step, p, d) != 0) return true;
   }
   return false;
-}
-
-/// Transformed lower-corner coordinate of one box interval; same
-/// expression tree as RectToDistanceSpace.
-inline double IntervalMinDist(double lo, double hi, double origin) {
-  const double dlo = origin - lo;
-  const double dhi = origin - hi;
-  if (dlo >= 0.0 && dhi <= 0.0) return 0.0;
-  return std::min(std::fabs(dlo), std::fabs(dhi));
 }
 
 }  // namespace
@@ -135,29 +98,104 @@ bool DominatedByAny(const double* points, size_t n, size_t d,
   }
 }
 
-void MinDistBatch(const double* boxes, size_t n, size_t d,
-                  const double* origin, double* out) {
-  for (size_t i = 0; i < n; ++i) {
-    const double* box = boxes + i * 2 * d;
-    double sum = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      sum += IntervalMinDist(box[2 * j], box[2 * j + 1], origin[j]);
+void BoxOverlapMaskSoa(const SoaPlanes& planes, size_t first, size_t count,
+                       const double* wlo, const double* whi,
+                       unsigned char* out) {
+  for (size_t k = 0; k < count; ++k) out[k] = 1;
+  for (size_t j = 0; j < planes.d; ++j) {
+    const double* lo = planes.lo(j) + first;
+    const double* hi = planes.hi(j) + first;
+    for (size_t k = 0; k < count; ++k) {
+      const unsigned excluded = static_cast<unsigned>(hi[k] < wlo[j]) |
+                                static_cast<unsigned>(lo[k] > whi[j]);
+      out[k] = static_cast<unsigned char>(out[k] & (excluded ^ 1u));
     }
-    out[i] = sum;
   }
 }
+
+void MinDistCornerBatchSoa(const SoaPlanes& planes, size_t first,
+                           size_t count, const double* origin,
+                           double* corners, size_t corner_stride,
+                           double* dist) {
+  for (size_t k = 0; k < count; ++k) dist[k] = 0.0;
+  for (size_t j = 0; j < planes.d; ++j) {
+    const double* lo = planes.lo(j) + first;
+    const double* hi = planes.hi(j) + first;
+    double* cj = corners + j * corner_stride;
+    if (origin == nullptr) {
+      for (size_t k = 0; k < count; ++k) {
+        cj[k] = lo[k];
+        dist[k] += std::fabs(lo[k]);
+      }
+    } else {
+      const double oj = origin[j];
+      for (size_t k = 0; k < count; ++k) {
+        const double c = IntervalMinDist(lo[k], hi[k], oj);
+        cj[k] = c;
+        dist[k] += c;
+      }
+    }
+  }
+}
+
+void ToDistanceSpaceBatchSoa(const SoaPlanes& planes, size_t first,
+                             size_t count, const double* origin, double* out,
+                             size_t out_stride, double* dist) {
+  for (size_t k = 0; k < count; ++k) dist[k] = 0.0;
+  for (size_t j = 0; j < planes.d; ++j) {
+    const double* lo = planes.lo(j) + first;
+    double* oj = out + j * out_stride;
+    if (origin == nullptr) {
+      for (size_t k = 0; k < count; ++k) {
+        oj[k] = lo[k];
+        dist[k] += std::fabs(lo[k]);
+      }
+    } else {
+      const double o = origin[j];
+      for (size_t k = 0; k < count; ++k) {
+        const double t = std::fabs(o - lo[k]);
+        oj[k] = t;
+        dist[k] += t;
+      }
+    }
+  }
+}
+
+void InWindowMaskSoa(const SoaPlanes& planes, size_t first, size_t count,
+                     const double* c, const double* q, unsigned char* out) {
+  if (planes.d == 0) {
+    for (size_t k = 0; k < count; ++k) out[k] = 0;
+    return;
+  }
+  // all_le rides in bit 0 of out[k], any_lt in bit 1; collapsed at the end.
+  for (size_t k = 0; k < count; ++k) out[k] = 1;
+  for (size_t j = 0; j < planes.d; ++j) {
+    const double* lo = planes.lo(j) + first;
+    const double cj = c[j];
+    const double dq = std::fabs(cj - q[j]);
+    for (size_t k = 0; k < count; ++k) {
+      const double dp = std::fabs(cj - lo[k]);
+      const unsigned le = static_cast<unsigned>(dp <= dq);
+      const unsigned lt = static_cast<unsigned>(dp < dq) << 1;
+      out[k] = static_cast<unsigned char>((out[k] & (le | 2u)) | lt);
+    }
+  }
+  for (size_t k = 0; k < count; ++k) {
+    out[k] = static_cast<unsigned char>((out[k] & 1u) & (out[k] >> 1));
+  }
+}
+
+}  // namespace scalar_kernels
+
+// ---------------------------------------------------------------------------
+// Span primitives — scalar by design (single mapped points, not node
+// scans); see kernels.h.
+// ---------------------------------------------------------------------------
 
 void ToDistanceSpaceSpan(const double* p, size_t stride, const double* origin,
                          size_t d, double* out) {
   for (size_t j = 0; j < d; ++j) {
     out[j] = std::fabs(origin[j] - p[j * stride]);
-  }
-}
-
-void BoxMinDistCornerSpan(const double* box, const double* origin, size_t d,
-                          double* out) {
-  for (size_t j = 0; j < d; ++j) {
-    out[j] = IntervalMinDist(box[2 * j], box[2 * j + 1], origin[j]);
   }
 }
 
@@ -168,6 +206,7 @@ double L1NormSpan(const double* p, size_t d) {
 }
 
 bool DominatesSpan(const double* a, const double* b, size_t d) {
+  using kernel_detail::DominatesOne;
   switch (d) {
     case 2: return DominatesOne<2>(a, b, d) != 0;
     case 3: return DominatesOne<3>(a, b, d) != 0;
@@ -178,15 +217,80 @@ bool DominatesSpan(const double* a, const double* b, size_t d) {
 
 bool InWindowSpan(const double* p, size_t stride, const double* c,
                   const double* q, size_t d) {
-  unsigned all_le = 1u;
-  unsigned any_lt = 0u;
-  for (size_t j = 0; j < d; ++j) {
-    const double dp = std::fabs(c[j] - p[j * stride]);
-    const double dq = std::fabs(c[j] - q[j]);
-    all_le &= static_cast<unsigned>(dp <= dq);
-    any_lt |= static_cast<unsigned>(dp < dq);
-  }
-  return (all_le & any_lt) != 0u;
+  return kernel_detail::InWindowOne(p, stride, c, q, d);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolve once, forward ever after.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+internal::KernelOps ScalarOps() {
+  internal::KernelOps ops;
+  ops.dominates_batch = &scalar_kernels::DominatesBatch;
+  ops.dyn_dominates_batch = &scalar_kernels::DynamicallyDominatesBatch;
+  ops.dominated_by_any = &scalar_kernels::DominatedByAny;
+  ops.box_overlap_mask_soa = &scalar_kernels::BoxOverlapMaskSoa;
+  ops.mindist_corner_batch_soa = &scalar_kernels::MinDistCornerBatchSoa;
+  ops.to_distance_space_batch_soa = &scalar_kernels::ToDistanceSpaceBatchSoa;
+  ops.in_window_mask_soa = &scalar_kernels::InWindowMaskSoa;
+  ops.backend = "scalar";
+  return ops;
+}
+
+const internal::KernelOps& ActiveOps() {
+  static const internal::KernelOps ops = [] {
+    const internal::KernelOps* simd = internal::SimdKernelOps();
+    return simd != nullptr ? *simd : ScalarOps();
+  }();
+  return ops;
+}
+
+}  // namespace
+
+const char* KernelBackend() { return ActiveOps().backend; }
+
+void DominatesBatch(const double* points, size_t n, size_t d, const double* p,
+                    unsigned char* out) {
+  ActiveOps().dominates_batch(points, n, d, p, out);
+}
+
+void DynamicallyDominatesBatch(const double* points, size_t n, size_t d,
+                               const double* p, const double* origin,
+                               unsigned char* out) {
+  ActiveOps().dyn_dominates_batch(points, n, d, p, origin, out);
+}
+
+bool DominatedByAny(const double* points, size_t n, size_t d,
+                    const double* p) {
+  return ActiveOps().dominated_by_any(points, n, d, p);
+}
+
+void BoxOverlapMaskSoa(const SoaPlanes& planes, size_t first, size_t count,
+                       const double* wlo, const double* whi,
+                       unsigned char* out) {
+  ActiveOps().box_overlap_mask_soa(planes, first, count, wlo, whi, out);
+}
+
+void MinDistCornerBatchSoa(const SoaPlanes& planes, size_t first,
+                           size_t count, const double* origin,
+                           double* corners, size_t corner_stride,
+                           double* dist) {
+  ActiveOps().mindist_corner_batch_soa(planes, first, count, origin, corners,
+                                       corner_stride, dist);
+}
+
+void ToDistanceSpaceBatchSoa(const SoaPlanes& planes, size_t first,
+                             size_t count, const double* origin, double* out,
+                             size_t out_stride, double* dist) {
+  ActiveOps().to_distance_space_batch_soa(planes, first, count, origin, out,
+                                          out_stride, dist);
+}
+
+void InWindowMaskSoa(const SoaPlanes& planes, size_t first, size_t count,
+                     const double* c, const double* q, unsigned char* out) {
+  ActiveOps().in_window_mask_soa(planes, first, count, c, q, out);
 }
 
 }  // namespace wnrs

@@ -1,0 +1,274 @@
+#ifndef WNRS_GEOMETRY_SIMD_H_
+#define WNRS_GEOMETRY_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+/// Portable 4-wide double vector used by the SIMD kernels in
+/// geometry/kernels_simd.cc. The backend is chosen at compile time of the
+/// *including translation unit*:
+///
+///   - AVX2 when __AVX2__ is defined (x86-64 TUs built with -mavx2),
+///   - NEON when targeting AArch64 (two float64x2_t halves emulate the
+///     4-wide shape, so kernel code is width-agnostic),
+///   - a plain-array scalar fallback otherwise.
+///
+/// Every operation is defined to be bit-identical to the scalar
+/// expression it replaces, including the annoying corners:
+///
+///   - comparisons are ordered and quiet (NaN compares false, like the
+///     scalar <, <=, >= operators),
+///   - MinStd(a, b) replicates std::min(a, b) = (b < a) ? b : a exactly,
+///     so a NaN in `a` propagates `a` (raw _mm256_min_pd would return the
+///     second operand instead),
+///   - Abs clears the sign bit only (fabs semantics: -0.0 -> +0.0, NaN
+///     payloads preserved).
+///
+/// That contract is what lets the vector kernels promise bit-identical
+/// outputs to the scalar reference implementations in
+/// geometry/kernels_scalar.h — the kernel parity tests fuzz it with
+/// NaN/±0/±inf inputs.
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define WNRS_SIMD_BACKEND_AVX2 1
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define WNRS_SIMD_BACKEND_NEON 1
+#else
+#define WNRS_SIMD_BACKEND_SCALAR 1
+#endif
+
+namespace wnrs::simd {
+
+/// Lane count of Vec4d. Kernels step spans in chunks of kWidth.
+inline constexpr size_t kWidth = 4;
+
+/// Compile-time name of the backend this TU sees.
+constexpr const char* BackendName() {
+#if defined(WNRS_SIMD_BACKEND_AVX2)
+  return "avx2";
+#elif defined(WNRS_SIMD_BACKEND_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+#if defined(WNRS_SIMD_BACKEND_AVX2)
+
+struct Vec4d {
+  __m256d v;
+};
+
+/// Lane mask: each lane is all-ones (true) or all-zeros (false).
+struct Mask4d {
+  __m256d m;
+};
+
+inline Vec4d LoadU(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline Vec4d Set1(double x) { return {_mm256_set1_pd(x)}; }
+inline Vec4d Zero() { return {_mm256_setzero_pd()}; }
+/// Lanes p[0], p[stride], p[2*stride], p[3*stride] in natural order.
+inline Vec4d LoadStride(const double* p, size_t stride) {
+  return {_mm256_set_pd(p[3 * stride], p[2 * stride], p[stride], p[0])};
+}
+inline void StoreU(double* p, Vec4d a) { _mm256_storeu_pd(p, a.v); }
+inline Vec4d Add(Vec4d a, Vec4d b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vec4d Sub(Vec4d a, Vec4d b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vec4d Abs(Vec4d a) {
+  const __m256d sign =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  return {_mm256_and_pd(a.v, sign)};
+}
+/// std::min(a, b) bit for bit: (b < a) ? b : a, `a` on unordered input.
+inline Vec4d MinStd(Vec4d a, Vec4d b) {
+  const __m256d lt = _mm256_cmp_pd(b.v, a.v, _CMP_LT_OQ);
+  return {_mm256_blendv_pd(a.v, b.v, lt)};
+}
+inline Mask4d CmpLE(Vec4d a, Vec4d b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+inline Mask4d CmpLT(Vec4d a, Vec4d b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+}
+inline Mask4d CmpGE(Vec4d a, Vec4d b) {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GE_OQ)};
+}
+inline Mask4d And(Mask4d a, Mask4d b) { return {_mm256_and_pd(a.m, b.m)}; }
+inline Mask4d Or(Mask4d a, Mask4d b) { return {_mm256_or_pd(a.m, b.m)}; }
+/// ~a & b per lane.
+inline Mask4d AndNot(Mask4d a, Mask4d b) {
+  return {_mm256_andnot_pd(a.m, b.m)};
+}
+/// m ? a : b per lane.
+inline Vec4d Select(Mask4d m, Vec4d a, Vec4d b) {
+  return {_mm256_blendv_pd(b.v, a.v, m.m)};
+}
+/// Bit k of the result is lane k's truth value.
+inline unsigned MoveMask(Mask4d m) {
+  return static_cast<unsigned>(_mm256_movemask_pd(m.m));
+}
+inline Mask4d TrueMask() {
+  const __m256d z = _mm256_setzero_pd();
+  return {_mm256_cmp_pd(z, z, _CMP_EQ_OQ)};
+}
+inline Mask4d FalseMask() { return {_mm256_setzero_pd()}; }
+
+#elif defined(WNRS_SIMD_BACKEND_NEON)
+
+struct Vec4d {
+  float64x2_t lo;
+  float64x2_t hi;
+};
+
+struct Mask4d {
+  uint64x2_t lo;
+  uint64x2_t hi;
+};
+
+inline Vec4d LoadU(const double* p) {
+  return {vld1q_f64(p), vld1q_f64(p + 2)};
+}
+inline Vec4d Set1(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+inline Vec4d Zero() { return Set1(0.0); }
+inline Vec4d LoadStride(const double* p, size_t stride) {
+  const float64x2_t lo =
+      vcombine_f64(vld1_f64(p), vld1_f64(p + stride));
+  const float64x2_t hi =
+      vcombine_f64(vld1_f64(p + 2 * stride), vld1_f64(p + 3 * stride));
+  return {lo, hi};
+}
+inline void StoreU(double* p, Vec4d a) {
+  vst1q_f64(p, a.lo);
+  vst1q_f64(p + 2, a.hi);
+}
+inline Vec4d Add(Vec4d a, Vec4d b) {
+  return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+}
+inline Vec4d Sub(Vec4d a, Vec4d b) {
+  return {vsubq_f64(a.lo, b.lo), vsubq_f64(a.hi, b.hi)};
+}
+inline Vec4d Abs(Vec4d a) { return {vabsq_f64(a.lo), vabsq_f64(a.hi)}; }
+inline Mask4d CmpLE(Vec4d a, Vec4d b) {
+  return {vcleq_f64(a.lo, b.lo), vcleq_f64(a.hi, b.hi)};
+}
+inline Mask4d CmpLT(Vec4d a, Vec4d b) {
+  return {vcltq_f64(a.lo, b.lo), vcltq_f64(a.hi, b.hi)};
+}
+inline Mask4d CmpGE(Vec4d a, Vec4d b) {
+  return {vcgeq_f64(a.lo, b.lo), vcgeq_f64(a.hi, b.hi)};
+}
+inline Mask4d And(Mask4d a, Mask4d b) {
+  return {vandq_u64(a.lo, b.lo), vandq_u64(a.hi, b.hi)};
+}
+inline Mask4d Or(Mask4d a, Mask4d b) {
+  return {vorrq_u64(a.lo, b.lo), vorrq_u64(a.hi, b.hi)};
+}
+/// ~a & b per lane.
+inline Mask4d AndNot(Mask4d a, Mask4d b) {
+  return {vbicq_u64(b.lo, a.lo), vbicq_u64(b.hi, a.hi)};
+}
+inline Vec4d Select(Mask4d m, Vec4d a, Vec4d b) {
+  return {vbslq_f64(m.lo, a.lo, b.lo), vbslq_f64(m.hi, a.hi, b.hi)};
+}
+inline Vec4d MinStd(Vec4d a, Vec4d b) { return Select(CmpLT(b, a), b, a); }
+inline unsigned MoveMask(Mask4d m) {
+  return static_cast<unsigned>(vgetq_lane_u64(m.lo, 0) >> 63) |
+         (static_cast<unsigned>(vgetq_lane_u64(m.lo, 1) >> 63) << 1) |
+         (static_cast<unsigned>(vgetq_lane_u64(m.hi, 0) >> 63) << 2) |
+         (static_cast<unsigned>(vgetq_lane_u64(m.hi, 1) >> 63) << 3);
+}
+inline Mask4d TrueMask() {
+  return {vdupq_n_u64(~0ULL), vdupq_n_u64(~0ULL)};
+}
+inline Mask4d FalseMask() { return {vdupq_n_u64(0), vdupq_n_u64(0)}; }
+
+#else  // WNRS_SIMD_BACKEND_SCALAR
+
+struct Vec4d {
+  double v[4];
+};
+
+struct Mask4d {
+  bool m[4];
+};
+
+inline Vec4d LoadU(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+inline Vec4d Set1(double x) { return {{x, x, x, x}}; }
+inline Vec4d Zero() { return Set1(0.0); }
+inline Vec4d LoadStride(const double* p, size_t stride) {
+  return {{p[0], p[stride], p[2 * stride], p[3 * stride]}};
+}
+inline void StoreU(double* p, Vec4d a) {
+  for (size_t k = 0; k < 4; ++k) p[k] = a.v[k];
+}
+inline Vec4d Add(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (size_t k = 0; k < 4; ++k) r.v[k] = a.v[k] + b.v[k];
+  return r;
+}
+inline Vec4d Sub(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (size_t k = 0; k < 4; ++k) r.v[k] = a.v[k] - b.v[k];
+  return r;
+}
+inline Vec4d Abs(Vec4d a) {
+  Vec4d r;
+  for (size_t k = 0; k < 4; ++k) r.v[k] = std::fabs(a.v[k]);
+  return r;
+}
+inline Vec4d MinStd(Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (size_t k = 0; k < 4; ++k) r.v[k] = b.v[k] < a.v[k] ? b.v[k] : a.v[k];
+  return r;
+}
+inline Mask4d CmpLE(Vec4d a, Vec4d b) {
+  Mask4d r;
+  for (size_t k = 0; k < 4; ++k) r.m[k] = a.v[k] <= b.v[k];
+  return r;
+}
+inline Mask4d CmpLT(Vec4d a, Vec4d b) {
+  Mask4d r;
+  for (size_t k = 0; k < 4; ++k) r.m[k] = a.v[k] < b.v[k];
+  return r;
+}
+inline Mask4d CmpGE(Vec4d a, Vec4d b) {
+  Mask4d r;
+  for (size_t k = 0; k < 4; ++k) r.m[k] = a.v[k] >= b.v[k];
+  return r;
+}
+inline Mask4d And(Mask4d a, Mask4d b) {
+  Mask4d r;
+  for (size_t k = 0; k < 4; ++k) r.m[k] = a.m[k] && b.m[k];
+  return r;
+}
+inline Mask4d Or(Mask4d a, Mask4d b) {
+  Mask4d r;
+  for (size_t k = 0; k < 4; ++k) r.m[k] = a.m[k] || b.m[k];
+  return r;
+}
+inline Mask4d AndNot(Mask4d a, Mask4d b) {
+  Mask4d r;
+  for (size_t k = 0; k < 4; ++k) r.m[k] = !a.m[k] && b.m[k];
+  return r;
+}
+inline Vec4d Select(Mask4d m, Vec4d a, Vec4d b) {
+  Vec4d r;
+  for (size_t k = 0; k < 4; ++k) r.v[k] = m.m[k] ? a.v[k] : b.v[k];
+  return r;
+}
+inline unsigned MoveMask(Mask4d m) {
+  unsigned bits = 0;
+  for (size_t k = 0; k < 4; ++k) bits |= (m.m[k] ? 1u : 0u) << k;
+  return bits;
+}
+inline Mask4d TrueMask() { return {{true, true, true, true}}; }
+inline Mask4d FalseMask() { return {{false, false, false, false}}; }
+
+#endif  // backend selection
+
+}  // namespace wnrs::simd
+
+#endif  // WNRS_GEOMETRY_SIMD_H_

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "geometry/kernels.h"
 
 namespace wnrs {
 
@@ -14,8 +16,10 @@ PackedRTree& PackedRTree::operator=(PackedRTree&& other) noexcept {
   dims_ = other.dims_;
   size_ = other.size_;
   height_ = other.height_;
+  max_node_entries_ = other.max_node_entries_;
   nodes_ = std::move(other.nodes_);
-  mbrs_ = std::move(other.mbrs_);
+  planes_ = std::move(other.planes_);
+  plane_stride_ = other.plane_stride_;
   refs_ = std::move(other.refs_);
   node_reads_.store(other.node_reads_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
@@ -49,7 +53,10 @@ PackedRTree PackedRTree::Freeze(const RStarTree& tree) {
       }
     }
   }
-  WNRS_CHECK(order.size() <= static_cast<size_t>(kNoNode));
+  // Strictly below the sentinel: a child index equal to kNoNode would be
+  // indistinguishable from "no node" in the traversal heaps, and
+  // anything larger would truncate when entry_child narrows the ref.
+  WNRS_CHECK(order.size() <= static_cast<size_t>(kNoNode) - 1);
   WNRS_CHECK(total_entries < static_cast<size_t>(kNoNode));
 
   // index was appended in pre-order; child lookups need the mapping by
@@ -64,9 +71,14 @@ PackedRTree PackedRTree::Freeze(const RStarTree& tree) {
     return it->second;
   };
 
-  // Pass 2: fill the arena and the entry slabs.
+  // Pass 2: fill the arena and the entry slabs. The coordinate planes
+  // are NaN-filled first so the KernelPad padding lanes past the last
+  // entry read as quiet NaN (which fails every kernel predicate), then
+  // live entries overwrite their column in each plane.
+  out.plane_stride_ = KernelPad(total_entries);
+  out.planes_.assign(2 * out.dims_ * out.plane_stride_,
+                     std::numeric_limits<double>::quiet_NaN());
   out.nodes_.reserve(order.size());
-  out.mbrs_.reserve(total_entries * 2 * out.dims_);
   out.refs_.reserve(total_entries);
   for (const RStarTree::Node* src : order) {
     Node node;
@@ -74,12 +86,15 @@ PackedRTree PackedRTree::Freeze(const RStarTree& tree) {
     node.entry_count = static_cast<uint32_t>(src->entries.size());
     node.is_leaf = src->is_leaf ? 1 : 0;
     out.nodes_.push_back(node);
+    out.max_node_entries_ =
+        std::max(out.max_node_entries_, src->entries.size());
     for (const RStarTree::Entry& e : src->entries) {
+      const size_t col = out.refs_.size();
       const Point& lo = e.mbr.lo();
       const Point& hi = e.mbr.hi();
       for (size_t j = 0; j < out.dims_; ++j) {
-        out.mbrs_.push_back(lo[j]);
-        out.mbrs_.push_back(hi[j]);
+        out.planes_[j * out.plane_stride_ + col] = lo[j];
+        out.planes_[(out.dims_ + j) * out.plane_stride_ + col] = hi[j];
       }
       out.refs_.push_back(src->is_leaf
                               ? e.id
@@ -96,12 +111,11 @@ PackedRTree PackedRTree::Freeze(const RStarTree& tree) {
 }
 
 Rectangle PackedRTree::EntryRect(uint32_t e) const {
-  const double* mbr = entry_mbr(e);
   Point lo(dims_);
   Point hi(dims_);
   for (size_t j = 0; j < dims_; ++j) {
-    lo[j] = mbr[2 * j];
-    hi[j] = mbr[2 * j + 1];
+    lo[j] = entry_lo(e, j);
+    hi[j] = entry_hi(e, j);
   }
   return Rectangle(std::move(lo), std::move(hi));
 }
@@ -111,6 +125,8 @@ std::vector<PackedRTree::Id> PackedRTree::RangeQueryIds(
   WNRS_CHECK(window.dims() == dims_);
   const double* wlo = window.lo().coords().data();
   const double* whi = window.hi().coords().data();
+  const SoaPlanes p = planes();
+  std::vector<unsigned char> hit(KernelPad(max_node_entries_));
   std::vector<Id> out;
   std::vector<uint32_t> stack = {root()};
   while (!stack.empty()) {
@@ -118,16 +134,10 @@ std::vector<PackedRTree::Id> PackedRTree::RangeQueryIds(
     stack.pop_back();
     CountNodeRead();
     const Node& n = nodes_[ni];
-    for (uint32_t e = n.first_entry; e < n.first_entry + n.entry_count; ++e) {
-      const double* mbr = entry_mbr(e);
-      bool intersects = true;
-      for (size_t j = 0; j < dims_; ++j) {
-        if (mbr[2 * j + 1] < wlo[j] || mbr[2 * j] > whi[j]) {
-          intersects = false;
-          break;
-        }
-      }
-      if (!intersects) continue;
+    BoxOverlapMaskSoa(p, n.first_entry, n.entry_count, wlo, whi, hit.data());
+    for (uint32_t k = 0; k < n.entry_count; ++k) {
+      if (hit[k] == 0) continue;
+      const uint32_t e = n.first_entry + k;
       if (n.is_leaf != 0) {
         out.push_back(refs_[e]);
       } else {
@@ -142,6 +152,23 @@ std::vector<PackedRTree::Id> PackedRTree::RangeQueryIds(
 Status PackedRTree::CheckInvariants() const {
   if (nodes_.empty()) {
     return Status::Internal("packed tree has no nodes");
+  }
+  if (nodes_.size() > static_cast<size_t>(kNoNode) - 1) {
+    return Status::Internal(StrFormat(
+        "node count %zu exceeds the child-index range", nodes_.size()));
+  }
+  if (plane_stride_ < KernelPad(refs_.size()) ||
+      planes_.size() != 2 * dims_ * plane_stride_) {
+    return Status::Internal("coordinate planes not padded to kernel width");
+  }
+  for (size_t j = 0; j < 2 * dims_; ++j) {
+    const double* plane = planes_.data() + j * plane_stride_;
+    for (size_t e = refs_.size(); e < plane_stride_; ++e) {
+      if (plane[e] == plane[e]) {
+        return Status::Internal(
+            StrFormat("plane %zu padding lane %zu is not NaN", j, e));
+      }
+    }
   }
   size_t data_entries = 0;
   std::vector<std::pair<uint32_t, size_t>> stack = {{root(), 1}};
@@ -176,7 +203,16 @@ Status PackedRTree::CheckInvariants() const {
     } else {
       for (uint32_t e = n.first_entry; e < n.first_entry + n.entry_count;
            ++e) {
-        stack.emplace_back(entry_child(e), depth + 1);
+        // Range-check the raw ref before it narrows to a child index:
+        // refs_ is shared with 64-bit data ids, so corruption must
+        // surface as a status, not a silent truncation.
+        const int64_t ref = refs_[e];
+        if (ref < 0 || static_cast<uint64_t>(ref) >= nodes_.size()) {
+          return Status::Internal(StrFormat(
+              "internal entry %u ref %lld outside the node arena", e,
+              static_cast<long long>(ref)));
+        }
+        stack.emplace_back(static_cast<uint32_t>(ref), depth + 1);
       }
     }
   }

@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "geometry/kernels.h"
 #include "geometry/rectangle.h"
 #include "index/rtree.h"
 
@@ -20,10 +22,15 @@ namespace wnrs {
 ///
 /// Layout: all nodes live contiguously in one arena and address their
 /// children by uint32_t index, so a traversal touches a few dense arrays
-/// instead of pointer-chasing heap nodes. Entry MBRs are a single flat
-/// double slab in min-max-interleaved order ([lo0, hi0, lo1, hi1, ...]
-/// per entry, entries of one node adjacent), which is the layout the
-/// geometry/kernels.h batch kernels consume directly. Child links and
+/// instead of pointer-chasing heap nodes. Entry MBRs are stored as
+/// structure-of-arrays coordinate *planes*: one contiguous double plane
+/// per lower coordinate, then one per upper ([lo_0 of every entry][lo_1
+/// of every entry]...[hi_0 of every entry]...), entries of one node
+/// occupying a contiguous index range of every plane. Each plane is
+/// padded to KernelPad(num_entries()) with quiet NaNs so the SIMD batch
+/// kernels in geometry/kernels.h can stream full-width vectors over a
+/// node's entries without tail masking — output lanes past a node's
+/// entry count are scratch the traversals never read. Child links and
 /// leaf data ids share one int64_t slab (disambiguated by the node's
 /// is_leaf flag).
 ///
@@ -40,7 +47,10 @@ class PackedRTree {
   using Id = RStarTree::Id;
 
   /// Sentinel child index ("no node"); also the data-entry marker in the
-  /// packed traversal heaps.
+  /// packed traversal heaps. Freeze rejects trees with more than
+  /// kNoNode - 1 nodes so a stored child index can never collide with
+  /// the sentinel or truncate (child links ride in the int64_t refs
+  /// slab and narrow to uint32_t on read).
   static constexpr uint32_t kNoNode = UINT32_MAX;
 
   /// One arena node: a [first_entry, first_entry + entry_count) slice of
@@ -72,6 +82,9 @@ class PackedRTree {
   size_t height() const { return height_; }
   size_t num_nodes() const { return nodes_.size(); }
   size_t num_entries() const { return refs_.size(); }
+  /// Largest entry_count over all nodes — the batch-kernel scratch bound
+  /// (size per-node scratch with KernelPad(max_node_entries())).
+  size_t max_node_entries() const { return max_node_entries_; }
 
   /// Root node index; index 0 always exists (an empty tree freezes to a
   /// single empty leaf, like the dynamic root).
@@ -79,14 +92,25 @@ class PackedRTree {
 
   const Node& node(uint32_t n) const { return nodes_[n]; }
 
-  /// MBR span of entry `e`: 2*dims() doubles, min-max interleaved.
-  const double* entry_mbr(uint32_t e) const {
-    return mbrs_.data() + static_cast<size_t>(e) * 2 * dims_;
+  /// SoA view of the entry coordinate planes for the batch kernels.
+  SoaPlanes planes() const { return {planes_.data(), plane_stride_, dims_}; }
+
+  /// Coordinate j of entry e's lower / upper MBR corner.
+  double entry_lo(uint32_t e, size_t j) const {
+    return planes_[j * plane_stride_ + e];
+  }
+  double entry_hi(uint32_t e, size_t j) const {
+    return planes_[(dims_ + j) * plane_stride_ + e];
   }
 
-  /// Child node index of an internal entry.
+  /// Child node index of an internal entry. Checked against the node
+  /// count: the refs slab is shared with 64-bit data ids, so a stale or
+  /// corrupt ref must fail here rather than truncate into a plausible
+  /// index.
   uint32_t entry_child(uint32_t e) const {
-    return static_cast<uint32_t>(refs_[e]);
+    const int64_t ref = refs_[e];
+    WNRS_CHECK(ref >= 0 && static_cast<uint64_t>(ref) < nodes_.size());
+    return static_cast<uint32_t>(ref);
   }
 
   /// Data id of a leaf entry.
@@ -116,8 +140,9 @@ class PackedRTree {
   /// ascending — same contract as RStarTree::RangeQueryIds.
   std::vector<Id> RangeQueryIds(const Rectangle& window) const;
 
-  /// Structural self-check for tests: slab bounds, child-index validity,
-  /// MBR containment, uniform leaf depth, and entry count.
+  /// Structural self-check for tests: slab bounds, child-index and
+  /// node-count validity, plane padding, MBR containment, uniform leaf
+  /// depth, and entry count.
   Status CheckInvariants() const;
 
  private:
@@ -126,9 +151,12 @@ class PackedRTree {
   size_t dims_ = 0;
   size_t size_ = 0;
   size_t height_ = 1;
+  size_t max_node_entries_ = 0;
   std::vector<Node> nodes_;
-  /// 2*dims_ doubles per entry, min-max interleaved.
-  std::vector<double> mbrs_;
+  /// SoA coordinate planes: 2*dims_ planes of plane_stride_ doubles each
+  /// (d lo planes then d hi planes), NaN-padded past num_entries().
+  std::vector<double> planes_;
+  size_t plane_stride_ = 0;
   /// Child node index (internal entries) or data id (leaf entries).
   std::vector<int64_t> refs_;
   mutable std::atomic<uint64_t> node_reads_{0};

@@ -129,6 +129,15 @@ Status ValidatePacked(const PackedRTree& packed) {
   if (!base.ok()) {
     return Status::Internal("[slab-bounds] " + base.message());
   }
+  // The node arena must leave the child-index range unambiguous: every
+  // stored child index has to fit uint32_t strictly below the kNoNode
+  // sentinel (Freeze rejects larger trees; assert the bound held).
+  if (packed.num_nodes() > static_cast<size_t>(PackedRTree::kNoNode) - 1) {
+    return Status::Internal(StrFormat(
+        "[slab-bounds] node arena holds %zu nodes, exceeding the %u "
+        "child-index bound",
+        packed.num_nodes(), PackedRTree::kNoNode - 1));
+  }
   // MBR containment between internal entries and the nodes they reference
   // (the self-check covers wiring, not geometry).
   const size_t dims = packed.dims();
@@ -136,14 +145,12 @@ Status ValidatePacked(const PackedRTree& packed) {
     const PackedRTree::Node& n = packed.node(ni);
     if (n.is_leaf != 0) continue;
     for (uint32_t e = n.first_entry; e < n.first_entry + n.entry_count; ++e) {
-      const double* parent_mbr = packed.entry_mbr(e);
       const PackedRTree::Node& child = packed.node(packed.entry_child(e));
       for (uint32_t ce = child.first_entry;
            ce < child.first_entry + child.entry_count; ++ce) {
-        const double* child_mbr = packed.entry_mbr(ce);
         for (size_t j = 0; j < dims; ++j) {
-          if (child_mbr[2 * j] < parent_mbr[2 * j] ||
-              child_mbr[2 * j + 1] > parent_mbr[2 * j + 1]) {
+          if (packed.entry_lo(ce, j) < packed.entry_lo(e, j) ||
+              packed.entry_hi(ce, j) > packed.entry_hi(e, j)) {
             return Status::Internal(StrFormat(
                 "[mbr-containment] packed entry %u of node %u does not "
                 "contain entry %u of child node %u in dimension %zu",
@@ -211,9 +218,9 @@ Status ValidatePackedMatchesDynamic(const PackedRTree& packed,
     for (uint32_t i = 0; i < pn.entry_count; ++i) {
       const uint32_t e = pn.first_entry + i;
       const RStarTree::Entry& de = dn->entries[i];
-      const double* mbr = packed.entry_mbr(e);
       for (size_t j = 0; j < packed.dims(); ++j) {
-        if (mbr[2 * j] != de.mbr.lo()[j] || mbr[2 * j + 1] != de.mbr.hi()[j]) {
+        if (packed.entry_lo(e, j) != de.mbr.lo()[j] ||
+            packed.entry_hi(e, j) != de.mbr.hi()[j]) {
           return Status::Internal(StrFormat(
               "[packed-parity] node %u entry %u MBR differs from the dynamic "
               "tree in dimension %zu",

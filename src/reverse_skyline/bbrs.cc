@@ -210,13 +210,14 @@ bool GloballyDominatesPointSpan(const double* gt, const int8_t* gs,
   return strict;
 }
 
-/// GloballyDominatesRect on a min-max-interleaved MBR span.
+/// GloballyDominatesRect on entry `e` of the SoA coordinate planes.
 bool GloballyDominatesRectSpan(const double* gt, const int8_t* gs,
-                               const double* mbr, const double* q, size_t d) {
+                               const SoaPlanes& planes, uint32_t e,
+                               const double* q, size_t d) {
   bool strict = false;
   for (size_t i = 0; i < d; ++i) {
-    const double rlo = mbr[2 * i];
-    const double rhi = mbr[2 * i + 1];
+    const double rlo = planes.lo(i)[e];
+    const double rhi = planes.hi(i)[e];
     if (gs[i] > 0) {
       if (rlo < q[i]) return false;  // Node spans below q.
     } else if (gs[i] < 0) {
@@ -260,6 +261,10 @@ PackedGlobalSkyline ComputeGlobalSkyline(
   skyline.ids.reserve(hint);
   pool.reserve(hint * d);
 
+  const SoaPlanes planes = tree.planes();
+  const size_t cap = KernelPad(tree.max_node_entries());
+  std::vector<double> corners(d * cap);  // per-node corner batch (SoA)
+  std::vector<double> cdist(cap);        // corner L1 norms
   std::vector<double> tbuf(d);
   std::vector<int8_t> sbuf(d);
   uint64_t heap_pops = 0;
@@ -310,35 +315,41 @@ PackedGlobalSkyline ComputeGlobalSkyline(
     tree.CountNodeRead();
     const PackedRTree::Node& n = tree.node(item.node);
     const uint32_t end = n.first_entry + n.entry_count;
-    for (uint32_t e = n.first_entry; e < end; ++e) {
-      const double* mbr = tree.entry_mbr(e);
-      if (n.is_leaf != 0) {
+    if (n.is_leaf != 0) {
+      for (uint32_t e = n.first_entry; e < end; ++e) {
         const PackedRTree::Id id = tree.entry_id(e);
         if (exclude_id.has_value() && id == *exclude_id) continue;
-        transform_and_sign(mbr, 2);
+        // Leaf entries are points: their coordinates are column e of the
+        // lo planes, one plane stride apart.
+        transform_and_sign(planes.data + e, planes.stride);
         if (!point_dominated()) {
           const size_t off = pool.size();
-          for (size_t j = 0; j < d; ++j) pool.push_back(mbr[2 * j]);
+          for (size_t j = 0; j < d; ++j) pool.push_back(planes.lo(j)[e]);
           heap.push({L1NormSpan(tbuf.data(), d), PackedRTree::kNoNode, off,
                      id});
         } else {
           ++pruned_entries;
         }
-      } else {
+      }
+    } else {
+      // Corner distances for the whole node in one batch-kernel pass;
+      // the dominance scans below stay scalar because their early-exit
+      // depth is the pinned dominance_tests counter.
+      MinDistCornerBatchSoa(planes, n.first_entry, n.entry_count, qs,
+                            corners.data(), cap, cdist.data());
+      for (uint32_t e = n.first_entry; e < end; ++e) {
         bool dominated = false;
         for (size_t g = 0; g < skyline.size(); ++g) {
           ++dominance_tests;
           if (GloballyDominatesRectSpan(skyline.transformed.data() + g * d,
-                                        skyline.signs.data() + g * d, mbr, qs,
-                                        d)) {
+                                        skyline.signs.data() + g * d, planes,
+                                        e, qs, d)) {
             dominated = true;
             break;
           }
         }
         if (!dominated) {
-          BoxMinDistCornerSpan(mbr, qs, d, tbuf.data());
-          heap.push(
-              {L1NormSpan(tbuf.data(), d), tree.entry_child(e), 0, -1});
+          heap.push({cdist[e - n.first_entry], tree.entry_child(e), 0, -1});
         } else {
           ++pruned_entries;
         }
@@ -558,10 +569,9 @@ std::vector<PackedRTree::Id> BbrsReverseSkylineBichromatic(
     const PackedRTree::Node& n = customers.node(ni);
     const uint32_t end = n.first_entry + n.entry_count;
     for (uint32_t e = n.first_entry; e < end; ++e) {
-      const double* mbr = customers.entry_mbr(e);
       if (n.is_leaf != 0) {
         Point p(d);
-        for (size_t j = 0; j < d; ++j) p[j] = mbr[2 * j];
+        for (size_t j = 0; j < d; ++j) p[j] = customers.entry_lo(e, j);
         survivors.push_back({std::move(p), customers.entry_id(e)});
       } else {
         bool pruned = false;
@@ -574,12 +584,12 @@ std::vector<PackedRTree::Id> BbrsReverseSkylineBichromatic(
             const double gi = go[i];
             if (gi < qs[i]) {
               const double mid = 0.5 * (gi + qs[i]);
-              if (mbr[2 * i + 1] > mid) weak_all = false;
-              if (mbr[2 * i + 1] < mid) strict_any = true;
+              if (customers.entry_hi(e, i) > mid) weak_all = false;
+              if (customers.entry_hi(e, i) < mid) strict_any = true;
             } else if (gi > qs[i]) {
               const double mid = 0.5 * (gi + qs[i]);
-              if (mbr[2 * i] < mid) weak_all = false;
-              if (mbr[2 * i] > mid) strict_any = true;
+              if (customers.entry_lo(e, i) < mid) weak_all = false;
+              if (customers.entry_lo(e, i) > mid) strict_any = true;
             }
             // gi == qs[i]: tie in this dimension for every customer.
           }
@@ -592,7 +602,8 @@ std::vector<PackedRTree::Id> BbrsReverseSkylineBichromatic(
             // prune when the pruner lies outside the MBR.
             bool contains = true;
             for (size_t i = 0; i < d; ++i) {
-              if (go[i] < mbr[2 * i] || go[i] > mbr[2 * i + 1]) {
+              if (go[i] < customers.entry_lo(e, i) ||
+                  go[i] > customers.entry_hi(e, i)) {
                 contains = false;
                 break;
               }

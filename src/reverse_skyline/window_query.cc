@@ -144,37 +144,44 @@ std::vector<RStarTree::Id> WindowSkyline(
 
 namespace {
 
-/// Packed twin of RStarTree::RangeQuery: same stack discipline, the same
-/// node-read accounting (one per popped node), and the same early stop,
-/// but testing window intersection directly on the min-max-interleaved
-/// MBR slab. `visit(mbr, id)` returns false to stop the whole traversal.
+/// Packed twin of RStarTree::RangeQuery filtered to window members: same
+/// stack discipline, the same node-read accounting (one per popped node),
+/// and the same early stop, but evaluating whole nodes at a time with the
+/// SoA batch kernels — one overlap mask per node, plus one in-window mask
+/// per leaf. `visit(id)` runs for every leaf entry that is inside the
+/// customer window (strictness included) and returns false to stop the
+/// whole traversal.
 template <typename Visit>
-void PackedRangeQuery(const PackedRTree& tree, const Rectangle& window,
+void PackedWindowScan(const PackedRTree& tree, const Rectangle& window,
+                      const double* cs, const double* qs,
                       const Visit& visit) {
-  const size_t d = tree.dims();
+  const SoaPlanes planes = tree.planes();
   const double* wlo = window.lo().coords().data();
   const double* whi = window.hi().coords().data();
+  const size_t cap = KernelPad(tree.max_node_entries());
+  std::vector<unsigned char> hit(cap);
+  std::vector<unsigned char> inw(cap);
   std::vector<uint32_t> stack = {tree.root()};
   while (!stack.empty()) {
     const uint32_t ni = stack.back();
     stack.pop_back();
     tree.CountNodeRead();
     const PackedRTree::Node& n = tree.node(ni);
-    const uint32_t end = n.first_entry + n.entry_count;
-    for (uint32_t e = n.first_entry; e < end; ++e) {
-      const double* mbr = tree.entry_mbr(e);
-      bool intersects = true;
-      for (size_t j = 0; j < d; ++j) {
-        if (mbr[2 * j + 1] < wlo[j] || mbr[2 * j] > whi[j]) {
-          intersects = false;
-          break;
-        }
+    BoxOverlapMaskSoa(planes, n.first_entry, n.entry_count, wlo, whi,
+                      hit.data());
+    if (n.is_leaf != 0) {
+      // Intersecting the closed window is necessary but not sufficient:
+      // window membership is dynamic dominance, which needs strictness.
+      InWindowMaskSoa(planes, n.first_entry, n.entry_count, cs, qs,
+                      inw.data());
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        if ((hit[k] & inw[k]) == 0) continue;
+        if (!visit(tree.entry_id(n.first_entry + k))) return;
       }
-      if (!intersects) continue;
-      if (n.is_leaf != 0) {
-        if (!visit(mbr, tree.entry_id(e))) return;
-      } else {
-        stack.push_back(tree.entry_child(e));
+    } else {
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        if (hit[k] == 0) continue;
+        stack.push_back(tree.entry_child(n.first_entry + k));
       }
     }
   }
@@ -186,16 +193,14 @@ std::vector<PackedRTree::Id> WindowQuery(
     const PackedRTree& products, const Point& c, const Point& q,
     std::optional<PackedRTree::Id> exclude_id) {
   MetricAdd(CounterId::kWindowProbes);
-  const size_t d = products.dims();
   const double* cs = c.coords().data();
   const double* qs = q.coords().data();
   std::vector<PackedRTree::Id> out;
-  PackedRangeQuery(products, WindowRect(c, q),
-                   [&](const double* mbr, PackedRTree::Id id) {
-                     if (exclude_id.has_value() && id == *exclude_id) {
-                       return true;
+  PackedWindowScan(products, WindowRect(c, q), cs, qs,
+                   [&](PackedRTree::Id id) {
+                     if (!exclude_id.has_value() || id != *exclude_id) {
+                       out.push_back(id);
                      }
-                     if (InWindowSpan(mbr, 2, cs, qs, d)) out.push_back(id);
                      return true;
                    });
   return out;
@@ -204,20 +209,16 @@ std::vector<PackedRTree::Id> WindowQuery(
 bool WindowEmpty(const PackedRTree& products, const Point& c, const Point& q,
                  std::optional<PackedRTree::Id> exclude_id) {
   MetricAdd(CounterId::kWindowProbes);
-  const size_t d = products.dims();
   const double* cs = c.coords().data();
   const double* qs = q.coords().data();
   bool found = false;
-  PackedRangeQuery(products, WindowRect(c, q),
-                   [&](const double* mbr, PackedRTree::Id id) {
+  PackedWindowScan(products, WindowRect(c, q), cs, qs,
+                   [&](PackedRTree::Id id) {
                      if (exclude_id.has_value() && id == *exclude_id) {
                        return true;
                      }
-                     if (InWindowSpan(mbr, 2, cs, qs, d)) {
-                       found = true;
-                       return false;  // Stop the traversal.
-                     }
-                     return true;
+                     found = true;
+                     return false;  // Stop the traversal.
                    });
   return !found;
 }
@@ -262,6 +263,16 @@ std::vector<PackedRTree::Id> WindowSkyline(
     flush();
     return skyline_ids;
   }
+  // Per-node batch scratch: overlap / in-window masks, transformed
+  // coordinates in SoA columns (stride cap), and their L1 norms. Batch
+  // results for entries a filter later skips are computed and discarded
+  // — unobservable, since skyline membership only changes on heap pops.
+  const SoaPlanes planes = products.planes();
+  const size_t cap = KernelPad(products.max_node_entries());
+  std::vector<unsigned char> hit(cap);
+  std::vector<unsigned char> inw(cap);
+  std::vector<double> tcoords(d * cap);
+  std::vector<double> tdist(cap);
   std::vector<double> buf(d);
   // The blocked kernel has no early exit inside a block, so the packed
   // path reports scan width (skyline size per test) rather than the
@@ -287,38 +298,38 @@ std::vector<PackedRTree::Id> WindowSkyline(
     }
     products.CountNodeRead();
     const PackedRTree::Node& n = products.node(item.node);
-    const uint32_t end = n.first_entry + n.entry_count;
-    for (uint32_t e = n.first_entry; e < end; ++e) {
-      const double* mbr = products.entry_mbr(e);
-      bool intersects = true;
-      for (size_t j = 0; j < d; ++j) {
-        if (mbr[2 * j + 1] < wlo[j] || mbr[2 * j] > whi[j]) {
-          intersects = false;
-          break;
-        }
-      }
-      if (!intersects) continue;
-      if (n.is_leaf != 0) {
-        const PackedRTree::Id id = products.entry_id(e);
+    BoxOverlapMaskSoa(planes, n.first_entry, n.entry_count, wlo, whi,
+                      hit.data());
+    if (n.is_leaf != 0) {
+      InWindowMaskSoa(planes, n.first_entry, n.entry_count, cs, qs,
+                      inw.data());
+      ToDistanceSpaceBatchSoa(planes, n.first_entry, n.entry_count, os,
+                              tcoords.data(), cap, tdist.data());
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        if (hit[k] == 0) continue;
+        const PackedRTree::Id id = products.entry_id(n.first_entry + k);
         if (exclude_id.has_value() && id == *exclude_id) continue;
-        if (!InWindowSpan(mbr, 2, cs, qs, d)) continue;
-        ToDistanceSpaceSpan(mbr, 2, os, d, buf.data());
+        if (inw[k] == 0) continue;
+        for (size_t j = 0; j < d; ++j) buf[j] = tcoords[j * cap + k];
         if (dominated(buf.data())) {
           ++pruned_entries;
           continue;
         }
-        const double dist = L1NormSpan(buf.data(), d);
         const size_t off = pool.size();
         pool.insert(pool.end(), buf.begin(), buf.end());
-        heap.push({dist, PackedRTree::kNoNode, off, id});
-      } else {
-        BoxMinDistCornerSpan(mbr, os, d, buf.data());
+        heap.push({tdist[k], PackedRTree::kNoNode, off, id});
+      }
+    } else {
+      MinDistCornerBatchSoa(planes, n.first_entry, n.entry_count, os,
+                            tcoords.data(), cap, tdist.data());
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        if (hit[k] == 0) continue;
+        for (size_t j = 0; j < d; ++j) buf[j] = tcoords[j * cap + k];
         if (dominated(buf.data())) {
           ++pruned_entries;
           continue;
         }
-        heap.push(
-            {L1NormSpan(buf.data(), d), products.entry_child(e), 0, -1});
+        heap.push({tdist[k], products.entry_child(n.first_entry + k), 0, -1});
       }
     }
   }

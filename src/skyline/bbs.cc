@@ -82,10 +82,16 @@ std::vector<RStarTree::Id> BbsCore(
 
 /// Packed BBS core. Candidate coordinates live in one append-only flat
 /// pool (heap items hold offsets, not Points) and the confirmed skyline
-/// is a dense coordinate slab scanned by the batch dominance kernel. The
-/// push/pop sequence — and with it the traversal order and node-read
-/// count — matches BbsCore exactly: mindists are computed with the same
-/// arithmetic and entries are visited in the same order.
+/// is a dense coordinate slab scanned by the batch dominance kernel.
+/// Each popped node is mapped in one batch-kernel pass over the SoA
+/// coordinate planes (transformed corners in SoA scratch columns plus
+/// their L1 norms), then the per-entry decision loop consumes the
+/// precomputed columns. The push/pop sequence — and with it the
+/// traversal order and node-read count — matches BbsCore exactly:
+/// mindists are computed with the same arithmetic and entries are
+/// visited in the same order, and precomputing a transform for an entry
+/// the decision loop later skips is unobservable because the skyline
+/// only grows on heap pops.
 std::vector<PackedRTree::Id> PackedBbsCore(
     const PackedRTree& tree,
     const double* origin,  // nullptr => identity map (static skyline)
@@ -109,6 +115,10 @@ std::vector<PackedRTree::Id> PackedBbsCore(
   skyline_ids.reserve(SkylineReserveHint(tree.size()));
   pool.reserve(SkylineReserveHint(tree.size()) * d);
 
+  const SoaPlanes planes = tree.planes();
+  const size_t cap = KernelPad(tree.max_node_entries());
+  std::vector<double> tcoords(d * cap);  // mapped corners, SoA columns
+  std::vector<double> tdist(cap);        // their L1 norms
   std::vector<double> buf(d);
   heap.push({0.0, tree.root(), 0, -1});
   while (!heap.empty()) {
@@ -124,36 +134,31 @@ std::vector<PackedRTree::Id> PackedBbsCore(
     }
     tree.CountNodeRead();
     const PackedRTree::Node& n = tree.node(item.node);
-    const uint32_t end = n.first_entry + n.entry_count;
-    for (uint32_t e = n.first_entry; e < end; ++e) {
-      const double* mbr = tree.entry_mbr(e);
-      if (n.is_leaf != 0) {
-        const PackedRTree::Id id = tree.entry_id(e);
+    if (n.is_leaf != 0) {
+      ToDistanceSpaceBatchSoa(planes, n.first_entry, n.entry_count, origin,
+                              tcoords.data(), cap, tdist.data());
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        const PackedRTree::Id id = tree.entry_id(n.first_entry + k);
         if (exclude_id.has_value() && id == *exclude_id) continue;
-        if (origin != nullptr) {
-          ToDistanceSpaceSpan(mbr, 2, origin, d, buf.data());
-        } else {
-          for (size_t j = 0; j < d; ++j) buf[j] = mbr[2 * j];
-        }
+        for (size_t j = 0; j < d; ++j) buf[j] = tcoords[j * cap + k];
         if (DominatedByAny(skyline.data(), skyline_ids.size(), d,
                            buf.data())) {
           continue;
         }
-        const double dist = L1NormSpan(buf.data(), d);
         const size_t off = pool.size();
         pool.insert(pool.end(), buf.begin(), buf.end());
-        heap.push({dist, PackedRTree::kNoNode, off, id});
-      } else {
-        if (origin != nullptr) {
-          BoxMinDistCornerSpan(mbr, origin, d, buf.data());
-        } else {
-          for (size_t j = 0; j < d; ++j) buf[j] = mbr[2 * j];
-        }
+        heap.push({tdist[k], PackedRTree::kNoNode, off, id});
+      }
+    } else {
+      MinDistCornerBatchSoa(planes, n.first_entry, n.entry_count, origin,
+                            tcoords.data(), cap, tdist.data());
+      for (uint32_t k = 0; k < n.entry_count; ++k) {
+        for (size_t j = 0; j < d; ++j) buf[j] = tcoords[j * cap + k];
         if (DominatedByAny(skyline.data(), skyline_ids.size(), d,
                            buf.data())) {
           continue;
         }
-        heap.push({L1NormSpan(buf.data(), d), tree.entry_child(e), 0, -1});
+        heap.push({tdist[k], tree.entry_child(n.first_entry + k), 0, -1});
       }
     }
   }

@@ -20,9 +20,12 @@ tests, ...) are deterministic for a fixed seed, so they use the tighter
 --counter-floor (default 1000) to ignore churn in tiny counts.
 
 A baseline config missing from the current run is an error: a bench that
-silently stops running a configuration must not pass the gate. New
-configs in the current run (not in the baseline) are reported but do not
-fail — they start gating once the baseline is regenerated.
+silently stops running a configuration must not pass the gate. The
+converse also fails by default: a bench or config present in the current
+run but absent from the baseline means someone added a benchmark without
+regenerating bench/baseline.json, and an ungated benchmark is a silent
+hole in the perf gate. Pass --allow-new to downgrade those to warnings
+(useful while iterating locally before the baseline refresh).
 
 Counters whose values depend on the host (thread-pool task splits,
 freeze nanoseconds) or on scheduling interleavings (the serve.* counters,
@@ -173,6 +176,7 @@ def check_improvements(current, specs):
 def check(baseline, current, args):
     failures = []
     warnings = []
+    new_entries = []
     for bench_name, base_doc in sorted(baseline.get("benches", {}).items()):
         cur_doc = current.get(bench_name)
         if cur_doc is None:
@@ -222,11 +226,16 @@ def check(baseline, current, args):
                         f"{base_val} -> {cur_val} — verify the work did not "
                         f"silently disappear")
         for config in sorted(set(cur_recs) - set(base_recs)):
-            warnings.append(
-                f"{bench_name}/{config}: new config, not in baseline "
-                f"(not gated)")
+            new_entries.append(
+                f"{bench_name}/{config}: new config, not in baseline")
     for bench_name in sorted(set(current) - set(baseline.get("benches", {}))):
-        warnings.append(f"{bench_name}: new bench, not in baseline (not gated)")
+        new_entries.append(f"{bench_name}: new bench, not in baseline")
+    if args.allow_new:
+        warnings.extend(f"{e} (not gated)" for e in new_entries)
+    else:
+        failures.extend(
+            f"{e} — regenerate bench/baseline.json (--write-baseline) or "
+            f"pass --allow-new" for e in new_entries)
     return failures, warnings
 
 
@@ -242,6 +251,11 @@ def main():
     parser.add_argument("--wall-floor-ms", type=float, default=50.0)
     parser.add_argument("--counter-tolerance", type=float, default=1.5)
     parser.add_argument("--counter-floor", type=int, default=1000)
+    parser.add_argument("--allow-new", action="store_true",
+                        help="downgrade 'bench/config not in baseline' from "
+                             "a failure to a warning (default: fail, so new "
+                             "benchmarks cannot land without baseline "
+                             "entries)")
     parser.add_argument("--improvement", action="append", default=[],
                         metavar="BENCH/FAST/SLOW[:METRIC[:FLOOR]]",
                         help="require config FAST to beat config SLOW within "

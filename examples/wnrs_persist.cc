@@ -1,0 +1,170 @@
+// Cross-process persistence check: `save` builds an engine from a CSV,
+// answers a deterministic query set, and writes both the bundle and the
+// answers; `check` reopens the bundle in a fresh process (mmap and
+// buffered slab paths both), recomputes the same answers, and fails
+// unless they are bit-identical to the saved ones. The CI persistence
+// job runs save and check as separate processes, so the comparison
+// crosses a process boundary — nothing can leak through memory.
+//
+//   wnrs_persist save <data.csv> <bundle_dir> <answers.txt>
+//   wnrs_persist check <bundle_dir> <answers.txt>
+//
+// Answers are serialized with %a (hex float), so equality of the text
+// is equality of every bit of every coordinate and cost.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "data/csv.h"
+#include "storage/file_io.h"
+
+namespace {
+
+using namespace wnrs;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wnrs_persist save <data.csv> <bundle_dir> <answers.txt>\n"
+               "  wnrs_persist check <bundle_dir> <answers.txt>\n");
+  return 2;
+}
+
+void AppendHex(std::string* out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " %a", v);
+  *out += buf;
+}
+
+void AppendPoint(std::string* out, const Point& p) {
+  for (size_t j = 0; j < p.dims(); ++j) AppendHex(out, p[j]);
+}
+
+void AppendCandidates(std::string* out, const std::vector<Candidate>& cs) {
+  *out += StrFormat(" n=%zu", cs.size());
+  for (const Candidate& c : cs) {
+    AppendPoint(out, c.point);
+    AppendHex(out, c.cost);
+  }
+}
+
+/// The full answer transcript of a deterministic query set: reverse
+/// skylines, MWP / MQP / MWQ answers, and safe regions. Equal text ==
+/// bit-identical answers.
+std::string BuildAnswers(const WhyNotEngine& engine) {
+  const size_t n = engine.products().size();
+  const size_t customers = engine.customers().size();
+  constexpr size_t kQueries = 8;
+  std::string out;
+  for (size_t i = 0; i < kQueries; ++i) {
+    const Point& q = engine.products().points[(i + 1) * n / (kQueries + 1)];
+    const size_t c = (i * 7 + 3) % customers;
+
+    out += StrFormat("q%zu", i);
+    AppendPoint(&out, q);
+    out += "\nrsl";
+    for (size_t id : engine.ReverseSkyline(q)) {
+      out += StrFormat(" %zu", id);
+    }
+
+    const MwpResult mwp = engine.ModifyWhyNot(c, q);
+    out += StrFormat("\nmwp c=%zu member=%d", c, mwp.already_member ? 1 : 0);
+    AppendCandidates(&out, mwp.candidates);
+
+    const MqpResult mqp = engine.ModifyQuery(c, q);
+    out += StrFormat("\nmqp member=%d", mqp.already_member ? 1 : 0);
+    AppendCandidates(&out, mqp.candidates);
+
+    const MwqResult mwq = engine.ModifyBoth(c, q);
+    out += StrFormat("\nmwq member=%d overlap=%d", mwq.already_member ? 1 : 0,
+                     mwq.overlap ? 1 : 0);
+    AppendHex(&out, mwq.best_cost);
+    AppendCandidates(&out, mwq.query_candidates);
+    AppendCandidates(&out, mwq.why_not_candidates);
+
+    const SafeRegionResult& sr = engine.SafeRegion(q);
+    out += StrFormat("\nsr rects=%zu", sr.region.rects().size());
+    for (const Rectangle& r : sr.region.rects()) {
+      AppendPoint(&out, r.lo());
+      AppendPoint(&out, r.hi());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+int CmdSave(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  Result<Dataset> data = LoadCsv(argv[2]);
+  if (!data.ok()) {
+    std::fprintf(stderr, "load %s: %s\n", argv[2],
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  const WhyNotEngine engine(std::move(data).value(), WhyNotEngineOptions{});
+  const std::string answers = BuildAnswers(engine);
+  Status s = engine.Save(argv[3]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save bundle: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  s = storage::WriteStringToFile(argv[4], answers);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save answers: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved bundle %s (%zu products) and answers %s\n", argv[3],
+              engine.products().size(), argv[4]);
+  return 0;
+}
+
+int CmdCheck(int argc, char** argv) {
+  if (argc != 4) return Usage();
+  std::string expected;
+  Status s = storage::ReadFileToString(argv[3], &expected);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load answers: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  for (const bool mmap_packed : {true, false}) {
+    WhyNotEngineOptions options;
+    options.storage.mmap_packed = mmap_packed;
+    Result<std::unique_ptr<WhyNotEngine>> engine =
+        WhyNotEngine::Open(argv[2], options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "open bundle (%s): %s\n",
+                   mmap_packed ? "mmap" : "buffered",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    const std::string actual = BuildAnswers(**engine);
+    if (actual != expected) {
+      size_t pos = 0;
+      while (pos < actual.size() && pos < expected.size() &&
+             actual[pos] == expected[pos]) {
+        ++pos;
+      }
+      std::fprintf(stderr,
+                   "ANSWER MISMATCH (%s path): reopened engine diverges "
+                   "from the saved answers at byte %zu\n",
+                   mmap_packed ? "mmap" : "buffered", pos);
+      return 1;
+    }
+    std::printf("check ok (%s path): %zu answer bytes bit-identical\n",
+                mmap_packed ? "mmap" : "buffered", actual.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "save") == 0) return CmdSave(argc, argv);
+  if (std::strcmp(argv[1], "check") == 0) return CmdCheck(argc, argv);
+  return Usage();
+}

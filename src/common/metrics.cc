@@ -303,6 +303,10 @@ QueryStats MetricsRegistry::CaptureQueryStats() const {
   s.serve_admission_rejects = value(CounterId::kServeAdmissionRejects);
   s.serve_deadline_misses = value(CounterId::kServeDeadlineMisses);
   s.serve_batch_share_hits = value(CounterId::kServeBatchShareHits);
+  s.storage_page_reads = value(CounterId::kStoragePageReads);
+  s.storage_page_writes = value(CounterId::kStoragePageWrites);
+  s.storage_cache_hits = value(CounterId::kStorageCacheHits);
+  s.storage_cache_misses = value(CounterId::kStorageCacheMisses);
   return s;
 }
 
@@ -349,6 +353,10 @@ const char* MetricsRegistry::Name(CounterId id) {
     case CounterId::kServeAdmissionRejects: return "serve.admission_rejects";
     case CounterId::kServeDeadlineMisses: return "serve.deadline_misses";
     case CounterId::kServeBatchShareHits: return "serve.batch_share_hits";
+    case CounterId::kStoragePageReads: return "storage.page_reads";
+    case CounterId::kStoragePageWrites: return "storage.page_writes";
+    case CounterId::kStorageCacheHits: return "storage.cache_hits";
+    case CounterId::kStorageCacheMisses: return "storage.cache_misses";
     case CounterId::kCounterIdCount: break;
   }
   return "unknown";
@@ -461,6 +469,10 @@ QueryStats QueryStats::operator-(const QueryStats& other) const {
       serve_deadline_misses - other.serve_deadline_misses;
   d.serve_batch_share_hits =
       serve_batch_share_hits - other.serve_batch_share_hits;
+  d.storage_page_reads = storage_page_reads - other.storage_page_reads;
+  d.storage_page_writes = storage_page_writes - other.storage_page_writes;
+  d.storage_cache_hits = storage_cache_hits - other.storage_cache_hits;
+  d.storage_cache_misses = storage_cache_misses - other.storage_cache_misses;
   return d;
 }
 
@@ -493,6 +505,10 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   serve_admission_rejects += other.serve_admission_rejects;
   serve_deadline_misses += other.serve_deadline_misses;
   serve_batch_share_hits += other.serve_batch_share_hits;
+  storage_page_reads += other.storage_page_reads;
+  storage_page_writes += other.storage_page_writes;
+  storage_cache_hits += other.storage_cache_hits;
+  storage_cache_misses += other.storage_cache_misses;
   return *this;
 }
 
@@ -529,7 +545,11 @@ std::string QueryStats::ToJson() const {
   out += field("serve_requests", serve_requests);
   out += field("serve_admission_rejects", serve_admission_rejects);
   out += field("serve_deadline_misses", serve_deadline_misses);
-  out += field("serve_batch_share_hits", serve_batch_share_hits,
+  out += field("serve_batch_share_hits", serve_batch_share_hits);
+  out += field("storage_page_reads", storage_page_reads);
+  out += field("storage_page_writes", storage_page_writes);
+  out += field("storage_cache_hits", storage_cache_hits);
+  out += field("storage_cache_misses", storage_cache_misses,
                /*last=*/true);
   out += "}";
   return out;

@@ -5,7 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "common/logging.h"
@@ -20,6 +20,10 @@
 #include "reverse_skyline/window_query.h"
 #include "skyline/approx.h"
 #include "skyline/bbs.h"
+#include "storage/engine_store.h"
+#include "storage/file_io.h"
+#include "storage/packed_slab.h"
+#include "storage/tree_store.h"
 
 namespace wnrs {
 namespace {
@@ -62,6 +66,23 @@ thread_local std::shared_ptr<const SafeRegionResult> tls_approx_sr_anchor;
 }  // namespace
 
 namespace internal {
+
+/// Everything WhyNotEngine::Open reconstructs from a bundle directory
+/// before it can seed an EngineCore. Cross-file consistency is verified
+/// by Open (Status, not aborts) before the core constructor runs.
+struct RestoredEngineParts {
+  WhyNotEngineOptions options;
+  bool shared_relation = false;
+  std::shared_ptr<const Dataset> products;
+  std::shared_ptr<const Dataset> customers;
+  std::shared_ptr<const RStarTree> tree;
+  std::shared_ptr<const RStarTree> customer_tree;
+  std::shared_ptr<const PackedRTree> packed_tree;
+  std::shared_ptr<const PackedRTree> packed_customer_tree;
+  std::vector<bool> removed;
+  Rectangle universe;
+  std::shared_ptr<ThreadPool> pool;
+};
 
 /// The immutable heart of the engine. Every field set up at construction
 /// is read-only afterwards; the caches at the bottom are internally
@@ -146,6 +167,30 @@ struct EngineCore {
       packed_customer_tree = std::make_shared<const PackedRTree>(
           PackedRTree::Freeze(*customer_tree));
     }
+    ParanoidCheckIndex();
+  }
+
+  /// Restore constructor (WhyNotEngine::Open): adopts components loaded
+  /// from a bundle instead of building them from raw datasets. The
+  /// universe comes from the bundle, not from Bounds() — AddProduct may
+  /// have widened it past the current points — and the cost model is
+  /// recomputed from that persisted universe, so cost numbers match the
+  /// saved engine exactly.
+  explicit EngineCore(RestoredEngineParts parts)
+      : options(std::move(parts.options)),
+        shared_relation(parts.shared_relation),
+        products(std::move(parts.products)),
+        customers(std::move(parts.customers)),
+        tree(std::move(parts.tree)),
+        customer_tree(std::move(parts.customer_tree)),
+        packed_tree(std::move(parts.packed_tree)),
+        packed_customer_tree(std::move(parts.packed_customer_tree)),
+        removed(std::move(parts.removed)),
+        universe(std::move(parts.universe)),
+        cost_model(MakeCostModel(universe, options)),
+        pool(std::move(parts.pool)) {
+    WNRS_CHECK(products != nullptr && !products->points.empty());
+    WNRS_CHECK(shared_relation == (customers == nullptr));
     ParanoidCheckIndex();
   }
 
@@ -905,6 +950,175 @@ WhyNotEngine::WhyNotEngine(Dataset data, WhyNotEngineOptions options)
       core_(std::make_shared<const internal::EngineCore>(std::move(data),
                                                          options, pool_)) {}
 
+WhyNotEngine::WhyNotEngine(RestoreBadge, std::shared_ptr<ThreadPool> pool,
+                           std::shared_ptr<const internal::EngineCore> core)
+    : pool_(std::move(pool)), core_(std::move(core)) {}
+
+// ---------------------------------------------------------------------------
+// Persistence: the engine bundle (DESIGN.md §13). data.bin holds the
+// datasets/tombstones/universe; the dynamic trees become page files; the
+// packed slab keeps its mmap-able image alongside.
+// ---------------------------------------------------------------------------
+
+Status WhyNotEngine::Save(const std::string& dir) const {
+  std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
+  WNRS_RETURN_IF_ERROR(storage::EnsureDirectory(dir));
+  const std::string base = dir + "/";
+
+  storage::EngineBundleData data;
+  data.shared_relation = cur->shared_relation;
+  data.products = *cur->products;
+  if (cur->customers != nullptr) {
+    data.customers = *cur->customers;
+    data.has_customers = true;
+  }
+  data.removed = cur->removed;
+  data.universe = cur->universe;
+  data.has_packed = cur->packed_tree != nullptr;
+  data.has_packed_customers = cur->packed_customer_tree != nullptr;
+  WNRS_RETURN_IF_ERROR(
+      storage::SaveBundleData(data, base + storage::kBundleDataFile));
+
+  WNRS_RETURN_IF_ERROR(
+      storage::SavePagedTree(*cur->tree, base + storage::kBundleTreeFile));
+  if (cur->customer_tree != nullptr) {
+    WNRS_RETURN_IF_ERROR(storage::SavePagedTree(
+        *cur->customer_tree, base + storage::kBundleCustomerTreeFile));
+  }
+  if (cur->packed_tree != nullptr) {
+    WNRS_RETURN_IF_ERROR(storage::SavePacked(
+        *cur->packed_tree, base + storage::kBundlePackedFile));
+  }
+  if (cur->packed_customer_tree != nullptr) {
+    WNRS_RETURN_IF_ERROR(storage::SavePacked(
+        *cur->packed_customer_tree,
+        base + storage::kBundlePackedCustomerFile));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Opens the packed slab for one tree, or re-freezes it from the loaded
+/// dynamic tree when the bundle has none, and proves slab/tree parity
+/// either way — a slab from a different tree state must never serve.
+Result<std::shared_ptr<const PackedRTree>> RestorePacked(
+    const std::string& slab_path, bool slab_on_disk, const RStarTree& tree,
+    const EngineStorageOptions& storage_options) {
+  if (!slab_on_disk) {
+    return std::shared_ptr<const PackedRTree>(
+        std::make_shared<const PackedRTree>(PackedRTree::Freeze(tree)));
+  }
+  Result<PackedRTree> packed =
+      storage_options.mmap_packed
+          ? storage::OpenPackedMapped(slab_path,
+                                      storage_options.verify_checksums)
+          : storage::OpenPackedBuffered(slab_path,
+                                        storage_options.verify_checksums);
+  WNRS_RETURN_IF_ERROR(packed.status());
+  WNRS_RETURN_IF_ERROR(
+      ValidatePackedMatchesDynamic(packed.value(), tree));
+  return std::shared_ptr<const PackedRTree>(
+      std::make_shared<const PackedRTree>(std::move(packed).value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WhyNotEngine>> WhyNotEngine::Open(
+    const std::string& dir, WhyNotEngineOptions options) {
+  const std::string base = dir + "/";
+  Result<storage::EngineBundleData> data_r =
+      storage::LoadBundleData(base + storage::kBundleDataFile);
+  WNRS_RETURN_IF_ERROR(data_r.status());
+  storage::EngineBundleData& data = data_r.value();
+
+  internal::RestoredEngineParts parts;
+  parts.options = options;
+  parts.shared_relation = data.shared_relation;
+  parts.removed = std::move(data.removed);
+  parts.universe = data.universe;
+  const size_t dims = data.products.dims;
+  size_t live = data.products.points.size();
+  for (bool r : parts.removed) {
+    if (r) --live;
+  }
+  if (live == 0) {
+    return Status::InvalidArgument(
+        "[tree-shape] bundle has no live products: " + dir);
+  }
+  parts.products =
+      std::make_shared<const Dataset>(std::move(data.products));
+  if (data.has_customers) {
+    if (data.customers.dims != dims || data.customers.points.empty()) {
+      return Status::InvalidArgument(
+          "[dimension] bundle customer dataset inconsistent with "
+          "products: " +
+          dir);
+    }
+    parts.customers =
+        std::make_shared<const Dataset>(std::move(data.customers));
+  } else if (!data.shared_relation) {
+    return Status::InvalidArgument(
+        "[bundle-flags] bichromatic bundle without a customer dataset: " +
+        dir);
+  }
+  if (parts.universe.dims() != dims) {
+    return Status::InvalidArgument(
+        "[dimension] bundle universe dimensionality mismatch: " + dir);
+  }
+
+  Result<RStarTree> tree_r = storage::LoadPagedTree(
+      base + storage::kBundleTreeFile, options.storage.buffer_pool_pages);
+  WNRS_RETURN_IF_ERROR(tree_r.status());
+  if (tree_r.value().dims() != dims || tree_r.value().size() != live) {
+    return Status::InvalidArgument(
+        StrFormat("[tree-shape] bundle product tree holds %zu entries of "
+                  "%zu dims; bundle data declares %zu live products of %zu "
+                  "dims",
+                  tree_r.value().size(), tree_r.value().dims(), live, dims));
+  }
+  parts.tree =
+      std::make_shared<const RStarTree>(std::move(tree_r).value());
+
+  if (parts.customers != nullptr) {
+    Result<RStarTree> ctree_r =
+        storage::LoadPagedTree(base + storage::kBundleCustomerTreeFile,
+                               options.storage.buffer_pool_pages);
+    WNRS_RETURN_IF_ERROR(ctree_r.status());
+    if (ctree_r.value().dims() != dims ||
+        ctree_r.value().size() != parts.customers->points.size()) {
+      return Status::InvalidArgument(
+          "[tree-shape] bundle customer tree inconsistent with the "
+          "customer dataset: " +
+          dir);
+    }
+    parts.customer_tree =
+        std::make_shared<const RStarTree>(std::move(ctree_r).value());
+  }
+
+  if (options.use_packed_read_path) {
+    Result<std::shared_ptr<const PackedRTree>> packed =
+        RestorePacked(base + storage::kBundlePackedFile, data.has_packed,
+                      *parts.tree, options.storage);
+    WNRS_RETURN_IF_ERROR(packed.status());
+    parts.packed_tree = std::move(packed).value();
+    if (parts.customer_tree != nullptr) {
+      Result<std::shared_ptr<const PackedRTree>> packed_c = RestorePacked(
+          base + storage::kBundlePackedCustomerFile,
+          data.has_packed_customers, *parts.customer_tree, options.storage);
+      WNRS_RETURN_IF_ERROR(packed_c.status());
+      parts.packed_customer_tree = std::move(packed_c).value();
+    }
+  }
+
+  auto pool = std::make_shared<ThreadPool>(options.num_threads);
+  parts.pool = pool;
+  auto core =
+      std::make_shared<const internal::EngineCore>(std::move(parts));
+  return std::unique_ptr<WhyNotEngine>(std::make_unique<WhyNotEngine>(
+      RestoreBadge{}, std::move(pool), std::move(core)));
+}
+
 std::shared_ptr<const internal::EngineCore> WhyNotEngine::CurrentCore() const {
   std::lock_guard<std::mutex> lock(core_mu_);
   return core_;
@@ -1103,12 +1317,9 @@ Status WhyNotEngine::SaveApproxDsls(const std::string& path) const {
   if (!cur->HasApproxDsls()) {
     return Status::FailedPrecondition("no approximated DSL store to save");
   }
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
   const size_t dims = cur->products->dims;
   const std::vector<std::vector<Point>>& dsls = *cur->approx_dsls;
+  std::ostringstream out;
   out << "wnrs-approx-dsl 1\n"
       << cur->approx_k << ' ' << dims << ' ' << dsls.size() << '\n';
   for (const std::vector<Point>& dsl : dsls) {
@@ -1120,16 +1331,13 @@ Status WhyNotEngine::SaveApproxDsls(const std::string& path) const {
     }
     out << '\n';
   }
-  out.flush();
-  if (!out.good()) return Status::IoError("write failure: " + path);
-  return Status::Ok();
+  return storage::WriteStringToFile(path, out.str());
 }
 
 Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
+  std::string contents;
+  WNRS_RETURN_IF_ERROR(storage::ReadFileToString(path, &contents));
+  std::istringstream in(std::move(contents));
   std::string magic;
   int version = 0;
   size_t k = 0;

@@ -22,6 +22,20 @@
 
 namespace wnrs {
 
+/// How WhyNotEngine::Open reads a saved bundle (see DESIGN.md §13).
+struct EngineStorageOptions {
+  /// Buffer-pool frames in front of the page files holding the dynamic
+  /// R*-trees; hits and misses surface as storage.cache_hits /
+  /// storage.cache_misses.
+  size_t buffer_pool_pages = 256;
+  /// mmap the packed slab (zero-copy cold start) instead of reading it
+  /// into owned memory. Query-identical either way.
+  bool mmap_packed = true;
+  /// Verify the per-section CRC-32s of the packed slab on open (one
+  /// sequential sweep); the structural validator runs regardless.
+  bool verify_checksums = true;
+};
+
 /// Engine configuration.
 struct WhyNotEngineOptions {
   /// R*-tree knobs (paper default: 1536-byte pages).
@@ -65,6 +79,8 @@ struct WhyNotEngineOptions {
   /// independent probes over the dynamic tree); meant for tests, fuzzing
   /// and canary replicas, not the serving fleet.
   bool paranoid_checks = false;
+  /// Persistence knobs used by WhyNotEngine::Open.
+  EngineStorageOptions storage;
 };
 
 /// Answer semantics for the modification algorithms (MWP/MQP/MWQ).
@@ -225,8 +241,41 @@ class WhyNotEngine {
   /// Shared-relation constructor: one dataset plays both roles.
   explicit WhyNotEngine(Dataset data, WhyNotEngineOptions options = {});
 
+  /// Persists the full engine state to directory `dir` (created if
+  /// missing): datasets, tombstones, and universe as a CRC'd binary blob;
+  /// the dynamic R*-trees as page files (one node per CRC'd page); and,
+  /// when the packed read path is active, the frozen slab in its
+  /// mmap-able on-disk form. An engine reopened from the bundle answers
+  /// every query bit-identically to this one. The approximated-DSL store
+  /// is not part of the bundle — persist it with SaveApproxDsls alongside
+  /// and reload it after Open.
+  [[nodiscard]] Status Save(const std::string& dir) const;
+
+  /// Reconstructs an engine from a Save directory. `options` plays the
+  /// same role as in the constructors (and its `storage` member selects
+  /// buffer-pool size and mmap-vs-buffered slab open); pass the options
+  /// the original engine was built with to reproduce its answers
+  /// bit-for-bit. The index structure itself comes from the bundle, not
+  /// from a re-bulk-load — node layout, fan-out, and traversal order are
+  /// the saved ones. If the bundle has no packed slab but
+  /// options.use_packed_read_path is set, the slab is re-frozen from the
+  /// loaded dynamic tree.
+  [[nodiscard]] static Result<std::unique_ptr<WhyNotEngine>> Open(
+      const std::string& dir, WhyNotEngineOptions options = {});
+
   WhyNotEngine(const WhyNotEngine&) = delete;
   WhyNotEngine& operator=(const WhyNotEngine&) = delete;
+
+ private:
+  /// Passkey for the restore constructor below: only Open (which can
+  /// name the private type) can call it, but make_unique still can too.
+  struct RestoreBadge {};
+
+ public:
+  /// Open's restore path: adopts an already-built core. Not callable
+  /// outside the class (RestoreBadge is private); use Open.
+  WhyNotEngine(RestoreBadge, std::shared_ptr<ThreadPool> pool,
+               std::shared_ptr<const internal::EngineCore> core);
 
   /// The current immutable state as a shareable session object. O(1);
   /// safe to call concurrently with queries and mutations.

@@ -1,18 +1,14 @@
 #include "data/csv.h"
 
-#include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/string_util.h"
+#include "storage/file_io.h"
 
 namespace wnrs {
 
 Status SaveCsv(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
+  std::ostringstream out;
   for (size_t i = 0; i < dataset.dims; ++i) {
     if (i > 0) out << ',';
     out << 'd' << i;
@@ -25,18 +21,13 @@ Status SaveCsv(const Dataset& dataset, const std::string& path) {
     }
     out << '\n';
   }
-  out.flush();
-  if (!out.good()) {
-    return Status::IoError("write failure: " + path);
-  }
-  return Status::Ok();
+  return storage::WriteStringToFile(path, out.str());
 }
 
 Result<Dataset> LoadCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
+  std::string contents;
+  WNRS_RETURN_IF_ERROR(storage::ReadFileToString(path, &contents));
+  std::istringstream in(std::move(contents));
   Dataset ds;
   ds.name = path;
   std::string line;

@@ -1,9 +1,8 @@
 #include "geometry/svg.h"
 
-#include <fstream>
-
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "storage/file_io.h"
 
 namespace wnrs {
 
@@ -92,14 +91,7 @@ std::string SvgCanvas::ToString() const {
 }
 
 Status SvgCanvas::WriteTo(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open for writing: " + path);
-  }
-  out << ToString();
-  out.flush();
-  if (!out.good()) return Status::IoError("write failure: " + path);
-  return Status::Ok();
+  return storage::WriteStringToFile(path, ToString());
 }
 
 }  // namespace wnrs

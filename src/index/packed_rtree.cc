@@ -17,10 +17,19 @@ PackedRTree& PackedRTree::operator=(PackedRTree&& other) noexcept {
   size_ = other.size_;
   height_ = other.height_;
   max_node_entries_ = other.max_node_entries_;
-  nodes_ = std::move(other.nodes_);
-  planes_ = std::move(other.planes_);
   plane_stride_ = other.plane_stride_;
-  refs_ = std::move(other.refs_);
+  // Moving the vectors preserves their data() pointers, so the views in
+  // `other` stay valid for the moved-to object; mapped backings transfer
+  // wholesale via the shared_ptr.
+  nodes_vec_ = std::move(other.nodes_vec_);
+  planes_vec_ = std::move(other.planes_vec_);
+  refs_vec_ = std::move(other.refs_vec_);
+  backing_ = std::move(other.backing_);
+  nodes_ = other.nodes_;
+  planes_ = other.planes_;
+  refs_ = other.refs_;
+  num_nodes_ = other.num_nodes_;
+  num_entries_ = other.num_entries_;
   node_reads_.store(other.node_reads_.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
   return *this;
@@ -76,31 +85,32 @@ PackedRTree PackedRTree::Freeze(const RStarTree& tree) {
   // entry read as quiet NaN (which fails every kernel predicate), then
   // live entries overwrite their column in each plane.
   out.plane_stride_ = KernelPad(total_entries);
-  out.planes_.assign(2 * out.dims_ * out.plane_stride_,
-                     std::numeric_limits<double>::quiet_NaN());
-  out.nodes_.reserve(order.size());
-  out.refs_.reserve(total_entries);
+  out.planes_vec_.assign(2 * out.dims_ * out.plane_stride_,
+                         std::numeric_limits<double>::quiet_NaN());
+  out.nodes_vec_.reserve(order.size());
+  out.refs_vec_.reserve(total_entries);
   for (const RStarTree::Node* src : order) {
     Node node;
-    node.first_entry = static_cast<uint32_t>(out.refs_.size());
+    node.first_entry = static_cast<uint32_t>(out.refs_vec_.size());
     node.entry_count = static_cast<uint32_t>(src->entries.size());
     node.is_leaf = src->is_leaf ? 1 : 0;
-    out.nodes_.push_back(node);
+    out.nodes_vec_.push_back(node);
     out.max_node_entries_ =
         std::max(out.max_node_entries_, src->entries.size());
     for (const RStarTree::Entry& e : src->entries) {
-      const size_t col = out.refs_.size();
+      const size_t col = out.refs_vec_.size();
       const Point& lo = e.mbr.lo();
       const Point& hi = e.mbr.hi();
       for (size_t j = 0; j < out.dims_; ++j) {
-        out.planes_[j * out.plane_stride_ + col] = lo[j];
-        out.planes_[(out.dims_ + j) * out.plane_stride_ + col] = hi[j];
+        out.planes_vec_[j * out.plane_stride_ + col] = lo[j];
+        out.planes_vec_[(out.dims_ + j) * out.plane_stride_ + col] = hi[j];
       }
-      out.refs_.push_back(src->is_leaf
-                              ? e.id
-                              : static_cast<int64_t>(index_of(e.child)));
+      out.refs_vec_.push_back(src->is_leaf
+                                  ? e.id
+                                  : static_cast<int64_t>(index_of(e.child)));
     }
   }
+  out.SetOwnedViews();
 
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
@@ -150,20 +160,19 @@ std::vector<PackedRTree::Id> PackedRTree::RangeQueryIds(
 }
 
 Status PackedRTree::CheckInvariants() const {
-  if (nodes_.empty()) {
+  if (num_nodes_ == 0) {
     return Status::Internal("packed tree has no nodes");
   }
-  if (nodes_.size() > static_cast<size_t>(kNoNode) - 1) {
+  if (num_nodes_ > static_cast<size_t>(kNoNode) - 1) {
     return Status::Internal(StrFormat(
-        "node count %zu exceeds the child-index range", nodes_.size()));
+        "node count %zu exceeds the child-index range", num_nodes_));
   }
-  if (plane_stride_ < KernelPad(refs_.size()) ||
-      planes_.size() != 2 * dims_ * plane_stride_) {
+  if (plane_stride_ < KernelPad(num_entries_)) {
     return Status::Internal("coordinate planes not padded to kernel width");
   }
   for (size_t j = 0; j < 2 * dims_; ++j) {
-    const double* plane = planes_.data() + j * plane_stride_;
-    for (size_t e = refs_.size(); e < plane_stride_; ++e) {
+    const double* plane = planes_ + j * plane_stride_;
+    for (size_t e = num_entries_; e < plane_stride_; ++e) {
       if (plane[e] == plane[e]) {
         return Status::Internal(
             StrFormat("plane %zu padding lane %zu is not NaN", j, e));
@@ -172,12 +181,12 @@ Status PackedRTree::CheckInvariants() const {
   }
   size_t data_entries = 0;
   std::vector<std::pair<uint32_t, size_t>> stack = {{root(), 1}};
-  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<bool> visited(num_nodes_, false);
   size_t leaf_depth = 0;
   while (!stack.empty()) {
     const auto [ni, depth] = stack.back();
     stack.pop_back();
-    if (ni >= nodes_.size()) {
+    if (ni >= num_nodes_) {
       return Status::Internal(StrFormat("child index %u out of range", ni));
     }
     if (visited[ni]) {
@@ -186,7 +195,7 @@ Status PackedRTree::CheckInvariants() const {
     visited[ni] = true;
     const Node& n = nodes_[ni];
     const size_t end = static_cast<size_t>(n.first_entry) + n.entry_count;
-    if (end > refs_.size()) {
+    if (end > num_entries_) {
       return Status::Internal(StrFormat("node %u entry slice out of range", ni));
     }
     if (n.is_leaf != 0) {
@@ -207,7 +216,7 @@ Status PackedRTree::CheckInvariants() const {
         // refs_ is shared with 64-bit data ids, so corruption must
         // surface as a status, not a silent truncation.
         const int64_t ref = refs_[e];
-        if (ref < 0 || static_cast<uint64_t>(ref) >= nodes_.size()) {
+        if (ref < 0 || static_cast<uint64_t>(ref) >= num_nodes_) {
           return Status::Internal(StrFormat(
               "internal entry %u ref %lld outside the node arena", e,
               static_cast<long long>(ref)));
@@ -220,7 +229,7 @@ Status PackedRTree::CheckInvariants() const {
     return Status::Internal(StrFormat("entry count %zu != size %zu",
                                       data_entries, size_));
   }
-  for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+  for (size_t ni = 0; ni < num_nodes_; ++ni) {
     if (!visited[ni]) {
       return Status::Internal(StrFormat("node %zu unreachable", ni));
     }

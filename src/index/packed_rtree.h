@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,10 @@
 #include "index/rtree.h"
 
 namespace wnrs {
+
+namespace storage {
+class PackedSlabIO;
+}  // namespace storage
 
 /// Arena-backed, immutable flat image of an RStarTree — the read-path
 /// half of the engine's copy-on-write split. The dynamic pointer tree
@@ -40,6 +46,11 @@ namespace wnrs {
 /// same node-read counts as the dynamic traversal it replaces — the
 /// packed/dynamic parity tests pin this bit for bit.
 ///
+/// The three slabs are accessed through const views so the backing can
+/// be either owned vectors (Freeze, buffered slab load) or a read-only
+/// file mapping held alive by `backing_` (storage::OpenPackedMapped) —
+/// traversals are byte-for-byte the same code either way.
+///
 /// Move-only, like RStarTree. Immutable after Freeze, so concurrent
 /// reads need no synchronization; the node-read counter is atomic.
 class PackedRTree {
@@ -54,12 +65,16 @@ class PackedRTree {
   static constexpr uint32_t kNoNode = UINT32_MAX;
 
   /// One arena node: a [first_entry, first_entry + entry_count) slice of
-  /// the entry slabs.
+  /// the entry slabs. Trivially copyable with a fixed 12-byte layout —
+  /// the on-disk slab format (storage/packed_slab.h) stores the node
+  /// arena as these raw structs and maps them back untranslated.
   struct Node {
     uint32_t first_entry = 0;
     uint32_t entry_count = 0;
     uint32_t is_leaf = 1;
   };
+  static_assert(sizeof(Node) == 12 && std::is_trivially_copyable_v<Node>,
+                "Node is memcpy'd into the on-disk slab format");
 
   /// Query-side traversal statistics (mirrors RStarTree::Stats).
   struct Stats {
@@ -80,11 +95,15 @@ class PackedRTree {
   /// Number of data entries (== source tree size()).
   size_t size() const { return size_; }
   size_t height() const { return height_; }
-  size_t num_nodes() const { return nodes_.size(); }
-  size_t num_entries() const { return refs_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_entries() const { return num_entries_; }
   /// Largest entry_count over all nodes — the batch-kernel scratch bound
   /// (size per-node scratch with KernelPad(max_node_entries())).
   size_t max_node_entries() const { return max_node_entries_; }
+  size_t plane_stride() const { return plane_stride_; }
+  /// True when the slabs alias a read-only file mapping instead of owned
+  /// memory (storage::OpenPackedMapped).
+  bool is_mapped() const { return backing_ != nullptr; }
 
   /// Root node index; index 0 always exists (an empty tree freezes to a
   /// single empty leaf, like the dynamic root).
@@ -93,7 +112,12 @@ class PackedRTree {
   const Node& node(uint32_t n) const { return nodes_[n]; }
 
   /// SoA view of the entry coordinate planes for the batch kernels.
-  SoaPlanes planes() const { return {planes_.data(), plane_stride_, dims_}; }
+  SoaPlanes planes() const { return {planes_, plane_stride_, dims_}; }
+
+  /// Raw slab views for serialization (storage/packed_slab.cc).
+  const Node* nodes_data() const { return nodes_; }
+  const double* planes_data() const { return planes_; }
+  const int64_t* refs_data() const { return refs_; }
 
   /// Coordinate j of entry e's lower / upper MBR corner.
   double entry_lo(uint32_t e, size_t j) const {
@@ -109,7 +133,7 @@ class PackedRTree {
   /// index.
   uint32_t entry_child(uint32_t e) const {
     const int64_t ref = refs_[e];
-    WNRS_CHECK(ref >= 0 && static_cast<uint64_t>(ref) < nodes_.size());
+    WNRS_CHECK(ref >= 0 && static_cast<uint64_t>(ref) < num_nodes_);
     return static_cast<uint32_t>(ref);
   }
 
@@ -146,19 +170,46 @@ class PackedRTree {
   Status CheckInvariants() const;
 
  private:
+  friend class storage::PackedSlabIO;
+
   PackedRTree() = default;
+
+  /// Points the slab views at the owned vectors. Every mutation of the
+  /// vectors must re-run this before the views are read.
+  void SetOwnedViews() {
+    nodes_ = nodes_vec_.data();
+    planes_ = planes_vec_.data();
+    refs_ = refs_vec_.data();
+    num_nodes_ = nodes_vec_.size();
+    num_entries_ = refs_vec_.size();
+  }
 
   size_t dims_ = 0;
   size_t size_ = 0;
   size_t height_ = 1;
   size_t max_node_entries_ = 0;
-  std::vector<Node> nodes_;
+  size_t plane_stride_ = 0;
+
+  /// Slab views — the only pointers the read path touches. They alias
+  /// either the owned vectors below or the mapped region in backing_.
+  const Node* nodes_ = nullptr;
+  const double* planes_ = nullptr;
+  const int64_t* refs_ = nullptr;
+  size_t num_nodes_ = 0;
+  size_t num_entries_ = 0;
+
+  /// Owned backing (Freeze / buffered slab load). Empty when mapped.
+  std::vector<Node> nodes_vec_;
   /// SoA coordinate planes: 2*dims_ planes of plane_stride_ doubles each
   /// (d lo planes then d hi planes), NaN-padded past num_entries().
-  std::vector<double> planes_;
-  size_t plane_stride_ = 0;
+  std::vector<double> planes_vec_;
   /// Child node index (internal entries) or data id (leaf entries).
-  std::vector<int64_t> refs_;
+  std::vector<int64_t> refs_vec_;
+
+  /// Keeps a file mapping alive for the lifetime of the views (type-
+  /// erased so this header does not depend on the storage layer).
+  std::shared_ptr<const void> backing_;
+
   mutable std::atomic<uint64_t> node_reads_{0};
 };
 

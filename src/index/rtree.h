@@ -145,6 +145,7 @@ class RStarTree {
  private:
   friend class RTreeBulkLoader;
   friend class RTreeSerializer;
+  friend class RTreePageStore;
 
   Node* ChooseSubtree(const Rectangle& r, size_t target_level) const;
   void InsertAtLevel(Entry entry, size_t target_level, bool is_data_level,

@@ -55,6 +55,15 @@ class RTreeSerializer {
     tree.root_->parent = nullptr;
     tree.size_ = size;
     tree.height_ = height;
+    // The root's subtree consumed everything the header promised; any
+    // leftover non-whitespace is a second document or corruption, not a
+    // longer tree — reject it rather than silently ignore it.
+    char trailing = 0;
+    if (in >> trailing) {
+      return Status::InvalidArgument(
+          "[trailing-bytes] data after the last node of rtree file: " +
+          path);
+    }
     const Status check = tree.CheckInvariants();
     if (!check.ok()) {
       return Status::InvalidArgument("corrupt rtree file (" +

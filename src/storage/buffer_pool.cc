@@ -1,0 +1,94 @@
+#include "storage/buffer_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace wnrs {
+namespace storage {
+
+BufferPool::BufferPool(std::shared_ptr<IStorageManager> base, size_t capacity)
+    : base_(std::move(base)), frames_(capacity == 0 ? 1 : capacity) {
+  WNRS_CHECK(base_ != nullptr);
+}
+
+size_t BufferPool::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frame_of_.size();
+}
+
+void BufferPool::InstallLocked(PageId id,
+                               std::shared_ptr<const std::string> data) {
+  // Clock sweep: clear reference bits until a cold (or empty) frame
+  // comes around. Terminates within two revolutions.
+  for (;;) {
+    Frame& frame = frames_[hand_];
+    if (frame.data != nullptr && frame.referenced) {
+      frame.referenced = false;
+      hand_ = (hand_ + 1) % frames_.size();
+      continue;
+    }
+    if (frame.data != nullptr) {
+      frame_of_.erase(frame.id);
+    }
+    frame.id = id;
+    frame.data = std::move(data);
+    frame.referenced = true;
+    frame_of_[id] = hand_;
+    hand_ = (hand_ + 1) % frames_.size();
+    return;
+  }
+}
+
+Result<std::shared_ptr<const std::string>> BufferPool::FetchPage(PageId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = frame_of_.find(id);
+    if (it != frame_of_.end()) {
+      MetricAdd(CounterId::kStorageCacheHits);
+      Frame& frame = frames_[it->second];
+      frame.referenced = true;
+      return frame.data;
+    }
+  }
+  // Miss: fetch outside the lock so slow I/O does not serialize hits.
+  // Racing fetchers of the same page each do the read; last install wins
+  // (the page bytes are identical, so this is waste, not inconsistency).
+  MetricAdd(CounterId::kStorageCacheMisses);
+  auto data = std::make_shared<std::string>();
+  WNRS_RETURN_IF_ERROR(base_->ReadPage(id, data.get()));
+  std::shared_ptr<const std::string> page = std::move(data);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (frame_of_.find(id) == frame_of_.end()) {
+      InstallLocked(id, page);
+    }
+  }
+  return page;
+}
+
+Status BufferPool::ReadPage(PageId id, std::string* out) {
+  Result<std::shared_ptr<const std::string>> page = FetchPage(id);
+  WNRS_RETURN_IF_ERROR(page.status());
+  *out = *page.value();
+  return Status::Ok();
+}
+
+Result<PageId> BufferPool::WritePage(PageId id, const std::string& data) {
+  Result<PageId> written = base_->WritePage(id, data);
+  WNRS_RETURN_IF_ERROR(written.status());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frame_of_.find(written.value());
+  auto page = std::make_shared<const std::string>(data);
+  if (it != frame_of_.end()) {
+    frames_[it->second].data = std::move(page);
+    frames_[it->second].referenced = true;
+  } else {
+    InstallLocked(written.value(), std::move(page));
+  }
+  return written.value();
+}
+
+}  // namespace storage
+}  // namespace wnrs

@@ -1,0 +1,72 @@
+#ifndef WNRS_STORAGE_BUFFER_POOL_H_
+#define WNRS_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/storage_manager.h"
+
+namespace wnrs {
+namespace storage {
+
+/// Fixed-capacity page cache in front of an IStorageManager, evicting by
+/// the clock (second-chance) policy — the gtsat buffer.c design: one
+/// reference bit per frame, a sweeping hand that clears bits until it
+/// finds a cold frame. Hits and misses are exported through
+/// storage.cache_hits / storage.cache_misses; the wrapped store's own
+/// storage.page_reads counter then measures real I/O, so `hits / (hits +
+/// misses)` is directly observable in every bench --json dump.
+///
+/// Pages come back as shared_ptr<const string>: eviction drops the
+/// pool's reference only, so a caller may keep using a page it holds.
+/// Thread-safe; reads of distinct pages serialize only on the frame map.
+class BufferPool final : public IStorageManager {
+ public:
+  /// `capacity` is the frame count (>= 1). The pool does not own `base`
+  /// beyond the shared_ptr.
+  BufferPool(std::shared_ptr<IStorageManager> base, size_t capacity);
+
+  /// Cached read. Hot path of the paged tree load.
+  [[nodiscard]] Result<std::shared_ptr<const std::string>> FetchPage(
+      PageId id);
+
+  // IStorageManager: ReadPage copies out of the cache; WritePage goes
+  // through to the base store and updates (or installs) the frame so
+  // subsequent reads see the new bytes.
+  Status ReadPage(PageId id, std::string* out) override;
+  Result<PageId> WritePage(PageId id, const std::string& data) override;
+  size_t page_count() const override { return base_->page_count(); }
+  size_t page_size() const override { return base_->page_size(); }
+  Status Flush() override { return base_->Flush(); }
+
+  size_t capacity() const { return frames_.size(); }
+  /// Frames currently holding a page (<= capacity).
+  size_t resident() const;
+
+ private:
+  struct Frame {
+    PageId id = kNewPage;
+    std::shared_ptr<const std::string> data;
+    bool referenced = false;
+  };
+
+  /// Installs `data` for `id`, evicting via the clock hand if no frame
+  /// is free. Caller holds mu_.
+  void InstallLocked(PageId id, std::shared_ptr<const std::string> data);
+
+  std::shared_ptr<IStorageManager> base_;
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> frame_of_;
+  size_t hand_ = 0;
+};
+
+}  // namespace storage
+}  // namespace wnrs
+
+#endif  // WNRS_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,64 @@
+#include "storage/crc32.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace wnrs {
+namespace storage {
+namespace {
+
+/// Slicing-by-eight tables for the reflected IEEE polynomial 0xEDB88320,
+/// built once at first use. Slice s advances the CRC by s+1 bytes at
+/// once, so the hot loop folds 8 input bytes per iteration with eight
+/// independent table loads — roughly an order of magnitude faster than
+/// the classic byte-at-a-time loop, which matters because every page
+/// read and every slab open runs the input through here.
+std::array<std::array<uint32_t, 256>, 8> BuildTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    for (size_t s = 1; s < 8; ++s) {
+      t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<std::array<uint32_t, 256>, 8> t = BuildTables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  // The word loads below assume little-endian lane order; the byte loop
+  // is the (equally correct) fallback for big-endian hosts.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      uint32_t lo = 0;
+      uint32_t hi = 0;
+      std::memcpy(&lo, p, sizeof(lo));
+      std::memcpy(&hi, p + 4, sizeof(hi));
+      lo ^= c;
+      c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^
+          t[5][(lo >> 16) & 0xFFu] ^ t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^
+          t[2][(hi >> 8) & 0xFFu] ^ t[1][(hi >> 16) & 0xFFu] ^
+          t[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  for (size_t i = 0; i < len; ++i) {
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace storage
+}  // namespace wnrs

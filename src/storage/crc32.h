@@ -1,0 +1,18 @@
+#ifndef WNRS_STORAGE_CRC32_H_
+#define WNRS_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wnrs {
+namespace storage {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding every
+/// page and slab section of the on-disk formats. `seed` chains partial
+/// computations: Crc32(b, n2, Crc32(a, n1)) == Crc32(concat(a, b)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace storage
+}  // namespace wnrs
+
+#endif  // WNRS_STORAGE_CRC32_H_

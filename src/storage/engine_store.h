@@ -1,0 +1,55 @@
+#ifndef WNRS_STORAGE_ENGINE_STORE_H_
+#define WNRS_STORAGE_ENGINE_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "geometry/rectangle.h"
+
+namespace wnrs {
+namespace storage {
+
+/// File names inside an engine bundle directory (WhyNotEngine::Save /
+/// WhyNotEngine::Open). A bundle is a directory, not a single file, so
+/// the large components keep their own formats: the page-granular tree
+/// files reopen through the buffer pool, and the packed slab mmaps.
+inline constexpr char kBundleDataFile[] = "data.bin";
+inline constexpr char kBundleTreeFile[] = "tree.pages";
+inline constexpr char kBundleCustomerTreeFile[] = "customers.pages";
+inline constexpr char kBundlePackedFile[] = "packed.slab";
+inline constexpr char kBundlePackedCustomerFile[] = "packed_customers.slab";
+
+/// Everything in an engine core that is not an index: the datasets, the
+/// tombstone bitmap, the universe rectangle (mutable post-construction —
+/// AddProduct can widen it, so it cannot be recomputed from the points),
+/// and which optional bundle files to expect.
+struct EngineBundleData {
+  bool shared_relation = false;
+  Dataset products;
+  /// Bichromatic mode only; empty (and has_customers false) otherwise.
+  Dataset customers;
+  bool has_customers = false;
+  std::vector<bool> removed;
+  Rectangle universe;
+  /// Packed slab files written alongside data.bin.
+  bool has_packed = false;
+  bool has_packed_customers = false;
+};
+
+/// Writes `data` to `path` as a versioned binary blob (magic,
+/// endianness marker, whole-payload CRC-32).
+[[nodiscard]] Status SaveBundleData(const EngineBundleData& data,
+                                    const std::string& path);
+
+/// Reads a SaveBundleData file. Corruption (truncation, bad CRC, wrong
+/// magic/version/endianness, implausible geometry, trailing bytes) comes
+/// back as a Status naming the violated invariant in [brackets].
+[[nodiscard]] Result<EngineBundleData> LoadBundleData(
+    const std::string& path);
+
+}  // namespace storage
+}  // namespace wnrs
+
+#endif  // WNRS_STORAGE_ENGINE_STORE_H_

@@ -1,0 +1,164 @@
+#include "storage/file_io.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WNRS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WNRS_HAVE_MMAP 0
+#include <sys/stat.h>
+#endif
+
+namespace wnrs {
+namespace storage {
+namespace {
+
+/// RAII stdio handle so every early return closes the file.
+struct FileCloser {
+  std::FILE* f = nullptr;
+  ~FileCloser() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+
+class OwnedBufferFile : public MappedFile {
+ public:
+  explicit OwnedBufferFile(std::string bytes) : bytes_(std::move(bytes)) {}
+  const void* data() const override { return bytes_.data(); }
+  size_t size() const override { return bytes_.size(); }
+  bool zero_copy() const override { return false; }
+
+ private:
+  std::string bytes_;
+};
+
+#if WNRS_HAVE_MMAP
+class PosixMappedFile : public MappedFile {
+ public:
+  PosixMappedFile(void* addr, size_t len) : addr_(addr), len_(len) {}
+  ~PosixMappedFile() override {
+    if (addr_ != nullptr && len_ > 0) ::munmap(addr_, len_);
+  }
+  PosixMappedFile(const PosixMappedFile&) = delete;
+  PosixMappedFile& operator=(const PosixMappedFile&) = delete;
+  const void* data() const override { return addr_; }
+  size_t size() const override { return len_; }
+  bool zero_copy() const override { return true; }
+
+ private:
+  void* addr_;
+  size_t len_;
+};
+#endif
+
+}  // namespace
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  FileCloser fc;
+  fc.f = std::fopen(path.c_str(), "rb");
+  if (fc.f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), fc.f)) > 0) {
+    out->append(buf, n);
+  }
+  if (std::ferror(fc.f) != 0) {
+    return Status::IoError("read failure: " + path);
+  }
+  return Status::Ok();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  FileCloser fc;
+  fc.f = std::fopen(path.c_str(), "wb");
+  if (fc.f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), fc.f) !=
+          contents.size()) {
+    return Status::IoError("write failure: " + path);
+  }
+  if (std::fflush(fc.f) != 0) {
+    return Status::IoError("flush failure: " + path);
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && (st.st_mode & S_IFREG) != 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0 || (st.st_mode & S_IFREG) == 0) {
+    return Status::IoError("cannot stat: " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status EnsureDirectory(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0) {
+    if ((st.st_mode & S_IFDIR) != 0) return Status::Ok();
+    return Status::IoError("exists but is not a directory: " + path);
+  }
+#if defined(_WIN32)
+  return Status::Unimplemented("EnsureDirectory is POSIX-only");
+#else
+  if (::mkdir(path.c_str(), 0755) != 0) {
+    return Status::IoError("cannot create directory: " + path);
+  }
+  return Status::Ok();
+#endif
+}
+
+Result<std::shared_ptr<const MappedFile>> MapFileReadOnly(
+    const std::string& path) {
+#if WNRS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open for mapping: " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat for mapping: " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  if (len == 0) {
+    // mmap rejects zero-length mappings; an empty file maps to an empty
+    // buffered view instead.
+    ::close(fd);
+    return std::shared_ptr<const MappedFile>(
+        std::make_shared<const OwnedBufferFile>(std::string()));
+  }
+  void* addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping keeps its own reference to the file; the descriptor is
+  // no longer needed either way.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path);
+  }
+  return std::shared_ptr<const MappedFile>(
+      std::make_shared<const PosixMappedFile>(addr, len));
+#else
+  std::string bytes;
+  WNRS_RETURN_IF_ERROR(ReadFileToString(path, &bytes));
+  return std::shared_ptr<const MappedFile>(
+      std::make_shared<const OwnedBufferFile>(std::move(bytes)));
+#endif
+}
+
+}  // namespace storage
+}  // namespace wnrs

@@ -1,0 +1,59 @@
+#ifndef WNRS_STORAGE_FILE_IO_H_
+#define WNRS_STORAGE_FILE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace wnrs {
+namespace storage {
+
+/// The repo's single funnel for raw file access (enforced by the
+/// wnrs_lint `raw-file-io` rule): every subsystem above the storage
+/// layer reads and writes files through these helpers, so error
+/// handling, atomicity, and platform quirks live in one place.
+
+/// Reads the whole file into `out` (replacing its contents).
+[[nodiscard]] Status ReadFileToString(const std::string& path,
+                                      std::string* out);
+
+/// Writes `contents` to `path`, truncating any existing file.
+[[nodiscard]] Status WriteStringToFile(const std::string& path,
+                                       const std::string& contents);
+
+/// True iff `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+/// Size of a regular file in bytes, or IoError.
+[[nodiscard]] Result<uint64_t> FileSize(const std::string& path);
+
+/// Creates `path` as a directory (parents must exist). Ok if it already
+/// exists as a directory.
+[[nodiscard]] Status EnsureDirectory(const std::string& path);
+
+/// A read-only mapping (or full in-memory copy, on platforms without
+/// mmap) of one file, alive until the last shared_ptr drops. `data()`
+/// stays valid for the object's lifetime; the mapping is never written.
+class MappedFile {
+ public:
+  virtual ~MappedFile() = default;
+  virtual const void* data() const = 0;
+  virtual size_t size() const = 0;
+  /// True when backed by a real file mapping (zero-copy); false for the
+  /// buffered fallback that read the file into owned memory.
+  virtual bool zero_copy() const = 0;
+};
+
+/// Maps `path` read-only. Uses POSIX mmap where available; elsewhere
+/// falls back to a buffered read (zero_copy() == false) with identical
+/// semantics.
+[[nodiscard]] Result<std::shared_ptr<const MappedFile>> MapFileReadOnly(
+    const std::string& path);
+
+}  // namespace storage
+}  // namespace wnrs
+
+#endif  // WNRS_STORAGE_FILE_IO_H_

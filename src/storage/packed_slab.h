@@ -1,0 +1,69 @@
+#ifndef WNRS_STORAGE_PACKED_SLAB_H_
+#define WNRS_STORAGE_PACKED_SLAB_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/packed_rtree.h"
+
+namespace wnrs {
+namespace storage {
+
+/// Binary on-disk form of the frozen PackedRTree slab. The file is the
+/// in-memory image laid out verbatim — node arena, NaN-padded SoA
+/// coordinate planes (64-byte aligned so the SIMD kernels can stream
+/// them straight out of the mapping), refs slab — behind a versioned
+/// header carrying magic, endianness marker, dimensionality, and a
+/// CRC-32 per section. OpenPackedMapped therefore costs one mmap plus
+/// validation: zero copies, zero allocation proportional to the data,
+/// which is what makes a serving process cold-start in milliseconds
+/// instead of re-bulk-loading and re-freezing the catalog.
+///
+/// Every corruption mode (truncation, flipped section bytes, wrong
+/// magic/version/endianness/dimension, implausible geometry) is rejected
+/// with a Status naming the violated invariant in [brackets], and every
+/// successful open ends with ValidatePacked over the resulting tree —
+/// the same deep validator the paranoid engine mode runs.
+class PackedSlabIO {
+ public:
+  /// Writes `packed` to `path` (truncating).
+  [[nodiscard]] static Status Save(const PackedRTree& packed,
+                                   const std::string& path);
+
+  /// Opens `path` zero-copy: the returned tree's slabs alias a read-only
+  /// file mapping held alive by the tree. `verify_checksums` toggles the
+  /// section CRC pass (one sequential sweep of the file; ValidatePacked
+  /// still runs either way).
+  [[nodiscard]] static Result<PackedRTree> OpenMapped(
+      const std::string& path, bool verify_checksums = true);
+
+  /// Opens `path` by copying the sections into owned memory — the
+  /// fallback for platforms without mmap and for callers that want the
+  /// file closed after load. Query-identical to OpenMapped.
+  [[nodiscard]] static Result<PackedRTree> OpenBuffered(
+      const std::string& path, bool verify_checksums = true);
+
+ private:
+  /// Writes the header's shape scalars into `out` (the header type is
+  /// private to packed_slab.cc, hence the erased pointer).
+  static void SetShape(PackedRTree* out, const void* header);
+};
+
+/// Free-function aliases matching the engine-facing vocabulary.
+[[nodiscard]] inline Status SavePacked(const PackedRTree& packed,
+                                       const std::string& path) {
+  return PackedSlabIO::Save(packed, path);
+}
+[[nodiscard]] inline Result<PackedRTree> OpenPackedMapped(
+    const std::string& path, bool verify_checksums = true) {
+  return PackedSlabIO::OpenMapped(path, verify_checksums);
+}
+[[nodiscard]] inline Result<PackedRTree> OpenPackedBuffered(
+    const std::string& path, bool verify_checksums = true) {
+  return PackedSlabIO::OpenBuffered(path, verify_checksums);
+}
+
+}  // namespace storage
+}  // namespace wnrs
+
+#endif  // WNRS_STORAGE_PACKED_SLAB_H_

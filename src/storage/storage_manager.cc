@@ -1,0 +1,269 @@
+#include "storage/storage_manager.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "storage/codec.h"
+#include "storage/crc32.h"
+
+namespace wnrs {
+namespace storage {
+namespace {
+
+constexpr uint32_t kPageFileMagic = 0x47504E57u;  // "WNPG" little-endian.
+constexpr uint32_t kPageFileVersion = 1;
+constexpr size_t kFileHeaderBytes = 32;
+constexpr size_t kPageHeaderBytes = 8;  // len u32 + crc u32.
+
+/// Hard ceiling on header-declared geometry so a corrupt header cannot
+/// drive a multi-terabyte allocation before any page CRC is checked.
+constexpr uint64_t kMaxReasonablePageSize = uint64_t{1} << 30;
+constexpr uint64_t kMaxReasonablePageCount = uint64_t{1} << 32;
+
+std::string EncodeHeader(size_t page_size, size_t page_count) {
+  std::string h;
+  h.reserve(kFileHeaderBytes);
+  AppendPod<uint32_t>(&h, kPageFileMagic);
+  AppendPod<uint32_t>(&h, kPageFileVersion);
+  AppendPod<uint32_t>(&h, kEndianMarker);
+  AppendPod<uint32_t>(&h, static_cast<uint32_t>(page_size));
+  AppendPod<uint64_t>(&h, static_cast<uint64_t>(page_count));
+  AppendPod<uint32_t>(&h, 0);  // Reserved.
+  AppendPod<uint32_t>(&h, Crc32(h.data(), h.size()));
+  return h;
+}
+
+std::FILE* AsFile(void* f) { return static_cast<std::FILE*>(f); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MemoryStorageManager
+
+Status MemoryStorageManager::ReadPage(PageId id, std::string* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(
+        StrFormat("[page-index] page %u out of range (%zu pages)", id,
+                  pages_.size()));
+  }
+  MetricAdd(CounterId::kStoragePageReads);
+  *out = pages_[id];
+  return Status::Ok();
+}
+
+Result<PageId> MemoryStorageManager::WritePage(PageId id,
+                                               const std::string& data) {
+  if (data.size() > page_size_) {
+    return Status::InvalidArgument(
+        StrFormat("[page-length] payload %zu exceeds page size %zu",
+                  data.size(), page_size_));
+  }
+  MetricAdd(CounterId::kStoragePageWrites);
+  if (id == kNewPage) {
+    pages_.push_back(data);
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+  if (id >= pages_.size()) {
+    return Status::OutOfRange(
+        StrFormat("[page-index] page %u out of range (%zu pages)", id,
+                  pages_.size()));
+  }
+  pages_[id] = data;
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// DiskStorageManager
+
+Result<std::unique_ptr<DiskStorageManager>> DiskStorageManager::Create(
+    const std::string& path, size_t page_size) {
+  if (page_size == 0 || page_size > kMaxReasonablePageSize) {
+    return Status::InvalidArgument(
+        StrFormat("[page-size] unreasonable page size %zu", page_size));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IoError("cannot create page file: " + path);
+  }
+  auto mgr = std::make_unique<DiskStorageManager>(Badge{});
+  mgr->file_ = f;
+  mgr->path_ = path;
+  mgr->writable_ = true;
+  mgr->page_size_ = page_size;
+  mgr->page_count_ = 0;
+  WNRS_RETURN_IF_ERROR(mgr->Flush());
+  return mgr;
+}
+
+Result<std::unique_ptr<DiskStorageManager>> DiskStorageManager::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open page file: " + path);
+  }
+  auto mgr = std::make_unique<DiskStorageManager>(Badge{});
+  mgr->file_ = f;
+  mgr->path_ = path;
+  mgr->writable_ = false;
+
+  char raw[kFileHeaderBytes];
+  if (std::fread(raw, 1, sizeof(raw), f) != sizeof(raw)) {
+    return Status::InvalidArgument("[truncated] page file shorter than its "
+                                   "header: " +
+                                   path);
+  }
+  ByteReader r(raw, sizeof(raw));
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  uint32_t page_size = 0;
+  uint64_t page_count = 0;
+  uint32_t reserved = 0;
+  uint32_t crc = 0;
+  WNRS_CHECK(r.ReadPod(&magic) && r.ReadPod(&version) && r.ReadPod(&endian) &&
+             r.ReadPod(&page_size) && r.ReadPod(&page_count) &&
+             r.ReadPod(&reserved) && r.ReadPod(&crc));
+  if (magic != kPageFileMagic) {
+    return Status::InvalidArgument("[magic] not a wnrs page file: " + path);
+  }
+  if (version != kPageFileVersion) {
+    return Status::InvalidArgument(
+        StrFormat("[version] page file version %u, expected %u", version,
+                  kPageFileVersion));
+  }
+  if (endian != kEndianMarker) {
+    return Status::InvalidArgument(
+        "[endianness] page file written on a foreign-endian host: " + path);
+  }
+  if (Crc32(raw, kFileHeaderBytes - sizeof(uint32_t)) != crc) {
+    return Status::InvalidArgument("[header-crc] page file header corrupt: " +
+                                   path);
+  }
+  if (page_size == 0 || page_size > kMaxReasonablePageSize ||
+      page_count > kMaxReasonablePageCount) {
+    return Status::InvalidArgument(
+        StrFormat("[page-size] unreasonable geometry (%u-byte pages, %llu "
+                  "pages)",
+                  page_size, static_cast<unsigned long long>(page_count)));
+  }
+  mgr->page_size_ = page_size;
+  mgr->page_count_ = static_cast<size_t>(page_count);
+  // The declared page count must fit inside the file, or page reads past
+  // the end would report truncation one page at a time.
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failure: " + path);
+  }
+  const long end = std::ftell(f);
+  if (end < 0 ||
+      static_cast<uint64_t>(end) <
+          kFileHeaderBytes +
+              page_count * (uint64_t{page_size} + kPageHeaderBytes)) {
+    return Status::InvalidArgument(
+        StrFormat("[truncated] page file holds fewer than the declared %llu "
+                  "pages",
+                  static_cast<unsigned long long>(page_count)));
+  }
+  return mgr;
+}
+
+DiskStorageManager::~DiskStorageManager() {
+  if (file_ != nullptr) {
+    if (writable_) {
+      // Best-effort header refresh; callers that care checked Flush().
+      Status s = Flush();
+      (void)s;
+    }
+    std::fclose(AsFile(file_));
+  }
+}
+
+uint64_t DiskStorageManager::PageOffset(PageId id) const {
+  return kFileHeaderBytes +
+         static_cast<uint64_t>(id) * (page_size_ + kPageHeaderBytes);
+}
+
+Status DiskStorageManager::ReadPage(PageId id, std::string* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange(
+        StrFormat("[page-index] page %u out of range (%zu pages)", id,
+                  page_count_));
+  }
+  std::FILE* f = AsFile(file_);
+  if (std::fseek(f, static_cast<long>(PageOffset(id)), SEEK_SET) != 0) {
+    return Status::IoError(StrFormat("seek failure for page %u", id));
+  }
+  std::string slot(page_size_ + kPageHeaderBytes, '\0');
+  if (std::fread(slot.data(), 1, slot.size(), f) != slot.size()) {
+    return Status::InvalidArgument(
+        StrFormat("[truncated] page %u extends past end of file", id));
+  }
+  MetricAdd(CounterId::kStoragePageReads);
+  ByteReader r(slot.data(), slot.size());
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  WNRS_CHECK(r.ReadPod(&len) && r.ReadPod(&crc));
+  if (len > page_size_) {
+    return Status::InvalidArgument(
+        StrFormat("[page-length] page %u declares %u payload bytes, page "
+                  "size is %zu",
+                  id, len, page_size_));
+  }
+  if (Crc32(r.cursor(), len) != crc) {
+    return Status::InvalidArgument(
+        StrFormat("[page-crc] page %u payload corrupt", id));
+  }
+  out->assign(reinterpret_cast<const char*>(r.cursor()), len);
+  return Status::Ok();
+}
+
+Result<PageId> DiskStorageManager::WritePage(PageId id,
+                                             const std::string& data) {
+  if (!writable_) {
+    return Status::FailedPrecondition("page file opened read-only: " + path_);
+  }
+  if (data.size() > page_size_) {
+    return Status::InvalidArgument(
+        StrFormat("[page-length] payload %zu exceeds page size %zu",
+                  data.size(), page_size_));
+  }
+  PageId target = id;
+  if (target == kNewPage) {
+    target = static_cast<PageId>(page_count_);
+  } else if (target >= page_count_) {
+    return Status::OutOfRange(
+        StrFormat("[page-index] page %u out of range (%zu pages)", target,
+                  page_count_));
+  }
+  std::string slot;
+  slot.reserve(page_size_ + kPageHeaderBytes);
+  AppendPod<uint32_t>(&slot, static_cast<uint32_t>(data.size()));
+  AppendPod<uint32_t>(&slot, Crc32(data.data(), data.size()));
+  slot += data;
+  slot.resize(page_size_ + kPageHeaderBytes, '\0');
+  std::FILE* f = AsFile(file_);
+  if (std::fseek(f, static_cast<long>(PageOffset(target)), SEEK_SET) != 0 ||
+      std::fwrite(slot.data(), 1, slot.size(), f) != slot.size()) {
+    return Status::IoError(StrFormat("write failure for page %u", target));
+  }
+  MetricAdd(CounterId::kStoragePageWrites);
+  if (target == page_count_) ++page_count_;
+  return target;
+}
+
+Status DiskStorageManager::Flush() {
+  if (!writable_) return Status::Ok();
+  std::FILE* f = AsFile(file_);
+  const std::string header = EncodeHeader(page_size_, page_count_);
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      std::fflush(f) != 0) {
+    return Status::IoError("header flush failure: " + path_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace wnrs

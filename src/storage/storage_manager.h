@@ -1,0 +1,127 @@
+#ifndef WNRS_STORAGE_STORAGE_MANAGER_H_
+#define WNRS_STORAGE_STORAGE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wnrs {
+namespace storage {
+
+/// Logical page identifier within one storage manager.
+using PageId = uint32_t;
+
+/// Pass to WritePage to allocate a fresh page instead of overwriting.
+inline constexpr PageId kNewPage = UINT32_MAX;
+
+/// Little-endian marker stamped into every binary header. A file written
+/// on a big-endian host would read back as 0xD4C3B2A1 and be rejected
+/// with [endianness] instead of silently transposing every coordinate.
+inline constexpr uint32_t kEndianMarker = 0xA1B2C3D4u;
+
+/// Page-granular storage seam (the brepdb-style split): the tree page
+/// store and buffer pool talk to this interface only, so the same code
+/// serves an all-in-RAM index, a file-backed one, and the tests'
+/// fault-injection wrappers.
+///
+/// Pages are variable-length up to page_size() bytes. Implementations
+/// count real page transfers in the storage.page_reads /
+/// storage.page_writes metrics; the BufferPool in front adds the
+/// hit/miss split.
+class IStorageManager {
+ public:
+  virtual ~IStorageManager() = default;
+
+  /// Reads page `id` into `out` (replacing its contents).
+  [[nodiscard]] virtual Status ReadPage(PageId id, std::string* out) = 0;
+
+  /// Writes `data` to page `id`, or to a newly allocated page when
+  /// `id == kNewPage`. Returns the page id actually written.
+  [[nodiscard]] virtual Result<PageId> WritePage(PageId id,
+                                                 const std::string& data) = 0;
+
+  /// Number of allocated pages; valid ids are [0, page_count()).
+  virtual size_t page_count() const = 0;
+
+  /// Maximum payload bytes per page.
+  virtual size_t page_size() const = 0;
+
+  /// Durably persists all writes (no-op for memory managers).
+  [[nodiscard]] virtual Status Flush() = 0;
+};
+
+/// Stores pages in a plain in-memory vector. The reference
+/// implementation for tests and the fast path when persistence is not
+/// wanted — the page store code is identical either way.
+class MemoryStorageManager final : public IStorageManager {
+ public:
+  explicit MemoryStorageManager(size_t page_size = 4096)
+      : page_size_(page_size) {}
+
+  Status ReadPage(PageId id, std::string* out) override;
+  Result<PageId> WritePage(PageId id, const std::string& data) override;
+  size_t page_count() const override { return pages_.size(); }
+  size_t page_size() const override { return page_size_; }
+  Status Flush() override { return Status::Ok(); }
+
+ private:
+  size_t page_size_;
+  std::vector<std::string> pages_;
+};
+
+/// File-backed page store. One fixed-size slot per page, each guarded by
+/// its own CRC-32, behind a versioned header carrying magic, format
+/// version, endianness marker, and page geometry. Every corruption mode
+/// (truncation, flipped bits, wrong magic/version/endianness, oversized
+/// page index or length) is rejected with a Status naming the violated
+/// invariant in [brackets] — never undefined behavior.
+///
+/// File layout (all integers little-endian):
+///   header (32 bytes): magic "WNPG" | version u32 | endian u32 |
+///                      page_size u32 | page_count u64 | crc u32 (header)
+///   page i at 32 + i*(page_size+8): len u32 | crc u32 | payload | zeros
+class DiskStorageManager final : public IStorageManager {
+  /// Passkey: construction goes through Create()/Open() only, but the
+  /// constructor must stay public for make_unique.
+  struct Badge {};
+
+ public:
+  explicit DiskStorageManager(Badge) {}
+
+  /// Creates (truncates) `path` for writing with the given payload size.
+  [[nodiscard]] static Result<std::unique_ptr<DiskStorageManager>> Create(
+      const std::string& path, size_t page_size = 4096);
+
+  /// Opens an existing file read-only; WritePage fails on it.
+  [[nodiscard]] static Result<std::unique_ptr<DiskStorageManager>> Open(
+      const std::string& path);
+
+  ~DiskStorageManager() override;
+  DiskStorageManager(const DiskStorageManager&) = delete;
+  DiskStorageManager& operator=(const DiskStorageManager&) = delete;
+
+  Status ReadPage(PageId id, std::string* out) override;
+  Result<PageId> WritePage(PageId id, const std::string& data) override;
+  size_t page_count() const override { return page_count_; }
+  size_t page_size() const override { return page_size_; }
+  /// Rewrites the header (with the current page count) and syncs stdio
+  /// buffers to the OS.
+  Status Flush() override;
+
+ private:
+  uint64_t PageOffset(PageId id) const;
+
+  void* file_ = nullptr;  // std::FILE*, type-erased out of the header.
+  std::string path_;
+  bool writable_ = false;
+  size_t page_size_ = 0;
+  size_t page_count_ = 0;
+};
+
+}  // namespace storage
+}  // namespace wnrs
+
+#endif  // WNRS_STORAGE_STORAGE_MANAGER_H_

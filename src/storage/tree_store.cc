@@ -1,0 +1,324 @@
+#include "storage/tree_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "geometry/point.h"
+#include "geometry/rectangle.h"
+#include "storage/buffer_pool.h"
+#include "storage/codec.h"
+
+namespace wnrs {
+namespace {
+
+using storage::AppendPod;
+using storage::ByteReader;
+using storage::IStorageManager;
+using storage::PageId;
+
+constexpr uint32_t kTreeMagic = 0x52544E57u;  // "WNTR" little-endian.
+constexpr uint32_t kTreeVersion = 1;
+
+/// Serialized size of one node: leaf flag, entry count, and per entry
+/// the MBR corners plus an 8-byte ref (data id or child page).
+size_t NodeBytes(size_t dims, size_t entries) {
+  return 1 + 4 + entries * (2 * dims * sizeof(double) + 8);
+}
+
+std::string EncodeMeta(const RStarTree& tree, const RTreeOptions& options,
+                       uint32_t node_pages) {
+  std::string m;
+  AppendPod<uint32_t>(&m, kTreeMagic);
+  AppendPod<uint32_t>(&m, kTreeVersion);
+  AppendPod<uint32_t>(&m, storage::kEndianMarker);
+  AppendPod<uint32_t>(&m, static_cast<uint32_t>(tree.dims()));
+  AppendPod<uint64_t>(&m, static_cast<uint64_t>(tree.size()));
+  AppendPod<uint32_t>(&m, static_cast<uint32_t>(tree.height()));
+  AppendPod<uint32_t>(&m, static_cast<uint32_t>(tree.max_entries()));
+  AppendPod<uint32_t>(&m, static_cast<uint32_t>(tree.min_entries()));
+  // The R* tuning knobs, so mutations applied after a reload behave
+  // exactly like mutations of the saved tree.
+  AppendPod<uint64_t>(&m, static_cast<uint64_t>(options.page_size_bytes));
+  AppendPod<double>(&m, options.min_fill_ratio);
+  AppendPod<double>(&m, options.reinsert_fraction);
+  AppendPod<uint32_t>(&m, node_pages);
+  return m;
+}
+
+}  // namespace
+
+size_t RTreePageStore::RequiredPageSize(const RStarTree& tree) {
+  // max_entries() bounds every node's fan-out, and the metadata page is
+  // tiny; one splitting node may briefly hold max_entries + 1 entries,
+  // but never when quiescent for Save.
+  return std::max<size_t>(NodeBytes(tree.dims(), tree.max_entries()), 64);
+}
+
+Status RTreePageStore::Save(const RStarTree& tree,
+                            storage::IStorageManager* store) {
+  WNRS_CHECK(store != nullptr);
+  if (store->page_count() != 0) {
+    return Status::InvalidArgument(
+        "tree page store requires an empty storage manager");
+  }
+  // Reserve page 0 for metadata; it is rewritten with the real node-page
+  // count once the post-order walk below has assigned every page.
+  Result<PageId> meta_page = store->WritePage(storage::kNewPage, "");
+  WNRS_RETURN_IF_ERROR(meta_page.status());
+  WNRS_CHECK(meta_page.value() == 0);
+
+  // Post-order: children land on lower page ids than their parent, so
+  // Load can resolve every child link in one ascending pass. An explicit
+  // two-phase stack avoids recursion on tall trees.
+  uint32_t node_pages = 0;
+  struct Pending {
+    const RStarTree::Node* node;
+    bool expanded;
+  };
+  std::vector<Pending> stack = {{tree.root_, false}};
+  std::vector<std::pair<const RStarTree::Node*, PageId>> page_of;
+  auto lookup = [&page_of](const RStarTree::Node* n) {
+    for (auto it = page_of.rbegin(); it != page_of.rend(); ++it) {
+      if (it->first == n) return it->second;
+    }
+    WNRS_CHECK(false) << "child node missing from the post-order map";
+    return storage::kNewPage;
+  };
+  while (!stack.empty()) {
+    if (!stack.back().expanded && !stack.back().node->is_leaf) {
+      stack.back().expanded = true;
+      // Copy before push_back: growing the stack invalidates back().
+      const RStarTree::Node* parent = stack.back().node;
+      for (const RStarTree::Entry& e : parent->entries) {
+        stack.push_back({e.child, false});
+      }
+      continue;
+    }
+    const RStarTree::Node* node = stack.back().node;
+    stack.pop_back();
+    std::string payload;
+    payload.reserve(NodeBytes(tree.dims(), node->entries.size()));
+    AppendPod<uint8_t>(&payload, node->is_leaf ? 1 : 0);
+    AppendPod<uint32_t>(&payload,
+                        static_cast<uint32_t>(node->entries.size()));
+    for (const RStarTree::Entry& e : node->entries) {
+      for (size_t j = 0; j < tree.dims(); ++j) {
+        AppendPod<double>(&payload, e.mbr.lo()[j]);
+      }
+      for (size_t j = 0; j < tree.dims(); ++j) {
+        AppendPod<double>(&payload, e.mbr.hi()[j]);
+      }
+      if (node->is_leaf) {
+        AppendPod<int64_t>(&payload, e.id);
+      } else {
+        AppendPod<int64_t>(&payload, static_cast<int64_t>(lookup(e.child)));
+      }
+    }
+    Result<PageId> page = store->WritePage(storage::kNewPage, payload);
+    WNRS_RETURN_IF_ERROR(page.status());
+    page_of.emplace_back(node, page.value());
+    ++node_pages;
+  }
+  WNRS_RETURN_IF_ERROR(
+      store->WritePage(0, EncodeMeta(tree, tree.options_, node_pages))
+          .status());
+  return store->Flush();
+}
+
+Result<RStarTree> RTreePageStore::Load(storage::IStorageManager* store) {
+  WNRS_CHECK(store != nullptr);
+  std::string meta;
+  WNRS_RETURN_IF_ERROR(store->ReadPage(0, &meta));
+  ByteReader r(meta.data(), meta.size());
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  uint32_t dims = 0;
+  uint64_t size = 0;
+  uint32_t height = 0;
+  uint32_t max_entries = 0;
+  uint32_t min_entries = 0;
+  uint64_t page_size_bytes = 0;
+  double min_fill_ratio = 0.0;
+  double reinsert_fraction = 0.0;
+  uint32_t node_pages = 0;
+  if (!r.ReadPod(&magic) || !r.ReadPod(&version) || !r.ReadPod(&endian) ||
+      !r.ReadPod(&dims) || !r.ReadPod(&size) || !r.ReadPod(&height) ||
+      !r.ReadPod(&max_entries) || !r.ReadPod(&min_entries) ||
+      !r.ReadPod(&page_size_bytes) || !r.ReadPod(&min_fill_ratio) ||
+      !r.ReadPod(&reinsert_fraction) || !r.ReadPod(&node_pages)) {
+    return Status::InvalidArgument("[truncated] tree metadata page too short");
+  }
+  if (magic != kTreeMagic) {
+    return Status::InvalidArgument("[magic] not a wnrs tree page store");
+  }
+  if (version != kTreeVersion) {
+    return Status::InvalidArgument(
+        StrFormat("[version] tree store version %u, expected %u", version,
+                  kTreeVersion));
+  }
+  if (endian != storage::kEndianMarker) {
+    return Status::InvalidArgument(
+        "[endianness] tree store written on a foreign-endian host");
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "[trailing-bytes] tree metadata page has trailing bytes");
+  }
+  if (dims == 0 || dims > 64) {
+    return Status::InvalidArgument(
+        StrFormat("[dimension] tree store declares %u dimensions", dims));
+  }
+  if (max_entries < 2 || min_entries < 1 || min_entries > max_entries ||
+      height == 0 || node_pages == 0 ||
+      static_cast<size_t>(node_pages) + 1 > store->page_count()) {
+    return Status::InvalidArgument(
+        StrFormat("[tree-shape] implausible tree geometry (h=%u, %u node "
+                  "pages, store has %zu)",
+                  height, node_pages, store->page_count()));
+  }
+
+  // Validate the knobs before they reach the RStarTree constructor,
+  // whose WNRS_CHECKs abort instead of returning a clean status.
+  if (!(min_fill_ratio > 0.0) || !(min_fill_ratio <= 0.5) ||
+      !(reinsert_fraction >= 0.0) || !(reinsert_fraction < 1.0) ||
+      page_size_bytes == 0 || page_size_bytes > (uint64_t{1} << 30)) {
+    return Status::InvalidArgument(
+        "[tree-shape] implausible R*-tree tuning knobs in metadata");
+  }
+  RTreeOptions options;
+  options.page_size_bytes = static_cast<size_t>(page_size_bytes);
+  options.min_fill_ratio = min_fill_ratio;
+  options.reinsert_fraction = reinsert_fraction;
+  RStarTree tree(dims, options);
+  tree.FreeSubtree(tree.root_);
+  tree.root_ = nullptr;
+  tree.max_entries_ = max_entries;
+  tree.min_entries_ = min_entries;
+
+  // Ascending pass; children precede parents by construction.
+  std::vector<RStarTree::Node*> node_of_page(node_pages + 1, nullptr);
+  std::string payload;
+  Status fail = Status::Ok();
+  for (PageId p = 1; p <= node_pages && fail.ok(); ++p) {
+    Status read = store->ReadPage(p, &payload);
+    if (!read.ok()) {
+      fail = read;
+      break;
+    }
+    ByteReader nr(payload.data(), payload.size());
+    uint8_t is_leaf = 0;
+    uint32_t entry_count = 0;
+    if (!nr.ReadPod(&is_leaf) || !nr.ReadPod(&entry_count) || is_leaf > 1 ||
+        entry_count > max_entries) {
+      fail = Status::InvalidArgument(
+          StrFormat("[node-header] page %u has a malformed node header", p));
+      break;
+    }
+    auto node = std::make_unique<RStarTree::Node>();
+    node->is_leaf = is_leaf != 0;
+    node->entries.reserve(entry_count);
+    for (uint32_t k = 0; k < entry_count && fail.ok(); ++k) {
+      Point lo(dims);
+      Point hi(dims);
+      bool ok = true;
+      for (uint32_t j = 0; j < dims && ok; ++j) ok = nr.ReadPod(&lo[j]);
+      for (uint32_t j = 0; j < dims && ok; ++j) ok = nr.ReadPod(&hi[j]);
+      int64_t ref = 0;
+      ok = ok && nr.ReadPod(&ref);
+      if (!ok) {
+        fail = Status::InvalidArgument(
+            StrFormat("[truncated] page %u ends mid-entry", p));
+        break;
+      }
+      for (uint32_t j = 0; j < dims; ++j) {
+        if (std::isnan(lo[j]) || std::isnan(hi[j]) || lo[j] > hi[j]) {
+          fail = Status::InvalidArgument(
+              StrFormat("[mbr-order] page %u entry %u has an invalid MBR", p,
+                        k));
+          break;
+        }
+      }
+      if (!fail.ok()) break;
+      RStarTree::Entry entry;
+      entry.mbr = Rectangle(std::move(lo), std::move(hi));
+      if (node->is_leaf) {
+        entry.id = ref;
+      } else {
+        if (ref < 1 || static_cast<uint64_t>(ref) >= p ||
+            node_of_page[static_cast<size_t>(ref)] == nullptr) {
+          fail = Status::InvalidArgument(
+              StrFormat("[child-page] page %u references child page %lld", p,
+                        static_cast<long long>(ref)));
+          break;
+        }
+        entry.child = node_of_page[static_cast<size_t>(ref)];
+        // A child already claimed by another parent would alias (and
+        // double-free); claiming clears the slot.
+        node_of_page[static_cast<size_t>(ref)] = nullptr;
+        entry.child->parent = node.get();
+      }
+      node->entries.push_back(std::move(entry));
+    }
+    if (!fail.ok()) break;
+    if (nr.remaining() != 0) {
+      fail = Status::InvalidArgument(
+          StrFormat("[trailing-bytes] page %u has %zu bytes after the last "
+                    "entry",
+                    p, nr.remaining()));
+      break;
+    }
+    node_of_page[p] = node.release();
+  }
+  if (fail.ok()) {
+    // Exactly the root (the highest page) may remain unclaimed.
+    for (PageId p = 1; p + 1 <= node_pages; ++p) {
+      if (node_of_page[p] != nullptr) {
+        fail = Status::InvalidArgument(
+            StrFormat("[orphan-node] page %u is referenced by no parent", p));
+        break;
+      }
+    }
+  }
+  if (!fail.ok()) {
+    // Unwind every node built so far (unclaimed slots own whole
+    // subtrees).
+    for (RStarTree::Node* n : node_of_page) {
+      if (n != nullptr) tree.FreeSubtree(n);
+    }
+    return fail;
+  }
+  tree.root_ = node_of_page[node_pages];
+  tree.root_->parent = nullptr;
+  tree.size_ = static_cast<size_t>(size);
+  tree.height_ = height;
+  WNRS_RETURN_IF_ERROR(tree.CheckInvariants());
+  return tree;
+}
+
+namespace storage {
+
+Status SavePagedTree(const RStarTree& tree, const std::string& path) {
+  Result<std::unique_ptr<DiskStorageManager>> disk =
+      DiskStorageManager::Create(path, RTreePageStore::RequiredPageSize(tree));
+  WNRS_RETURN_IF_ERROR(disk.status());
+  return RTreePageStore::Save(tree, disk.value().get());
+}
+
+Result<RStarTree> LoadPagedTree(const std::string& path,
+                                size_t buffer_pool_pages) {
+  Result<std::unique_ptr<DiskStorageManager>> disk =
+      DiskStorageManager::Open(path);
+  WNRS_RETURN_IF_ERROR(disk.status());
+  BufferPool pool(std::shared_ptr<IStorageManager>(std::move(disk.value())),
+                  buffer_pool_pages);
+  return RTreePageStore::Load(&pool);
+}
+
+}  // namespace storage
+}  // namespace wnrs

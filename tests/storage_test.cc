@@ -1,0 +1,399 @@
+#include "storage/storage_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "storage/buffer_pool.h"
+#include "storage/crc32.h"
+#include "storage/file_io.h"
+#include "storage/tree_store.h"
+
+namespace wnrs {
+namespace {
+
+using storage::BufferPool;
+using storage::DiskStorageManager;
+using storage::kNewPage;
+using storage::MemoryStorageManager;
+using storage::PageId;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+  std::string Path(const std::string& name) {
+    paths_.push_back(::testing::TempDir() + "/" + name);
+    return paths_.back();
+  }
+  std::vector<std::string> paths_;
+};
+
+uint64_t Counter(CounterId id) {
+  return MetricsRegistry::Default().CounterValue(id);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryStorageManager
+
+TEST_F(StorageTest, MemoryManagerAllocatesAndOverwrites) {
+  MemoryStorageManager mgr(64);
+  Result<PageId> a = mgr.WritePage(kNewPage, "alpha");
+  Result<PageId> b = mgr.WritePage(kNewPage, "beta");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(mgr.page_count(), 2u);
+
+  std::string out;
+  ASSERT_TRUE(mgr.ReadPage(0, &out).ok());
+  EXPECT_EQ(out, "alpha");
+  ASSERT_TRUE(mgr.WritePage(0, "gamma").ok());
+  ASSERT_TRUE(mgr.ReadPage(0, &out).ok());
+  EXPECT_EQ(out, "gamma");
+}
+
+TEST_F(StorageTest, MemoryManagerRejectsBadRequests) {
+  MemoryStorageManager mgr(8);
+  std::string out;
+  Status s = mgr.ReadPage(0, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("[page-index]"), std::string::npos);
+  s = mgr.WritePage(kNewPage, std::string(9, 'x')).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("[page-length]"), std::string::npos);
+  EXPECT_FALSE(mgr.WritePage(3, "x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// DiskStorageManager
+
+TEST_F(StorageTest, DiskManagerRoundTripsAcrossReopen) {
+  const std::string path = Path("pages.bin");
+  Rng rng(17);
+  std::vector<std::string> payloads;
+  {
+    Result<std::unique_ptr<DiskStorageManager>> mgr =
+        DiskStorageManager::Create(path, 128);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    for (int i = 0; i < 20; ++i) {
+      std::string payload(static_cast<size_t>(rng.NextUint64(129)), '\0');
+      for (char& c : payload) {
+        c = static_cast<char>(rng.NextUint64(256));
+      }
+      payloads.push_back(payload);
+      Result<PageId> id = (*mgr)->WritePage(kNewPage, payload);
+      ASSERT_TRUE(id.ok());
+      EXPECT_EQ(*id, static_cast<PageId>(i));
+    }
+    ASSERT_TRUE((*mgr)->Flush().ok());
+  }
+  Result<std::unique_ptr<DiskStorageManager>> mgr =
+      DiskStorageManager::Open(path);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ((*mgr)->page_count(), payloads.size());
+  EXPECT_EQ((*mgr)->page_size(), 128u);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    std::string out;
+    ASSERT_TRUE((*mgr)->ReadPage(static_cast<PageId>(i), &out).ok());
+    EXPECT_EQ(out, payloads[i]);
+  }
+  // Read-only: writes refuse.
+  EXPECT_FALSE((*mgr)->WritePage(0, "x").ok());
+}
+
+TEST_F(StorageTest, DiskManagerCountsPageTransferMetrics) {
+  const std::string path = Path("metered.bin");
+  Result<std::unique_ptr<DiskStorageManager>> mgr =
+      DiskStorageManager::Create(path, 64);
+  ASSERT_TRUE(mgr.ok());
+  const uint64_t writes0 = Counter(CounterId::kStoragePageWrites);
+  ASSERT_TRUE((*mgr)->WritePage(kNewPage, "pg").ok());
+  EXPECT_EQ(Counter(CounterId::kStoragePageWrites), writes0 + 1);
+  const uint64_t reads0 = Counter(CounterId::kStoragePageReads);
+  std::string out;
+  ASSERT_TRUE((*mgr)->ReadPage(0, &out).ok());
+  EXPECT_EQ(Counter(CounterId::kStoragePageReads), reads0 + 1);
+}
+
+TEST_F(StorageTest, DiskManagerRejectsCorruptFiles) {
+  const std::string path = Path("corrupt.bin");
+  {
+    Result<std::unique_ptr<DiskStorageManager>> mgr =
+        DiskStorageManager::Create(path, 64);
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->WritePage(kNewPage, "payload-zero").ok());
+    ASSERT_TRUE((*mgr)->WritePage(kNewPage, "payload-one").ok());
+    ASSERT_TRUE((*mgr)->Flush().ok());
+  }
+  std::string bytes;
+  ASSERT_TRUE(storage::ReadFileToString(path, &bytes).ok());
+
+  struct Case {
+    const char* name;
+    const char* want;  // Bracketed invariant expected in the message.
+    std::string mutated;
+  };
+  std::string truncated = bytes.substr(0, 16);
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  std::string bad_version = bytes;
+  bad_version[4] = static_cast<char>(0x7F);
+  std::string bad_endian = bytes;
+  bad_endian[8] = static_cast<char>(bad_endian[8] ^ 0x01);
+  std::string bad_header_crc = bytes;
+  bad_header_crc[12] = static_cast<char>(bad_header_crc[12] ^ 0x40);
+  std::string missing_pages = bytes.substr(0, bytes.size() - 8);
+  const Case cases[] = {
+      {"truncated-header", "[truncated]", truncated},
+      {"magic", "[magic]", bad_magic},
+      {"version", "[version]", bad_version},
+      // Flipping the endian marker also breaks the header CRC; the
+      // endianness check runs first so the message names the real cause.
+      {"endianness", "[endianness]", bad_endian},
+      {"header-crc", "[header-crc]", bad_header_crc},
+      {"missing-pages", "[truncated]", missing_pages},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string p = Path(std::string("corrupt-") + c.name + ".bin");
+    ASSERT_TRUE(storage::WriteStringToFile(p, c.mutated).ok());
+    Result<std::unique_ptr<DiskStorageManager>> mgr =
+        DiskStorageManager::Open(p);
+    ASSERT_FALSE(mgr.ok());
+    EXPECT_NE(mgr.status().message().find(c.want), std::string::npos)
+        << mgr.status().ToString();
+  }
+
+  // Flipped payload byte: open succeeds (header intact), the read of the
+  // damaged page reports [page-crc], the sibling page still reads.
+  std::string bad_payload = bytes;
+  bad_payload[32 + 8 + 3] = static_cast<char>(bad_payload[32 + 8 + 3] ^ 0x10);
+  const std::string p = Path("corrupt-payload.bin");
+  ASSERT_TRUE(storage::WriteStringToFile(p, bad_payload).ok());
+  Result<std::unique_ptr<DiskStorageManager>> mgr =
+      DiskStorageManager::Open(p);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  std::string out;
+  Status s = (*mgr)->ReadPage(0, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("[page-crc]"), std::string::npos);
+  EXPECT_TRUE((*mgr)->ReadPage(1, &out).ok());
+  EXPECT_EQ(out, "payload-one");
+
+  // Out-of-range page index.
+  s = (*mgr)->ReadPage(999, &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("[page-index]"), std::string::npos);
+}
+
+TEST_F(StorageTest, DiskManagerRejectsUnreasonableGeometry) {
+  EXPECT_FALSE(DiskStorageManager::Create(Path("geom.bin"), 0).ok());
+  EXPECT_FALSE(
+      DiskStorageManager::Create(Path("geom2.bin"), size_t{2} << 30).ok());
+  EXPECT_FALSE(DiskStorageManager::Open("/nonexistent/nope.bin").ok());
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+TEST_F(StorageTest, BufferPoolServesHitsWithoutBaseReads) {
+  auto base = std::make_shared<MemoryStorageManager>(64);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(base->WritePage(kNewPage, "page-" + std::to_string(i)).ok());
+  }
+  BufferPool pool(base, 4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.page_count(), 8u);
+
+  const uint64_t misses0 = Counter(CounterId::kStorageCacheMisses);
+  const uint64_t hits0 = Counter(CounterId::kStorageCacheHits);
+  const uint64_t reads0 = Counter(CounterId::kStoragePageReads);
+
+  std::string out;
+  ASSERT_TRUE(pool.ReadPage(2, &out).ok());
+  EXPECT_EQ(out, "page-2");
+  ASSERT_TRUE(pool.ReadPage(2, &out).ok());
+  ASSERT_TRUE(pool.ReadPage(2, &out).ok());
+  EXPECT_EQ(Counter(CounterId::kStorageCacheMisses), misses0 + 1);
+  EXPECT_EQ(Counter(CounterId::kStorageCacheHits), hits0 + 2);
+  // Only the miss touched the base store.
+  EXPECT_EQ(Counter(CounterId::kStoragePageReads), reads0 + 1);
+  EXPECT_EQ(pool.resident(), 1u);
+}
+
+TEST_F(StorageTest, BufferPoolEvictsByClockAndStaysCorrect) {
+  auto base = std::make_shared<MemoryStorageManager>(64);
+  constexpr int kPages = 16;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(base->WritePage(kNewPage, StrFormat("v%d", i)).ok());
+  }
+  BufferPool pool(base, 3);
+  Rng rng(23);
+  for (int step = 0; step < 500; ++step) {
+    const PageId id = static_cast<PageId>(rng.NextUint64(kPages));
+    std::string out;
+    ASSERT_TRUE(pool.ReadPage(id, &out).ok());
+    EXPECT_EQ(out, StrFormat("v%u", id));
+    EXPECT_LE(pool.resident(), 3u);
+  }
+}
+
+TEST_F(StorageTest, BufferPoolKeepsEvictedPagesAliveForHolders) {
+  auto base = std::make_shared<MemoryStorageManager>(64);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(base->WritePage(kNewPage, "held-" + std::to_string(i)).ok());
+  }
+  BufferPool pool(base, 1);
+  Result<std::shared_ptr<const std::string>> page = pool.FetchPage(0);
+  ASSERT_TRUE(page.ok());
+  std::string out;
+  ASSERT_TRUE(pool.ReadPage(1, &out).ok());  // Evicts page 0.
+  ASSERT_TRUE(pool.ReadPage(2, &out).ok());
+  EXPECT_EQ(**page, "held-0");  // Still alive for its holder.
+}
+
+TEST_F(StorageTest, BufferPoolWriteThroughUpdatesCachedFrame) {
+  auto base = std::make_shared<MemoryStorageManager>(64);
+  ASSERT_TRUE(base->WritePage(kNewPage, "old").ok());
+  BufferPool pool(base, 2);
+  std::string out;
+  ASSERT_TRUE(pool.ReadPage(0, &out).ok());  // Cache the old bytes.
+  ASSERT_TRUE(pool.WritePage(0, "new").ok());
+  ASSERT_TRUE(pool.ReadPage(0, &out).ok());
+  EXPECT_EQ(out, "new");
+  // The base saw the write too.
+  ASSERT_TRUE(base->ReadPage(0, &out).ok());
+  EXPECT_EQ(out, "new");
+}
+
+// ---------------------------------------------------------------------------
+// RTreePageStore
+
+TEST_F(StorageTest, TreeStoreRoundTripsThroughMemoryPages) {
+  const Dataset ds = GenerateCarDb(2500, 41);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  MemoryStorageManager store(RTreePageStore::RequiredPageSize(tree));
+  ASSERT_TRUE(RTreePageStore::Save(tree, &store).ok());
+
+  Result<RStarTree> loaded = RTreePageStore::Load(&store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), tree.size());
+  EXPECT_EQ(loaded->height(), tree.height());
+  EXPECT_EQ(loaded->max_entries(), tree.max_entries());
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double x0 = rng.NextDouble(500, 60000);
+    const double y0 = rng.NextDouble(0, 180000);
+    const Rectangle window(Point({x0, y0}), Point({x0 + 8000, y0 + 30000}));
+    EXPECT_EQ(tree.RangeQueryIds(window), loaded->RangeQueryIds(window));
+  }
+}
+
+TEST_F(StorageTest, TreeStoreRoundTripsThroughDiskAndBufferPool) {
+  const Dataset ds = GenerateUniform(1200, 3, 43);
+  RStarTree tree = BulkLoadPoints(3, ds.points);
+  const std::string path = Path("tree.pages");
+  ASSERT_TRUE(storage::SavePagedTree(tree, path).ok());
+
+  const uint64_t hits0 = Counter(CounterId::kStorageCacheHits);
+  const uint64_t misses0 = Counter(CounterId::kStorageCacheMisses);
+  Result<RStarTree> loaded = storage::LoadPagedTree(path, 64);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), tree.size());
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+  // The load fetched every page through the pool at least once.
+  EXPECT_GT(Counter(CounterId::kStorageCacheMisses), misses0);
+  EXPECT_GE(Counter(CounterId::kStorageCacheHits), hits0);
+
+  Rng rng(44);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point lo({rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+    Point hi = lo;
+    for (size_t i = 0; i < 3; ++i) hi[i] += 0.2;
+    const Rectangle window(lo, hi);
+    EXPECT_EQ(tree.RangeQueryIds(window), loaded->RangeQueryIds(window));
+  }
+}
+
+TEST_F(StorageTest, TreeStoreLoadedTreeSupportsMutation) {
+  const Dataset ds = GenerateUniform(600, 2, 45);
+  RStarTree tree = BulkLoadPoints(2, ds.points);
+  MemoryStorageManager store(RTreePageStore::RequiredPageSize(tree));
+  ASSERT_TRUE(RTreePageStore::Save(tree, &store).ok());
+  Result<RStarTree> loaded = RTreePageStore::Load(&store);
+  ASSERT_TRUE(loaded.ok());
+  loaded->Insert(Point({2.0, 2.0}), 999);
+  EXPECT_TRUE(loaded->Delete(Rectangle::FromPoint(ds.points[0]), 0));
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+  EXPECT_EQ(loaded->size(), 600u);
+}
+
+TEST_F(StorageTest, TreeStoreEmptyAndSingleNodeTrees) {
+  RStarTree empty(2);
+  MemoryStorageManager store(RTreePageStore::RequiredPageSize(empty));
+  ASSERT_TRUE(RTreePageStore::Save(empty, &store).ok());
+  Result<RStarTree> loaded = RTreePageStore::Load(&store);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 0u);
+  ASSERT_TRUE(loaded->CheckInvariants().ok());
+}
+
+TEST_F(StorageTest, TreeStoreRejectsCorruptMetadata) {
+  RStarTree tree(2);
+  tree.Insert(Point({1, 1}), 0);
+  tree.Insert(Point({2, 2}), 1);
+  MemoryStorageManager good(RTreePageStore::RequiredPageSize(tree));
+  ASSERT_TRUE(RTreePageStore::Save(tree, &good).ok());
+
+  // Replay the pages into a fresh store with page 0 (metadata) damaged.
+  {
+    MemoryStorageManager bad(good.page_size());
+    std::string page;
+    for (PageId id = 0; id < good.page_count(); ++id) {
+      ASSERT_TRUE(good.ReadPage(id, &page).ok());
+      if (id == 0) page[0] = static_cast<char>(page[0] ^ 0x5A);
+      ASSERT_TRUE(bad.WritePage(kNewPage, page).ok());
+    }
+    EXPECT_FALSE(RTreePageStore::Load(&bad).ok());
+  }
+  // Declared node page out of range.
+  {
+    MemoryStorageManager bad(good.page_size());
+    std::string page;
+    ASSERT_TRUE(good.ReadPage(0, &page).ok());
+    ASSERT_TRUE(bad.WritePage(kNewPage, page).ok());  // Metadata only.
+    Result<RStarTree> r = RTreePageStore::Load(&bad);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crc32
+
+TEST_F(StorageTest, Crc32MatchesKnownVectorAndChains) {
+  // The canonical CRC-32 ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(storage::Crc32("123456789", 9), 0xCBF43926u);
+  // Seed-chaining equals one-shot.
+  const std::string data = "hello, storage layer";
+  const uint32_t whole = storage::Crc32(data.data(), data.size());
+  const uint32_t part = storage::Crc32(data.data() + 5, data.size() - 5,
+                                       storage::Crc32(data.data(), 5));
+  EXPECT_EQ(whole, part);
+}
+
+}  // namespace
+}  // namespace wnrs

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,9 @@
 #include "geometry/rectangle.h"
 #include "index/packed_rtree.h"
 #include "index/rtree.h"
+#include "index/serialize.h"
 #include "index/validate.h"
+#include "storage/file_io.h"
 
 namespace wnrs {
 namespace {
@@ -348,6 +351,32 @@ TEST_F(AnswerValidateTest, WrongMwqBestCostIsRejected) {
   bad.best_cost += 1.0;  // Breaks C1's zero-cost rule or C2's cheapest-move.
   EXPECT_TRUE(MessageNames(ValidateMwqAnswer(in_, kWhyNot, q_, rsl_, bad),
                            "[answer-cost]"));
+}
+
+TEST(ValidateTreeTest, LoadTreeRejectsTrailingGarbage) {
+  const Dataset ds = GenerateUniform(200, 2, 97);
+  RStarTree tree(2);
+  for (size_t i = 0; i < ds.points.size(); ++i) {
+    tree.Insert(ds.points[i], static_cast<RStarTree::Id>(i));
+  }
+  const std::string path = ::testing::TempDir() + "/trailing.tree.txt";
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+
+  std::string contents;
+  ASSERT_TRUE(storage::ReadFileToString(path, &contents).ok());
+  ASSERT_TRUE(
+      storage::WriteStringToFile(path, contents + "\nstray tokens").ok());
+  Result<RStarTree> r = LoadTree(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("[trailing-bytes]"), std::string::npos)
+      << r.status().ToString();
+
+  // Whitespace-only padding after the last node is not data and loads.
+  ASSERT_TRUE(storage::WriteStringToFile(path, contents + "\n  \n").ok());
+  Result<RStarTree> ok = LoadTree(path);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->size(), tree.size());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -32,6 +32,13 @@ Rules (ids are stable; cite them in review comments):
       this rule makes each use auditable. Applies to src/, tests/,
       bench/, and examples/. Discards wrapped in EXPECT_DEATH/
       ASSERT_DEATH are exempt: the result is unreachable by definition.
+  raw-file-io
+      No raw file I/O — fopen, f/i/ofstream (or including <fstream>),
+      open(2), or mmap — in src/ outside src/storage/ and
+      src/index/serialize.cc. Everything that touches the filesystem
+      goes through the storage funnel (file_io.h, storage managers, the
+      slab/bundle stores) so checksumming, error mapping, and the
+      persistence formats stay in one auditable layer.
   header-selfcontained
       Every header under src/ must compile on its own (IWYU-style:
       `g++ -fsyntax-only` of a TU containing just that #include), so any
@@ -107,6 +114,16 @@ LOCK_RE = re.compile(
     r"std\s*::\s*(?:recursive_|shared_|timed_)*mutex\b"
     r"|std\s*::\s*(?:lock_guard|unique_lock|scoped_lock|condition_variable)"
     r"\b|pthread_mutex|\.\s*lock\s*\(")
+
+# raw-file-io: only the storage layer (and the legacy text serializer it
+# wraps) may open files; everything else goes through that funnel.
+RAW_FILE_IO_ALLOWLIST_PREFIXES = ("src/storage/",)
+RAW_FILE_IO_ALLOWLIST_FILES = {"src/index/serialize.cc"}
+RAW_FILE_IO_RE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?(?:fopen|freopen)\s*\("
+    r"|(?<![\w.])(?:std\s*::\s*)?(?:i|o)?fstream\b"
+    r"|(?<![\w.:])(?:open|openat|mmap|mmap64)\s*\(")
+FSTREAM_INCLUDE_RE = re.compile(r"#\s*include\s*<fstream>")
 
 # discard: a (void)/static_cast<void> cast applied to a *call* — an
 # identifier-only discard like `(void)unused_param;` is fine.
@@ -212,6 +229,15 @@ class Linter:
                 self.report(
                     "naked-new", rel, lineno, line,
                     "naked delete outside the node-arena allowlist")
+        if (in_src and not rel.startswith(RAW_FILE_IO_ALLOWLIST_PREFIXES)
+                and rel not in RAW_FILE_IO_ALLOWLIST_FILES
+                and (RAW_FILE_IO_RE.search(line)
+                     or FSTREAM_INCLUDE_RE.search(line))):
+            self.report(
+                "raw-file-io", rel, lineno, line,
+                "raw file I/O outside the storage layer — go through "
+                "storage/file_io.h or a storage manager so checksums and "
+                "formats stay in one place")
         if rel in PACKED_READ_PATH_FILES and LOCK_RE.search(line):
             self.report(
                 "packed-lock", rel, lineno, line,
@@ -282,6 +308,9 @@ SELF_TEST_SEEDS = {
                     "#include <mutex>\nstd::mutex freeze_mu;\n"),
     "discard": ("src/core/bad_discard.cc",
                 "void f() { (void)Compute(); }\n"),
+    "raw-file-io": ("src/core/bad_io.cc",
+                    '#include <cstdio>\n'
+                    'void f() { std::fopen("x", "rb"); }\n'),
 }
 
 

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
     const serve::WhyNotResponse r = f.get();
     std::printf("MWQ %-18s shared_batch=%d best_cost=%.6f wait=%lldus\n",
                 r.status.ok() ? "ok" : r.status.ToString().c_str(),
-                r.shared_batch ? 1 : 0, r.mwq.best_cost,
+                r.shared_batch ? 1 : 0, r.mwq().best_cost,
                 static_cast<long long>(r.queue_wait.count()));
   }
 

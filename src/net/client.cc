@@ -1,0 +1,55 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/socket_io.h"
+
+namespace wnrs {
+namespace net {
+
+Result<std::unique_ptr<WnrsClient>> WnrsClient::Connect(
+    const std::string& host, uint16_t port) {
+  auto fd = TcpConnect(host, port);
+  if (!fd.ok()) return fd.status();
+  return std::make_unique<WnrsClient>(PrivateTag{}, fd.value());
+}
+
+WnrsClient::WnrsClient(PrivateTag, int fd) : fd_(fd) {}
+
+WnrsClient::~WnrsClient() { CloseFd(fd_); }
+
+Status WnrsClient::Send(uint64_t request_id,
+                        const serve::WhyNotRequest& request) {
+  return SendAll(fd_, EncodeRequestFrame(request_id, request));
+}
+
+Result<ResponseFrame> WnrsClient::Receive() {
+  auto frame = ReadFrame(fd_);
+  if (!frame.ok()) return frame.status();
+  if (!frame.value().has_value()) {
+    return Status::IoError("connection closed by server");
+  }
+  if (frame.value()->first.type != FrameType::kResponse) {
+    return Status::InvalidArgument("expected a response frame");
+  }
+  return DecodeResponsePayload(frame.value()->second);
+}
+
+Result<serve::WhyNotResponse> WnrsClient::Call(
+    const serve::WhyNotRequest& request) {
+  const uint64_t id = next_request_id_++;
+  WNRS_RETURN_IF_ERROR(Send(id, request));
+  auto response = Receive();
+  if (!response.ok()) return response.status();
+  if (response.value().request_id != id) {
+    return Status::Internal("response id mismatch");
+  }
+  return std::move(response).value().response;
+}
+
+void WnrsClient::FinishSending() { ShutdownWrite(fd_); }
+
+void WnrsClient::Shutdown() { ShutdownFd(fd_); }
+
+}  // namespace net
+}  // namespace wnrs

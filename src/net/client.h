@@ -1,0 +1,67 @@
+#ifndef WNRS_NET_CLIENT_H_
+#define WNRS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace wnrs {
+namespace net {
+
+/// Blocking client for the wnrs binary protocol. One TCP connection;
+/// requests may be pipelined (many Sends before the first Receive) and
+/// responses matched by request_id — on one connection the server
+/// answers in submission order.
+///
+/// Thread model: one thread may Send while another Receives (the load
+/// generator's sender/reader pair does exactly this); concurrent Sends
+/// or concurrent Receives need external serialization.
+class WnrsClient {
+ private:
+  struct PrivateTag {
+    explicit PrivateTag() = default;
+  };
+
+ public:
+  static Result<std::unique_ptr<WnrsClient>> Connect(const std::string& host,
+                                                     uint16_t port);
+
+  WnrsClient(PrivateTag, int fd);
+  ~WnrsClient();
+
+  WnrsClient(const WnrsClient&) = delete;
+  WnrsClient& operator=(const WnrsClient&) = delete;
+
+  /// Encodes and writes one request frame.
+  Status Send(uint64_t request_id, const serve::WhyNotRequest& request);
+
+  /// Blocks for the next response frame. Fails with IoError when the
+  /// connection closes (also after Shutdown()).
+  Result<ResponseFrame> Receive();
+
+  /// Send + Receive for the simple one-at-a-time case; fails if the
+  /// echoed request_id does not match.
+  Result<serve::WhyNotResponse> Call(const serve::WhyNotRequest& request);
+
+  /// Half-closes the *write* side: the server sees EOF, flushes every
+  /// response still owed to this connection, then closes — so after
+  /// FinishSending a pipelining caller keeps Receiving until the final
+  /// Receive fails with IoError (connection closed). Further Sends fail.
+  void FinishSending();
+
+  /// Shuts the socket down in both directions: unblocks a Receive parked
+  /// in recv; further Sends fail. Idempotent; the destructor closes fully.
+  void Shutdown();
+
+ private:
+  int fd_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace net
+}  // namespace wnrs
+
+#endif  // WNRS_NET_CLIENT_H_

@@ -1,0 +1,418 @@
+#include "net/protocol.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/wire.h"
+
+namespace wnrs {
+namespace net {
+
+namespace {
+
+using serve::WhyNotRequest;
+using serve::WhyNotResponse;
+
+Status DecodeError(const char* what) {
+  return Status::InvalidArgument(std::string("wire decode: ") + what);
+}
+
+void WritePoint(WireWriter& w, const Point& p) {
+  w.U16(static_cast<uint16_t>(p.dims()));
+  for (size_t i = 0; i < p.dims(); ++i) w.F64(p[i]);
+}
+
+[[nodiscard]] bool ReadPoint(WireReader& r, Point* out) {
+  uint16_t dims = 0;
+  if (!r.U16(&dims) || dims > kMaxWireDims) return false;
+  // Each coordinate needs 8 bytes; reject counts the buffer cannot hold
+  // before allocating.
+  if (r.remaining() < static_cast<size_t>(dims) * 8) return false;
+  std::vector<double> coords(dims);
+  for (auto& c : coords) {
+    if (!r.F64(&c)) return false;
+  }
+  *out = Point(std::move(coords));
+  return true;
+}
+
+void WriteIdList(WireWriter& w, const std::vector<RStarTree::Id>& ids) {
+  w.U32(static_cast<uint32_t>(ids.size()));
+  for (RStarTree::Id id : ids) w.I64(id);
+}
+
+[[nodiscard]] bool ReadIdList(WireReader& r, std::vector<RStarTree::Id>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count) || r.remaining() < static_cast<size_t>(count) * 8) {
+    return false;
+  }
+  out->resize(count);
+  for (auto& id : *out) {
+    if (!r.I64(&id)) return false;
+  }
+  return true;
+}
+
+void WriteIndexList(WireWriter& w, const std::vector<size_t>& indices) {
+  w.U32(static_cast<uint32_t>(indices.size()));
+  for (size_t v : indices) w.U64(static_cast<uint64_t>(v));
+}
+
+[[nodiscard]] bool ReadIndexList(WireReader& r, std::vector<size_t>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count) || r.remaining() < static_cast<size_t>(count) * 8) {
+    return false;
+  }
+  out->resize(count);
+  for (auto& v : *out) {
+    uint64_t raw = 0;
+    if (!r.U64(&raw)) return false;
+    v = static_cast<size_t>(raw);
+  }
+  return true;
+}
+
+void WriteCandidates(WireWriter& w, const std::vector<Candidate>& candidates) {
+  w.U32(static_cast<uint32_t>(candidates.size()));
+  for (const Candidate& c : candidates) {
+    WritePoint(w, c.point);
+    w.F64(c.cost);
+  }
+}
+
+[[nodiscard]] bool ReadCandidates(WireReader& r,
+                                  std::vector<Candidate>* out) {
+  uint32_t count = 0;
+  // A candidate is at least dims(u16) + cost(f64) = 10 bytes.
+  if (!r.U32(&count) || r.remaining() < static_cast<size_t>(count) * 10) {
+    return false;
+  }
+  out->resize(count);
+  for (auto& c : *out) {
+    if (!ReadPoint(r, &c.point) || !r.F64(&c.cost)) return false;
+  }
+  return true;
+}
+
+void WriteSafeRegion(WireWriter& w,
+                     const std::shared_ptr<const SafeRegionResult>& sr) {
+  // A held-but-null pointer (possible variant state, never produced by the
+  // scheduler) round-trips via the has_region flag.
+  w.U8(sr != nullptr ? 1 : 0);
+  if (sr == nullptr) return;
+  w.U64(static_cast<uint64_t>(sr->customers_processed));
+  w.U8(sr->truncated ? 1 : 0);
+  const auto& rects = sr->region.rects();
+  w.U32(static_cast<uint32_t>(rects.size()));
+  for (const Rectangle& rect : rects) {
+    WritePoint(w, rect.lo());
+    WritePoint(w, rect.hi());
+  }
+}
+
+[[nodiscard]] bool ReadSafeRegion(
+    WireReader& r, std::shared_ptr<const SafeRegionResult>* out) {
+  uint8_t has_region = 0;
+  if (!r.U8(&has_region)) return false;
+  if (has_region == 0) {
+    out->reset();
+    return true;
+  }
+  if (has_region != 1) return false;
+  auto sr = std::make_shared<SafeRegionResult>();
+  uint64_t processed = 0;
+  uint8_t truncated = 0;
+  uint32_t count = 0;
+  // A rectangle is at least two dims prefixes = 4 bytes.
+  if (!r.U64(&processed) || !r.U8(&truncated) || !r.U32(&count) ||
+      truncated > 1 || r.remaining() < static_cast<size_t>(count) * 4) {
+    return false;
+  }
+  sr->customers_processed = static_cast<size_t>(processed);
+  sr->truncated = truncated != 0;
+  std::vector<Rectangle> rects;
+  rects.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Point lo;
+    Point hi;
+    if (!ReadPoint(r, &lo) || !ReadPoint(r, &hi) || lo.dims() != hi.dims()) {
+      return false;
+    }
+    rects.emplace_back(std::move(lo), std::move(hi));
+  }
+  // Safe regions never contain empty (lo > hi) rectangles, so the
+  // RectRegion constructor's empty-rect filtering cannot drop anything
+  // here and the round trip is exact.
+  sr->region = RectRegion(std::move(rects));
+  *out = std::move(sr);
+  return true;
+}
+
+void WritePayload(WireWriter& w, const WhyNotResponse& response) {
+  switch (response.payload_tag()) {
+    case WhyNotResponse::kNoPayload:
+      break;
+    case WhyNotResponse::kReverseSkylinePayload:
+      WriteIndexList(w, response.reverse_skyline());
+      break;
+    case WhyNotResponse::kExplanationPayload: {
+      const WhyNotExplanation& e = response.explanation();
+      w.U8(e.already_member ? 1 : 0);
+      WriteIdList(w, e.culprits);
+      WriteIdList(w, e.frontier);
+      break;
+    }
+    case WhyNotResponse::kMwpPayload: {
+      const MwpResult& m = response.mwp();
+      w.U8(m.already_member ? 1 : 0);
+      WriteIdList(w, m.culprits);
+      WriteCandidates(w, m.candidates);
+      break;
+    }
+    case WhyNotResponse::kMqpPayload: {
+      const MqpResult& m = response.mqp();
+      w.U8(m.already_member ? 1 : 0);
+      WriteIdList(w, m.culprits);
+      WriteCandidates(w, m.candidates);
+      break;
+    }
+    case WhyNotResponse::kSafeRegionPayload:
+      WriteSafeRegion(w, response.safe_region());
+      break;
+    case WhyNotResponse::kMwqPayload: {
+      const MwqResult& m = response.mwq();
+      w.U8(m.already_member ? 1 : 0);
+      w.U8(m.overlap ? 1 : 0);
+      WriteCandidates(w, m.query_candidates);
+      WriteCandidates(w, m.why_not_candidates);
+      w.F64(m.best_cost);
+      break;
+    }
+  }
+}
+
+[[nodiscard]] bool ReadPayload(WireReader& r, uint8_t tag,
+                               WhyNotResponse* response) {
+  switch (tag) {
+    case WhyNotResponse::kNoPayload:
+      response->payload = std::monostate{};
+      return true;
+    case WhyNotResponse::kReverseSkylinePayload: {
+      std::vector<size_t> rsl;
+      if (!ReadIndexList(r, &rsl)) return false;
+      response->payload = std::move(rsl);
+      return true;
+    }
+    case WhyNotResponse::kExplanationPayload: {
+      WhyNotExplanation e;
+      uint8_t member = 0;
+      if (!r.U8(&member) || member > 1 || !ReadIdList(r, &e.culprits) ||
+          !ReadIdList(r, &e.frontier)) {
+        return false;
+      }
+      e.already_member = member != 0;
+      response->payload = std::move(e);
+      return true;
+    }
+    case WhyNotResponse::kMwpPayload: {
+      MwpResult m;
+      uint8_t member = 0;
+      if (!r.U8(&member) || member > 1 || !ReadIdList(r, &m.culprits) ||
+          !ReadCandidates(r, &m.candidates)) {
+        return false;
+      }
+      m.already_member = member != 0;
+      response->payload = std::move(m);
+      return true;
+    }
+    case WhyNotResponse::kMqpPayload: {
+      MqpResult m;
+      uint8_t member = 0;
+      if (!r.U8(&member) || member > 1 || !ReadIdList(r, &m.culprits) ||
+          !ReadCandidates(r, &m.candidates)) {
+        return false;
+      }
+      m.already_member = member != 0;
+      response->payload = std::move(m);
+      return true;
+    }
+    case WhyNotResponse::kSafeRegionPayload: {
+      std::shared_ptr<const SafeRegionResult> sr;
+      if (!ReadSafeRegion(r, &sr)) return false;
+      response->payload = std::move(sr);
+      return true;
+    }
+    case WhyNotResponse::kMwqPayload: {
+      MwqResult m;
+      uint8_t member = 0;
+      uint8_t overlap = 0;
+      if (!r.U8(&member) || member > 1 || !r.U8(&overlap) || overlap > 1 ||
+          !ReadCandidates(r, &m.query_candidates) ||
+          !ReadCandidates(r, &m.why_not_candidates) || !r.F64(&m.best_cost)) {
+        return false;
+      }
+      m.already_member = member != 0;
+      m.overlap = overlap != 0;
+      response->payload = std::move(m);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void WriteFrameHeader(WireWriter& w, FrameType type, size_t payload_len) {
+  w.U32(kWireMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U16(0);  // reserved
+  w.U32(static_cast<uint32_t>(payload_len));
+}
+
+/// Encodes the payload with `body`, then stamps the header in front.
+template <typename Body>
+std::string EncodeFrame(FrameType type, Body&& body) {
+  std::string out;
+  WireWriter w(&out);
+  WriteFrameHeader(w, type, 0);
+  body(w);
+  const size_t payload_len = out.size() - kFrameHeaderSize;
+  // Patch payload_len (last 4 header bytes) now that it is known.
+  std::string patched;
+  WireWriter pw(&patched);
+  pw.U32(static_cast<uint32_t>(payload_len));
+  out.replace(kFrameHeaderSize - 4, 4, patched);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(uint64_t request_id,
+                               const WhyNotRequest& request) {
+  return EncodeFrame(FrameType::kRequest, [&](WireWriter& w) {
+    w.U64(request_id);
+    w.U8(serve::RequestKindToWire(request.kind));
+    w.U8(serve::SemanticsToWire(request.semantics));
+    w.U8(request.timeout.has_value() ? 1 : 0);
+    w.U8(0);  // reserved
+    w.I32(request.priority);
+    w.U64(request.timeout.has_value()
+              ? static_cast<uint64_t>(request.timeout->count())
+              : 0);
+    w.U64(static_cast<uint64_t>(request.c));
+    WritePoint(w, request.q);
+  });
+}
+
+std::string EncodeResponseFrame(uint64_t request_id,
+                                const WhyNotResponse& response) {
+  return EncodeFrame(FrameType::kResponse, [&](WireWriter& w) {
+    w.U64(request_id);
+    w.U8(serve::RequestKindToWire(response.kind));
+    w.U8(serve::StatusCodeToWire(response.status.code()));
+    w.U8(response.completed ? 1 : 0);
+    w.U8(response.shared_batch ? 1 : 0);
+    w.U8(static_cast<uint8_t>(response.payload_tag()));
+    w.U64(static_cast<uint64_t>(response.queue_wait.count()));
+    std::string_view message = response.status.message();
+    if (message.size() > kMaxWireStringLen) {
+      message = message.substr(0, kMaxWireStringLen);
+    }
+    w.Bytes(message);
+    WritePayload(w, response);
+  });
+}
+
+Result<FrameHeader> DecodeFrameHeader(const void* data, size_t len) {
+  WireReader r(data, len);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint16_t reserved = 0;
+  FrameHeader header;
+  if (!r.U32(&magic) || !r.U8(&version) || !r.U8(&type) || !r.U16(&reserved) ||
+      !r.U32(&header.payload_len)) {
+    return DecodeError("short frame header");
+  }
+  if (magic != kWireMagic) return DecodeError("bad magic");
+  if (version != kWireVersion) return DecodeError("unsupported version");
+  if (type != static_cast<uint8_t>(FrameType::kRequest) &&
+      type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return DecodeError("unknown frame type");
+  }
+  if (header.payload_len > kMaxFramePayload) {
+    return DecodeError("payload length over limit");
+  }
+  header.type = static_cast<FrameType>(type);
+  return header;
+}
+
+Result<RequestFrame> DecodeRequestPayload(std::string_view payload) {
+  WireReader r(payload);
+  RequestFrame frame;
+  uint8_t kind = 0;
+  uint8_t semantics = 0;
+  uint8_t has_timeout = 0;
+  uint8_t reserved = 0;
+  uint64_t timeout_micros = 0;
+  uint64_t c = 0;
+  if (!r.U64(&frame.request_id) || !r.U8(&kind) || !r.U8(&semantics) ||
+      !r.U8(&has_timeout) || !r.U8(&reserved) || !r.I32(&frame.request.priority) ||
+      !r.U64(&timeout_micros) || !r.U64(&c) || !ReadPoint(r, &frame.request.q)) {
+    return DecodeError("truncated request payload");
+  }
+  if (r.remaining() != 0) return DecodeError("trailing bytes after request");
+  const auto decoded_kind = serve::RequestKindFromWire(kind);
+  if (!decoded_kind.has_value()) return DecodeError("unknown request kind");
+  const auto decoded_semantics = serve::SemanticsFromWire(semantics);
+  if (!decoded_semantics.has_value()) return DecodeError("unknown semantics");
+  if (has_timeout > 1) return DecodeError("bad timeout flag");
+  frame.request.kind = *decoded_kind;
+  frame.request.semantics = *decoded_semantics;
+  frame.request.c = static_cast<size_t>(c);
+  if (has_timeout != 0) {
+    frame.request.timeout =
+        std::chrono::microseconds(static_cast<int64_t>(timeout_micros));
+  }
+  return frame;
+}
+
+Result<ResponseFrame> DecodeResponsePayload(std::string_view payload) {
+  WireReader r(payload);
+  ResponseFrame frame;
+  uint8_t kind = 0;
+  uint8_t status_code = 0;
+  uint8_t completed = 0;
+  uint8_t shared_batch = 0;
+  uint8_t tag = 0;
+  uint64_t queue_wait_micros = 0;
+  std::string message;
+  if (!r.U64(&frame.request_id) || !r.U8(&kind) || !r.U8(&status_code) ||
+      !r.U8(&completed) || !r.U8(&shared_batch) || !r.U8(&tag) ||
+      !r.U64(&queue_wait_micros) || !r.Bytes(&message, kMaxWireStringLen)) {
+    return DecodeError("truncated response payload");
+  }
+  const auto decoded_kind = serve::RequestKindFromWire(kind);
+  if (!decoded_kind.has_value()) return DecodeError("unknown response kind");
+  const auto decoded_code = serve::StatusCodeFromWire(status_code);
+  if (!decoded_code.has_value()) return DecodeError("unknown status code");
+  if (completed > 1 || shared_batch > 1) return DecodeError("bad bool field");
+  WhyNotResponse& response = frame.response;
+  response.kind = *decoded_kind;
+  response.status = *decoded_code == StatusCode::kOk
+                        ? Status::Ok()
+                        : Status(*decoded_code, std::move(message));
+  response.completed = completed != 0;
+  response.shared_batch = shared_batch != 0;
+  response.queue_wait =
+      std::chrono::microseconds(static_cast<int64_t>(queue_wait_micros));
+  if (!ReadPayload(r, tag, &response)) {
+    return DecodeError("bad response payload");
+  }
+  if (r.remaining() != 0) return DecodeError("trailing bytes after response");
+  return frame;
+}
+
+}  // namespace net
+}  // namespace wnrs

@@ -1,0 +1,107 @@
+#ifndef WNRS_NET_PROTOCOL_H_
+#define WNRS_NET_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "serve/api.h"
+
+namespace wnrs {
+namespace net {
+
+/// The wnrs binary wire protocol (version 1): length-prefixed frames over
+/// a plain byte stream (TCP). Layout (DESIGN.md §14 has the diagram):
+///
+///   frame   := header payload
+///   header  := magic:u32 version:u8 type:u8 reserved:u16 payload_len:u32
+///   payload := request | response            (by header.type)
+///
+/// All integers little-endian (src/net/wire.h); doubles as IEEE-754 bit
+/// patterns, so answers decode bit-identically. `magic` is the bytes
+/// "WNRS"; `payload_len` is capped at kMaxFramePayload so a corrupt
+/// length cannot trigger an unbounded allocation.
+///
+/// Versioning rules: the header layout is frozen forever. Within a
+/// version, request/response payload layouts are frozen; any layout
+/// change bumps kWireVersion, and a server answers a frame with an
+/// unknown version by closing the connection (there is no negotiation —
+/// clients and servers of one deployment upgrade together). Enum ids
+/// (request kinds, status codes, payload tags) are append-only protocol
+/// constants defined next to the enums in serve/api.h.
+///
+/// Requests carry a client-chosen request_id echoed verbatim in the
+/// response, so clients may pipeline many requests per connection and
+/// match answers by id.
+
+/// "WNRS" in file order (written little-endian, so the first wire byte
+/// is 'W').
+inline constexpr uint32_t kWireMagic = 0x53524E57u;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 12;
+/// Upper bound on payload_len: generous for the largest real answers
+/// (a truncated-at-8192-rectangles 2-D safe region is ~0.5 MiB) while
+/// still rejecting nonsense lengths.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+/// Caps inside payloads, so corrupt counts fail fast instead of
+/// allocating: dimensionality and list lengths far beyond anything the
+/// engine produces.
+inline constexpr uint16_t kMaxWireDims = 1024;
+inline constexpr uint32_t kMaxWireStringLen = 1u << 16;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kRequest;
+  uint32_t payload_len = 0;
+};
+
+/// A request frame body: the wire-serializable subset of WhyNotRequest
+/// (everything except the in-process absolute deadline) plus the
+/// client-chosen id echoed in the response.
+struct RequestFrame {
+  uint64_t request_id = 0;
+  serve::WhyNotRequest request;
+};
+
+/// A response frame body.
+struct ResponseFrame {
+  uint64_t request_id = 0;
+  serve::WhyNotResponse response;
+};
+
+/// Encodes a complete frame (header + payload). The request's absolute
+/// `deadline` field is not encoded (steady_clock points are meaningless
+/// across processes) — wire clients express deadlines via `timeout`.
+std::string EncodeRequestFrame(uint64_t request_id,
+                               const serve::WhyNotRequest& request);
+
+/// Encodes a complete response frame. Every payload alternative is
+/// encoded exactly (bit-identical doubles); the absolute deadline never
+/// appears. shared_batch/queue_wait travel too, so load tools can report
+/// server-side queueing.
+std::string EncodeResponseFrame(uint64_t request_id,
+                                const serve::WhyNotResponse& response);
+
+/// Parses and validates a frame header from the first kFrameHeaderSize
+/// bytes of `data`. Fails on short input, bad magic, unknown version or
+/// frame type, and payload_len > kMaxFramePayload.
+Result<FrameHeader> DecodeFrameHeader(const void* data, size_t len);
+
+/// Decodes a request payload (the bytes after the header). Any
+/// truncation, trailing garbage, unknown kind/semantics id, or
+/// over-limit count fails with InvalidArgument — never aborts.
+Result<RequestFrame> DecodeRequestPayload(std::string_view payload);
+
+/// Decodes a response payload; same failure contract.
+Result<ResponseFrame> DecodeResponsePayload(std::string_view payload);
+
+}  // namespace net
+}  // namespace wnrs
+
+#endif  // WNRS_NET_PROTOCOL_H_

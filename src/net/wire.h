@@ -1,0 +1,157 @@
+#ifndef WNRS_NET_WIRE_H_
+#define WNRS_NET_WIRE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wnrs {
+namespace net {
+
+/// Byte-level primitives of the wnrs wire protocol. This header (with
+/// wire.cc) is the ONLY place in the repo where bytes are packed or
+/// unpacked manually — everything else composes WireWriter/WireReader, a
+/// rule tools/wnrs_lint.py enforces (`wire-packing`). Keeping the byte
+/// order in one auditable file is what makes the frozen frame layout in
+/// DESIGN.md §14 trustworthy.
+///
+/// All integers are little-endian on the wire, written and read with
+/// shift arithmetic (endian-agnostic: the same code is correct on BE
+/// hosts, no hton*/bswap needed). Doubles travel as the little-endian
+/// bytes of their IEEE-754 bit pattern via std::bit_cast, so decoded
+/// coordinates and costs are bit-identical to what was encoded — the
+/// loopback parity test relies on exactly this.
+
+/// Appends little-endian primitives to a growing byte string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v));
+    U16(static_cast<uint16_t>(v >> 16));
+  }
+
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+  /// Length-prefixed byte string (u32 length + raw bytes).
+  void Bytes(std::string_view bytes) {
+    U32(static_cast<uint32_t>(bytes.size()));
+    out_->append(bytes.data(), bytes.size());
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked little-endian reader over an immutable byte range.
+/// Every accessor returns false instead of reading past the end, so a
+/// truncated or garbage frame surfaces as a clean decode failure.
+class WireReader {
+ public:
+  WireReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+  explicit WireReader(std::string_view bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  [[nodiscard]] bool U8(uint8_t* out) {
+    if (remaining() < 1) return false;
+    *out = data_[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] bool U16(uint16_t* out) {
+    if (remaining() < 2) return false;
+    *out = static_cast<uint16_t>(data_[pos_]) |
+           static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return true;
+  }
+
+  [[nodiscard]] bool U32(uint32_t* out) {
+    uint16_t lo = 0;
+    uint16_t hi = 0;
+    if (!U16(&lo) || !U16(&hi)) return false;
+    *out = static_cast<uint32_t>(lo) | static_cast<uint32_t>(hi) << 16;
+    return true;
+  }
+
+  [[nodiscard]] bool U64(uint64_t* out) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!U32(&lo) || !U32(&hi)) return false;
+    *out = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+    return true;
+  }
+
+  [[nodiscard]] bool I32(int32_t* out) {
+    uint32_t v = 0;
+    if (!U32(&v)) return false;
+    *out = static_cast<int32_t>(v);
+    return true;
+  }
+
+  [[nodiscard]] bool I64(int64_t* out) {
+    uint64_t v = 0;
+    if (!U64(&v)) return false;
+    *out = static_cast<int64_t>(v);
+    return true;
+  }
+
+  [[nodiscard]] bool F64(double* out) {
+    uint64_t bits = 0;
+    if (!U64(&bits)) return false;
+    *out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  /// Length-prefixed byte string; `max_len` bounds the declared length so
+  /// a corrupt prefix cannot trigger a huge allocation.
+  [[nodiscard]] bool Bytes(std::string* out, size_t max_len) {
+    uint32_t n = 0;
+    if (!U32(&n) || n > max_len || n > remaining()) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+/// Host/network byte-order helpers for the BSD socket API (sockaddr_in
+/// wants big-endian ports). Defined here so server/client code never
+/// touches htons/ntohs directly — byte order stays in this file.
+inline uint16_t HostToNetU16(uint16_t v) {
+  return static_cast<uint16_t>((v >> 8) | (v << 8));
+}
+inline uint16_t NetToHostU16(uint16_t v) { return HostToNetU16(v); }
+
+}  // namespace net
+}  // namespace wnrs
+
+#endif  // WNRS_NET_WIRE_H_

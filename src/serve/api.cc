@@ -1,0 +1,177 @@
+#include "serve/api.h"
+
+#include <algorithm>
+
+namespace wnrs {
+namespace serve {
+
+const char* RequestKindName(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kReverseSkyline:
+      return "reverse_skyline";
+    case RequestKind::kExplain:
+      return "explain";
+    case RequestKind::kModifyWhyNot:
+      return "modify_why_not";
+    case RequestKind::kModifyQuery:
+      return "modify_query";
+    case RequestKind::kSafeRegion:
+      return "safe_region";
+    case RequestKind::kModifyBoth:
+      return "modify_both";
+    case RequestKind::kModifyBothApprox:
+      return "modify_both_approx";
+  }
+  return "unknown";
+}
+
+uint8_t RequestKindToWire(RequestKind kind) {
+  // The wire ids are the frozen enum values; the static_asserts turn any
+  // accidental renumbering into a compile error at the protocol boundary.
+  static_assert(static_cast<int>(RequestKind::kReverseSkyline) == 0);
+  static_assert(static_cast<int>(RequestKind::kExplain) == 1);
+  static_assert(static_cast<int>(RequestKind::kModifyWhyNot) == 2);
+  static_assert(static_cast<int>(RequestKind::kModifyQuery) == 3);
+  static_assert(static_cast<int>(RequestKind::kSafeRegion) == 4);
+  static_assert(static_cast<int>(RequestKind::kModifyBoth) == 5);
+  static_assert(static_cast<int>(RequestKind::kModifyBothApprox) == 6);
+  return static_cast<uint8_t>(kind);
+}
+
+std::optional<RequestKind> RequestKindFromWire(uint8_t wire_id) {
+  if (wire_id >= kNumRequestKinds) return std::nullopt;
+  return static_cast<RequestKind>(wire_id);
+}
+
+uint8_t StatusCodeToWire(StatusCode code) {
+  // Explicit frozen ids: the switch (not a cast) is what keeps the wire
+  // stable even if StatusCode is ever reordered in-process.
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kOutOfRange:
+      return 3;
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kInternal:
+      return 5;
+    case StatusCode::kUnimplemented:
+      return 6;
+    case StatusCode::kIoError:
+      return 7;
+    case StatusCode::kDeadlineExceeded:
+      return 8;
+    case StatusCode::kResourceExhausted:
+      return 9;
+    case StatusCode::kUnavailable:
+      return 10;
+  }
+  return 5;  // Unknown in-process code degrades to Internal on the wire.
+}
+
+std::optional<StatusCode> StatusCodeFromWire(uint8_t wire_id) {
+  switch (wire_id) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kOutOfRange;
+    case 4:
+      return StatusCode::kFailedPrecondition;
+    case 5:
+      return StatusCode::kInternal;
+    case 6:
+      return StatusCode::kUnimplemented;
+    case 7:
+      return StatusCode::kIoError;
+    case 8:
+      return StatusCode::kDeadlineExceeded;
+    case 9:
+      return StatusCode::kResourceExhausted;
+    case 10:
+      return StatusCode::kUnavailable;
+    default:
+      return std::nullopt;
+  }
+}
+
+uint8_t SemanticsToWire(Semantics semantics) {
+  return semantics == Semantics::kStrict ? 1 : 0;
+}
+
+std::optional<Semantics> SemanticsFromWire(uint8_t wire_id) {
+  if (wire_id == 0) return Semantics::kBoundary;
+  if (wire_id == 1) return Semantics::kStrict;
+  return std::nullopt;
+}
+
+std::optional<std::chrono::steady_clock::time_point> EffectiveDeadline(
+    const WhyNotRequest& request,
+    std::chrono::steady_clock::time_point now) {
+  std::optional<std::chrono::steady_clock::time_point> effective =
+      request.deadline;
+  if (request.timeout.has_value()) {
+    const auto from_timeout = now + *request.timeout;
+    if (!effective.has_value() || from_timeout < *effective) {
+      effective = from_timeout;
+    }
+  }
+  return effective;
+}
+
+const std::vector<size_t>& WhyNotResponse::reverse_skyline() const {
+  static const std::vector<size_t> kEmpty;
+  const auto* held = std::get_if<std::vector<size_t>>(&payload);
+  return held != nullptr ? *held : kEmpty;
+}
+
+const WhyNotExplanation& WhyNotResponse::explanation() const {
+  static const WhyNotExplanation kEmpty;
+  const auto* held = std::get_if<WhyNotExplanation>(&payload);
+  return held != nullptr ? *held : kEmpty;
+}
+
+const MwpResult& WhyNotResponse::mwp() const {
+  static const MwpResult kEmpty;
+  const auto* held = std::get_if<MwpResult>(&payload);
+  return held != nullptr ? *held : kEmpty;
+}
+
+const MqpResult& WhyNotResponse::mqp() const {
+  static const MqpResult kEmpty;
+  const auto* held = std::get_if<MqpResult>(&payload);
+  return held != nullptr ? *held : kEmpty;
+}
+
+std::shared_ptr<const SafeRegionResult> WhyNotResponse::safe_region() const {
+  const auto* held =
+      std::get_if<std::shared_ptr<const SafeRegionResult>>(&payload);
+  return held != nullptr ? *held : nullptr;
+}
+
+const MwqResult& WhyNotResponse::mwq() const {
+  static const MwqResult kEmpty;
+  const auto* held = std::get_if<MwqResult>(&payload);
+  return held != nullptr ? *held : kEmpty;
+}
+
+LegacyWhyNotPayload LegacyPayload(const WhyNotResponse& response) {
+  LegacyWhyNotPayload legacy;
+  legacy.reverse_skyline = response.reverse_skyline();
+  legacy.explanation = response.explanation();
+  legacy.mwp = response.mwp();
+  legacy.mqp = response.mqp();
+  legacy.safe_region = response.safe_region();
+  legacy.mwq = response.mwq();
+  return legacy;
+}
+
+}  // namespace serve
+}  // namespace wnrs

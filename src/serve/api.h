@@ -1,0 +1,180 @@
+#ifndef WNRS_SERVE_API_H_
+#define WNRS_SERVE_API_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace wnrs {
+namespace serve {
+
+/// Which engine entry point a request targets.
+///
+/// The numeric values are *protocol constants*: RequestKindToWire freezes
+/// them into the binary wire format (src/net/protocol.h), so existing
+/// values must never be renumbered — new kinds append at the end, and
+/// RequestKindFromWire rejects ids it does not know, which is how a v1
+/// server answers a future client's new kind with InvalidArgument instead
+/// of misinterpreting it.
+enum class RequestKind {
+  kReverseSkyline = 0,  ///< RSL(q); ignores `c`.
+  kExplain = 1,         ///< Aspect 1: culprits + frontier.
+  kModifyWhyNot = 2,    ///< Algorithm 1 (MWP).
+  kModifyQuery = 3,     ///< Algorithm 2 (MQP).
+  kSafeRegion = 4,      ///< Exact SR(q); ignores `c`.
+  kModifyBoth = 5,      ///< Algorithm 4 (MWQ, exact safe region).
+  kModifyBothApprox = 6,  ///< Algorithm 4 over the approximated safe region.
+};
+
+/// Number of request kinds (wire ids are 0 .. kNumRequestKinds-1).
+inline constexpr size_t kNumRequestKinds = 7;
+
+/// Stable name for logs/JSON/metrics ("reverse_skyline", "modify_both",
+/// ...). These strings are part of the observability contract: the wire
+/// protocol, the scheduler metrics, and the persistence-era JSON reports
+/// all use the same names.
+const char* RequestKindName(RequestKind kind);
+
+/// Frozen wire id of a request kind (today identical to the enum value;
+/// the indirection is the seam that keeps the wire stable if the in-process
+/// enum ever gains non-contiguous members).
+uint8_t RequestKindToWire(RequestKind kind);
+
+/// Decodes a wire id; nullopt for ids this build does not know.
+std::optional<RequestKind> RequestKindFromWire(uint8_t wire_id);
+
+/// Frozen wire id of a status code. Like the request-kind ids these are
+/// protocol constants: append-only, never renumbered.
+uint8_t StatusCodeToWire(StatusCode code);
+
+/// Decodes a wire status id; nullopt for unknown ids.
+std::optional<StatusCode> StatusCodeFromWire(uint8_t wire_id);
+
+/// Frozen wire id of answer semantics (0 = boundary, 1 = strict).
+uint8_t SemanticsToWire(Semantics semantics);
+std::optional<Semantics> SemanticsFromWire(uint8_t wire_id);
+
+/// One unit of work for the scheduler. Every request is validated with
+/// the engine's Try* layer, so malformed input (bad customer index,
+/// wrong-dimension query, missing approx store) degrades to an error
+/// response instead of aborting the process.
+///
+/// The struct is wire-serializable: every field is either POD-like or a
+/// flat coordinate vector, and the deadline can be expressed as a
+/// *relative* timeout so clients never serialize a steady_clock time
+/// point (meaningless across processes). src/net/protocol.h carries
+/// exactly these fields.
+struct WhyNotRequest {
+  RequestKind kind = RequestKind::kModifyBoth;
+  /// The query point q all kinds share; requests with equal q are batched
+  /// so SR(q)/RSL(q) is computed once for the whole batch.
+  Point q;
+  /// Why-not customer index; ignored by kReverseSkyline / kSafeRegion.
+  size_t c = 0;
+  /// Boundary or strict answer semantics for the Modify* kinds.
+  Semantics semantics = Semantics::kBoundary;
+  /// Absolute deadline (in-process callers only; never crosses the wire).
+  /// A request still queued past its effective deadline is answered
+  /// Status::DeadlineExceeded without running; one that expires mid-run
+  /// keeps its payload but is flagged the same way.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Relative deadline, resolved to an absolute one at Submit time
+  /// (submit_time + timeout). This is the form wire clients use.
+  /// Precedence when both are set: the *earlier* of the two effective
+  /// deadlines wins — a relative timeout can only tighten an absolute
+  /// deadline, never extend it.
+  std::optional<std::chrono::microseconds> timeout;
+  /// Higher-priority requests dispatch first (FIFO within a priority).
+  int32_t priority = 0;
+};
+
+/// Resolves the deadline/timeout pair against a submit timestamp:
+/// nullopt if neither is set, otherwise the earlier of `deadline` and
+/// `now + timeout` (see WhyNotRequest::timeout for the rationale).
+std::optional<std::chrono::steady_clock::time_point> EffectiveDeadline(
+    const WhyNotRequest& request,
+    std::chrono::steady_clock::time_point now);
+
+/// The scheduler's answer. `status` is authoritative; `payload` holds the
+/// one alternative selected by `kind` when the status is OK — or when it
+/// is DeadlineExceeded with `completed` true (the answer arrived late but
+/// is still correct for the snapshot it ran against).
+///
+/// The payload is a tagged variant (it replaced six parallel fields, of
+/// which exactly one was ever meaningful): the alternative index is the
+/// self-describing tag the wire protocol carries, and the typed accessors
+/// below return the alternative or an empty default, so callers read
+/// `r.mwq().best_cost` without touching std::get.
+struct WhyNotResponse {
+  /// Payload alternatives, in frozen wire-tag order (see PayloadTag).
+  using Payload = std::variant<std::monostate,               // no payload
+                               std::vector<size_t>,          // reverse skyline
+                               WhyNotExplanation,            // explain
+                               MwpResult,                    // MWP
+                               MqpResult,                    // MQP
+                               std::shared_ptr<const SafeRegionResult>,
+                               MwqResult>;                   // MWQ (+approx)
+
+  /// Wire tag of each payload alternative == its variant index. Frozen
+  /// protocol constants, append-only.
+  enum PayloadTag : uint8_t {
+    kNoPayload = 0,
+    kReverseSkylinePayload = 1,
+    kExplanationPayload = 2,
+    kMwpPayload = 3,
+    kMqpPayload = 4,
+    kSafeRegionPayload = 5,
+    kMwqPayload = 6,
+  };
+
+  Status status;
+  RequestKind kind = RequestKind::kModifyBoth;
+  /// True iff the payload was actually computed (late answers included).
+  bool completed = false;
+  /// True iff this request shared a same-q dispatch batch with others.
+  bool shared_batch = false;
+  /// Time spent queued before dispatch.
+  std::chrono::microseconds queue_wait{0};
+  Payload payload;
+
+  /// The variant index as the wire tag.
+  PayloadTag payload_tag() const {
+    return static_cast<PayloadTag>(payload.index());
+  }
+
+  /// Typed accessors: the held alternative, or a reference to an empty
+  /// default (never aborts) when the payload holds something else —
+  /// matching the old six-field struct where unselected fields were
+  /// default-constructed.
+  const std::vector<size_t>& reverse_skyline() const;
+  const WhyNotExplanation& explanation() const;
+  const MwpResult& mwp() const;
+  const MqpResult& mqp() const;
+  /// nullptr when the payload is not a safe region.
+  std::shared_ptr<const SafeRegionResult> safe_region() const;
+  const MwqResult& mwq() const;
+};
+
+/// Deprecated shim (this PR only, removed next PR): materializes the
+/// pre-variant layout for callers still written against the six parallel
+/// payload fields. New code reads the typed accessors instead.
+struct LegacyWhyNotPayload {
+  std::vector<size_t> reverse_skyline;
+  WhyNotExplanation explanation;
+  MwpResult mwp;
+  MqpResult mqp;
+  std::shared_ptr<const SafeRegionResult> safe_region;
+  MwqResult mwq;
+};
+LegacyWhyNotPayload LegacyPayload(const WhyNotResponse& response);
+
+}  // namespace serve
+}  // namespace wnrs
+
+#endif  // WNRS_SERVE_API_H_

@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "common/metrics.h"
@@ -17,27 +18,14 @@ uint64_t MicrosBetween(std::chrono::steady_clock::time_point a,
       std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
 }
 
-}  // namespace
-
-const char* RequestKindName(RequestKind kind) {
-  switch (kind) {
-    case RequestKind::kReverseSkyline:
-      return "reverse_skyline";
-    case RequestKind::kExplain:
-      return "explain";
-    case RequestKind::kModifyWhyNot:
-      return "modify_why_not";
-    case RequestKind::kModifyQuery:
-      return "modify_query";
-    case RequestKind::kSafeRegion:
-      return "safe_region";
-    case RequestKind::kModifyBoth:
-      return "modify_both";
-    case RequestKind::kModifyBothApprox:
-      return "modify_both_approx";
-  }
-  return "unknown";
+WhyNotResponse UnavailableResponse(RequestKind kind, const char* message) {
+  WhyNotResponse response;
+  response.kind = kind;
+  response.status = Status::Unavailable(message);
+  return response;
 }
+
+}  // namespace
 
 RequestScheduler::RequestScheduler(const WhyNotEngine* engine,
                                    SchedulerOptions options)
@@ -53,10 +41,8 @@ std::future<WhyNotResponse> RequestScheduler::Submit(WhyNotRequest request) {
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) {
     lock.unlock();
-    WhyNotResponse response;
-    response.kind = request.kind;
-    response.status = Status::Unavailable("scheduler is shut down");
-    promise.set_value(std::move(response));
+    promise.set_value(
+        UnavailableResponse(request.kind, "scheduler is shut down"));
     return future;
   }
   if (queue_.size() >= options_.max_queue_depth) {
@@ -77,6 +63,10 @@ std::future<WhyNotResponse> RequestScheduler::Submit(WhyNotRequest request) {
   pending.promise = std::move(promise);
   pending.seq = next_seq_++;
   pending.submitted = std::chrono::steady_clock::now();
+  // Relative timeouts resolve against the submit timestamp, here and
+  // nowhere else — by the time the dispatcher sees the request only the
+  // absolute form remains.
+  pending.deadline = EffectiveDeadline(pending.request, pending.submitted);
   queue_.push_back(std::move(pending));
   MetricAdd(CounterId::kServeRequests);
   MetricSetGauge(GaugeId::kServeQueueDepth,
@@ -87,6 +77,16 @@ std::future<WhyNotResponse> RequestScheduler::Submit(WhyNotRequest request) {
 }
 
 WhyNotResponse RequestScheduler::SubmitAndWait(WhyNotRequest request) {
+  {
+    // Fast path: after Shutdown there is nothing to wait for, so answer
+    // Unavailable directly instead of building a promise/future pair just
+    // to resolve it in the same call. (A shutdown racing past this check
+    // is still handled by Submit.)
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return UnavailableResponse(request.kind, "scheduler is shut down");
+    }
+  }
   return Submit(std::move(request)).get();
 }
 
@@ -117,10 +117,8 @@ void RequestScheduler::Shutdown() {
     MetricSetGauge(GaugeId::kServeQueueDepth, 0);
   }
   for (Pending& pending : leftover) {
-    WhyNotResponse response;
-    response.kind = pending.request.kind;
-    response.status = Status::Unavailable("scheduler shut down while queued");
-    pending.promise.set_value(std::move(response));
+    pending.promise.set_value(UnavailableResponse(
+        pending.request.kind, "scheduler shut down while queued"));
   }
 }
 
@@ -180,7 +178,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
       Result<std::vector<size_t>> res = snapshot.TryReverseSkyline(request.q);
       response.status = res.status();
       if (res.ok()) {
-        response.reverse_skyline = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -190,7 +188,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
           snapshot.TryExplain(request.c, request.q);
       response.status = res.status();
       if (res.ok()) {
-        response.explanation = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -200,7 +198,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
           snapshot.TryModifyWhyNot(request.c, request.q, request.semantics);
       response.status = res.status();
       if (res.ok()) {
-        response.mwp = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -210,7 +208,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
           snapshot.TryModifyQuery(request.c, request.q, request.semantics);
       response.status = res.status();
       if (res.ok()) {
-        response.mqp = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -220,7 +218,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
           snapshot.TrySafeRegion(request.q);
       response.status = res.status();
       if (res.ok()) {
-        response.safe_region = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -230,7 +228,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
           snapshot.TryModifyBoth(request.c, request.q, request.semantics);
       response.status = res.status();
       if (res.ok()) {
-        response.mwq = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -240,7 +238,7 @@ WhyNotResponse RequestScheduler::ExecuteOne(
           request.c, request.q, request.semantics);
       response.status = res.status();
       if (res.ok()) {
-        response.mwq = std::move(res).value();
+        response.payload = std::move(res).value();
         response.completed = true;
       }
       break;
@@ -285,7 +283,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
     slot.response.kind = slot.pending.request.kind;
     slot.response.shared_batch = shared;
     slot.response.queue_wait = std::chrono::microseconds(wait_us);
-    const auto& deadline = slot.pending.request.deadline;
+    const auto& deadline = slot.pending.deadline;
     if (deadline.has_value() && *deadline < dispatch_time) {
       slot.response.status = Status::DeadlineExceeded(
           StrFormat("deadline expired after %lluus in queue",
@@ -324,7 +322,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
       for (size_t j = 0; j < group.size(); ++j) {
         Slot& slot = slots[group[j]];
         slot.response.status = Status::Ok();
-        slot.response.mwq = std::move(res.value()[j]);
+        slot.response.payload = std::move(res.value()[j]);
         slot.response.completed = true;
         slot.done = true;
       }
@@ -345,7 +343,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
   // tells the caller the answer arrived past its deadline.
   const auto finish_time = std::chrono::steady_clock::now();
   for (Slot& slot : slots) {
-    const auto& deadline = slot.pending.request.deadline;
+    const auto& deadline = slot.pending.deadline;
     if (slot.response.status.ok() && deadline.has_value() &&
         *deadline < finish_time) {
       slot.response.status =

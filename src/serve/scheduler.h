@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -14,66 +13,10 @@
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "serve/api.h"
 
 namespace wnrs {
 namespace serve {
-
-/// Which engine entry point a request targets.
-enum class RequestKind {
-  kReverseSkyline = 0,  ///< RSL(q); ignores `c`.
-  kExplain,             ///< Aspect 1: culprits + frontier.
-  kModifyWhyNot,        ///< Algorithm 1 (MWP).
-  kModifyQuery,         ///< Algorithm 2 (MQP).
-  kSafeRegion,          ///< Exact SR(q); ignores `c`.
-  kModifyBoth,          ///< Algorithm 4 (MWQ, exact safe region).
-  kModifyBothApprox,    ///< Algorithm 4 over the approximated safe region.
-};
-
-/// Stable name for logs/JSON ("reverse_skyline", "modify_both", ...).
-const char* RequestKindName(RequestKind kind);
-
-/// One unit of work for the scheduler. Every request is validated with
-/// the engine's Try* layer, so malformed input (bad customer index,
-/// wrong-dimension query, missing approx store) degrades to an error
-/// response instead of aborting the process.
-struct WhyNotRequest {
-  RequestKind kind = RequestKind::kModifyBoth;
-  /// The query point q all kinds share; requests with equal q are batched
-  /// so SR(q)/RSL(q) is computed once for the whole batch.
-  Point q;
-  /// Why-not customer index; ignored by kReverseSkyline / kSafeRegion.
-  size_t c = 0;
-  /// Boundary or strict answer semantics for the Modify* kinds.
-  Semantics semantics = Semantics::kBoundary;
-  /// Absolute deadline. A request still queued past its deadline is
-  /// answered Status::DeadlineExceeded without running; one that expires
-  /// mid-run keeps its payload but is flagged the same way.
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  /// Higher-priority requests dispatch first (FIFO within a priority).
-  int priority = 0;
-};
-
-/// The scheduler's answer. `status` is authoritative; exactly one payload
-/// field (chosen by `kind`) is meaningful when it is OK — or when it is
-/// DeadlineExceeded with `completed` true (the answer arrived late but is
-/// still correct for the snapshot it ran against).
-struct WhyNotResponse {
-  Status status;
-  RequestKind kind = RequestKind::kModifyBoth;
-  /// True iff the payload was actually computed (late answers included).
-  bool completed = false;
-  /// True iff this request shared a same-q dispatch batch with others.
-  bool shared_batch = false;
-  /// Time spent queued before dispatch.
-  std::chrono::microseconds queue_wait{0};
-
-  std::vector<size_t> reverse_skyline;
-  WhyNotExplanation explanation;
-  MwpResult mwp;
-  MqpResult mqp;
-  std::shared_ptr<const SafeRegionResult> safe_region;
-  MwqResult mwq;
-};
 
 /// Scheduler tuning.
 struct SchedulerOptions {
@@ -98,7 +41,9 @@ struct SchedulerStats {
 };
 
 /// Deadline-aware request scheduler over one WhyNotEngine: the serving
-/// front end of the snapshot-isolated engine core.
+/// front end of the snapshot-isolated engine core. The request/response
+/// types live in serve/api.h (they are shared with the wire protocol in
+/// src/net/).
 ///
 /// A single dispatcher thread drains a priority+FIFO queue. Each dispatch
 /// takes the engine snapshot current at that moment, pulls every queued
@@ -109,6 +54,11 @@ struct SchedulerStats {
 /// the engine's existing ThreadPool (no second pool). Engine mutations
 /// interleave freely: a batch in flight keeps its snapshot while the next
 /// dispatch observes the new one.
+///
+/// Deadlines: a request's relative `timeout` is resolved against the
+/// Submit timestamp (see EffectiveDeadline for the precedence rule with
+/// an absolute `deadline`); expiry is checked at dispatch and again after
+/// execution.
 ///
 /// Thread-safe: any number of threads may Submit concurrently.
 class RequestScheduler {
@@ -125,12 +75,16 @@ class RequestScheduler {
   /// Enqueues a request. The future is always eventually fulfilled:
   /// with the answer, or with ResourceExhausted (admission control),
   /// DeadlineExceeded (expired in queue), Unavailable (shutdown), or a
-  /// validation error from the engine's Try* layer.
+  /// validation error from the engine's Try* layer. After Shutdown the
+  /// returned future is already fulfilled (Unavailable) when Submit
+  /// returns.
   /// [[nodiscard]]: dropping the future silently swallows admission
   /// rejects, deadline misses, and every other per-request error.
   [[nodiscard]] std::future<WhyNotResponse> Submit(WhyNotRequest request);
 
-  /// Submit + block for the response.
+  /// Submit + block for the response. After Shutdown this returns an
+  /// Unavailable response immediately, without touching the
+  /// promise/future machinery of the rejected-submit path.
   [[nodiscard]] WhyNotResponse SubmitAndWait(WhyNotRequest request);
 
   /// Halts dispatching (in-flight batches finish); Submit still admits.
@@ -138,7 +92,8 @@ class RequestScheduler {
   void Resume();
 
   /// Stops the dispatcher and fails every still-queued request with
-  /// Unavailable. Idempotent; the destructor calls it.
+  /// Unavailable. When Shutdown returns, every future handed out by an
+  /// earlier Submit is fulfilled. Idempotent; the destructor calls it.
   void Shutdown();
 
   /// Requests currently queued (excludes in-flight dispatches).
@@ -152,6 +107,8 @@ class RequestScheduler {
     std::promise<WhyNotResponse> promise;
     uint64_t seq = 0;
     std::chrono::steady_clock::time_point submitted;
+    /// deadline/timeout resolved at Submit time (api.h EffectiveDeadline).
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
   void DispatcherLoop();

@@ -42,34 +42,34 @@ TEST(ServeTest, ResultsMatchDirectEngineCalls) {
       scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline, q));
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
   EXPECT_TRUE(r.completed);
-  EXPECT_EQ(r.reverse_skyline, engine.ReverseSkyline(q));
+  EXPECT_EQ(r.reverse_skyline(), engine.ReverseSkyline(q));
 
   r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kExplain, q, c));
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
-  EXPECT_EQ(r.explanation.culprits, engine.Explain(c, q).culprits);
+  EXPECT_EQ(r.explanation().culprits, engine.Explain(c, q).culprits);
 
   r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyWhyNot, q, c));
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
   const MwpResult mwp = engine.ModifyWhyNot(c, q);
-  ASSERT_EQ(r.mwp.candidates.size(), mwp.candidates.size());
+  ASSERT_EQ(r.mwp().candidates.size(), mwp.candidates.size());
   for (size_t i = 0; i < mwp.candidates.size(); ++i) {
-    EXPECT_EQ(r.mwp.candidates[i].cost, mwp.candidates[i].cost);
-    EXPECT_EQ(r.mwp.candidates[i].point, mwp.candidates[i].point);
+    EXPECT_EQ(r.mwp().candidates[i].cost, mwp.candidates[i].cost);
+    EXPECT_EQ(r.mwp().candidates[i].point, mwp.candidates[i].point);
   }
 
   r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyQuery, q, c));
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
   const MqpResult mqp = engine.ModifyQuery(c, q);
-  ASSERT_EQ(r.mqp.candidates.size(), mqp.candidates.size());
+  ASSERT_EQ(r.mqp().candidates.size(), mqp.candidates.size());
 
   r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kSafeRegion, q));
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
-  ASSERT_NE(r.safe_region, nullptr);
-  EXPECT_EQ(r.safe_region->region.size(), engine.SafeRegion(q).region.size());
+  ASSERT_NE(r.safe_region(), nullptr);
+  EXPECT_EQ(r.safe_region()->region.size(), engine.SafeRegion(q).region.size());
 
   r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyBoth, q, c));
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
-  EXPECT_EQ(r.mwq.best_cost, engine.ModifyBoth(c, q).best_cost);
+  EXPECT_EQ(r.mwq().best_cost, engine.ModifyBoth(c, q).best_cost);
 
   const SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.submitted, 6u);
@@ -88,9 +88,9 @@ TEST(ServeTest, StrictSemanticsThreadsThrough) {
   ASSERT_TRUE(r.status.ok()) << r.status.ToString();
   const MwpResult strict =
       engine.ModifyWhyNot(11, q, Semantics::kStrict);
-  ASSERT_EQ(r.mwp.candidates.size(), strict.candidates.size());
+  ASSERT_EQ(r.mwp().candidates.size(), strict.candidates.size());
   for (size_t i = 0; i < strict.candidates.size(); ++i) {
-    EXPECT_EQ(r.mwp.candidates[i].point, strict.candidates[i].point);
+    EXPECT_EQ(r.mwp().candidates[i].point, strict.candidates[i].point);
   }
 }
 
@@ -115,7 +115,7 @@ TEST(ServeTest, ExpiredDeadlineIsMissWithoutExecution) {
   const WhyNotResponse r1 = expired.get();
   EXPECT_EQ(r1.status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(r1.completed);
-  EXPECT_TRUE(r1.mwq.query_candidates.empty());
+  EXPECT_TRUE(r1.mwq().query_candidates.empty());
 
   const WhyNotResponse r2 = fine.get();
   EXPECT_TRUE(r2.status.ok()) << r2.status.ToString();
@@ -146,7 +146,7 @@ TEST(ServeTest, SameQueryRequestsShareOneBatch) {
     ASSERT_TRUE(r.status.ok()) << r.status.ToString();
     EXPECT_TRUE(r.completed);
     EXPECT_TRUE(r.shared_batch);
-    EXPECT_FALSE(r.mwq.query_candidates.empty());
+    EXPECT_FALSE(r.mwq().query_candidates.empty());
   }
   const SchedulerStats stats = scheduler.stats();
   EXPECT_EQ(stats.batch_share_hits, 3u);
@@ -263,6 +263,129 @@ TEST(ServeTest, InvalidRequestsDegradeGracefully) {
   paused.Resume();
   EXPECT_TRUE(good.get().status.ok());
   EXPECT_EQ(bad.get().status.code(), StatusCode::kOutOfRange);
+}
+
+// The response payload is a tagged variant; the tag must track the kind
+// for successes and stay kNoPayload for failures.
+TEST(ServeTest, PayloadTagTracksRequestKind) {
+  const WhyNotEngine engine = MakeEngine();
+  RequestScheduler scheduler(&engine);
+  const Point q = engine.products().points[3];
+
+  WhyNotResponse r =
+      scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline, q));
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kReverseSkylinePayload);
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kExplain, q, 11));
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kExplanationPayload);
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyWhyNot, q, 11));
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kMwpPayload);
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyQuery, q, 11));
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kMqpPayload);
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kSafeRegion, q));
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kSafeRegionPayload);
+  r = scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyBoth, q, 11));
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kMwqPayload);
+
+  // Failure: no payload, and every accessor returns its empty default.
+  r = scheduler.SubmitAndWait(
+      MakeRequest(RequestKind::kModifyWhyNot, q, engine.customers().size()));
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kNoPayload);
+  EXPECT_TRUE(r.reverse_skyline().empty());
+  EXPECT_TRUE(r.mwp().candidates.empty());
+  EXPECT_EQ(r.safe_region(), nullptr);
+  EXPECT_EQ(r.mwq().best_cost, 0.0);
+}
+
+// A relative timeout is resolved against the Submit timestamp: a zero
+// timeout is already expired when the dispatcher reaches it, a generous
+// one completes.
+TEST(ServeTest, TimeoutResolvesAgainstSubmitTime) {
+  const WhyNotEngine engine = MakeEngine();
+  SchedulerOptions options;
+  options.start_paused = true;
+  RequestScheduler scheduler(&engine, options);
+  const Point q = engine.products().points[0];
+
+  WhyNotRequest expired = MakeRequest(RequestKind::kReverseSkyline, q);
+  expired.timeout = std::chrono::microseconds(0);
+  WhyNotRequest fine = MakeRequest(RequestKind::kReverseSkyline, q);
+  fine.timeout = std::chrono::hours(1);
+  std::future<WhyNotResponse> f_expired = scheduler.Submit(expired);
+  std::future<WhyNotResponse> f_fine = scheduler.Submit(fine);
+  scheduler.Resume();
+
+  EXPECT_EQ(f_expired.get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(f_fine.get().status.ok());
+  EXPECT_EQ(scheduler.stats().deadline_misses, 1u);
+}
+
+// When both an absolute deadline and a relative timeout are set, the
+// earlier effective deadline wins in either direction.
+TEST(ServeTest, DeadlineTimeoutPrecedenceEarlierWins) {
+  const auto now = std::chrono::steady_clock::now();
+  WhyNotRequest request;
+
+  EXPECT_FALSE(EffectiveDeadline(request, now).has_value());
+
+  request.timeout = std::chrono::seconds(1);
+  EXPECT_EQ(EffectiveDeadline(request, now),
+            now + std::chrono::seconds(1));
+
+  // Timeout tightens a later absolute deadline...
+  request.deadline = now + std::chrono::seconds(10);
+  EXPECT_EQ(EffectiveDeadline(request, now),
+            now + std::chrono::seconds(1));
+
+  // ...and an earlier absolute deadline beats a longer timeout.
+  request.deadline = now + std::chrono::milliseconds(1);
+  request.timeout = std::chrono::seconds(10);
+  EXPECT_EQ(EffectiveDeadline(request, now),
+            now + std::chrono::milliseconds(1));
+
+  request.timeout.reset();
+  EXPECT_EQ(EffectiveDeadline(request, now),
+            now + std::chrono::milliseconds(1));
+}
+
+// Pinned regression: SubmitAndWait after Shutdown must return (with
+// Unavailable) immediately instead of blocking, and Submit's future must
+// already be fulfilled when Submit returns.
+TEST(ServeTest, SubmitAfterShutdownFulfillsImmediately) {
+  const WhyNotEngine engine = MakeEngine();
+  RequestScheduler scheduler(&engine);
+  const Point q = engine.products().points[0];
+  scheduler.Shutdown();
+
+  const WhyNotResponse r =
+      scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline, q));
+  EXPECT_EQ(r.status.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.payload_tag(), WhyNotResponse::kNoPayload);
+
+  std::future<WhyNotResponse> f =
+      scheduler.Submit(MakeRequest(RequestKind::kModifyBoth, q, 3));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(f.get().status.code(), StatusCode::kUnavailable);
+}
+
+// Deprecated compatibility shim (removed next PR): LegacyPayload
+// materializes the old six-field layout from the variant.
+TEST(ServeTest, LegacyPayloadShimMatchesAccessors) {
+  const WhyNotEngine engine = MakeEngine();
+  RequestScheduler scheduler(&engine);
+  const Point q = engine.products().points[3];
+
+  const WhyNotResponse r =
+      scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyBoth, q, 11));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  const LegacyWhyNotPayload legacy = LegacyPayload(r);
+  EXPECT_EQ(legacy.mwq.best_cost, r.mwq().best_cost);
+  EXPECT_EQ(legacy.mwq.query_candidates.size(),
+            r.mwq().query_candidates.size());
+  EXPECT_TRUE(legacy.reverse_skyline.empty());
+  EXPECT_EQ(legacy.safe_region, nullptr);
 }
 
 TEST(ServeTest, ShutdownFailsQueuedRequests) {

@@ -68,7 +68,7 @@ HOST_DEPENDENT_COUNTERS = {
 
 # Benches whose work counters are interleaving-dependent end to end
 # (concurrent callers racing over shared caches): gate on wall time only.
-NONDETERMINISTIC_BENCHES = {"serve_throughput", "parallel_scaling"}
+NONDETERMINISTIC_BENCHES = {"serve_throughput", "parallel_scaling", "loadgen"}
 
 
 def load_current(current_dir):
@@ -256,6 +256,13 @@ def main():
                              "a failure to a warning (default: fail, so new "
                              "benchmarks cannot land without baseline "
                              "entries)")
+    parser.add_argument("--only", action="append", default=[], metavar="BENCH",
+                        help="restrict the baseline comparison to the named "
+                             "bench(es): other baseline entries are not "
+                             "required to be present in --current, and other "
+                             "current benches are ignored. For partial runs "
+                             "like the serve-loadtest job, which produces "
+                             "only loadgen.json. Repeatable.")
     parser.add_argument("--improvement", action="append", default=[],
                         metavar="BENCH/FAST/SLOW[:METRIC[:FLOOR]]",
                         help="require config FAST to beat config SLOW within "
@@ -274,6 +281,13 @@ def main():
     args = parser.parse_args()
 
     current = load_current(args.current)
+    if args.only:
+        unknown = sorted(set(args.only) - set(current))
+        if unknown:
+            print(f"error: --only bench(es) not in --current: "
+                  f"{', '.join(unknown)}", file=sys.stderr)
+            return 1
+        current = {k: v for k, v in current.items() if k in args.only}
 
     improvement_failures = check_improvements(current, args.improvement)
 
@@ -303,6 +317,11 @@ def main():
         print(f"error: cannot read baseline {args.baseline}: {e}",
               file=sys.stderr)
         return 1
+    if args.only:
+        baseline = dict(baseline)
+        baseline["benches"] = {k: v
+                               for k, v in baseline.get("benches", {}).items()
+                               if k in args.only}
 
     failures, warnings = check(baseline, current, args)
     failures.extend(improvement_failures)

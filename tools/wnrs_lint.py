@@ -39,6 +39,13 @@ Rules (ids are stable; cite them in review comments):
       goes through the storage funnel (file_io.h, storage managers, the
       slab/bundle stores) so checksumming, error mapping, and the
       persistence formats stay in one auditable layer.
+  wire-packing
+      Byte-order intrinsics (hton*/ntoh*/htobe*/htole*/bswap/byteswap)
+      are allowed in exactly one place: src/net/wire.{h,cc}, the
+      WireWriter/WireReader funnel every wire byte goes through. And
+      inside src/net/ (outside wire.{h,cc}) no memcpy/bit_cast either —
+      protocol code serializes through the funnel, never by hand, so the
+      frozen frame format has a single auditable implementation.
   header-selfcontained
       Every header under src/ must compile on its own (IWYU-style:
       `g++ -fsyntax-only` of a TU containing just that #include), so any
@@ -125,6 +132,15 @@ RAW_FILE_IO_RE = re.compile(
     r"|(?<![\w.:])(?:open|openat|mmap|mmap64)\s*\(")
 FSTREAM_INCLUDE_RE = re.compile(r"#\s*include\s*<fstream>")
 
+# wire-packing: the one funnel allowed to reorder/reinterpret wire bytes.
+WIRE_PACKING_ALLOWLIST = {"src/net/wire.h", "src/net/wire.cc"}
+BYTE_ORDER_RE = re.compile(
+    r"(?<![\w.])(?:hton[sl]|ntoh[sl]|hto(?:be|le)(?:16|32|64)"
+    r"|(?:be|le)(?:16|32|64)toh|__builtin_bswap(?:16|32|64)"
+    r"|(?:std\s*::\s*)?byteswap)\s*\(")
+NET_PACKING_RE = re.compile(
+    r"(?<![\w.])(?:std\s*::\s*)?(?:memcpy|bit_cast)\b")
+
 # discard: a (void)/static_cast<void> cast applied to a *call* — an
 # identifier-only discard like `(void)unused_param;` is fine.
 DISCARD_RE = re.compile(
@@ -137,7 +153,7 @@ DEATH_MACRO_RE = re.compile(r"(?:EXPECT|ASSERT)_DEATH(?:_IF_SUPPORTED)?\s*\(")
 # How far above the discard the justification may start (comments wrap).
 ALLOW_DISCARD_WINDOW = 3
 
-SOURCE_DIRS = ["src", "tests", "bench", "examples"]
+SOURCE_DIRS = ["src", "tests", "bench", "examples", "tools"]
 CXX_STANDARD = "c++20"
 
 
@@ -238,6 +254,19 @@ class Linter:
                 "raw file I/O outside the storage layer — go through "
                 "storage/file_io.h or a storage manager so checksums and "
                 "formats stay in one place")
+        if rel not in WIRE_PACKING_ALLOWLIST:
+            if BYTE_ORDER_RE.search(line):
+                self.report(
+                    "wire-packing", rel, lineno, line,
+                    "byte-order intrinsic outside src/net/wire.{h,cc} — "
+                    "endianness lives in the WireWriter/WireReader funnel "
+                    "only")
+            if rel.startswith("src/net/") and NET_PACKING_RE.search(line):
+                self.report(
+                    "wire-packing", rel, lineno, line,
+                    "manual byte packing (memcpy/bit_cast) in the net "
+                    "layer — serialize through WireWriter/WireReader so "
+                    "the frame format has one implementation")
         if rel in PACKED_READ_PATH_FILES and LOCK_RE.search(line):
             self.report(
                 "packed-lock", rel, lineno, line,
@@ -311,6 +340,10 @@ SELF_TEST_SEEDS = {
     "raw-file-io": ("src/core/bad_io.cc",
                     '#include <cstdio>\n'
                     'void f() { std::fopen("x", "rb"); }\n'),
+    "wire-packing": ("src/net/bad_packing.cc",
+                     "#include <arpa/inet.h>\n"
+                     "unsigned short f(unsigned short v) "
+                     "{ return htons(v); }\n"),
 }
 
 

@@ -8,6 +8,11 @@
 // is serial; the per-why-not refinement fans out). On a single-core
 // host all rows collapse to ~1x — the speedup column, not the absolute
 // times, is the quantity of interest.
+//
+// Every thread count is its own JSON record (`...-1t` through `...-8t`),
+// so CI can gate the 4-thread row against the 1-thread row within one
+// run; the reporter's `host_cores` field lets the regression checker
+// skip those gates on runners without enough cores to scale.
 
 #include <cstdio>
 #include <vector>
@@ -28,7 +33,8 @@ WhyNotEngine MakeEngine(const Dataset& data, size_t num_threads) {
   return WhyNotEngine(data, options);
 }
 
-void BenchBatchMwq(const Dataset& data, size_t batch_size) {
+void BenchBatchMwq(BenchReporter& reporter, const Dataset& data,
+                   const std::string& config_prefix, size_t batch_size) {
   // One fixed query with a non-trivial reverse skyline, answered for a
   // batch of why-not customers — the paper's Section V batch setting.
   const Point q = data.points[7];
@@ -44,25 +50,30 @@ void BenchBatchMwq(const Dataset& data, size_t batch_size) {
   for (size_t threads : kThreadCounts) {
     // A fresh engine per row so every run pays the same cold caches.
     WhyNotEngine engine = MakeEngine(data, threads);
+    reporter.Begin(StrFormat("%s-%zut", config_prefix.c_str(), threads));
     WallTimer timer;
     const std::vector<MwqResult> results = engine.ModifyBothBatch(whos, q);
     const double ms = timer.ElapsedMillis();
+    reporter.End();
     WNRS_CHECK(results.size() == whos.size());
     if (threads == 1) serial_ms = ms;
     std::printf("%-10zu %-14.1f %-10.2f\n", threads, ms, serial_ms / ms);
   }
 }
 
-void BenchPrecompute(const Dataset& data, size_t k) {
+void BenchPrecompute(BenchReporter& reporter, const Dataset& data,
+                     const std::string& config_prefix, size_t k) {
   std::printf("\n--- PrecomputeApproxDsls (n=%zu, k=%zu) ---\n",
               data.points.size(), k);
   std::printf("%-10s %-14s %-10s\n", "threads", "time (ms)", "speedup");
   double serial_ms = 0.0;
   for (size_t threads : kThreadCounts) {
     WhyNotEngine engine = MakeEngine(data, threads);
+    reporter.Begin(StrFormat("%s-%zut", config_prefix.c_str(), threads));
     WallTimer timer;
     engine.PrecomputeApproxDsls(k);
     const double ms = timer.ElapsedMillis();
+    reporter.End();
     if (threads == 1) serial_ms = ms;
     std::printf("%-10zu %-14.1f %-10.2f\n", threads, ms, serial_ms / ms);
   }
@@ -83,21 +94,17 @@ int main(int argc, char** argv) {
   const size_t k = args.short_mode ? 4 : 8;
 
   const Dataset cardb = MakeDataset("CarDB", n, 9100);
-  reporter.Begin(StrFormat("CarDB-%zuK-batch%zu", n / 1000, batch));
-  BenchBatchMwq(cardb, batch);
-  reporter.End();
-  reporter.Begin(StrFormat("CarDB-%zuK-precompute", n / 1000));
-  BenchPrecompute(cardb, k);
-  reporter.End();
+  BenchBatchMwq(reporter, cardb,
+                StrFormat("CarDB-%zuK-batch%zu", n / 1000, batch), batch);
+  BenchPrecompute(reporter, cardb, StrFormat("CarDB-%zuK-precompute", n / 1000),
+                  k);
 
   if (!args.short_mode) {
     const Dataset anti = MakeDataset("AC", n, 9200);
-    reporter.Begin(StrFormat("AC-%zuK-batch%zu", n / 1000, batch));
-    BenchBatchMwq(anti, batch);
-    reporter.End();
-    reporter.Begin(StrFormat("AC-%zuK-precompute", n / 1000));
-    BenchPrecompute(anti, k);
-    reporter.End();
+    BenchBatchMwq(reporter, anti,
+                  StrFormat("AC-%zuK-batch%zu", n / 1000, batch), batch);
+    BenchPrecompute(reporter, anti, StrFormat("AC-%zuK-precompute", n / 1000),
+                    k);
   }
   return reporter.Write() ? 0 : 1;
 }

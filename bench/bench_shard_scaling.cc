@@ -1,0 +1,123 @@
+// Throughput of batched reverse-skyline answering (the BBRS hot path)
+// across shard counts: one single-core engine as the reference, then the
+// sharded engine at 1/2/4/8 STR tiles over the same catalog, answering
+// the identical query batch.
+//
+// The sharded rows win through the coordinator pool: per-shard
+// candidate generation and per-candidate verification both fan out, and
+// the verification probes are bbox-pruned to the shallow tile trees the
+// membership window actually touches. Candidate generation itself is
+// duplicated work, though — each tile confirms its whole tile-local
+// global skyline, a superset of the global one — so on a single core
+// the sharded rows run *slower* than one engine. The CI gate
+// (`shard_scaling/shards-4/single-engine:wall_ms:1.0@4`) therefore
+// asserts the 4-shard win only where the pool has >= 4 cores to fan
+// out; the parity checksums are asserted everywhere.
+//
+// Every configuration folds its answers into a checksum and the run
+// aborts on any mismatch with the single-engine reference: the rows are
+// only comparable because they are provably computing the same thing.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "shard/sharded_engine.h"
+
+namespace {
+
+using namespace wnrs;
+using namespace wnrs::bench;
+
+constexpr size_t kShardCounts[] = {1, 2, 4, 8};
+
+std::vector<Point> MakeQueries(const Dataset& data, size_t count,
+                               uint64_t seed) {
+  // Jittered data points, like the engine fuzz suites: queries land in
+  // populated space so the reverse skylines are non-trivial. All
+  // distinct, so no row is flattered by the RSL memo.
+  Rng rng(seed);
+  std::vector<Point> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Point q = data.points[rng.NextUint64(data.points.size())];
+    q[0] += rng.NextGaussian(0.0, 300.0);
+    q[1] += rng.NextGaussian(0.0, 1500.0);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+/// Order-sensitive fold of one batch of answers: equal checksums across
+/// configurations mean identical member ids in identical order for every
+/// query.
+template <typename EngineT>
+uint64_t AnswerBatch(const EngineT& engine, const std::vector<Point>& queries) {
+  uint64_t checksum = 0;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const std::vector<size_t> rsl = engine.ReverseSkyline(queries[qi]);
+    checksum = checksum * 1099511628211ULL + qi;
+    for (const size_t id : rsl) {
+      checksum = checksum * 1099511628211ULL + id + 1;
+    }
+  }
+  return checksum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  std::printf(
+      "=== Shard scaling: batched BBRS across STR tile counts ===\n"
+      "hardware threads available: %zu\n",
+      ThreadPool::HardwareConcurrency());
+  BenchReporter reporter("shard_scaling", args);
+
+  const size_t n = args.short_mode ? 8000 : 20000;
+  const size_t num_queries = args.short_mode ? 48 : 160;
+  const Dataset data = MakeDataset("CarDB", n, 9300);
+  const std::vector<Point> queries = MakeQueries(data, num_queries, 77);
+
+  std::printf("\n--- batched reverse skyline (n=%zu, queries=%zu) ---\n", n,
+              num_queries);
+  std::printf("%-16s %-14s %-10s\n", "config", "time (ms)", "speedup");
+
+  // Each configuration is measured exactly once, cold: the queries are
+  // all distinct, so a second pass would answer from the RSL memo and
+  // time the cache, not BBRS.
+  uint64_t reference = 0;
+  double single_ms = 0.0;
+  {
+    WhyNotEngine engine{Dataset(data)};
+    reporter.Begin("single-engine");
+    WallTimer timer;
+    reference = AnswerBatch(engine, queries);
+    single_ms = timer.ElapsedMillis();
+    reporter.End();
+    std::printf("%-16s %-14.1f %-10.2f\n", "single-engine", single_ms, 1.0);
+  }
+
+  for (const size_t shards : kShardCounts) {
+    shard::ShardedEngineOptions options;
+    options.num_shards = shards;
+    const shard::ShardedEngine engine{Dataset(data), options};
+    const std::string config = StrFormat("shards-%zu", shards);
+    reporter.Begin(config);
+    WallTimer timer;
+    const uint64_t checksum = AnswerBatch(engine, queries);
+    const double ms = timer.ElapsedMillis();
+    reporter.End();
+    WNRS_CHECK(checksum == reference)
+        << "sharded answers diverged from the single engine at " << shards
+        << " shards";
+    std::printf("%-16s %-14.1f %-10.2f\n", config.c_str(), ms,
+                single_ms / ms);
+  }
+  std::printf("parity: all configurations matched the single-engine "
+              "checksum %llu\n",
+              static_cast<unsigned long long>(reference));
+  return reporter.Write() ? 0 : 1;
+}

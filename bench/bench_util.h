@@ -16,6 +16,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/engine.h"
 #include "data/generators.h"
@@ -70,6 +71,11 @@ class BenchReporter {
     out += StrFormat("  \"bench\": \"%s\",\n", bench_name_.c_str());
     out += StrFormat("  \"short_mode\": %s,\n",
                      args_.short_mode ? "true" : "false");
+    // The regression checker reads this to skip speedup gates that are
+    // meaningless on hosts with fewer cores than the gate assumes (the
+    // `@MINCORES` suffix in tools/check_bench_regression.py).
+    out += StrFormat("  \"host_cores\": %zu,\n",
+                     ThreadPool::HardwareConcurrency());
     out += "  \"records\": [\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];

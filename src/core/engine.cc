@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "core/strict.h"
 #include "core/validate.h"
 #include "geometry/transform.h"
 #include "index/bulk_load.h"
@@ -327,6 +328,46 @@ struct EngineCore {
                                   : WindowEmpty(*tree, c, q, exclude);
   }
 
+  /// Window hit set Λ(c, q) as ascending product ids (packed dispatch).
+  std::vector<RStarTree::Id> ProductWindowHits(
+      const Point& c, const Point& q,
+      std::optional<RStarTree::Id> exclude) const {
+    return packed_tree != nullptr ? WindowQuery(*packed_tree, c, q, exclude)
+                                  : WindowQuery(*tree, c, q, exclude);
+  }
+
+  /// Window skyline of (c, q) in `origin`'s distance space, ascending ids.
+  std::vector<RStarTree::Id> ProductWindowFrontier(
+      const Point& c, const Point& q, const Point& origin,
+      std::optional<RStarTree::Id> exclude) const {
+    return packed_tree != nullptr
+               ? WindowSkyline(*packed_tree, c, q, origin, exclude)
+               : WindowSkyline(*tree, c, q, origin, exclude);
+  }
+
+  /// DSL(c) over the product index (BBS traversal order; duplicates of a
+  /// skyline point are all reported).
+  std::vector<RStarTree::Id> ProductDynamicSkyline(
+      const Point& c, std::optional<RStarTree::Id> exclude) const {
+    return packed_tree != nullptr ? BbsDynamicSkyline(*packed_tree, c, exclude)
+                                  : BbsDynamicSkyline(*tree, c, exclude);
+  }
+
+  std::vector<RStarTree::Id> ProductGlobalSkylineCandidates(
+      const Point& q, std::optional<RStarTree::Id> exclude) const {
+    return packed_tree != nullptr
+               ? GlobalSkylineCandidates(*packed_tree, q, exclude)
+               : GlobalSkylineCandidates(*tree, q, exclude);
+  }
+
+  /// The probe NudgeToStrictMember and the strict post-passes run on,
+  /// with customer `c`'s own-tuple exclusion bound in.
+  StrictWindowEmptyFn StrictProbeFor(size_t c) const {
+    return [this, c](const Point& cc, const Point& qq) {
+      return ProductWindowEmpty(cc, qq, ExcludeFor(c));
+    };
+  }
+
   std::vector<size_t> ComputeReverseSkyline(const Point& q) const {
     std::vector<RStarTree::Id> ids;
     if (shared_relation) {
@@ -404,27 +445,9 @@ struct EngineCore {
 
   std::optional<Point> NudgeToStrictMember(const Point& c_star, const Point& q,
                                            size_t customer_index) const {
-    double fraction = options.epsilon_fraction;
-    for (int attempt = 0; attempt < 4; ++attempt) {
-      Point nudged = c_star;
-      for (size_t i = 0; i < nudged.dims(); ++i) {
-        const double range = universe.hi()[i] - universe.lo()[i];
-        const double eps = fraction * (range > 0.0 ? range : 1.0);
-        if (q[i] > nudged[i]) {
-          nudged[i] += eps;
-        } else if (q[i] < nudged[i]) {
-          nudged[i] -= eps;
-        }
-      }
-      // Membership of a moved customer: no product may dominate q w.r.t.
-      // the nudged location. The customer's own (old) tuple stays excluded
-      // in the shared-relation setting.
-      if (ProductWindowEmpty(nudged, q, ExcludeFor(customer_index))) {
-        return nudged;
-      }
-      fraction *= 100.0;
-    }
-    return std::nullopt;
+    return NudgeToStrictMemberImpl(c_star, q, universe,
+                                   options.epsilon_fraction,
+                                   StrictProbeFor(customer_index));
   }
 
   /// The query-side twin of NudgeToStrictMember: moves q* epsilon toward
@@ -432,79 +455,27 @@ struct EngineCore {
   /// c_t is a strict member under the nudged query.
   std::optional<Point> NudgeQueryToStrict(const Point& q_star,
                                           size_t customer_index) const {
-    const Point& cp = CustomerPoint(customer_index);
-    double fraction = options.epsilon_fraction;
-    for (int attempt = 0; attempt < 4; ++attempt) {
-      Point nudged = q_star;
-      for (size_t i = 0; i < nudged.dims(); ++i) {
-        const double range = universe.hi()[i] - universe.lo()[i];
-        const double eps = fraction * (range > 0.0 ? range : 1.0);
-        if (cp[i] > nudged[i]) {
-          nudged[i] += eps;
-        } else if (cp[i] < nudged[i]) {
-          nudged[i] -= eps;
-        }
-      }
-      if (ProductWindowEmpty(cp, nudged, ExcludeFor(customer_index))) {
-        return nudged;
-      }
-      fraction *= 100.0;
-    }
-    return std::nullopt;
+    return NudgeQueryToStrictImpl(q_star, CustomerPoint(customer_index),
+                                  universe, options.epsilon_fraction,
+                                  StrictProbeFor(customer_index));
   }
 
-  // Semantics::kStrict post-passes. Each nudges the boundary candidates
-  // into strict membership, recomputes their costs under the same weight
-  // vector, and re-sorts; candidates whose nudge fails (adversarial 2-D
-  // staircase inputs) keep their boundary location.
+  // Semantics::kStrict post-passes (core/strict.h), bound to this core's
+  // window probe and cost model.
 
   void ApplyStrictMwp(size_t c, const Point& q, MwpResult* r) const {
-    if (r->already_member) return;
-    bool changed = false;
-    for (Candidate& cand : r->candidates) {
-      if (std::optional<Point> nudged = NudgeToStrictMember(cand.point, q, c)) {
-        cand.point = *nudged;
-        cand.cost = cost_model.WhyNotMoveCost(CustomerPoint(c), cand.point);
-        changed = true;
-      }
-    }
-    if (changed) SortCandidates(&r->candidates);
+    ApplyStrictMwpImpl(CustomerPoint(c), q, cost_model, universe,
+                       options.epsilon_fraction, StrictProbeFor(c), r);
   }
 
   void ApplyStrictMqp(size_t c, const Point& q, MqpResult* r) const {
-    if (r->already_member) return;
-    bool changed = false;
-    for (Candidate& cand : r->candidates) {
-      if (std::optional<Point> nudged = NudgeQueryToStrict(cand.point, c)) {
-        cand.point = *nudged;
-        cand.cost = cost_model.QueryMoveCost(q, cand.point);
-        changed = true;
-      }
-    }
-    if (changed) SortCandidates(&r->candidates);
+    ApplyStrictMqpImpl(CustomerPoint(c), q, cost_model, universe,
+                       options.epsilon_fraction, StrictProbeFor(c), r);
   }
 
   void ApplyStrictMwq(size_t c, MwqResult* r) const {
-    // Only the C2 why-not movements are nudged: in C1 (and for the C2
-    // query positions) q is confined to the safe region, and pushing it
-    // off the region boundary could sacrifice an existing member — the
-    // one guarantee Algorithm 4 exists to keep.
-    if (r->already_member || r->overlap) return;
-    if (r->query_candidates.empty() || r->why_not_candidates.empty()) return;
-    const Point& q_star = r->query_candidates.front().point;
-    bool changed = false;
-    for (Candidate& cand : r->why_not_candidates) {
-      if (std::optional<Point> nudged =
-              NudgeToStrictMember(cand.point, q_star, c)) {
-        cand.point = *nudged;
-        cand.cost = cost_model.WhyNotMoveCost(CustomerPoint(c), cand.point);
-        changed = true;
-      }
-    }
-    if (changed) {
-      SortCandidates(&r->why_not_candidates);
-      r->best_cost = r->why_not_candidates.front().cost;
-    }
+    ApplyStrictMwqImpl(CustomerPoint(c), cost_model, universe,
+                       options.epsilon_fraction, StrictProbeFor(c), r);
   }
 
   MwpResult ModifyWhyNot(size_t c, const Point& q, Semantics semantics) const {
@@ -873,6 +844,29 @@ double EngineSnapshot::MqpEvaluationCost(const Point& q,
 std::optional<Point> EngineSnapshot::NudgeToStrictMember(
     const Point& c_star, const Point& q, size_t customer_index) const {
   return core_->NudgeToStrictMember(c_star, q, customer_index);
+}
+bool EngineSnapshot::ProbeWindowEmpty(
+    const Point& c, const Point& q,
+    std::optional<RStarTree::Id> exclude) const {
+  return core_->ProductWindowEmpty(c, q, exclude);
+}
+std::vector<RStarTree::Id> EngineSnapshot::ProbeWindowHits(
+    const Point& c, const Point& q,
+    std::optional<RStarTree::Id> exclude) const {
+  return core_->ProductWindowHits(c, q, exclude);
+}
+std::vector<RStarTree::Id> EngineSnapshot::ProbeWindowFrontier(
+    const Point& c, const Point& q, const Point& origin,
+    std::optional<RStarTree::Id> exclude) const {
+  return core_->ProductWindowFrontier(c, q, origin, exclude);
+}
+std::vector<RStarTree::Id> EngineSnapshot::ProbeDynamicSkyline(
+    const Point& c, std::optional<RStarTree::Id> exclude) const {
+  return core_->ProductDynamicSkyline(c, exclude);
+}
+std::vector<RStarTree::Id> EngineSnapshot::ProbeGlobalSkylineCandidates(
+    const Point& q, std::optional<RStarTree::Id> exclude) const {
+  return core_->ProductGlobalSkylineCandidates(q, exclude);
 }
 
 Result<std::vector<size_t>> EngineSnapshot::TryReverseSkyline(

@@ -1,5 +1,7 @@
 #include "core/explain.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "geometry/dominance.h"
 #include "geometry/transform.h"
@@ -12,8 +14,15 @@ WhyNotExplanation ExplainWhyNot(const RStarTree& tree,
                                 const std::vector<Point>& products,
                                 const Point& c_t, const Point& q,
                                 std::optional<RStarTree::Id> exclude_id) {
+  return ExplainWhyNotFromCulprits(
+      products, WindowQuery(tree, c_t, q, exclude_id), q);
+}
+
+WhyNotExplanation ExplainWhyNotFromCulprits(
+    const std::vector<Point>& products, std::vector<RStarTree::Id> culprits,
+    const Point& q) {
   WhyNotExplanation out;
-  out.culprits = WindowQuery(tree, c_t, q, exclude_id);
+  out.culprits = std::move(culprits);
   if (out.culprits.empty()) {
     out.already_member = true;
     return out;

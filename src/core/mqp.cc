@@ -1,5 +1,7 @@
 #include "core/mqp.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "geometry/dominance.h"
@@ -69,14 +71,14 @@ void FinishMqp(const Point& c_t, const Point& q,
 
 }  // namespace
 
-MqpResult ModifyQueryPoint(const RStarTree& tree,
-                           const std::vector<Point>& products,
-                           const Point& c_t, const Point& q,
-                           const CostModel& cost_model, size_t sort_dim,
-                           std::optional<RStarTree::Id> exclude_id) {
+MqpResult ModifyQueryPointFromCulprits(const std::vector<Point>& products,
+                                       std::vector<RStarTree::Id> culprits,
+                                       const Point& c_t, const Point& q,
+                                       const CostModel& cost_model,
+                                       size_t sort_dim) {
   WNRS_CHECK(c_t.dims() == q.dims());
   MqpResult out;
-  out.culprits = WindowQuery(tree, c_t, q, exclude_id);
+  out.culprits = std::move(culprits);
   if (out.culprits.empty()) {
     out.already_member = true;
     out.candidates.push_back({q, 0.0});
@@ -101,14 +103,13 @@ MqpResult ModifyQueryPoint(const RStarTree& tree,
   return out;
 }
 
-MqpResult ModifyQueryPointFast(const RStarTree& tree,
-                               const std::vector<Point>& products,
-                               const Point& c_t, const Point& q,
-                               const CostModel& cost_model, size_t sort_dim,
-                               std::optional<RStarTree::Id> exclude_id) {
+MqpResult ModifyQueryPointFromFrontier(
+    const std::vector<Point>& products,
+    std::vector<RStarTree::Id> frontier_ids, const Point& c_t, const Point& q,
+    const CostModel& cost_model, size_t sort_dim) {
   WNRS_CHECK(c_t.dims() == q.dims());
   MqpResult out;
-  out.culprits = WindowSkyline(tree, c_t, q, /*origin=*/c_t, exclude_id);
+  out.culprits = std::move(frontier_ids);
   if (out.culprits.empty()) {
     out.already_member = true;
     out.candidates.push_back({q, 0.0});
@@ -123,6 +124,28 @@ MqpResult ModifyQueryPointFast(const RStarTree& tree,
   }
   FinishMqp(c_t, q, frontier_t, cost_model, sort_dim, &out);
   return out;
+}
+
+MqpResult ModifyQueryPoint(const RStarTree& tree,
+                           const std::vector<Point>& products,
+                           const Point& c_t, const Point& q,
+                           const CostModel& cost_model, size_t sort_dim,
+                           std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(c_t.dims() == q.dims());
+  return ModifyQueryPointFromCulprits(
+      products, WindowQuery(tree, c_t, q, exclude_id), c_t, q, cost_model,
+      sort_dim);
+}
+
+MqpResult ModifyQueryPointFast(const RStarTree& tree,
+                               const std::vector<Point>& products,
+                               const Point& c_t, const Point& q,
+                               const CostModel& cost_model, size_t sort_dim,
+                               std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(c_t.dims() == q.dims());
+  return ModifyQueryPointFromFrontier(
+      products, WindowSkyline(tree, c_t, q, /*origin=*/c_t, exclude_id), c_t,
+      q, cost_model, sort_dim);
 }
 
 }  // namespace wnrs

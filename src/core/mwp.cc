@@ -1,6 +1,7 @@
 #include "core/mwp.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -95,14 +96,14 @@ void FinishMwp(const Point& c_t, const Point& q,
 
 }  // namespace
 
-MwpResult ModifyWhyNotPoint(const RStarTree& tree,
-                            const std::vector<Point>& products,
-                            const Point& c_t, const Point& q,
-                            const CostModel& cost_model, size_t sort_dim,
-                            std::optional<RStarTree::Id> exclude_id) {
+MwpResult ModifyWhyNotPointFromCulprits(const std::vector<Point>& products,
+                                        std::vector<RStarTree::Id> culprits,
+                                        const Point& c_t, const Point& q,
+                                        const CostModel& cost_model,
+                                        size_t sort_dim) {
   WNRS_CHECK(c_t.dims() == q.dims());
   MwpResult out;
-  out.culprits = WindowQuery(tree, c_t, q, exclude_id);
+  out.culprits = std::move(culprits);
   if (out.culprits.empty()) {
     out.already_member = true;
     out.candidates.push_back({c_t, 0.0});
@@ -128,14 +129,13 @@ MwpResult ModifyWhyNotPoint(const RStarTree& tree,
   return out;
 }
 
-MwpResult ModifyWhyNotPointFast(const RStarTree& tree,
-                                const std::vector<Point>& products,
-                                const Point& c_t, const Point& q,
-                                const CostModel& cost_model, size_t sort_dim,
-                                std::optional<RStarTree::Id> exclude_id) {
+MwpResult ModifyWhyNotPointFromFrontier(
+    const std::vector<Point>& products,
+    std::vector<RStarTree::Id> frontier_ids, const Point& c_t, const Point& q,
+    const CostModel& cost_model, size_t sort_dim) {
   WNRS_CHECK(c_t.dims() == q.dims());
   MwpResult out;
-  out.culprits = WindowSkyline(tree, c_t, q, /*origin=*/q, exclude_id);
+  out.culprits = std::move(frontier_ids);
   if (out.culprits.empty()) {
     out.already_member = true;
     out.candidates.push_back({c_t, 0.0});
@@ -149,6 +149,28 @@ MwpResult ModifyWhyNotPointFast(const RStarTree& tree,
   }
   FinishMwp(c_t, q, frontier, cost_model, sort_dim, &out);
   return out;
+}
+
+MwpResult ModifyWhyNotPoint(const RStarTree& tree,
+                            const std::vector<Point>& products,
+                            const Point& c_t, const Point& q,
+                            const CostModel& cost_model, size_t sort_dim,
+                            std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(c_t.dims() == q.dims());
+  return ModifyWhyNotPointFromCulprits(
+      products, WindowQuery(tree, c_t, q, exclude_id), c_t, q, cost_model,
+      sort_dim);
+}
+
+MwpResult ModifyWhyNotPointFast(const RStarTree& tree,
+                                const std::vector<Point>& products,
+                                const Point& c_t, const Point& q,
+                                const CostModel& cost_model, size_t sort_dim,
+                                std::optional<RStarTree::Id> exclude_id) {
+  WNRS_CHECK(c_t.dims() == q.dims());
+  return ModifyWhyNotPointFromFrontier(
+      products, WindowSkyline(tree, c_t, q, /*origin=*/q, exclude_id), c_t, q,
+      cost_model, sort_dim);
 }
 
 }  // namespace wnrs

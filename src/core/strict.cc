@@ -1,0 +1,118 @@
+#include "core/strict.h"
+
+#include "common/logging.h"
+
+namespace wnrs {
+
+std::optional<Point> NudgeToStrictMemberImpl(
+    const Point& c_star, const Point& q, const Rectangle& universe,
+    double epsilon_fraction, const StrictWindowEmptyFn& window_empty) {
+  double fraction = epsilon_fraction;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Point nudged = c_star;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      const double range = universe.hi()[i] - universe.lo()[i];
+      const double eps = fraction * (range > 0.0 ? range : 1.0);
+      if (q[i] > nudged[i]) {
+        nudged[i] += eps;
+      } else if (q[i] < nudged[i]) {
+        nudged[i] -= eps;
+      }
+    }
+    // Membership of a moved customer: no product may dominate q w.r.t.
+    // the nudged location. The customer's own (old) tuple stays excluded
+    // in the shared-relation setting (bound into the probe).
+    if (window_empty(nudged, q)) {
+      return nudged;
+    }
+    fraction *= 100.0;
+  }
+  return std::nullopt;
+}
+
+std::optional<Point> NudgeQueryToStrictImpl(
+    const Point& q_star, const Point& customer, const Rectangle& universe,
+    double epsilon_fraction, const StrictWindowEmptyFn& window_empty) {
+  double fraction = epsilon_fraction;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Point nudged = q_star;
+    for (size_t i = 0; i < nudged.dims(); ++i) {
+      const double range = universe.hi()[i] - universe.lo()[i];
+      const double eps = fraction * (range > 0.0 ? range : 1.0);
+      if (customer[i] > nudged[i]) {
+        nudged[i] += eps;
+      } else if (customer[i] < nudged[i]) {
+        nudged[i] -= eps;
+      }
+    }
+    if (window_empty(customer, nudged)) {
+      return nudged;
+    }
+    fraction *= 100.0;
+  }
+  return std::nullopt;
+}
+
+void ApplyStrictMwpImpl(const Point& customer, const Point& q,
+                        const CostModel& cost_model,
+                        const Rectangle& universe, double epsilon_fraction,
+                        const StrictWindowEmptyFn& window_empty,
+                        MwpResult* r) {
+  if (r->already_member) return;
+  bool changed = false;
+  for (Candidate& cand : r->candidates) {
+    if (std::optional<Point> nudged = NudgeToStrictMemberImpl(
+            cand.point, q, universe, epsilon_fraction, window_empty)) {
+      cand.point = *nudged;
+      cand.cost = cost_model.WhyNotMoveCost(customer, cand.point);
+      changed = true;
+    }
+  }
+  if (changed) SortCandidates(&r->candidates);
+}
+
+void ApplyStrictMqpImpl(const Point& customer, const Point& q,
+                        const CostModel& cost_model,
+                        const Rectangle& universe, double epsilon_fraction,
+                        const StrictWindowEmptyFn& window_empty,
+                        MqpResult* r) {
+  if (r->already_member) return;
+  bool changed = false;
+  for (Candidate& cand : r->candidates) {
+    if (std::optional<Point> nudged = NudgeQueryToStrictImpl(
+            cand.point, customer, universe, epsilon_fraction, window_empty)) {
+      cand.point = *nudged;
+      cand.cost = cost_model.QueryMoveCost(q, cand.point);
+      changed = true;
+    }
+  }
+  if (changed) SortCandidates(&r->candidates);
+}
+
+void ApplyStrictMwqImpl(const Point& customer, const CostModel& cost_model,
+                        const Rectangle& universe, double epsilon_fraction,
+                        const StrictWindowEmptyFn& window_empty,
+                        MwqResult* r) {
+  // Only the C2 why-not movements are nudged: in C1 (and for the C2
+  // query positions) q is confined to the safe region, and pushing it
+  // off the region boundary could sacrifice an existing member — the
+  // one guarantee Algorithm 4 exists to keep.
+  if (r->already_member || r->overlap) return;
+  if (r->query_candidates.empty() || r->why_not_candidates.empty()) return;
+  const Point& q_star = r->query_candidates.front().point;
+  bool changed = false;
+  for (Candidate& cand : r->why_not_candidates) {
+    if (std::optional<Point> nudged = NudgeToStrictMemberImpl(
+            cand.point, q_star, universe, epsilon_fraction, window_empty)) {
+      cand.point = *nudged;
+      cand.cost = cost_model.WhyNotMoveCost(customer, cand.point);
+      changed = true;
+    }
+  }
+  if (changed) {
+    SortCandidates(&r->why_not_candidates);
+    r->best_cost = r->why_not_candidates.front().cost;
+  }
+}
+
+}  // namespace wnrs

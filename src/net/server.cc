@@ -35,6 +35,16 @@ Result<std::unique_ptr<WnrsServer>> WnrsServer::Start(
   if (engine == nullptr) {
     return Status::InvalidArgument("WnrsServer needs an engine");
   }
+  return Start(std::make_shared<const serve::EngineBackend>(engine),
+               std::move(options));
+}
+
+Result<std::unique_ptr<WnrsServer>> WnrsServer::Start(
+    std::shared_ptr<const serve::QueryBackend> backend,
+    ServerOptions options) {
+  if (backend == nullptr) {
+    return Status::InvalidArgument("WnrsServer needs a backend");
+  }
   auto listen_fd =
       TcpListen(options.host, options.port, options.listen_backlog);
   if (!listen_fd.ok()) return listen_fd.status();
@@ -43,17 +53,19 @@ Result<std::unique_ptr<WnrsServer>> WnrsServer::Start(
     CloseFd(listen_fd.value());
     return port.status();
   }
-  return std::make_unique<WnrsServer>(PrivateTag{}, engine, std::move(options),
-                                      listen_fd.value(), port.value());
+  return std::make_unique<WnrsServer>(PrivateTag{}, std::move(backend),
+                                      std::move(options), listen_fd.value(),
+                                      port.value());
 }
 
-WnrsServer::WnrsServer(PrivateTag, const WhyNotEngine* engine,
+WnrsServer::WnrsServer(PrivateTag,
+                       std::shared_ptr<const serve::QueryBackend> backend,
                        ServerOptions options, int listen_fd, uint16_t port)
     : options_(std::move(options)),
       listen_fd_(listen_fd),
       port_(port),
       scheduler_(std::make_unique<serve::RequestScheduler>(
-          engine, options_.scheduler)) {
+          std::move(backend), options_.scheduler)) {
   acceptor_ = std::thread([this] { AcceptLoop(); });
 }
 

@@ -67,12 +67,18 @@ class WnrsServer {
 
  public:
   /// Binds, listens, and starts the accept thread. The engine must
-  /// outlive the server.
+  /// outlive the server. Convenience form of the backend overload below.
   static Result<std::unique_ptr<WnrsServer>> Start(const WhyNotEngine* engine,
                                                    ServerOptions options = {});
 
-  WnrsServer(PrivateTag, const WhyNotEngine* engine, ServerOptions options,
-             int listen_fd, uint16_t port);
+  /// Serves any QueryBackend (serve/backend.h): a single engine or the
+  /// sharded engine, over the identical wire protocol.
+  static Result<std::unique_ptr<WnrsServer>> Start(
+      std::shared_ptr<const serve::QueryBackend> backend,
+      ServerOptions options = {});
+
+  WnrsServer(PrivateTag, std::shared_ptr<const serve::QueryBackend> backend,
+             ServerOptions options, int listen_fd, uint16_t port);
 
   ~WnrsServer();
 

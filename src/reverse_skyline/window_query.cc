@@ -41,6 +41,9 @@ std::vector<RStarTree::Id> WindowQuery(
                         if (InWindow(mbr.lo(), c, q)) out.push_back(id);
                         return true;
                       });
+  // Traversal order depends on tree shape; ascending ids make the hit
+  // list canonical so sharded unions can merge bit-identically.
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -203,6 +206,8 @@ std::vector<PackedRTree::Id> WindowQuery(
                      }
                      return true;
                    });
+  // Same canonical ascending order as the dynamic variant.
+  std::sort(out.begin(), out.end());
   return out;
 }
 

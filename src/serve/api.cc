@@ -162,16 +162,5 @@ const MwqResult& WhyNotResponse::mwq() const {
   return held != nullptr ? *held : kEmpty;
 }
 
-LegacyWhyNotPayload LegacyPayload(const WhyNotResponse& response) {
-  LegacyWhyNotPayload legacy;
-  legacy.reverse_skyline = response.reverse_skyline();
-  legacy.explanation = response.explanation();
-  legacy.mwp = response.mwp();
-  legacy.mqp = response.mqp();
-  legacy.safe_region = response.safe_region();
-  legacy.mwq = response.mwq();
-  return legacy;
-}
-
 }  // namespace serve
 }  // namespace wnrs

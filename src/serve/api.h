@@ -161,19 +161,6 @@ struct WhyNotResponse {
   const MwqResult& mwq() const;
 };
 
-/// Deprecated shim (this PR only, removed next PR): materializes the
-/// pre-variant layout for callers still written against the six parallel
-/// payload fields. New code reads the typed accessors instead.
-struct LegacyWhyNotPayload {
-  std::vector<size_t> reverse_skyline;
-  WhyNotExplanation explanation;
-  MwpResult mwp;
-  MqpResult mqp;
-  std::shared_ptr<const SafeRegionResult> safe_region;
-  MwqResult mwq;
-};
-LegacyWhyNotPayload LegacyPayload(const WhyNotResponse& response);
-
 }  // namespace serve
 }  // namespace wnrs
 

@@ -29,7 +29,14 @@ WhyNotResponse UnavailableResponse(RequestKind kind, const char* message) {
 
 RequestScheduler::RequestScheduler(const WhyNotEngine* engine,
                                    SchedulerOptions options)
-    : engine_(engine), options_(options), paused_(options.start_paused) {
+    : RequestScheduler(std::make_shared<const EngineBackend>(engine),
+                       options) {}
+
+RequestScheduler::RequestScheduler(
+    std::shared_ptr<const QueryBackend> backend, SchedulerOptions options)
+    : backend_(std::move(backend)),
+      options_(options),
+      paused_(options.start_paused) {
   dispatcher_ = std::thread(&RequestScheduler::DispatcherLoop, this);
 }
 
@@ -170,7 +177,7 @@ void RequestScheduler::DispatcherLoop() {
 }
 
 WhyNotResponse RequestScheduler::ExecuteOne(
-    const EngineSnapshot& snapshot, const WhyNotRequest& request) const {
+    const QuerySnapshot& snapshot, const WhyNotRequest& request) const {
   WhyNotResponse response;
   response.kind = request.kind;
   switch (request.kind) {
@@ -258,9 +265,9 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
   }
 
   // One snapshot for the whole batch: every request is answered against
-  // the same immutable engine state, and the batch keeps it pinned even
+  // the same immutable backend state, and the batch keeps it pinned even
   // if a mutation publishes a newer one mid-flight.
-  EngineSnapshot snapshot = engine_->Snapshot();
+  const std::shared_ptr<const QuerySnapshot> snapshot = backend_->Snapshot();
 
   struct Slot {
     Pending pending;
@@ -314,7 +321,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
       std::vector<size_t> whos;
       whos.reserve(group.size());
       for (size_t i : group) whos.push_back(slots[i].pending.request.c);
-      Result<std::vector<MwqResult>> res = snapshot.TryModifyBothBatch(
+      Result<std::vector<MwqResult>> res = snapshot->TryModifyBothBatch(
           whos, slots[group.front()].pending.request.q, use_approx,
           semantics);
       if (!res.ok()) continue;  // Some input invalid: fall through to
@@ -331,7 +338,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
 
   for (Slot& slot : slots) {
     if (!slot.done) {
-      WhyNotResponse computed = ExecuteOne(snapshot, slot.pending.request);
+      WhyNotResponse computed = ExecuteOne(*snapshot, slot.pending.request);
       computed.shared_batch = slot.response.shared_batch;
       computed.queue_wait = slot.response.queue_wait;
       slot.response = std::move(computed);

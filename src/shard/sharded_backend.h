@@ -1,0 +1,32 @@
+#ifndef WNRS_SHARD_SHARDED_BACKEND_H_
+#define WNRS_SHARD_SHARDED_BACKEND_H_
+
+#include <memory>
+
+#include "serve/backend.h"
+#include "shard/sharded_engine.h"
+
+namespace wnrs {
+namespace shard {
+
+/// serve::QueryBackend over a ShardedEngine: the adapter that puts the
+/// sharded execution layout behind the same scheduler, server, and wire
+/// protocol as the single-core engine. Each Snapshot() pins one
+/// ShardedSnapshot (and with it every per-shard engine core), so dispatch
+/// batches are isolated from concurrent tile re-freezes.
+///
+/// The engine must outlive the backend.
+class ShardedBackend : public serve::QueryBackend {
+ public:
+  explicit ShardedBackend(const ShardedEngine* engine);
+
+  std::shared_ptr<const serve::QuerySnapshot> Snapshot() const override;
+
+ private:
+  const ShardedEngine* engine_;
+};
+
+}  // namespace shard
+}  // namespace wnrs
+
+#endif  // WNRS_SHARD_SHARDED_BACKEND_H_

@@ -370,24 +370,6 @@ TEST(ServeTest, SubmitAfterShutdownFulfillsImmediately) {
   EXPECT_EQ(f.get().status.code(), StatusCode::kUnavailable);
 }
 
-// Deprecated compatibility shim (removed next PR): LegacyPayload
-// materializes the old six-field layout from the variant.
-TEST(ServeTest, LegacyPayloadShimMatchesAccessors) {
-  const WhyNotEngine engine = MakeEngine();
-  RequestScheduler scheduler(&engine);
-  const Point q = engine.products().points[3];
-
-  const WhyNotResponse r =
-      scheduler.SubmitAndWait(MakeRequest(RequestKind::kModifyBoth, q, 11));
-  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
-  const LegacyWhyNotPayload legacy = LegacyPayload(r);
-  EXPECT_EQ(legacy.mwq.best_cost, r.mwq().best_cost);
-  EXPECT_EQ(legacy.mwq.query_candidates.size(),
-            r.mwq().query_candidates.size());
-  EXPECT_TRUE(legacy.reverse_skyline.empty());
-  EXPECT_EQ(legacy.safe_region, nullptr);
-}
-
 TEST(ServeTest, ShutdownFailsQueuedRequests) {
   const WhyNotEngine engine = MakeEngine();
   SchedulerOptions options;

@@ -35,12 +35,20 @@ benches listed in NONDETERMINISTIC_BENCHES gate on wall time only.
 Improvement gates compare two configs *within the current run*, so they
 are immune to cross-host noise. Each (repeatable) spec
 
-  --improvement BENCH/FAST/SLOW[:METRIC[:FLOOR]]
+  --improvement BENCH/FAST/SLOW[:METRIC[:FLOOR]][@MINCORES]
 
 asserts that config FAST of bench BENCH scores strictly less than config
 SLOW times FLOOR (default 1.0) on METRIC (default wall_ms; counter names
 work too). The packed-read-path bench uses this to make "packed beats
 dynamic" a CI invariant rather than a claim.
+
+A trailing @MINCORES guards speedup gates that only hold with real
+parallelism: the spec is skipped (with a printed notice) when the bench
+report's `host_cores` field — std::thread::hardware_concurrency() at run
+time, recorded by BenchReporter — is below MINCORES. A report without
+the field counts as unknown and is skipped too. Use it for gates like
+"4 shards beat one engine" or "4 threads beat 1", which are true on the
+4-core CI runners but meaningless on a 1-core dev container.
 
 Exit codes: 0 = pass, 1 = regression or missing data, 2 = usage error.
 """
@@ -103,7 +111,16 @@ def records_by_config(doc):
 
 
 def parse_improvement(spec):
-    """Parses BENCH/FAST/SLOW[:METRIC[:FLOOR]] into its five parts."""
+    """Parses BENCH/FAST/SLOW[:METRIC[:FLOOR]][@MINCORES] into its parts."""
+    min_cores = 0
+    if "@" in spec:
+        spec, _, cores_part = spec.rpartition("@")
+        try:
+            min_cores = int(cores_part)
+        except ValueError:
+            print(f"error: bad @MINCORES in --improvement spec "
+                  f"'{spec}@{cores_part}'", file=sys.stderr)
+            sys.exit(2)
     path = spec
     metric = "wall_ms"
     floor = 1.0
@@ -126,9 +143,10 @@ def parse_improvement(spec):
     pieces = path.split("/")
     if len(pieces) != 3 or not all(pieces):
         print(f"error: malformed --improvement spec '{spec}' "
-              f"(want BENCH/FAST/SLOW[:METRIC[:FLOOR]])", file=sys.stderr)
+              f"(want BENCH/FAST/SLOW[:METRIC[:FLOOR]][@MINCORES])",
+              file=sys.stderr)
         sys.exit(2)
-    return pieces[0], pieces[1], pieces[2], metric, floor
+    return pieces[0], pieces[1], pieces[2], metric, floor, min_cores
 
 
 def metric_value(rec, metric):
@@ -144,12 +162,19 @@ def check_improvements(current, specs):
     """Within-run gates: FAST must score < SLOW * FLOOR on METRIC."""
     failures = []
     for spec in specs:
-        bench, fast_cfg, slow_cfg, metric, floor = parse_improvement(spec)
+        bench, fast_cfg, slow_cfg, metric, floor, min_cores = \
+            parse_improvement(spec)
         doc = current.get(bench)
         if doc is None:
             failures.append(f"{bench}: bench missing, cannot check "
                             f"improvement '{spec}'")
             continue
+        if min_cores:
+            host_cores = int(doc.get("host_cores", 0))
+            if host_cores < min_cores:
+                print(f"improvement skipped: '{spec}' needs >= {min_cores} "
+                      f"cores, bench ran on {host_cores or 'unknown'}")
+                continue
         recs = records_by_config(doc)
         missing = [c for c in (fast_cfg, slow_cfg) if c not in recs]
         if missing:
@@ -264,7 +289,7 @@ def main():
                              "like the serve-loadtest job, which produces "
                              "only loadgen.json. Repeatable.")
     parser.add_argument("--improvement", action="append", default=[],
-                        metavar="BENCH/FAST/SLOW[:METRIC[:FLOOR]]",
+                        metavar="BENCH/FAST/SLOW[:METRIC[:FLOOR]][@MINCORES]",
                         help="require config FAST to beat config SLOW within "
                              "the current run — a same-host comparison that "
                              "is immune to runner speed variance, unlike the "
@@ -274,7 +299,10 @@ def main():
                              "'config' names inside its records; METRIC is "
                              "wall_ms (default) or any counter key; FLOOR "
                              "is the minimum SLOW/FAST ratio (default 1.0, "
-                             "so 1.10 demands FAST win by >=10%%). "
+                             "so 1.10 demands FAST win by >=10%%); a "
+                             "trailing @MINCORES skips the spec when the "
+                             "report's host_cores is below MINCORES (for "
+                             "parallel-speedup gates on small runners). "
                              "Repeatable; every spec must pass. Example: "
                              "--improvement packed_read_path/bbs-packed/"
                              "bbs-dynamic:wall_ms:1.05")

@@ -1,0 +1,76 @@
+# Configure-time proof that Clang Thread Safety Analysis actually fires on
+# the capability annotations in src/common/annotated_mutex.h. Only
+# included when WNRS_THREAD_SAFETY is ON under Clang.
+#
+# Each seeded-violation snippet in tests/thread_safety/ is compiled twice:
+#
+#   1. control — analysis warnings NOT promoted to errors. The snippet
+#      must COMPILE, proving it is valid C++; without this leg a snippet
+#      broken by an unrelated syntax error would count as "rejected"
+#      although the analysis never fired.
+#   2. enforce — -Werror=thread-safety(-beta). The snippet must FAIL,
+#      proving the rejection comes from the analysis itself.
+#
+# ok_locking.cc is the positive control: correct locking through every
+# wrapper (MutexLock, ReaderLock, ReleasableLock, the CondVar wait loop,
+# REQUIRES helpers) must stay clean under full enforcement — guarding
+# against over-broad annotations that would reject the real tree.
+
+set(WNRS_TS_SNIPPET_DIR ${CMAKE_SOURCE_DIR}/tests/thread_safety)
+set(WNRS_TS_BASE_FLAGS "-Wthread-safety -Wthread-safety-beta")
+set(WNRS_TS_ERROR_FLAGS
+    "${WNRS_TS_BASE_FLAGS} -Werror=thread-safety -Werror=thread-safety-beta")
+
+function(wnrs_thread_safety_try_compile snippet flags result_var log_var)
+  try_compile(_wnrs_ts_ok ${CMAKE_BINARY_DIR}/thread_safety_check
+    SOURCES ${WNRS_TS_SNIPPET_DIR}/${snippet}
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_FLAGS=${flags}"
+    LINK_LIBRARIES Threads::Threads
+    CXX_STANDARD 20
+    CXX_STANDARD_REQUIRED ON
+    OUTPUT_VARIABLE _wnrs_ts_log)
+  set(${result_var} ${_wnrs_ts_ok} PARENT_SCOPE)
+  set(${log_var} "${_wnrs_ts_log}" PARENT_SCOPE)
+endfunction()
+
+# One entry per seeded violation; keep in sync with tests/thread_safety/
+# (DESIGN.md §16 documents what each one seeds).
+set(WNRS_TS_VIOLATIONS
+    unguarded_read.cc
+    missing_requires.cc
+    double_acquire.cc
+    missing_release.cc
+    excludes_violation.cc)
+
+foreach(snippet IN LISTS WNRS_TS_VIOLATIONS)
+  wnrs_thread_safety_try_compile(${snippet} "${WNRS_TS_BASE_FLAGS}"
+                                 control_ok control_log)
+  if(NOT control_ok)
+    message(FATAL_ERROR
+            "Thread-safety harness: control build of ${snippet} failed — the "
+            "snippet is not valid C++, so its rejection would prove nothing.\n"
+            "${control_log}")
+  endif()
+  wnrs_thread_safety_try_compile(${snippet} "${WNRS_TS_ERROR_FLAGS}"
+                                 enforce_ok enforce_log)
+  if(enforce_ok)
+    message(FATAL_ERROR
+            "Thread-safety harness: the analysis failed to reject ${snippet} "
+            "— a seeded locking violation compiled clean under "
+            "-Werror=thread-safety. The annotations in annotated_mutex.h "
+            "have lost their teeth.")
+  endif()
+  message(STATUS "Thread-safety harness: ${snippet} rejected as expected")
+endforeach()
+
+wnrs_thread_safety_try_compile(ok_locking.cc "${WNRS_TS_ERROR_FLAGS}"
+                               positive_ok positive_log)
+if(NOT positive_ok)
+  message(FATAL_ERROR
+          "Thread-safety harness: ok_locking.cc (correct locking through "
+          "every wrapper) was rejected — the annotations are over-broad.\n"
+          "${positive_log}")
+endif()
+message(STATUS "Thread-safety harness: ok_locking.cc compiles clean")

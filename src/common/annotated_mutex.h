@@ -1,0 +1,235 @@
+#ifndef WNRS_COMMON_ANNOTATED_MUTEX_H_
+#define WNRS_COMMON_ANNOTATED_MUTEX_H_
+
+// Capability-annotated locking primitives: the one place in the repo that
+// may name std::mutex / std::shared_mutex / std::condition_variable
+// (tools/wnrs_lint.py rule `raw-mutex` enforces the funnel). Every
+// subsystem locks through wnrs::Mutex / wnrs::SharedMutex / wnrs::CondVar
+// and the RAII guards below, so Clang Thread Safety Analysis
+// (-Wthread-safety, the WNRS_THREAD_SAFETY build option and the
+// `thread-safety` CI job) can prove at compile time that
+//
+//   - every WNRS_GUARDED_BY field is only touched with its mutex held,
+//   - every WNRS_REQUIRES helper is only called with the lock held,
+//   - no lock is acquired twice or leaked past a function's end.
+//
+// Under non-Clang compilers the attribute macros expand to nothing and
+// the wrappers compile down to the plain std types — zero overhead, no
+// behavioural difference. DESIGN.md §16 documents the capability model
+// and the repo's lock-ordering rules; tests/thread_safety/ holds the
+// negative-compile snippets proving the analysis fires.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// --- Attribute macros ------------------------------------------------------
+//
+// Names follow the canonical mutex.h from the Clang TSA documentation,
+// prefixed WNRS_ like the rest of the repo's macros.
+
+#if defined(__clang__)
+#define WNRS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define WNRS_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define WNRS_CAPABILITY(x) WNRS_THREAD_ANNOTATION_(capability(x))
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define WNRS_SCOPED_CAPABILITY WNRS_THREAD_ANNOTATION_(scoped_lockable)
+/// Field may only be read/written with the named mutex held.
+#define WNRS_GUARDED_BY(x) WNRS_THREAD_ANNOTATION_(guarded_by(x))
+/// Pointer field whose *pointee* is guarded by the named mutex.
+#define WNRS_PT_GUARDED_BY(x) WNRS_THREAD_ANNOTATION_(pt_guarded_by(x))
+/// Function may only be called with the named mutex(es) held exclusively.
+#define WNRS_REQUIRES(...) \
+  WNRS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+/// Function may only be called with the named mutex(es) held (shared ok).
+#define WNRS_REQUIRES_SHARED(...) \
+  WNRS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex(es) (held on return, not on entry).
+#define WNRS_ACQUIRE(...) \
+  WNRS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define WNRS_ACQUIRE_SHARED(...) \
+  WNRS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the mutex(es) (held on entry, not on return).
+#define WNRS_RELEASE(...) \
+  WNRS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define WNRS_RELEASE_SHARED(...) \
+  WNRS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex iff it returns the given value.
+#define WNRS_TRY_ACQUIRE(...) \
+  WNRS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+/// Function must NOT be called with the named mutex(es) held (deadlock
+/// guard for self-calling APIs).
+#define WNRS_EXCLUDES(...) WNRS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named mutex (accessor pattern).
+#define WNRS_RETURN_CAPABILITY(x) WNRS_THREAD_ANNOTATION_(lock_returned(x))
+/// Opts a function out of the analysis. Every use MUST carry a
+/// `// Justification:` comment explaining why the protocol holds anyway
+/// (see DESIGN.md §16 for the acceptable cases — init/teardown phases
+/// proven single-threaded by joins, and conservative analysis limits).
+#define WNRS_NO_THREAD_SAFETY_ANALYSIS \
+  WNRS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace wnrs {
+
+class CondVar;
+
+/// std::mutex carrying the `capability` attribute. Prefer the RAII guards
+/// below; Lock/Unlock exist for the rare hand-over-hand pattern and for
+/// the negative-compile harness.
+class WNRS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() WNRS_ACQUIRE() { mu_.lock(); }
+  void Unlock() WNRS_RELEASE() { mu_.unlock(); }
+  bool TryLock() WNRS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex carrying the `capability` attribute: exclusive
+/// writers (MutexLock) against concurrent shared readers (ReaderLock).
+class WNRS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() WNRS_ACQUIRE() { mu_.lock(); }
+  void Unlock() WNRS_RELEASE() { mu_.unlock(); }
+  void LockShared() WNRS_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() WNRS_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over a Mutex or a SharedMutex; the drop-in
+/// replacement for std::lock_guard at every locking site in the repo.
+class WNRS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WNRS_ACQUIRE(mu) : mu_(&mu) { mu_->Lock(); }
+  explicit MutexLock(SharedMutex& mu) WNRS_ACQUIRE(mu) : shared_(&mu) {
+    shared_->Lock();
+  }
+  ~MutexLock() WNRS_RELEASE() {
+    if (mu_ != nullptr) {
+      mu_->Unlock();
+    } else {
+      shared_->Unlock();
+    }
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_ = nullptr;
+  SharedMutex* shared_ = nullptr;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex: many ReaderLock
+/// holders may overlap; WNRS_GUARDED_BY fields are readable, not
+/// writable, under it.
+class WNRS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) WNRS_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() WNRS_RELEASE() { mu_.UnlockShared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive lock that can be released before the end of scope —
+/// the annotated replacement for the `unique_lock` + early `unlock()`
+/// pattern (e.g. dropping the queue lock before fulfilling a promise).
+class WNRS_SCOPED_CAPABILITY ReleasableLock {
+ public:
+  explicit ReleasableLock(Mutex& mu) WNRS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->Lock();
+  }
+  ~ReleasableLock() WNRS_RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+
+  /// Releases the lock now; the destructor becomes a no-op. May be
+  /// called at most once.
+  void Release() WNRS_RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableLock(const ReleasableLock&) = delete;
+  ReleasableLock& operator=(const ReleasableLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to wnrs::Mutex. Wait takes the *Mutex* (the
+/// caller already holds it — enforced by WNRS_REQUIRES), not a lock
+/// object, so scoped guards stay usable around the wait loop:
+///
+///   MutexLock lock(mu_);
+///   while (!wake_condition) cv_.Wait(mu_);   // loop re-checks; see below
+///
+/// Wait deliberately has no predicate overload: Clang's analysis treats
+/// lambda bodies as separate uninstrumented functions, so a predicate
+/// lambda reading WNRS_GUARDED_BY fields would defeat the very checking
+/// this header exists for. Callers therefore loop at the call site —
+/// which is also exactly the shape clang-tidy's
+/// bugprone-spuriously-wake-up-functions demands.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires `mu` before
+  /// returning. Spurious wakeups happen: always call in a loop that
+  /// re-checks the condition.
+  void Wait(Mutex& mu) WNRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    // The caller is required (and statically checked) to re-test its
+    // condition in a loop around this call — the wrapper cannot see the
+    // condition, so the loop cannot live here.
+    cv_.wait(lk);  // NOLINT(bugprone-spuriously-wake-up-functions)
+    lk.release();
+  }
+
+  /// Timed Wait; returns false on timeout (condition must be re-checked
+  /// either way, in the caller's loop).
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      WNRS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lk, timeout);  // NOLINT(bugprone-spuriously-wake-up-functions)
+    lk.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wnrs
+
+#endif  // WNRS_COMMON_ANNOTATED_MUTEX_H_

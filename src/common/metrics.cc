@@ -1,9 +1,9 @@
 #include "common/metrics.h"
 
 #include <bit>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/string_util.h"
 
 namespace wnrs {
@@ -85,10 +85,12 @@ struct MetricsRegistry::Shard {
 
 struct MetricsRegistry::Impl {
   /// Guards `shards` and `retired`; never taken by Add/Record.
-  mutable std::mutex mu;
-  std::vector<Shard*> shards;
-  /// Folded totals of threads that have exited.
-  Shard retired;
+  mutable Mutex mu;
+  std::vector<Shard*> shards WNRS_GUARDED_BY(mu);
+  /// Folded totals of threads that have exited. The Shard itself is all
+  /// atomics; mu only guards its membership in the fold set (merging a
+  /// retiring thread's cells into it races with readers otherwise).
+  Shard retired WNRS_GUARDED_BY(mu);
   std::atomic<int64_t> gauges[kNumGauges] = {};
   std::atomic<uint64_t> hist_min[kNumHistograms];
   std::atomic<uint64_t> hist_max[kNumHistograms] = {};
@@ -164,7 +166,7 @@ MetricsRegistry::~MetricsRegistry() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     for (Shard* shard : impl_->shards) delete shard;
     impl_->shards.clear();
   }
@@ -180,7 +182,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
   }
   Shard* shard = new Shard();
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     if (dir.count >= ShardDirectory::kMaxRegistries) {
       // Directory overflow (a thread reporting into 17+ registries):
       // fold the increment target into `retired` instead of tracking a
@@ -196,7 +198,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
 }
 
 void MetricsRegistry::Unregister(Shard* shard) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   shard->MergeInto(&impl_->retired);
   for (size_t i = 0; i < impl_->shards.size(); ++i) {
     if (impl_->shards[i] == shard) {
@@ -228,7 +230,7 @@ void MetricsRegistry::Record(HistogramId id, uint64_t value) {
 
 uint64_t MetricsRegistry::CounterValue(CounterId id) const {
   const size_t i = Index(id);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   uint64_t total = impl_->retired.counters[i].load(std::memory_order_relaxed);
   for (const Shard* shard : impl_->shards) {
     total += shard->counters[i].load(std::memory_order_relaxed);
@@ -243,7 +245,7 @@ int64_t MetricsRegistry::GaugeValue(GaugeId id) const {
 HistogramSnapshot MetricsRegistry::HistogramValue(HistogramId id) const {
   const size_t h = Index(id);
   HistogramSnapshot snap;
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   auto merge = [&](const Shard& shard) {
     snap.count += shard.hist_count[h].load(std::memory_order_relaxed);
     snap.sum += shard.hist_sum[h].load(std::memory_order_relaxed);
@@ -264,7 +266,7 @@ HistogramSnapshot MetricsRegistry::HistogramValue(HistogramId id) const {
 QueryStats MetricsRegistry::CaptureQueryStats() const {
   uint64_t totals[kNumCounters] = {};
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    MutexLock lock(impl_->mu);
     auto merge = [&](const Shard& shard) {
       for (size_t i = 0; i < kNumCounters; ++i) {
         totals[i] += shard.counters[i].load(std::memory_order_relaxed);
@@ -311,7 +313,7 @@ QueryStats MetricsRegistry::CaptureQueryStats() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   impl_->retired.Zero();
   for (Shard* shard : impl_->shards) shard->Zero();
   for (size_t g = 0; g < kNumGauges; ++g) {

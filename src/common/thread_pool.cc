@@ -29,10 +29,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -48,8 +48,8 @@ void ThreadPool::RunJob(Job* job) {
     // acq_rel so the submitter's acquire read of `completed == total`
     // orders every loop body's writes before ParallelFor returns.
     if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-      std::lock_guard<std::mutex> lock(mu_);
-      done_cv_.notify_all();
+      MutexLock lock(mu_);
+      done_cv_.NotifyAll();
     }
   }
   if (executed > 0) MetricAdd(CounterId::kPoolTasksExecuted, executed);
@@ -61,10 +61,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && job_seq_ != last_seq);
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && !(job_ != nullptr && job_seq_ != last_seq)) {
+        work_cv_.Wait(mu_);
+      }
       if (stop_) return;
       job = job_;
       last_seq = job_seq_;
@@ -77,9 +77,9 @@ void ThreadPool::WorkerLoop() {
                          .count()));
     RunJob(job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --job->active;
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -96,7 +96,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
     return;
   }
 
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(submit_mu_);
   MetricAdd(CounterId::kPoolParallelFors);
   Job job;
   job.begin = begin;
@@ -105,18 +105,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end,
   job.next.store(begin, std::memory_order_relaxed);
   job.submitted = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &job;
     ++job_seq_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunJob(&job);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-      return job.completed.load(std::memory_order_acquire) == total &&
-             job.active == 0;
-    });
+    MutexLock lock(mu_);
+    while (!(job.completed.load(std::memory_order_acquire) == total &&
+             job.active == 0)) {
+      done_cv_.Wait(mu_);
+    }
     job_ = nullptr;
   }
 }

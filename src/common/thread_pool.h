@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_mutex.h"
 
 namespace wnrs {
 
@@ -74,6 +74,9 @@ class ThreadPool {
     const std::function<void(size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
+    /// Guarded by the owning pool's mu_ (GUARDED_BY cannot name another
+    /// object's mutex, so the protocol is documented rather than
+    /// annotated here; every access site locks mu_).
     int active = 0;
     /// Submission time, for the queue-wait histogram.
     std::chrono::steady_clock::time_point submitted;
@@ -86,15 +89,16 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   /// Serializes concurrent ParallelFor submissions from distinct threads.
-  std::mutex submit_mu_;
+  /// Ordered strictly before mu_ (never acquire submit_mu_ with mu_ held).
+  Mutex submit_mu_;
 
   /// Guards job_, job_seq_, stop_, and Job::active.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Workers wait here for a new job.
-  std::condition_variable done_cv_;  // The submitter waits for completion.
-  Job* job_ = nullptr;
-  uint64_t job_seq_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // Workers wait here for a new job.
+  CondVar done_cv_;  // The submitter waits for completion.
+  Job* job_ WNRS_GUARDED_BY(mu_) = nullptr;
+  uint64_t job_seq_ WNRS_GUARDED_BY(mu_) = 0;
+  bool stop_ WNRS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wnrs

@@ -118,14 +118,15 @@ struct EngineCore {
   // Derived caches. Mutex-guarded FIFO memos keyed by query point; the
   // values are shared_ptr (safe-region) or plain vectors (RSL) and are
   // computed outside the lock, first insert wins.
-  mutable std::mutex rsl_mu;
-  mutable std::vector<std::pair<Point, std::vector<size_t>>> rsl_memo;
-  mutable std::mutex sr_mu;
+  mutable Mutex rsl_mu;
+  mutable std::vector<std::pair<Point, std::vector<size_t>>> rsl_memo
+      WNRS_GUARDED_BY(rsl_mu);
+  mutable Mutex sr_mu;
   mutable std::vector<std::pair<Point, std::shared_ptr<const SafeRegionResult>>>
-      sr_cache;
-  mutable std::mutex approx_sr_mu;
+      sr_cache WNRS_GUARDED_BY(sr_mu);
+  mutable Mutex approx_sr_mu;
   mutable std::vector<std::pair<Point, std::shared_ptr<const SafeRegionResult>>>
-      approx_sr_cache;
+      approx_sr_cache WNRS_GUARDED_BY(approx_sr_mu);
 
   EngineCore(Dataset products_in, WhyNotEngineOptions options_in,
              std::shared_ptr<ThreadPool> pool_in)
@@ -391,7 +392,7 @@ struct EngineCore {
 
   std::vector<size_t> ReverseSkyline(const Point& q) const {
     {
-      std::lock_guard<std::mutex> lock(rsl_mu);
+      MutexLock lock(rsl_mu);
       for (const auto& [key, rsl] : rsl_memo) {
         if (key == q) {
           MetricAdd(CounterId::kRslCacheHits);
@@ -403,7 +404,7 @@ struct EngineCore {
     // Compute outside the lock; concurrent misses for the same q may both
     // compute, but the results are identical and the first insert wins.
     std::vector<size_t> out = ComputeReverseSkyline(q);
-    std::lock_guard<std::mutex> lock(rsl_mu);
+    MutexLock lock(rsl_mu);
     for (const auto& [key, rsl] : rsl_memo) {
       if (key == q) return rsl;
     }
@@ -512,7 +513,7 @@ struct EngineCore {
 
   std::shared_ptr<const SafeRegionResult> SafeRegion(const Point& q) const {
     {
-      std::lock_guard<std::mutex> lock(sr_mu);
+      MutexLock lock(sr_mu);
       for (const auto& [key, sr] : sr_cache) {
         if (key == q) return sr;
       }
@@ -529,7 +530,7 @@ struct EngineCore {
           ValidateSafeRegion(MakeValidationInput(), rsl, q, *computed);
       WNRS_CHECK(s.ok()) << "paranoid safe region: " << s.ToString();
     }
-    std::lock_guard<std::mutex> lock(sr_mu);
+    MutexLock lock(sr_mu);
     for (const auto& [key, sr] : sr_cache) {
       if (key == q) return sr;
     }
@@ -544,7 +545,7 @@ struct EngineCore {
       const Point& q) const {
     WNRS_CHECK(HasApproxDsls());
     {
-      std::lock_guard<std::mutex> lock(approx_sr_mu);
+      MutexLock lock(approx_sr_mu);
       for (const auto& [key, sr] : approx_sr_cache) {
         if (key == q) return sr;
       }
@@ -564,7 +565,7 @@ struct EngineCore {
           ValidateSafeRegion(MakeValidationInput(), rsl, q, *computed);
       WNRS_CHECK(s.ok()) << "paranoid approx safe region: " << s.ToString();
     }
-    std::lock_guard<std::mutex> lock(approx_sr_mu);
+    MutexLock lock(approx_sr_mu);
     for (const auto& [key, sr] : approx_sr_cache) {
       if (key == q) return sr;
     }
@@ -746,7 +747,7 @@ class WhyNotEngine::StatsScope {
               std::chrono::duration_cast<std::chrono::microseconds>(
                   std::chrono::steady_clock::now() - start_time_)
                   .count()));
-      std::lock_guard<std::mutex> lock(engine_->stats_mu_);
+      MutexLock lock(engine_->stats_mu_);
       engine_->last_query_stats_ = delta;
       engine_->cum_stats_ += delta;
     }
@@ -1114,13 +1115,13 @@ Result<std::unique_ptr<WhyNotEngine>> WhyNotEngine::Open(
 }
 
 std::shared_ptr<const internal::EngineCore> WhyNotEngine::CurrentCore() const {
-  std::lock_guard<std::mutex> lock(core_mu_);
+  ReaderLock lock(core_mu_);
   return core_;
 }
 
 void WhyNotEngine::PublishCore(
     std::shared_ptr<const internal::EngineCore> core) {
-  std::lock_guard<std::mutex> lock(core_mu_);
+  MutexLock lock(core_mu_);
   core_ = std::move(core);
 }
 
@@ -1278,7 +1279,7 @@ Result<std::vector<MwqResult>> WhyNotEngine::TryModifyBothBatch(
 void WhyNotEngine::PrecomputeApproxDsls(size_t k) {
   StatsScope scope(this);
   WNRS_CHECK(k >= 2);
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
   const Dataset& ds = cur->customer_dataset();
   auto store =
@@ -1347,7 +1348,7 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
     return Status::InvalidArgument(
         StrFormat("approx-DSL store has k=%zu; k >= 2 required", k));
   }
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
   if (dims != cur->products->dims) {
     return Status::InvalidArgument("store dimensionality mismatch");
@@ -1397,7 +1398,7 @@ Status WhyNotEngine::LoadApproxDsls(const std::string& path) {
 }
 
 size_t WhyNotEngine::AddProduct(const Point& p) {
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
   WNRS_CHECK(p.dims() == cur->products->dims);
   auto new_products = std::make_shared<Dataset>(*cur->products);
@@ -1442,7 +1443,7 @@ bool WhyNotEngine::RemoveProduct(size_t id) {
 }
 
 Status WhyNotEngine::TryRemoveProduct(size_t id) {
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::EngineCore> cur = CurrentCore();
   if (id >= cur->products->points.size()) {
     return Status::NotFound(StrFormat("no product with id %zu", id));
@@ -1489,17 +1490,17 @@ std::optional<Point> WhyNotEngine::NudgeToStrictMember(
 }
 
 QueryStats WhyNotEngine::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return cum_stats_;
 }
 
 QueryStats WhyNotEngine::last_query_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return last_query_stats_;
 }
 
 void WhyNotEngine::ResetStats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   last_query_stats_ = QueryStats();
   cum_stats_ = QueryStats();
 }

@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -501,20 +501,22 @@ class WhyNotEngine {
   /// options_.num_threads == 1 it owns no workers and runs serially.
   std::shared_ptr<ThreadPool> pool_;
 
-  /// The published snapshot; swapped wholesale by mutations.
-  mutable std::mutex core_mu_;
-  std::shared_ptr<const internal::EngineCore> core_;
+  /// The published snapshot; swapped wholesale by mutations. Exclusive
+  /// for the COW republish, shared for the snapshot read path.
+  mutable SharedMutex core_mu_;
+  std::shared_ptr<const internal::EngineCore> core_ WNRS_GUARDED_BY(core_mu_);
 
   /// Serializes mutations (copy-on-write builders) against each other.
-  std::mutex mutation_mu_;
+  /// Ordered strictly before core_mu_ (PublishCore runs with it held);
+  /// never acquire mutation_mu_ with core_mu_ held.
+  Mutex mutation_mu_;
 
   // Per-call statistics. `stats_depth_` is shared across threads so
-  // overlapping calls don't double-count registry deltas; the QueryStats
-  // members are guarded by stats_mu_.
+  // overlapping calls don't double-count registry deltas.
   mutable std::atomic<int> stats_depth_{0};
-  mutable std::mutex stats_mu_;
-  mutable QueryStats last_query_stats_;
-  mutable QueryStats cum_stats_;
+  mutable Mutex stats_mu_;
+  mutable QueryStats last_query_stats_ WNRS_GUARDED_BY(stats_mu_);
+  mutable QueryStats cum_stats_ WNRS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace wnrs

@@ -72,13 +72,19 @@ WnrsServer::WnrsServer(PrivateTag,
 WnrsServer::~WnrsServer() { Stop(); }
 
 ServerStats WnrsServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void WnrsServer::Stop() {
+  // Serialize whole Stops: before this lock a racing second caller
+  // returned early on the `stopped_` check and could destroy the server
+  // while the first was still joining threads. Now a later caller blocks
+  // until teardown is complete, so "Stop returned" always means "all
+  // server threads are gone".
+  MutexLock stop_lock(stop_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -91,11 +97,17 @@ void WnrsServer::Stop() {
   // side stays open, so the writer still flushes every pending response —
   // an admitted request always gets its answer, even across Stop.
   scheduler_->Shutdown();
+  // Claim the connection list under mu_ (splice keeps every element at
+  // its address — reader/writer threads hold Connection pointers), then
+  // join outside the lock so flushing writers can still take mu_ for
+  // their stats updates.
+  std::list<Connection> conns;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (Connection& conn : connections_) ShutdownRead(conn.fd);
+    MutexLock lock(mu_);
+    conns.splice(conns.begin(), connections_);
   }
-  for (Connection& conn : connections_) {
+  for (Connection& conn : conns) ShutdownRead(conn.fd);
+  for (Connection& conn : conns) {
     if (conn.reader.joinable()) conn.reader.join();
     if (conn.writer.joinable()) conn.writer.join();
     CloseFd(conn.fd);
@@ -110,7 +122,7 @@ void WnrsServer::AcceptLoop() {
       fd = ::accept(listen_fd_, nullptr, nullptr);
     } while (fd < 0 && errno == EINTR);
     if (fd < 0) return;  // Stop() shut the listener down (or fatal error).
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) {
       CloseFd(fd);
       return;
@@ -146,16 +158,16 @@ void WnrsServer::ReaderLoop(Connection* conn) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.frames_received;
       if (!error.ok()) ++stats_.decode_errors;
     }
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     if (request.has_value()) {
       const uint64_t id = request->request_id;
       conn->inflight.emplace_back(
           id, scheduler_->Submit(std::move(request->request)));
-      conn->cv.notify_one();
+      conn->cv.NotifyOne();
       continue;
     }
     // Framing is broken: answer (when anything is known to answer to) and
@@ -163,24 +175,24 @@ void WnrsServer::ReaderLoop(Connection* conn) {
     std::promise<serve::WhyNotResponse> failed;
     failed.set_value(MalformedResponse(error.message()));
     conn->inflight.emplace_back(salvaged_id, failed.get_future());
-    conn->cv.notify_one();
+    conn->cv.NotifyOne();
     break;
   }
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    MutexLock lock(conn->mu);
     conn->reader_done = true;
   }
-  conn->cv.notify_one();
+  conn->cv.NotifyOne();
 }
 
 void WnrsServer::WriterLoop(Connection* conn) {
   while (true) {
     std::pair<uint64_t, std::future<serve::WhyNotResponse>> next;
     {
-      std::unique_lock<std::mutex> lock(conn->mu);
-      conn->cv.wait(lock, [conn] {
-        return !conn->inflight.empty() || conn->reader_done;
-      });
+      MutexLock lock(conn->mu);
+      while (conn->inflight.empty() && !conn->reader_done) {
+        conn->cv.Wait(conn->mu);
+      }
       if (conn->inflight.empty()) break;  // reader done and all flushed
       next = std::move(conn->inflight.front());
       conn->inflight.pop_front();
@@ -191,7 +203,7 @@ void WnrsServer::WriterLoop(Connection* conn) {
     if (!SendAll(conn->fd, EncodeResponseFrame(next.first, response)).ok()) {
       break;  // peer gone; reader will see the shutdown too
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.responses_sent;
   }
   // The writer is the last user of the socket: once every pending

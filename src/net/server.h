@@ -1,16 +1,15 @@
 #ifndef WNRS_NET_SERVER_H_
 #define WNRS_NET_SERVER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "net/protocol.h"
@@ -105,12 +104,12 @@ class WnrsServer {
     int fd = -1;
     std::thread reader;
     std::thread writer;
+    Mutex mu;
+    CondVar cv;
     /// Futures in submission order, drained FIFO by the writer.
     std::deque<std::pair<uint64_t, std::future<serve::WhyNotResponse>>>
-        inflight;
-    std::mutex mu;
-    std::condition_variable cv;
-    bool reader_done = false;
+        inflight WNRS_GUARDED_BY(mu);
+    bool reader_done WNRS_GUARDED_BY(mu) = false;
   };
 
   void AcceptLoop();
@@ -122,12 +121,18 @@ class WnrsServer {
   const uint16_t port_;
   std::unique_ptr<serve::RequestScheduler> scheduler_;
 
-  mutable std::mutex mu_;
-  std::list<Connection> connections_;
-  bool stopped_ = false;
-  ServerStats stats_;
+  mutable Mutex mu_;
+  std::list<Connection> connections_ WNRS_GUARDED_BY(mu_);
+  bool stopped_ WNRS_GUARDED_BY(mu_) = false;
+  ServerStats stats_ WNRS_GUARDED_BY(mu_);
 
-  std::thread acceptor_;
+  /// Serializes Stop callers: the first one joins the acceptor and every
+  /// connection thread while any later caller blocks here until teardown
+  /// finishes — without this a racing second Stop returned early on the
+  /// `stopped_` check and could destroy the server under live joins.
+  /// Ordered strictly before mu_ (never acquire stop_mu_ with mu_ held).
+  Mutex stop_mu_;
+  std::thread acceptor_ WNRS_GUARDED_BY(stop_mu_);
 };
 
 }  // namespace net

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 #include "net/wire.h"
 
@@ -17,7 +18,11 @@ namespace net {
 namespace {
 
 Status Errno(const char* what) {
-  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+  // system_category().message() instead of strerror(): reader/writer
+  // threads report errors concurrently and strerror's static buffer is
+  // not thread-safe (clang-tidy concurrency-mt-unsafe).
+  return Status::IoError(std::string(what) + ": " +
+                         std::system_category().message(errno));
 }
 
 Result<sockaddr_in> MakeAddr(const std::string& host, uint16_t port) {

@@ -45,16 +45,16 @@ RequestScheduler::~RequestScheduler() { Shutdown(); }
 std::future<WhyNotResponse> RequestScheduler::Submit(WhyNotRequest request) {
   std::promise<WhyNotResponse> promise;
   std::future<WhyNotResponse> future = promise.get_future();
-  std::unique_lock<std::mutex> lock(mu_);
+  ReleasableLock lock(mu_);
   if (shutdown_) {
-    lock.unlock();
+    lock.Release();
     promise.set_value(
         UnavailableResponse(request.kind, "scheduler is shut down"));
     return future;
   }
   if (queue_.size() >= options_.max_queue_depth) {
     ++stats_.admission_rejects;
-    lock.unlock();
+    lock.Release();
     MetricAdd(CounterId::kServeAdmissionRejects);
     WhyNotResponse response;
     response.kind = request.kind;
@@ -78,8 +78,8 @@ std::future<WhyNotResponse> RequestScheduler::Submit(WhyNotRequest request) {
   MetricAdd(CounterId::kServeRequests);
   MetricSetGauge(GaugeId::kServeQueueDepth,
                  static_cast<int64_t>(queue_.size()));
-  lock.unlock();
-  cv_.notify_all();
+  lock.Release();
+  cv_.NotifyAll();
   return future;
 }
 
@@ -89,7 +89,7 @@ WhyNotResponse RequestScheduler::SubmitAndWait(WhyNotRequest request) {
     // Unavailable directly instead of building a promise/future pair just
     // to resolve it in the same call. (A shutdown racing past this check
     // is still handled by Submit.)
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) {
       return UnavailableResponse(request.kind, "scheduler is shut down");
     }
@@ -98,28 +98,33 @@ WhyNotResponse RequestScheduler::SubmitAndWait(WhyNotRequest request) {
 }
 
 void RequestScheduler::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   paused_ = true;
 }
 
 void RequestScheduler::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void RequestScheduler::Shutdown() {
+  // Serialize whole shutdowns: only one caller may join the dispatcher
+  // (a second concurrent join would be UB), and a racing caller must not
+  // return before the queue is drained — callers rely on every
+  // previously submitted future being fulfilled when Shutdown returns.
+  MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
   std::deque<Pending> leftover;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     leftover.swap(queue_);
     MetricSetGauge(GaugeId::kServeQueueDepth, 0);
   }
@@ -130,12 +135,12 @@ void RequestScheduler::Shutdown() {
 }
 
 size_t RequestScheduler::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 SchedulerStats RequestScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -143,9 +148,8 @@ void RequestScheduler::DispatcherLoop() {
   for (;;) {
     std::vector<Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock,
-               [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && (paused_ || queue_.empty())) cv_.Wait(mu_);
       if (shutdown_) return;
       // Head of line: highest priority; FIFO (lowest seq) within a
       // priority — the scan keeps the first maximum.
@@ -260,7 +264,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
   if (shared) {
     MetricAdd(CounterId::kServeBatchShareHits,
               static_cast<uint64_t>(batch.size() - 1));
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.batch_share_hits += batch.size() - 1;
   }
 
@@ -297,7 +301,7 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
                     static_cast<unsigned long long>(wait_us)));
       slot.done = true;
       MetricAdd(CounterId::kServeDeadlineMisses);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.deadline_misses;
     }
   }
@@ -356,13 +360,13 @@ void RequestScheduler::ExecuteBatch(std::vector<Pending> batch) {
       slot.response.status =
           Status::DeadlineExceeded("request completed after its deadline");
       MetricAdd(CounterId::kServeDeadlineMisses);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.deadline_misses;
     }
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const Slot& slot : slots) {
       if (slot.response.completed) ++stats_.completed;
     }

@@ -2,15 +2,14 @@
 #define WNRS_SERVE_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "core/engine.h"
 #include "serve/api.h"
@@ -129,15 +128,20 @@ class RequestScheduler {
   const std::shared_ptr<const QueryBackend> backend_;
   const SchedulerOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending> queue_;
-  uint64_t next_seq_ = 0;
-  bool paused_ = false;
-  bool shutdown_ = false;
-  SchedulerStats stats_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Pending> queue_ WNRS_GUARDED_BY(mu_);
+  uint64_t next_seq_ WNRS_GUARDED_BY(mu_) = 0;
+  bool paused_ WNRS_GUARDED_BY(mu_) = false;
+  bool shutdown_ WNRS_GUARDED_BY(mu_) = false;
+  SchedulerStats stats_ WNRS_GUARDED_BY(mu_);
 
-  std::thread dispatcher_;
+  /// Serializes Shutdown callers: the first one joins the dispatcher and
+  /// drains the queue while any later caller blocks here until that is
+  /// done (two threads joining the same std::thread is UB). Ordered
+  /// strictly before mu_ (never acquire shutdown_mu_ with mu_ held).
+  Mutex shutdown_mu_;
+  std::thread dispatcher_ WNRS_GUARDED_BY(shutdown_mu_);
 };
 
 }  // namespace serve

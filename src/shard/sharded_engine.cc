@@ -107,14 +107,15 @@ struct ShardState {
   // Derived caches, same discipline as EngineCore: mutex-guarded FIFO
   // memos keyed by query point, computed outside the lock, first insert
   // wins.
-  mutable std::mutex rsl_mu;
-  mutable std::vector<std::pair<Point, std::vector<size_t>>> rsl_memo;
-  mutable std::mutex sr_mu;
+  mutable Mutex rsl_mu;
+  mutable std::vector<std::pair<Point, std::vector<size_t>>> rsl_memo
+      WNRS_GUARDED_BY(rsl_mu);
+  mutable Mutex sr_mu;
   mutable std::vector<std::pair<Point, std::shared_ptr<const SafeRegionResult>>>
-      sr_cache;
-  mutable std::mutex approx_sr_mu;
+      sr_cache WNRS_GUARDED_BY(sr_mu);
+  mutable Mutex approx_sr_mu;
   mutable std::vector<std::pair<Point, std::shared_ptr<const SafeRegionResult>>>
-      approx_sr_cache;
+      approx_sr_cache WNRS_GUARDED_BY(approx_sr_mu);
 
   ShardState() = default;
 
@@ -432,13 +433,13 @@ struct ShardState {
 
   std::vector<size_t> ReverseSkyline(const Point& q) const {
     {
-      std::lock_guard<std::mutex> lock(rsl_mu);
+      MutexLock lock(rsl_mu);
       for (const auto& [key, rsl] : rsl_memo) {
         if (key == q) return rsl;
       }
     }
     std::vector<size_t> out = ComputeReverseSkyline(q);
-    std::lock_guard<std::mutex> lock(rsl_mu);
+    MutexLock lock(rsl_mu);
     for (const auto& [key, rsl] : rsl_memo) {
       if (key == q) return rsl;
     }
@@ -502,7 +503,7 @@ struct ShardState {
 
   std::shared_ptr<const SafeRegionResult> SafeRegion(const Point& q) const {
     {
-      std::lock_guard<std::mutex> lock(sr_mu);
+      MutexLock lock(sr_mu);
       for (const auto& [key, sr] : sr_cache) {
         if (key == q) return sr;
       }
@@ -516,7 +517,7 @@ struct ShardState {
             products->points, customer_dataset().points, rsl, q, universe,
             [this](size_t customer) { return ShardedDsl(customer); },
             sr_options));
-    std::lock_guard<std::mutex> lock(sr_mu);
+    MutexLock lock(sr_mu);
     for (const auto& [key, sr] : sr_cache) {
       if (key == q) return sr;
     }
@@ -531,7 +532,7 @@ struct ShardState {
       const Point& q) const {
     WNRS_CHECK(HasApproxDsls());
     {
-      std::lock_guard<std::mutex> lock(approx_sr_mu);
+      MutexLock lock(approx_sr_mu);
       for (const auto& [key, sr] : approx_sr_cache) {
         if (key == q) return sr;
       }
@@ -543,7 +544,7 @@ struct ShardState {
     auto computed = std::make_shared<const SafeRegionResult>(
         ComputeApproxSafeRegion(customer_dataset().points, *approx_dsls, rsl,
                                 q, universe, sr_options));
-    std::lock_guard<std::mutex> lock(approx_sr_mu);
+    MutexLock lock(approx_sr_mu);
     for (const auto& [key, sr] : approx_sr_cache) {
       if (key == q) return sr;
     }
@@ -843,13 +844,13 @@ ShardedEngine::ShardedEngine(Dataset products, Dataset customers,
 
 std::shared_ptr<const internal::ShardState> ShardedEngine::CurrentState()
     const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  ReaderLock lock(state_mu_);
   return state_;
 }
 
 void ShardedEngine::PublishState(
     std::shared_ptr<const internal::ShardState> state) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   state_ = std::move(state);
 }
 
@@ -890,7 +891,7 @@ size_t ShardedEngine::RouteToShard(const internal::ShardState& state,
 }
 
 size_t ShardedEngine::AddProduct(const Point& p) {
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::ShardState> cur = CurrentState();
   WNRS_CHECK(p.dims() == cur->products->dims);
   const size_t s = RouteToShard(*cur, p);
@@ -933,7 +934,7 @@ bool ShardedEngine::RemoveProduct(size_t id) {
 }
 
 Status ShardedEngine::TryRemoveProduct(size_t id) {
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::ShardState> cur = CurrentState();
   if (id >= cur->products->points.size()) {
     return Status::NotFound(StrFormat("no product with id %zu", id));
@@ -964,7 +965,7 @@ bool ShardedEngine::IsLiveProduct(size_t id) const {
 
 void ShardedEngine::PrecomputeApproxDsls(size_t k) {
   WNRS_CHECK(k >= 2);
-  std::lock_guard<std::mutex> mlock(mutation_mu_);
+  MutexLock mlock(mutation_mu_);
   std::shared_ptr<const internal::ShardState> cur = CurrentState();
   const Dataset& ds = cur->customer_dataset();
   auto store =

@@ -2,11 +2,11 @@
 #define WNRS_SHARD_SHARDED_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/engine.h"
@@ -240,15 +240,20 @@ class ShardedEngine {
   /// shared into every state so snapshots can outlive the engine.
   std::shared_ptr<ThreadPool> pool_;
 
+  /// Serializes mutations (AddProduct/RemoveProduct/PrecomputeApproxDsls).
+  /// Ordered strictly before state_mu_ (PublishState runs with it held);
+  /// never acquire mutation_mu_ with state_mu_ held.
+  Mutex mutation_mu_;
+
   /// The live shard engines, mutated in place under mutation_mu_; readers
   /// only ever touch the EngineSnapshots pinned inside a ShardState.
-  std::vector<std::unique_ptr<WhyNotEngine>> shard_engines_;
+  std::vector<std::unique_ptr<WhyNotEngine>> shard_engines_
+      WNRS_GUARDED_BY(mutation_mu_);
 
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const internal::ShardState> state_;
-
-  /// Serializes mutations (AddProduct/RemoveProduct/PrecomputeApproxDsls).
-  std::mutex mutation_mu_;
+  /// Exclusive for the COW republish, shared for the snapshot read path.
+  mutable SharedMutex state_mu_;
+  std::shared_ptr<const internal::ShardState> state_
+      WNRS_GUARDED_BY(state_mu_);
 };
 
 }  // namespace shard

@@ -9,12 +9,14 @@ namespace wnrs {
 namespace storage {
 
 BufferPool::BufferPool(std::shared_ptr<IStorageManager> base, size_t capacity)
-    : base_(std::move(base)), frames_(capacity == 0 ? 1 : capacity) {
+    : base_(std::move(base)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      frames_(capacity_) {
   WNRS_CHECK(base_ != nullptr);
 }
 
 size_t BufferPool::resident() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return frame_of_.size();
 }
 
@@ -43,7 +45,7 @@ void BufferPool::InstallLocked(PageId id,
 
 Result<std::shared_ptr<const std::string>> BufferPool::FetchPage(PageId id) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = frame_of_.find(id);
     if (it != frame_of_.end()) {
       MetricAdd(CounterId::kStorageCacheHits);
@@ -60,7 +62,7 @@ Result<std::shared_ptr<const std::string>> BufferPool::FetchPage(PageId id) {
   WNRS_RETURN_IF_ERROR(base_->ReadPage(id, data.get()));
   std::shared_ptr<const std::string> page = std::move(data);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (frame_of_.find(id) == frame_of_.end()) {
       InstallLocked(id, page);
     }
@@ -78,7 +80,7 @@ Status BufferPool::ReadPage(PageId id, std::string* out) {
 Result<PageId> BufferPool::WritePage(PageId id, const std::string& data) {
   Result<PageId> written = base_->WritePage(id, data);
   WNRS_RETURN_IF_ERROR(written.status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = frame_of_.find(written.value());
   auto page = std::make_shared<const std::string>(data);
   if (it != frame_of_.end()) {

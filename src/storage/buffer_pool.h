@@ -3,11 +3,11 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/status.h"
 #include "storage/storage_manager.h"
 
@@ -44,7 +44,7 @@ class BufferPool final : public IStorageManager {
   size_t page_size() const override { return base_->page_size(); }
   Status Flush() override { return base_->Flush(); }
 
-  size_t capacity() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
   /// Frames currently holding a page (<= capacity).
   size_t resident() const;
 
@@ -56,14 +56,18 @@ class BufferPool final : public IStorageManager {
   };
 
   /// Installs `data` for `id`, evicting via the clock hand if no frame
-  /// is free. Caller holds mu_.
-  void InstallLocked(PageId id, std::shared_ptr<const std::string> data);
+  /// is free.
+  void InstallLocked(PageId id, std::shared_ptr<const std::string> data)
+      WNRS_REQUIRES(mu_);
 
   std::shared_ptr<IStorageManager> base_;
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> frame_of_;
-  size_t hand_ = 0;
+  /// Frame count, fixed at construction (frames_.size() never changes;
+  /// kept outside mu_ so capacity() stays lock-free).
+  const size_t capacity_;
+  mutable Mutex mu_;
+  std::vector<Frame> frames_ WNRS_GUARDED_BY(mu_);
+  std::unordered_map<PageId, size_t> frame_of_ WNRS_GUARDED_BY(mu_);
+  size_t hand_ WNRS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace storage

@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -318,6 +321,66 @@ TEST(NetServerTest, StopStillAnswersAdmittedRequests) {
   EXPECT_EQ(r.value().response.status.code(), StatusCode::kUnavailable);
   // Next read sees the close.
   EXPECT_FALSE(client.value()->Receive().ok());
+}
+
+// Pinned regression: Stop must be safe to call from several threads at
+// once, with live connections mid-request. Before stop_mu_ serialized
+// it, a racing second caller saw stopped_ already set and returned
+// while the first was still joining reader/writer threads — callers
+// could then destroy the server under its own live threads — and the
+// shutdown walk iterated connections_ without mu_ against AcceptLoop's
+// emplace_back. Every caller must return only after the teardown is
+// fully complete.
+TEST(NetServerTest, ConcurrentStopJoinsEverythingExactlyOnce) {
+  for (int round = 0; round < 10; ++round) {
+    WhyNotEngine engine = MakeEngine(60, 7);
+    auto server = WnrsServer::Start(&engine);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    const uint16_t port = server.value()->port();
+
+    // Live connections with pipelined in-flight requests so Stop races
+    // real reader/writer traffic, not idle sockets.
+    constexpr size_t kClients = 3;
+    std::vector<std::unique_ptr<WnrsClient>> clients;
+    for (size_t i = 0; i < kClients; ++i) {
+      auto client = WnrsClient::Connect("127.0.0.1", port);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      for (uint64_t id = 0; id < 3; ++id) {
+        ASSERT_TRUE(
+            (*client)
+                ->Send(id, MakeRequest(RequestKind::kReverseSkyline,
+                                       engine.products().points[i]))
+                .ok());
+      }
+      clients.push_back(std::move(*client));
+    }
+
+    constexpr int kStoppers = 4;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(kStoppers);
+    for (int t = 0; t < kStoppers; ++t) {
+      stoppers.emplace_back([&] {
+        // Spin barrier: all callers enter Stop together.
+        ++ready;
+        while (ready.load() < kStoppers) {
+        }
+        server.value()->Stop();
+      });
+    }
+    for (std::thread& th : stoppers) th.join();
+
+    // Every Stop returned only after full teardown: the listener is
+    // closed (fresh connects refuse) and each connection was shut down
+    // cleanly, so draining a client ends in a definite close, not a hang.
+    EXPECT_FALSE(WnrsClient::Connect("127.0.0.1", port).ok());
+    for (std::unique_ptr<WnrsClient>& client : clients) {
+      while (client->Receive().ok()) {
+      }
+    }
+    // Stop after Stop is a no-op (also exercised by the destructor).
+    server.value()->Stop();
+  }
 }
 
 TEST(NetServerTest, MultipleConnectionsServeConcurrently) {

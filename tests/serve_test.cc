@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "data/generators.h"
@@ -390,6 +392,49 @@ TEST(ServeTest, ShutdownFailsQueuedRequests) {
       scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline, q));
   EXPECT_EQ(r2.status.code(), StatusCode::kUnavailable);
   scheduler.Shutdown();
+}
+
+// Pinned regression: Shutdown must be callable from several threads at
+// once. Before shutdown_mu_ serialized it, two racing callers could
+// both observe dispatcher_.joinable() and call join() on the same
+// std::thread concurrently — undefined behavior (and a terminate() in
+// practice when the loser joins an already-joined thread). Run under
+// TSan in the sanitizer job this also pins the dispatcher_ handoff.
+TEST(ServeTest, ConcurrentShutdownIsSerializedAndIdempotent) {
+  for (int round = 0; round < 20; ++round) {
+    const WhyNotEngine engine = MakeEngine(60, 7);
+    RequestScheduler scheduler(&engine);
+    const Point q = engine.products().points[0];
+    // In-flight work so Shutdown races a live dispatcher, not an idle one.
+    std::future<WhyNotResponse> f =
+        scheduler.Submit(MakeRequest(RequestKind::kReverseSkyline, q));
+
+    constexpr int kCallers = 4;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (int t = 0; t < kCallers; ++t) {
+      callers.emplace_back([&] {
+        // Spin barrier: maximize the window where all callers enter
+        // Shutdown together.
+        ++ready;
+        while (ready.load() < kCallers) {
+        }
+        scheduler.Shutdown();
+      });
+    }
+    for (std::thread& th : callers) th.join();
+
+    // The raced request resolved one way or the other (executed or
+    // failed Unavailable), and every post-Shutdown submit refuses.
+    const WhyNotResponse r = f.get();
+    EXPECT_TRUE(r.status.ok() || r.status.code() == StatusCode::kUnavailable)
+        << r.status.ToString();
+    EXPECT_EQ(scheduler.SubmitAndWait(MakeRequest(RequestKind::kReverseSkyline,
+                                                  q))
+                  .status.code(),
+              StatusCode::kUnavailable);
+  }
 }
 
 TEST(ServeTest, RequestKindNamesAreStable) {

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/annotated_mutex.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -276,6 +279,112 @@ TEST_F(StorageTest, BufferPoolWriteThroughUpdatesCachedFrame) {
   // The base saw the write too.
   ASSERT_TRUE(base->ReadPage(0, &out).ok());
   EXPECT_EQ(out, "new");
+}
+
+// Serializes a MemoryStorageManager for multi-threaded use. BufferPool
+// deliberately calls its base store outside mu_ (miss fetches must not
+// serialize hits), so a base shared with writers has to be thread-safe
+// on its own.
+class LockedMemoryStore final : public storage::IStorageManager {
+ public:
+  explicit LockedMemoryStore(size_t page_size) : inner_(page_size) {}
+  Status ReadPage(PageId id, std::string* out) override {
+    MutexLock lock(mu_);
+    return inner_.ReadPage(id, out);
+  }
+  Result<PageId> WritePage(PageId id, const std::string& data) override {
+    MutexLock lock(mu_);
+    return inner_.WritePage(id, data);
+  }
+  size_t page_count() const override {
+    MutexLock lock(mu_);
+    return inner_.page_count();
+  }
+  size_t page_size() const override {
+    MutexLock lock(mu_);
+    return inner_.page_size();
+  }
+  Status Flush() override { return Status::Ok(); }
+
+ private:
+  mutable Mutex mu_;
+  MemoryStorageManager inner_ WNRS_GUARDED_BY(mu_);
+};
+
+// Hammers one pool from many threads with a capacity far below the page
+// count, so every operation races installs and clock evictions on the
+// shared frame table. Readers pin pages across evictions via FetchPage;
+// writers publish versioned payloads, each page owned by exactly one
+// writer thread (BufferPool's write-through does base write and frame
+// install as two separate critical sections, so same-page write order is
+// only defined within a thread). Run under TSan (ctest -R Storage in the
+// sanitizer job) this pins the annotated-mutex migration of BufferPool:
+// any path touching frames_ / frame_of_ / hand_ outside mu_ races here.
+TEST_F(StorageTest, BufferPoolParallelReadersAndWritersStayConsistent) {
+  constexpr int kPages = 16;
+  constexpr int kThreads = 8;
+  constexpr int kStepsPerThread = 400;
+  auto base = std::make_shared<LockedMemoryStore>(64);
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(base->WritePage(kNewPage, StrFormat("p%d-v0", i)).ok());
+  }
+  BufferPool pool(base, 3);  // capacity << kPages: constant eviction.
+
+  // gtest failure macros are not thread-safe off the main thread;
+  // workers count violations and the main thread asserts afterwards.
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &errors, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int step = 0; step < kStepsPerThread; ++step) {
+        const uint64_t op = rng.NextUint64(4);
+        if (op == 0) {
+          // Write within this thread's page partition only.
+          const PageId id = static_cast<PageId>(
+              t + kThreads * static_cast<int>(rng.NextUint64(2)));
+          if (!pool.WritePage(id, StrFormat("p%u-v%d", id, step + 1)).ok()) {
+            ++errors;
+          }
+        } else if (op == 1) {
+          const PageId id = static_cast<PageId>(rng.NextUint64(kPages));
+          Result<std::shared_ptr<const std::string>> page = pool.FetchPage(id);
+          if (!page.ok() ||
+              (*page)->rfind(StrFormat("p%u-v", id), 0) != 0) {
+            ++errors;
+          }
+        } else {
+          const PageId id = static_cast<PageId>(rng.NextUint64(kPages));
+          std::string out;
+          if (!pool.ReadPage(id, &out).ok() ||
+              out.rfind(StrFormat("p%u-v", id), 0) != 0) {
+            ++errors;
+          }
+        }
+        if (pool.resident() > pool.capacity()) ++errors;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_LE(pool.resident(), 3u);
+
+  // Quiesced, one last write per page pins write-through coherence: the
+  // pool and the base must agree on the final bytes. (During the storm a
+  // miss-path fetch racing a write can briefly re-install a stale page —
+  // the pool only promises identical bytes for racing fetches — so the
+  // coherence check happens single-threaded.)
+  for (int i = 0; i < kPages; ++i) {
+    const PageId id = static_cast<PageId>(i);
+    ASSERT_TRUE(pool.WritePage(id, StrFormat("p%d-final", i)).ok());
+    std::string via_pool;
+    std::string via_base;
+    ASSERT_TRUE(pool.ReadPage(id, &via_pool).ok());
+    ASSERT_TRUE(base->ReadPage(id, &via_base).ok());
+    EXPECT_EQ(via_pool, StrFormat("p%d-final", i));
+    EXPECT_EQ(via_pool, via_base) << "page " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------

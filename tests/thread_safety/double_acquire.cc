@@ -1,0 +1,14 @@
+// Seeded violation: acquires the same (non-recursive) mutex twice — a
+// guaranteed self-deadlock at run time. Must compile in the harness's
+// control build (try_compile never runs the binary) and be rejected
+// under -Werror=thread-safety (cmake/ThreadSafetyCheck.cmake).
+#include "common/annotated_mutex.h"
+
+int main() {
+  wnrs::Mutex mu;
+  mu.Lock();
+  mu.Lock();  // BAD: mu is already held by this thread.
+  mu.Unlock();
+  mu.Unlock();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Seeded violation: calls a WNRS_EXCLUDES function with the excluded
+// mutex held — with non-recursive mutexes that is a self-deadlock. Must
+// compile in the harness's control build and be rejected under
+// -Werror=thread-safety (cmake/ThreadSafetyCheck.cmake).
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Refresh() WNRS_EXCLUDES(mu_) {
+    wnrs::MutexLock lock(mu_);
+    ++generation_;
+  }
+  // BAD: calls Refresh (which re-acquires mu_) while holding mu_.
+  void Touch() {
+    wnrs::MutexLock lock(mu_);
+    Refresh();
+  }
+
+ private:
+  wnrs::Mutex mu_;
+  int generation_ WNRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  w.Touch();
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Seeded violation: a function returns with a manually acquired mutex
+// still held (lock leak). Must compile in the harness's control build
+// and be rejected under -Werror=thread-safety
+// (cmake/ThreadSafetyCheck.cmake).
+#include "common/annotated_mutex.h"
+
+namespace {
+
+wnrs::Mutex mu;
+int value WNRS_GUARDED_BY(mu) = 0;
+
+int TakeAndForget() {
+  mu.Lock();
+  return value;  // BAD: no Unlock on this path.
+}
+
+}  // namespace
+
+int main() { return TakeAndForget(); }

@@ -1,0 +1,25 @@
+// Seeded violation: calls a WNRS_REQUIRES helper without holding the
+// required mutex. Must compile in the harness's control build and be
+// rejected under -Werror=thread-safety (cmake/ThreadSafetyCheck.cmake).
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Table {
+ public:
+  void InsertLocked(int v) WNRS_REQUIRES(mu_) { last_ = v; }
+  // BAD: calls the must-hold-lock helper with mu_ not held.
+  void Insert(int v) { InsertLocked(v); }
+
+ private:
+  wnrs::Mutex mu_;
+  int last_ WNRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.Insert(1);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Positive control for cmake/ThreadSafetyCheck.cmake: correct locking
+// through every wrapper — MutexLock, ReaderLock, ReleasableLock, the
+// CondVar while-loop wait, and a REQUIRES helper — must compile clean
+// under -Werror=thread-safety. Guards against over-broad annotations in
+// annotated_mutex.h that would start rejecting the real tree.
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Queue {
+ public:
+  void Push(int v) {
+    wnrs::MutexLock lock(mu_);
+    items_[count_++ % 8] = v;
+    cv_.NotifyOne();
+  }
+  int BlockingPop() {
+    wnrs::MutexLock lock(mu_);
+    while (count_ == 0) cv_.Wait(mu_);
+    return items_[--count_ % 8];
+  }
+  int PushAndRelease(int v) {
+    wnrs::ReleasableLock lock(mu_);
+    items_[count_++ % 8] = v;
+    const int depth = count_;
+    lock.Release();
+    return depth;  // Returned without the lock: already copied out.
+  }
+
+ private:
+  wnrs::Mutex mu_;
+  wnrs::CondVar cv_;
+  int items_[8] WNRS_GUARDED_BY(mu_) = {};
+  int count_ WNRS_GUARDED_BY(mu_) = 0;
+};
+
+class Config {
+ public:
+  void Publish(int v) {
+    wnrs::MutexLock lock(mu_);
+    value_ = v;
+  }
+  int Read() const {
+    wnrs::ReaderLock lock(mu_);
+    return value_;
+  }
+  void UpdateLocked(int v) WNRS_REQUIRES(mu_) { value_ = v; }
+  void Update(int v) {
+    wnrs::MutexLock lock(mu_);
+    UpdateLocked(v);
+  }
+
+ private:
+  mutable wnrs::SharedMutex mu_;
+  int value_ WNRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.Push(1);
+  // wnrs-lint: allow-discard(compile-time harness; values are unused)
+  (void)q.PushAndRelease(2);
+  // wnrs-lint: allow-discard(compile-time harness; values are unused)
+  (void)q.BlockingPop();
+  Config c;
+  c.Publish(3);
+  c.Update(4);
+  return c.Read();
+}

@@ -1,0 +1,28 @@
+// Seeded violation: reads a WNRS_GUARDED_BY field without holding its
+// mutex. Must compile in the harness's control build (valid C++) and be
+// rejected under -Werror=thread-safety (cmake/ThreadSafetyCheck.cmake).
+#include "common/annotated_mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    wnrs::MutexLock lock(mu_);
+    ++value_;
+  }
+  // BAD: touches value_ with mu_ not held.
+  int Read() const { return value_; }
+
+ private:
+  mutable wnrs::Mutex mu_;
+  int value_ WNRS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

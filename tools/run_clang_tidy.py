@@ -8,6 +8,9 @@ Usage:
   # Restrict to a subtree or a few files:
   python3 tools/run_clang_tidy.py -p build src/index src/core/engine.cc
 
+  # Only TUs that differ from the merge-base (fast pre-push loop):
+  python3 tools/run_clang_tidy.py -p build --changed
+
 The checks profile lives in the committed .clang-tidy at the repo root
 (allowlist style, WarningsAsErrors: '*'); this driver only selects the
 translation units, fans clang-tidy out over a process pool, and turns
@@ -17,6 +20,12 @@ By default only first-party sources under src/ are analyzed (tests and
 benches are format- and wnrs_lint-clean but carry gtest/benchmark macro
 expansions that drown clang-tidy in third-party noise); pass --all to
 widen to every entry in the database.
+
+--changed narrows the selection to translation units that differ from
+the merge-base with --base (default: origin/main, falling back to
+main): a TU is kept when its .cc changed or its same-stem header did.
+Edits to shared headers with no same-stem TU (e.g. src/common/*.h) are
+not traced through includes — run without --changed before merging.
 
 Exit codes: 0 = clean, 1 = diagnostics reported, 2 = environment/usage
 error (missing database, no clang-tidy binary, bad arguments).
@@ -84,6 +93,51 @@ def select_files(database, root, selectors, include_all):
     return sorted(set(files))
 
 
+def changed_paths(root, base_ref):
+    """Repo-relative paths differing from the merge-base (plus untracked)."""
+    def git(args):
+        return subprocess.run(["git", "-C", root] + args,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.DEVNULL, text=True)
+
+    merge_base = None
+    for ref in ([base_ref] if base_ref else ["origin/main", "main"]):
+        proc = git(["merge-base", "HEAD", ref])
+        if proc.returncode == 0 and proc.stdout.strip():
+            merge_base = proc.stdout.strip()
+            break
+    if merge_base is None:
+        print("error: --changed could not resolve a merge base "
+              f"({'ref ' + base_ref if base_ref else 'origin/main, main'}); "
+              "pass --base <ref>.", file=sys.stderr)
+        sys.exit(2)
+
+    # `git diff <commit>` compares the working tree against the commit,
+    # covering both committed-on-branch and uncommitted edits; untracked
+    # files (brand-new TUs) need a separate listing.
+    changed = set()
+    for args in (["diff", "--name-only", "-z", merge_base, "--"],
+                 ["ls-files", "--others", "--exclude-standard", "-z"]):
+        proc = git(args)
+        if proc.returncode != 0:
+            print(f"error: git {' '.join(args[:2])} failed under --changed",
+                  file=sys.stderr)
+            sys.exit(2)
+        changed.update(p for p in proc.stdout.split("\0") if p)
+    return changed
+
+
+def filter_changed(files, root, changed):
+    """Keep TUs whose source or same-stem header differs from the base."""
+    kept = []
+    for path in files:
+        rel = os.path.relpath(path, root)
+        stem = os.path.splitext(rel)[0]
+        if rel in changed or (stem + ".h") in changed:
+            kept.append(path)
+    return kept
+
+
 def run_one(clang_tidy, build_dir, path, extra_args):
     cmd = [clang_tidy, "-p", build_dir, "--quiet"] + extra_args + [path]
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
@@ -107,6 +161,12 @@ def main():
                         help="parallel clang-tidy processes")
     parser.add_argument("--all", action="store_true",
                         help="analyze every database entry, not just src/")
+    parser.add_argument("--changed", action="store_true",
+                        help="only TUs differing from the merge-base "
+                             "(composes with selectors and --all)")
+    parser.add_argument("--base", default=None, metavar="REF",
+                        help="merge-base ref for --changed "
+                             "(default: origin/main, then main)")
     parser.add_argument("--fix", action="store_true",
                         help="apply suggested fixes in place")
     parser.add_argument("selectors", nargs="*",
@@ -123,6 +183,13 @@ def main():
     if not files:
         print("error: no translation units matched", file=sys.stderr)
         sys.exit(2)
+    if args.changed:
+        files = filter_changed(files, root, changed_paths(root, args.base))
+        if not files:
+            # An empty diff is a legitimate clean result, not a usage
+            # error: pre-push hooks run this unconditionally.
+            print("OK: no selected TUs differ from the merge-base")
+            return 0
 
     extra = ["--fix"] if args.fix else []
     print(f"{os.path.basename(clang_tidy)}: {len(files)} TUs, "

@@ -24,6 +24,17 @@ Rules (ids are stable; cite them in review comments):
       files. The packed image is immutable after Freeze and its whole
       point is lock-free concurrent reads; a lock creeping in would be a
       design regression, not a bug fix.
+  raw-mutex
+      No raw std::mutex/std::shared_mutex/std::condition_variable/
+      std::scoped_lock (or lock_guard/unique_lock/shared_lock, or the
+      <mutex>/<shared_mutex>/<condition_variable> includes) anywhere
+      outside src/common/annotated_mutex.h. Locking goes through the
+      capability-annotated wnrs::Mutex/SharedMutex/CondVar wrappers so
+      Clang Thread Safety Analysis (-Wthread-safety, the thread-safety CI
+      job) sees every locking site; a raw primitive is invisible to the
+      analysis. Escape hatch for deliberate exceptions:
+      `// wnrs-lint: allow-raw-mutex(<reason>)` on the same line or
+      within the three lines above.
   discard
       Every `(void)call(...)` / `static_cast<void>(call(...))` discard
       must carry a `// wnrs-lint: allow-discard(<reason>)` justification
@@ -121,6 +132,18 @@ LOCK_RE = re.compile(
     r"std\s*::\s*(?:recursive_|shared_|timed_)*mutex\b"
     r"|std\s*::\s*(?:lock_guard|unique_lock|scoped_lock|condition_variable)"
     r"\b|pthread_mutex|\.\s*lock\s*\(")
+
+# raw-mutex: the one header allowed to name the std locking primitives —
+# it wraps them in the capability-annotated types everything else uses.
+RAW_MUTEX_ALLOWLIST = {"src/common/annotated_mutex.h"}
+RAW_MUTEX_RE = re.compile(
+    r"std\s*::\s*(?:recursive_|shared_|timed_)*mutex\b"
+    r"|std\s*::\s*condition_variable(?:_any)?\b"
+    r"|std\s*::\s*(?:scoped_lock|lock_guard|unique_lock|shared_lock)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+ALLOW_RAW_MUTEX_RE = re.compile(r"wnrs-lint:\s*allow-raw-mutex\(\s*\S")
+# How far above the use the justification may start (comments wrap).
+ALLOW_RAW_MUTEX_WINDOW = 3
 
 # raw-file-io: only the storage layer (and the legacy text serializer it
 # wraps) may open files; everything else goes through that funnel.
@@ -272,6 +295,16 @@ class Linter:
                 "packed-lock", rel, lineno, line,
                 "lock primitive in a packed read-path file — the frozen "
                 "image must stay lock-free for concurrent readers")
+        if rel not in RAW_MUTEX_ALLOWLIST and RAW_MUTEX_RE.search(line):
+            lo = max(0, lineno - 1 - ALLOW_RAW_MUTEX_WINDOW)
+            window = raw_lines[lo:lineno]  # Up to and including this line.
+            if not any(ALLOW_RAW_MUTEX_RE.search(w) for w in window):
+                self.report(
+                    "raw-mutex", rel, lineno, line,
+                    "raw std locking primitive outside annotated_mutex.h "
+                    "— use wnrs::Mutex/SharedMutex/CondVar and the RAII "
+                    "guards so thread-safety analysis sees the site, or "
+                    "justify with `// wnrs-lint: allow-raw-mutex(<reason>)`")
         if DISCARD_RE.search(line) and not DEATH_MACRO_RE.search(line):
             lo = max(0, lineno - 1 - ALLOW_DISCARD_WINDOW)
             window = raw_lines[lo:lineno]  # Up to and including this line.
@@ -335,6 +368,8 @@ SELF_TEST_SEEDS = {
                   "int* f() { return new int(7); }\n"),
     "packed-lock": ("src/index/packed_rtree.cc",
                     "#include <mutex>\nstd::mutex freeze_mu;\n"),
+    "raw-mutex": ("src/core/bad_mutex.cc",
+                  "#include <mutex>\nstd::mutex mu;\n"),
     "discard": ("src/core/bad_discard.cc",
                 "void f() { (void)Compute(); }\n"),
     "raw-file-io": ("src/core/bad_io.cc",
@@ -380,6 +415,22 @@ def self_test():
             failures.append("justified allow-discard still fired")
         else:
             print("self-test ok: allow-discard justification honored")
+    # And a justified raw mutex must NOT fire.
+    with tempfile.TemporaryDirectory() as scratch:
+        rel = "src/core/good_mutex.cc"
+        path = os.path.join(scratch, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write("// wnrs-lint: allow-raw-mutex(FFI boundary needs the "
+                    "std type)\n"
+                    "#include <mutex>\n"
+                    "std::mutex interop_mu;\n")
+        linter = Linter(scratch)
+        linter.lint_file(rel)
+        if any("[raw-mutex]" in v for v in linter.violations):
+            failures.append("justified allow-raw-mutex still fired")
+        else:
+            print("self-test ok: allow-raw-mutex justification honored")
     for f_ in failures:
         print(f"SELF-TEST FAIL: {f_}")
     return 1 if failures else 0
